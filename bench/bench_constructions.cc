@@ -1,0 +1,117 @@
+// E9 (Theorem 4.3 / 4.5 / Prop 6.5): construction sizes.
+// Thompson stays linear; determinization, sequentialisation, join and the
+// VA→RGX path union carry the exponential blow-ups the paper proves.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_Thompson_Size(benchmark::State& state) {
+  // (ab|ba)^k — size-k expression.
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i)
+    parts.push_back(RgxNode::Disj(RgxNode::Str("ab"), RgxNode::Str("ba")));
+  RgxPtr rgx = RgxNode::Concat(std::move(parts));
+  size_t states = 0;
+  for (auto _ : state) {
+    VA va = CompileToVa(rgx);
+    states = va.NumStates();
+    benchmark::DoNotOptimize(va.NumTransitions());
+  }
+  state.counters["ast_nodes"] = static_cast<double>(rgx->NodeCount());
+  state.counters["va_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Thompson_Size)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Determinize_Blowup(benchmark::State& state) {
+  // (a|b)* a (a|b)^k — the classical 2^k subset blow-up.
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts = {
+      RgxNode::Star(RgxNode::Chars(CharSet::OfString("ab"))),
+      RgxNode::Lit('a')};
+  for (size_t i = 0; i < k; ++i)
+    parts.push_back(RgxNode::Chars(CharSet::OfString("ab")));
+  VA nfa = CompileToVa(RgxNode::Concat(std::move(parts)));
+  size_t det_states = 0;
+  for (auto _ : state) {
+    VA det = Determinize(nfa);
+    det_states = det.NumStates();
+    benchmark::DoNotOptimize(det_states);
+  }
+  state.counters["nfa_states"] = static_cast<double>(nfa.NumStates());
+  state.counters["dfa_states"] = static_cast<double>(det_states);
+}
+BENCHMARK(BM_Determinize_Blowup)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MakeSequential_Blowup(benchmark::State& state) {
+  // Star over k variable choices: status tracking multiplies states.
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> branches;
+  for (size_t i = 0; i < k; ++i)
+    branches.push_back(
+        RgxNode::Var("ms" + std::to_string(i), RgxNode::Lit('a')));
+  branches.push_back(RgxNode::Lit('a'));
+  VA va = CompileToVa(RgxNode::Star(RgxNode::Disj(std::move(branches))));
+  size_t seq_states = 0;
+  for (auto _ : state) {
+    VA seq = MakeSequential(va);
+    seq_states = seq.NumStates();
+    benchmark::DoNotOptimize(seq_states);
+  }
+  state.counters["va_states"] = static_cast<double>(va.NumStates());
+  state.counters["seq_states"] = static_cast<double>(seq_states);
+}
+BENCHMARK(BM_MakeSequential_Blowup)->DenseRange(1, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Join_SharedVarBlowup(benchmark::State& state) {
+  // Join two automata sharing k variables (Theorem 4.5's exponential).
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> left, right;
+  for (size_t i = 0; i < k; ++i) {
+    std::string name = "jv" + std::to_string(i);
+    left.push_back(RgxNode::Opt(RgxNode::Var(name, RgxNode::Lit('a'))));
+    left.push_back(RgxNode::AnyStar());
+    right.push_back(RgxNode::AnyStar());
+    right.push_back(RgxNode::Opt(RgxNode::Var(name, RgxNode::Lit('a'))));
+  }
+  VA a1 = CompileToVa(RgxNode::Concat(std::move(left)));
+  VA a2 = CompileToVa(RgxNode::Concat(std::move(right)));
+  size_t join_states = 0;
+  for (auto _ : state) {
+    VA j = JoinVa(a1, a2);
+    join_states = j.NumStates();
+    benchmark::DoNotOptimize(join_states);
+  }
+  state.counters["shared_vars"] = static_cast<double>(k);
+  state.counters["join_states"] = static_cast<double>(join_states);
+}
+BENCHMARK(BM_Join_SharedVarBlowup)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VaToRgx_PathUnion(benchmark::State& state) {
+  // k optional variables: the path union enumerates the 2^k use patterns.
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i)
+    parts.push_back(RgxNode::Opt(
+        RgxNode::Var("pu" + std::to_string(i), RgxNode::Lit('a'))));
+  VA va = CompileToVa(RgxNode::Concat(std::move(parts)));
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    Result<std::vector<RgxPtr>> parts_out = VaToFunctionalRgxUnion(va);
+    disjuncts = parts_out.ok() ? parts_out->size() : 0;
+    benchmark::DoNotOptimize(disjuncts);
+  }
+  state.counters["vars"] = static_cast<double>(k);
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_VaToRgx_PathUnion)->DenseRange(1, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// E8 (Theorems 6.4 / 6.6 / 6.7): containment complexity.
+// General containment on the paper's DNF-validity instances grows
+// exponentially; the deterministic sequential point-disjoint product
+// algorithm stays polynomial on growing automata.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/reductions.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_Containment_DnfValidity(benchmark::State& state) {
+  std::mt19937 rng(static_cast<uint32_t>(13 + state.range(0)));
+  workload::Dnf dnf = workload::RandomDnf(
+      /*num_props=*/3, /*num_clauses=*/static_cast<size_t>(state.range(0)),
+      &rng);
+  auto [a1, a2] = workload::DnfValidityToContainment(dnf);
+  for (auto _ : state) {
+    bool contained = IsContainedIn(a1, a2);
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["clauses"] = static_cast<double>(dnf.clauses.size());
+  state.counters["a2_states"] = static_cast<double>(a2.NumStates());
+}
+BENCHMARK(BM_Containment_DnfValidity)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+VA ChainAutomaton(size_t k, bool wider) {
+  // x0{a}·l0·x1{a}·l1·... deterministic, sequential, point-disjoint.
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i) {
+    parts.push_back(
+        RgxNode::Var("pd" + std::to_string(i), RgxNode::Lit('a')));
+    parts.push_back(wider ? RgxNode::Chars(CharSet::OfString("bc"))
+                          : RgxNode::Lit('b'));
+  }
+  return Determinize(CompileToVa(RgxNode::Concat(std::move(parts))));
+}
+
+void BM_Containment_DetSeqPd(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  VA narrow = ChainAutomaton(k, /*wider=*/false);
+  VA wide = ChainAutomaton(k, /*wider=*/true);
+  for (auto _ : state) {
+    bool contained = IsContainedInDetSeqPd(narrow, wide);
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["states"] = static_cast<double>(wide.NumStates());
+}
+BENCHMARK(BM_Containment_DetSeqPd)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// The same inputs through the general algorithm, for the gap.
+void BM_Containment_GeneralOnDetSeq(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  VA narrow = ChainAutomaton(k, false);
+  VA wide = ChainAutomaton(k, true);
+  for (auto _ : state) {
+    bool contained = IsContainedIn(narrow, wide);
+    benchmark::DoNotOptimize(contained);
+  }
+}
+BENCHMARK(BM_Containment_GeneralOnDetSeq)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace

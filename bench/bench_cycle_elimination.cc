@@ -1,0 +1,56 @@
+// E10 (Theorem 4.7 / Prop 4.8): cycle elimination runs in polynomial time
+// (cycle-length sweep), while the simple-rule → union-of-functional-rules
+// decomposition blows up exponentially with the disjunct count.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+
+namespace {
+
+using namespace spanners;
+
+ExtractionRule CycleRule(size_t k) {
+  // body: a·x0 ; x0.x1 ; x1.x2 ; ... ; x_{k-1}.x0
+  auto var = [](size_t i) { return "cy" + std::to_string(i); };
+  RgxPtr body = RgxNode::Concat(RgxNode::Lit('a'), RgxNode::SpanVar(var(0)));
+  std::vector<RuleConstraint> constraints;
+  for (size_t i = 0; i < k; ++i) {
+    constraints.push_back({Variable::Intern(var(i)),
+                           RgxNode::SpanVar(var((i + 1) % k))});
+  }
+  return ExtractionRule(std::move(body), std::move(constraints));
+}
+
+void BM_CycleElimination_Length(benchmark::State& state) {
+  ExtractionRule rule = CycleRule(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<CycleElimResult> out = EliminateCycles(rule);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.counters["cycle_len"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CycleElimination_Length)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FunctionalDecomposition_Blowup(benchmark::State& state) {
+  // (x0 ∨ y0)(x1 ∨ y1)... : 2^k functional alternatives (Prop 4.8).
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i) {
+    parts.push_back(
+        RgxNode::Disj(RgxNode::SpanVar("fx" + std::to_string(i)),
+                      RgxNode::SpanVar("fy" + std::to_string(i))));
+  }
+  ExtractionRule rule(RgxNode::Concat(std::move(parts)), {});
+  size_t members = 0;
+  for (auto _ : state) {
+    Result<FunctionalDagRules> out = ToFunctionalDagRules(rule);
+    members = out.ok() ? out->rules.size() : 0;
+    benchmark::DoNotOptimize(members);
+  }
+  state.counters["disjunctions"] = static_cast<double>(k);
+  state.counters["union_members"] = static_cast<double>(members);
+}
+BENCHMARK(BM_FunctionalDecomposition_Blowup)->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

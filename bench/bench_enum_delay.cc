@@ -1,0 +1,64 @@
+// E2 (Theorem 5.1 / Algorithm 1): polynomial-delay enumeration.
+// Measures the worst observed delay (wall time and oracle calls) between
+// consecutive outputs as the document grows: it must stay polynomial, and
+// the per-output oracle calls must respect the |vars|·(|spans|+1)+1 bound.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "spanners.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_EnumDelay_Csv(benchmark::State& state) {
+  workload::LandRegistryOptions o;
+  o.rows = static_cast<size_t>(state.range(0));
+  Document doc = workload::LandRegistryDocument(o);
+  VA va = CompileToVa(workload::SellerNameTaxRgx());
+  double max_delay_ms = 0;
+  double max_delay_calls = 0;
+  double outputs = 0;
+  for (auto _ : state) {
+    MappingEnumerator e = MakeSequentialEnumerator(va, doc);
+    size_t last_calls = 0;
+    outputs = 0;
+    auto last = std::chrono::steady_clock::now();
+    while (e.Next().has_value()) {
+      auto now = std::chrono::steady_clock::now();
+      double ms =
+          std::chrono::duration<double, std::milli>(now - last).count();
+      max_delay_ms = std::max(max_delay_ms, ms);
+      max_delay_calls = std::max(
+          max_delay_calls, static_cast<double>(e.oracle_calls() - last_calls));
+      last_calls = e.oracle_calls();
+      last = now;
+      outputs += 1;
+    }
+  }
+  state.counters["outputs"] = outputs;
+  state.counters["max_delay_ms"] = max_delay_ms;
+  state.counters["max_delay_oracle_calls"] = max_delay_calls;
+  state.counters["delay_bound_calls"] = static_cast<double>(
+      va.Vars().size() * (doc.AllSpans().size() + 1) + 1);
+}
+BENCHMARK(BM_EnumDelay_Csv)->Arg(1)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+// Run-based enumeration of the same outputs (output-sensitive baseline).
+void BM_EnumRuns_Csv(benchmark::State& state) {
+  workload::LandRegistryOptions o;
+  o.rows = static_cast<size_t>(state.range(0));
+  Document doc = workload::LandRegistryDocument(o);
+  VA va = CompileToVa(workload::SellerNameTaxRgx());
+  for (auto _ : state) {
+    MappingSet out = RunEval(va, doc);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_EnumRuns_Csv)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,50 @@
+// E3 (Proposition 5.3): Eval[funcRGX] is PTIME — the functional fragment
+// of [Fagin et al. 2015] inherits the sequential algorithm. Sweeps
+// expression size and document length on random functional RGX.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_EvalFunctional_DocLength(benchmark::State& state) {
+  std::mt19937 rng(21);
+  workload::RandomRgxOptions opt;
+  opt.functional_only = true;
+  opt.max_depth = 5;
+  opt.num_vars = 3;
+  RgxPtr rgx = workload::RandomRgx(opt, &rng);
+  VA va = CompileToVa(rgx);
+  Document doc =
+      workload::RandomDocument("ab", static_cast<size_t>(state.range(0)),
+                               &rng);
+  for (auto _ : state) {
+    bool ok = EvalSequential(va, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_EvalFunctional_DocLength)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_EvalFunctional_NumVars(benchmark::State& state) {
+  // x1{a*}·x2{a*}·...·xk{a*}·b over a^n b: functional, k grows.
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i)
+    parts.push_back(RgxNode::Var("f" + std::to_string(i),
+                                 RgxNode::Star(RgxNode::Lit('a'))));
+  parts.push_back(RgxNode::Lit('b'));
+  VA va = CompileToVa(RgxNode::Concat(std::move(parts)));
+  Document doc(std::string(48, 'a') + "b");
+  for (auto _ : state) {
+    bool ok = EvalSequential(va, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["vars"] = static_cast<double>(k);
+}
+BENCHMARK(BM_EvalFunctional_NumVars)->DenseRange(1, 13, 3);
+
+}  // namespace

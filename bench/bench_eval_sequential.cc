@@ -1,0 +1,70 @@
+// E1 (Theorem 5.7): Eval[seqRGX] / Eval[seqVA] is PTIME.
+// Sweeps document length and expression size; the time per Eval call must
+// grow polynomially (roughly linearly) in both.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace spanners;
+
+// Eval with the empty constraint over the Table 1 CSV, document sweep.
+void BM_EvalSeq_DocLength(benchmark::State& state) {
+  workload::LandRegistryOptions o;
+  o.rows = static_cast<size_t>(state.range(0));
+  Document doc = workload::LandRegistryDocument(o);
+  VA va = CompileToVa(workload::SellerNameTaxRgx());
+  for (auto _ : state) {
+    bool ok = EvalSequential(va, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["doc_len"] = static_cast<double>(doc.length());
+}
+BENCHMARK(BM_EvalSeq_DocLength)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+// Eval with a concrete assigned mapping (the harder oracle case).
+void BM_EvalSeq_WithAssignment(benchmark::State& state) {
+  workload::LandRegistryOptions o;
+  o.rows = static_cast<size_t>(state.range(0));
+  Document doc = workload::LandRegistryDocument(o);
+  VA va = CompileToVa(workload::SellerNameTaxRgx());
+  // First real output as the probe assignment.
+  MappingSet all = RunEval(va, doc);
+  ExtendedMapping mu;
+  if (!all.empty())
+    mu = ExtendedMapping::FromMapping(*all.begin());
+  for (auto _ : state) {
+    bool ok = EvalSequential(va, doc, mu);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["doc_len"] = static_cast<double>(doc.length());
+}
+BENCHMARK(BM_EvalSeq_WithAssignment)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Expression-size sweep at fixed document length:
+// (a|b)*(e0{a+}|e0{b+})(a|b)*(e1{a+}|e1{b+})... — k variable groups.
+void BM_EvalSeq_ExprSize(benchmark::State& state) {
+  std::mt19937 rng(11);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i) {
+    std::string name = "e" + std::to_string(i);
+    parts.push_back(RgxNode::Star(RgxNode::Chars(CharSet::OfString("ab"))));
+    parts.push_back(
+        RgxNode::Disj(RgxNode::Var(name, RgxNode::Plus(RgxNode::Lit('a'))),
+                      RgxNode::Var(name, RgxNode::Plus(RgxNode::Lit('b')))));
+  }
+  parts.push_back(RgxNode::Star(RgxNode::Chars(CharSet::OfString("ab"))));
+  VA va = CompileToVa(RgxNode::Concat(std::move(parts)));
+  Document doc = workload::RandomDocument("ab", 64, &rng);
+  for (auto _ : state) {
+    bool ok = EvalSequential(va, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["states"] = static_cast<double>(va.NumStates());
+}
+BENCHMARK(BM_EvalSeq_ExprSize)->DenseRange(2, 10, 2);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Ablation: the three evaluation strategies on one workload
+// (DESIGN.md §3 calls out the evaluator split as a design choice).
+//
+//   * RunEval            — output-sensitive run enumeration (practical)
+//   * EnumerateSequential — Algorithm 1 over the PTIME oracle
+//                           (worst-case polynomial delay guarantee)
+//   * EvalVa              — the FPT evaluator used as a NonEmp oracle
+//
+// The measurements show why the library dispatches the way it does: run
+// enumeration wins when outputs are sparse, Algorithm 1 pays a polynomial
+// premium for its delay guarantee, and the FPT evaluator matches the
+// sequential matcher on sequential inputs but scales in 3^k otherwise.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace spanners;
+
+VA CsvAutomaton() { return CompileToVa(workload::SellerNameTaxRgx()); }
+
+Document Csv(size_t rows) {
+  workload::LandRegistryOptions o;
+  o.rows = rows;
+  return workload::LandRegistryDocument(o);
+}
+
+void BM_Ablation_RunEval(benchmark::State& state) {
+  VA va = CsvAutomaton();
+  Document doc = Csv(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    MappingSet out = RunEval(va, doc);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_Ablation_RunEval)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_Algorithm1(benchmark::State& state) {
+  VA va = CsvAutomaton();
+  Document doc = Csv(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    MappingSet out = EnumerateSequential(va, doc);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_Ablation_Algorithm1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_NonEmp_SequentialMatcher(benchmark::State& state) {
+  VA va = CsvAutomaton();
+  Document doc = Csv(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = MatchesSequential(va, doc);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ablation_NonEmp_SequentialMatcher)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_NonEmp_FptEvaluator(benchmark::State& state) {
+  VA va = CsvAutomaton();
+  Document doc = Csv(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = MatchesVa(va, doc);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ablation_NonEmp_FptEvaluator)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

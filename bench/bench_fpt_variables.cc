@@ -1,0 +1,61 @@
+// E5 (Theorem 5.10): Eval[VA] parametrised by the number of variables is
+// FPT — time f(k)·poly(n). Two sweeps over a non-sequential family
+// ((x1{a}|...|xk{a}|a))*: document length with k fixed (polynomial) and k
+// with the document fixed (the f(k) factor).
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+
+namespace {
+
+using namespace spanners;
+
+VA StarChoiceAutomaton(size_t k) {
+  std::vector<RgxPtr> branches;
+  for (size_t i = 0; i < k; ++i)
+    branches.push_back(
+        RgxNode::Var("fpt" + std::to_string(i), RgxNode::Lit('a')));
+  branches.push_back(RgxNode::Lit('a'));
+  return CompileToVa(RgxNode::Star(RgxNode::Disj(std::move(branches))));
+}
+
+void BM_FptEval_DocLength(benchmark::State& state) {
+  VA va = StarChoiceAutomaton(3);
+  Document doc(std::string(static_cast<size_t>(state.range(0)), 'a'));
+  for (auto _ : state) {
+    bool ok = EvalVa(va, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FptEval_DocLength)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_FptEval_NumVars(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  VA va = StarChoiceAutomaton(k);
+  Document doc(std::string(24, 'a'));
+  for (auto _ : state) {
+    bool ok = EvalVa(va, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_FptEval_NumVars)->DenseRange(1, 9, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// The harder probe: an assigned variable pins operations mid-document.
+void BM_FptEval_WithAssignment(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  VA va = StarChoiceAutomaton(k);
+  Document doc(std::string(24, 'a'));
+  ExtendedMapping mu;
+  mu.Assign(Variable::Intern("fpt0"), Span(5, 6));
+  for (auto _ : state) {
+    bool ok = EvalVa(va, doc, mu);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_FptEval_WithAssignment)->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,51 @@
+// E4 (Theorem 5.2): NonEmp[spanRGX] is NP-complete.
+// The paper's 1-IN-3-SAT reduction provides adversarial instances: the
+// solver's time grows exponentially with the clause count, while the
+// sequential fragment (Theorem 5.7) stays polynomial on same-sized inputs.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/reductions.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_NonEmp_SpanRgx_1in3sat(benchmark::State& state) {
+  std::mt19937 rng(static_cast<uint32_t>(state.range(0)));
+  workload::OneInThreeSat inst = workload::RandomOneInThreeSat(
+      /*num_props=*/3 + static_cast<size_t>(state.range(0)),
+      /*num_clauses=*/static_cast<size_t>(state.range(0)), &rng);
+  VA va = CompileToVa(workload::OneInThreeSatToSpanRgx(inst));
+  Document empty("");
+  for (auto _ : state) {
+    bool nonempty = !RunEval(va, empty).empty();
+    benchmark::DoNotOptimize(nonempty);
+  }
+  state.counters["clauses"] = static_cast<double>(inst.clauses.size());
+  state.counters["rgx_vars"] = static_cast<double>(va.Vars().size());
+}
+BENCHMARK(BM_NonEmp_SpanRgx_1in3sat)->DenseRange(2, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Contrast: NonEmp of a *sequential* spanRGX of comparable size is PTIME.
+void BM_NonEmp_SequentialSpanRgx(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0)) * 4;
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i) {
+    parts.push_back(RgxNode::Disj(
+        RgxNode::SpanVar("s" + std::to_string(i)),
+        RgxNode::SpanVar("t" + std::to_string(i))));
+  }
+  VA va = CompileToVa(RgxNode::Concat(std::move(parts)));
+  Document empty("");
+  for (auto _ : state) {
+    bool nonempty = MatchesSequential(va, empty);
+    benchmark::DoNotOptimize(nonempty);
+  }
+  state.counters["spanrgx_vars"] = static_cast<double>(2 * k);
+}
+BENCHMARK(BM_NonEmp_SequentialSpanRgx)->DenseRange(2, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

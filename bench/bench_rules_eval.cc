@@ -1,0 +1,66 @@
+// E6 (Theorems 5.8 / 5.9): rule evaluation complexity.
+// Sequential tree-like rules evaluate in PTIME (document-length sweep);
+// NonEmp of functional dag-like rules is NP-hard (1-IN-3-SAT instances,
+// exponential growth in the clause count).
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/reductions.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_TreeRuleEval_DocLength(benchmark::State& state) {
+  ExtractionRule rule =
+      ExtractionRule::Parse(
+          "x{.*}(,y{.*}|\\e)(,z{.*}|\\e) && x.([^,]*) && y.([^,]*) && "
+          "z.([^,]*)")
+          .ValueOrDie();
+  // CSV-ish content: n fields of three letters.
+  std::string text = "abc";
+  for (int i = 1; i < state.range(0); ++i) text += ",abc";
+  Document doc(text);
+  for (auto _ : state) {
+    bool ok = EvalTreeRule(rule, doc, ExtendedMapping());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["doc_len"] = static_cast<double>(doc.length());
+}
+BENCHMARK(BM_TreeRuleEval_DocLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TreeRuleEval_WithAssignment(benchmark::State& state) {
+  ExtractionRule rule =
+      ExtractionRule::Parse(
+          "x{.*}(,y{.*}|\\e) && x.([^,]*) && y.([^,]*)")
+          .ValueOrDie();
+  std::string text(static_cast<size_t>(state.range(0)), 'a');
+  text += ",bb";
+  Document doc(text);
+  ExtendedMapping mu;
+  mu.Assign(Variable::Intern("x"),
+            Span(1, static_cast<Pos>(state.range(0)) + 1));
+  for (auto _ : state) {
+    bool ok = EvalTreeRule(rule, doc, mu);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_TreeRuleEval_WithAssignment)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DagRuleNonEmp_1in3sat(benchmark::State& state) {
+  std::mt19937 rng(static_cast<uint32_t>(42 + state.range(0)));
+  workload::OneInThreeSat inst = workload::RandomOneInThreeSat(
+      3 + static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)), &rng);
+  ExtractionRule rule = workload::OneInThreeSatToDagRule(inst);
+  Document hash("#");
+  for (auto _ : state) {
+    bool nonempty = !RuleReferenceEval(rule, hash).empty();
+    benchmark::DoNotOptimize(nonempty);
+  }
+  state.counters["clauses"] = static_cast<double>(inst.clauses.size());
+}
+BENCHMARK(BM_DagRuleNonEmp_1in3sat)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// E7 (Theorems 6.1 / 6.2): Sat[VA] is NP-complete while Sat[seqVA] is
+// reachability. The sequential sweep grows automaton size (linear time);
+// the general side uses the paper's 1-IN-3-SAT spanRGX images.
+#include <benchmark/benchmark.h>
+
+#include "spanners.h"
+#include "workload/generators.h"
+#include "workload/reductions.h"
+
+namespace {
+
+using namespace spanners;
+
+void BM_SatSequential_Size(benchmark::State& state) {
+  // Long sequential expression: (s0|t0)(s1|t1)... with letters.
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<RgxPtr> parts;
+  for (size_t i = 0; i < k; ++i) {
+    parts.push_back(RgxNode::Disj(
+        RgxNode::Var("sq" + std::to_string(i), RgxNode::Str("ab")),
+        RgxNode::Str("ba")));
+  }
+  VA va = CompileToVa(RgxNode::Concat(std::move(parts)));
+  for (auto _ : state) {
+    bool sat = IsSatisfiableSequentialVa(va);
+    benchmark::DoNotOptimize(sat);
+  }
+  state.counters["states"] = static_cast<double>(va.NumStates());
+}
+BENCHMARK(BM_SatSequential_Size)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SatGeneral_1in3sat(benchmark::State& state) {
+  std::mt19937 rng(static_cast<uint32_t>(7 * state.range(0)));
+  workload::OneInThreeSat inst = workload::RandomOneInThreeSat(
+      3 + static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)), &rng);
+  VA va = CompileToVa(workload::OneInThreeSatToSpanRgx(inst));
+  for (auto _ : state) {
+    bool sat = IsSatisfiableVa(va);
+    benchmark::DoNotOptimize(sat);
+  }
+  state.counters["clauses"] = static_cast<double>(inst.clauses.size());
+  state.counters["vars"] = static_cast<double>(va.Vars().size());
+}
+BENCHMARK(BM_SatGeneral_1in3sat)->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

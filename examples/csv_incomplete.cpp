@@ -1,0 +1,56 @@
+// The paper's §1 motivating task (Table 1): extract seller names from a
+// land-registry CSV, including the *optional* tax field when present —
+// the headline incomplete-information feature of mapping-based spanners.
+//
+//   build/examples/example_csv_incomplete [rows]
+#include <cstdlib>
+#include <iostream>
+
+#include "spanners.h"
+#include "workload/generators.h"
+
+using namespace spanners;
+
+int main(int argc, char** argv) {
+  size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  workload::LandRegistryOptions options;
+  options.rows = rows;
+  options.tax_probability = 0.4;
+  Document doc = workload::LandRegistryDocument(options);
+
+  std::cout << "== input (" << rows << " rows, Table 1 shape) ==\n"
+            << doc.text() << "\n";
+
+  RgxPtr rgx = workload::SellerNameTaxRgx();
+  std::cout << "== extraction expression (paper §3.1) ==\n"
+            << ToPattern(rgx) << "\n\n";
+
+  VA va = CompileToVa(rgx);
+  if (!IsSequentialVa(va)) {
+    std::cerr << "expected a sequential automaton\n";
+    return 1;
+  }
+
+  VarId x = Variable::Intern("x");
+  VarId y = Variable::Intern("y");
+  std::cout << "== extracted sellers (partial mappings when no tax) ==\n";
+  // RunEval enumerates accepting runs directly (output-sensitive and fast
+  // in practice); Algorithm 1 (EnumerateSequential) gives the same set
+  // with a worst-case polynomial delay guarantee.
+  size_t partial = 0, total = 0;
+  for (const Mapping& m : RunEval(va, doc).Sorted()) {
+    std::cout << "  name=\"" << doc.content(*m.Get(x)) << "\"";
+    if (m.Defines(y)) {
+      std::cout << " tax=$" << doc.content(*m.Get(y));
+      ++total;
+    } else {
+      std::cout << " tax=<not present>";
+      ++partial;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n" << total << " mapping(s) with tax, " << partial
+            << " partial mapping(s) without — a relation-based spanner "
+               "would have lost the partial rows.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Polynomial-delay enumeration and the spanner algebra over a synthetic
+// server log: extract method/path/optional-error mappings line by line
+// (Theorems 5.1 + 5.7), then combine spanners with ∪, π and ⋈
+// (Theorem 4.5).
+//
+//   build/examples/example_log_analysis [lines]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "spanners.h"
+#include "workload/generators.h"
+
+using namespace spanners;
+
+int main(int argc, char** argv) {
+  size_t lines = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50;
+  workload::LogOptions options;
+  options.lines = lines;
+  Document doc = workload::ServerLogDocument(options);
+
+  VA va = CompileToVa(workload::LogLineRgx());
+  VarId m_var = Variable::Intern("m");
+  VarId p_var = Variable::Intern("p");
+  VarId c_var = Variable::Intern("c");
+
+  std::cout << "== extracting matches (run enumeration) ==\n";
+  size_t count = 0, errors = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Mapping& m : RunEval(va, doc).Sorted()) {
+    ++count;
+    if (m.Defines(c_var)) ++errors;
+    if (count <= 5) {
+      std::cout << "  " << doc.content(*m.Get(m_var)) << " "
+                << doc.content(*m.Get(p_var));
+      if (m.Defines(c_var))
+        std::cout << "  (error: " << doc.content(*m.Get(c_var)) << ")";
+      std::cout << "\n";
+    }
+  }
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  std::cout << "  ... " << count << " matches (" << errors
+            << " with an error cause) in " << ms << " ms\n";
+
+  // Algorithm 1 (Theorem 5.1): same mappings with a *guaranteed*
+  // polynomial delay between outputs, demonstrated on a short prefix.
+  std::cout << "\n== polynomial-delay enumeration (Algorithm 1) ==\n";
+  workload::LogOptions small_opt;
+  small_opt.lines = 4;
+  Document small_doc = workload::ServerLogDocument(small_opt);
+  MappingEnumerator e = MakeSequentialEnumerator(va, small_doc);
+  size_t last_calls = 0, max_delay_calls = 0, n_out = 0;
+  while (e.Next().has_value()) {
+    max_delay_calls = std::max(max_delay_calls, e.oracle_calls() - last_calls);
+    last_calls = e.oracle_calls();
+    ++n_out;
+  }
+  size_t k = va.Vars().size();
+  std::cout << "  " << n_out << " outputs over a 4-line log; max oracle "
+            << "calls between outputs: " << max_delay_calls
+            << " (bound: |vars|·(|spans|+1)+1 = "
+            << k * (small_doc.AllSpans().size() + 1) + 1 << ")\n";
+
+  std::cout << "\n== spanner algebra (Theorem 4.5) ==\n";
+  // π_{m}: project everything but the method away.
+  VA methods = ProjectVa(va, VarSet({m_var}));
+  Document small(
+      "host1 GET /a 200\n"
+      "host2 POST /x 500 err=timeout\n"
+      "host3 GET /a/b 500 err=oom\n");
+  std::cout << "π_m over a 3-line log: "
+            << RunEval(methods, small).size() << " distinct method "
+            << "mappings\n";
+
+  // Join with a filter spanner that requires some 500 somewhere.
+  VA filter = CompileToVa(ParseRgx(".* 500.*").ValueOrDie());
+  VA joined = JoinVa(va, filter);
+  std::cout << "⋈ with \".* 500.*\" filter: "
+            << RunEval(joined, small).size() << " mappings (vs "
+            << RunEval(va, small).size() << " without)\n";
+
+  // Union with a spanner extracting hosts instead.
+  VA hosts = CompileToVa(
+      ParseRgx("(.*\\n|\\e)(h{[a-z0-9]+}) .*").ValueOrDie());
+  VA unioned = UnionVa(va, hosts);
+  std::cout << "∪ with host extractor: " << RunEval(unioned, small).size()
+            << " mappings\n";
+  return 0;
+}

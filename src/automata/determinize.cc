@@ -1,0 +1,117 @@
+#include "automata/determinize.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+std::vector<CharSet> PartitionAtoms(const std::vector<CharSet>& sets) {
+  std::vector<CharSet> atoms;
+  CharSet covered = CharSet::None();
+  for (const CharSet& s : sets) covered = covered.Union(s);
+  if (covered.empty()) return atoms;
+  atoms.push_back(covered);
+  for (const CharSet& s : sets) {
+    std::vector<CharSet> next;
+    next.reserve(atoms.size() + 1);
+    for (const CharSet& atom : atoms) {
+      CharSet in = atom.Intersect(s);
+      CharSet out = atom.Minus(s);
+      if (!in.empty()) next.push_back(in);
+      if (!out.empty()) next.push_back(out);
+    }
+    atoms = std::move(next);
+  }
+  return atoms;
+}
+
+VA Determinize(const VA& a) {
+  // Subset states are sorted vectors of (ε-closed) original states.
+  using Subset = std::vector<StateId>;
+
+  auto closure_of = [&a](Subset s) {
+    std::set<StateId> acc;
+    for (StateId q : s)
+      for (StateId c : a.EpsilonClosure(q)) acc.insert(c);
+    return Subset(acc.begin(), acc.end());
+  };
+
+  // Global alphabet atoms and variable operations.
+  std::vector<CharSet> charsets;
+  std::set<std::pair<bool, VarId>> ops;
+  for (StateId q = 0; q < a.NumStates(); ++q) {
+    for (const VaTransition& t : a.TransitionsFrom(q)) {
+      if (t.kind == TransKind::kChars) charsets.push_back(t.chars);
+      if (t.IsVarOp()) ops.insert({t.kind == TransKind::kOpen, t.var});
+    }
+  }
+  std::vector<CharSet> atoms = PartitionAtoms(charsets);
+
+  VA out;
+  std::map<Subset, StateId> ids;
+  std::deque<Subset> queue;
+
+  auto intern = [&](Subset s) -> StateId {
+    auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState();
+    for (StateId q : s) {
+      if (a.IsFinal(q)) {
+        out.AddFinal(id);
+        break;
+      }
+    }
+    ids.emplace(s, id);
+    queue.push_back(std::move(s));
+    return id;
+  };
+
+  Subset start = closure_of({a.initial()});
+  out.SetInitial(intern(start));
+
+  while (!queue.empty()) {
+    Subset s = queue.front();
+    queue.pop_front();
+    StateId from = ids.at(s);
+
+    for (const CharSet& atom : atoms) {
+      char witness = atom.AnyMember();
+      Subset next;
+      for (StateId q : s)
+        for (const VaTransition& t : a.TransitionsFrom(q))
+          if (t.kind == TransKind::kChars && t.chars.Contains(witness))
+            next.push_back(t.to);
+      if (next.empty()) continue;
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      out.AddChar(from, atom, intern(closure_of(std::move(next))));
+    }
+    for (const auto& [open, var] : ops) {
+      Subset next;
+      for (StateId q : s) {
+        for (const VaTransition& t : a.TransitionsFrom(q)) {
+          bool match = open ? t.kind == TransKind::kOpen
+                            : t.kind == TransKind::kClose;
+          if (match && t.var == var) next.push_back(t.to);
+        }
+      }
+      if (next.empty()) continue;
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      StateId to = intern(closure_of(std::move(next)));
+      if (open) {
+        out.AddOpen(from, var, to);
+      } else {
+        out.AddClose(from, var, to);
+      }
+    }
+  }
+  SPANNERS_DCHECK(out.IsDeterministic());
+  return out;
+}
+
+}  // namespace spanners

@@ -1,0 +1,25 @@
+// Determinization of VA (paper Proposition 6.5): classical subset
+// construction treating variable operations as input symbols. The result
+// is deterministic in the paper's §6 sense — per state, at most one
+// successor for each letter and each variable operation — and may have
+// multiple final states (the paper allows this w.l.o.g.).
+#ifndef SPANNERS_AUTOMATA_DETERMINIZE_H_
+#define SPANNERS_AUTOMATA_DETERMINIZE_H_
+
+#include <vector>
+
+#include "automata/va.h"
+
+namespace spanners {
+
+/// Refines `sets` into disjoint atoms: every input set is a disjoint union
+/// of returned atoms, and every atom behaves uniformly wrt all inputs.
+std::vector<CharSet> PartitionAtoms(const std::vector<CharSet>& sets);
+
+/// Subset construction; ⟦Determinize(A)⟧_d = ⟦A⟧_d for every d.
+/// Worst-case exponential in |states(A)| (measured in bench E9).
+VA Determinize(const VA& a);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_DETERMINIZE_H_

@@ -1,0 +1,96 @@
+#include "automata/enumerate.h"
+
+#include "automata/fpt.h"
+#include "automata/matcher.h"
+#include "common/logging.h"
+
+namespace spanners {
+
+MappingEnumerator::MappingEnumerator(VarSet vars, const Document& doc,
+                                     EvalOracle oracle)
+    : vars_(vars.ids()), spans_(doc.AllSpans()), oracle_(std::move(oracle)) {}
+
+bool MappingEnumerator::OracleAccepts() {
+  ++oracle_calls_;
+  return oracle_(current_);
+}
+
+std::optional<Mapping> MappingEnumerator::Next() {
+  if (done_) return std::nullopt;
+
+  if (!started_) {
+    started_ = true;
+    // Nothing at all to output?
+    if (!OracleAccepts()) {
+      done_ = true;
+      return std::nullopt;
+    }
+    if (vars_.empty()) {
+      done_ = true;
+      return Mapping::Empty();
+    }
+    stack_.push_back({0, 0});
+  } else {
+    // Resume: advance the deepest frame.
+    SPANNERS_CHECK(!stack_.empty());
+    ++stack_.back().choice_idx;
+  }
+
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    const size_t num_choices = spans_.size() + 1;  // spans ∪ {⊥}
+    if (f.choice_idx >= num_choices) {
+      current_.Clear(vars_[f.var_idx]);
+      stack_.pop_back();
+      if (!stack_.empty()) ++stack_.back().choice_idx;
+      continue;
+    }
+    if (f.choice_idx < spans_.size()) {
+      current_.Assign(vars_[f.var_idx], spans_[f.choice_idx]);
+    } else {
+      current_.AssignBottom(vars_[f.var_idx]);
+    }
+    if (!OracleAccepts()) {
+      ++f.choice_idx;
+      continue;
+    }
+    if (f.var_idx + 1 == vars_.size()) {
+      // All variables decided and the oracle accepts: output.
+      return current_.AssignedPart();
+    }
+    stack_.push_back({f.var_idx + 1, 0});
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+MappingSet MappingEnumerator::Drain() {
+  MappingSet out;
+  while (std::optional<Mapping> m = Next()) out.Insert(*std::move(m));
+  return out;
+}
+
+MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc) {
+  return MappingEnumerator(
+      a.Vars(), doc,
+      [&a, &doc](const ExtendedMapping& mu) {
+        return EvalSequential(a, doc, mu);
+      });
+}
+
+MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc) {
+  return MappingEnumerator(a.Vars(), doc,
+                           [&a, &doc](const ExtendedMapping& mu) {
+                             return EvalVa(a, doc, mu);
+                           });
+}
+
+MappingSet EnumerateSequential(const VA& a, const Document& doc) {
+  return MakeSequentialEnumerator(a, doc).Drain();
+}
+
+MappingSet EnumerateVa(const VA& a, const Document& doc) {
+  return MakeVaEnumerator(a, doc).Drain();
+}
+
+}  // namespace spanners

@@ -1,0 +1,71 @@
+// Polynomial-delay enumeration of ⟦γ⟧_d (paper Theorem 5.1, Algorithm 1):
+// assign variables one at a time to a span or ⊥, pruning with the Eval
+// decision procedure; with a PTIME oracle the delay between two outputs is
+// polynomial.
+#ifndef SPANNERS_AUTOMATA_ENUMERATE_H_
+#define SPANNERS_AUTOMATA_ENUMERATE_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "core/mapping.h"
+
+namespace spanners {
+
+/// The Eval[L] decision procedure abstracted: "can this extended mapping
+/// be extended to an output?".
+using EvalOracle = std::function<bool(const ExtendedMapping&)>;
+
+/// Incremental enumerator implementing the paper's Algorithm 1. Next()
+/// produces each mapping of the semantics exactly once; the number of
+/// oracle calls between consecutive outputs is O(|vars| · |spans| + 1),
+/// hence polynomial delay whenever the oracle is PTIME.
+class MappingEnumerator {
+ public:
+  MappingEnumerator(VarSet vars, const Document& doc, EvalOracle oracle);
+
+  /// The next mapping, or nullopt when exhausted.
+  std::optional<Mapping> Next();
+
+  /// Oracle invocations since construction (for delay accounting).
+  size_t oracle_calls() const { return oracle_calls_; }
+
+  /// Drains the enumerator into a set.
+  MappingSet Drain();
+
+ private:
+  // One DFS frame: variable index `var_idx` iterating choice `choice_idx`
+  // over spans_ ∪ {⊥}.
+  struct Frame {
+    size_t var_idx;
+    size_t choice_idx;
+  };
+
+  bool OracleAccepts();
+
+  std::vector<VarId> vars_;
+  std::vector<Span> spans_;
+  EvalOracle oracle_;
+  ExtendedMapping current_;
+  std::vector<Frame> stack_;
+  bool started_ = false;
+  bool done_ = false;
+  size_t oracle_calls_ = 0;
+};
+
+/// ⟦A⟧_doc for sequential VA via the PTIME matcher (Theorem 5.7 + 5.1).
+MappingSet EnumerateSequential(const VA& a, const Document& doc);
+
+/// ⟦A⟧_doc for arbitrary VA via the FPT evaluator (Theorem 5.10 + 5.1).
+MappingSet EnumerateVa(const VA& a, const Document& doc);
+
+/// Enumerator objects for delay instrumentation.
+MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc);
+MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_ENUMERATE_H_

@@ -1,0 +1,130 @@
+#include "automata/fpt.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+enum Phase : uint8_t { kAvail = 0, kOpen = 1, kClosed = 2 };
+
+// Dense encoding of (state, pos, statuses) for the visited set.
+struct ConfigKey {
+  uint64_t state_pos;
+  std::string phases;
+
+  bool operator==(const ConfigKey& o) const {
+    return state_pos == o.state_pos && phases == o.phases;
+  }
+};
+
+struct ConfigKeyHash {
+  size_t operator()(const ConfigKey& k) const {
+    return std::hash<std::string>()(k.phases) * 1000003 +
+           std::hash<uint64_t>()(k.state_pos);
+  }
+};
+
+}  // namespace
+
+bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu) {
+  const Pos n = doc.length();
+  const std::vector<VarId> vars = a.Vars().ids();
+  const size_t k = vars.size();
+
+  // A variable assigned by `mu` but absent from A can never be produced.
+  VarSet avars = a.Vars();
+  for (VarId v : mu.ConstrainedVars()) {
+    if (mu.StateOf(v) == ExtendedMapping::VarState::kAssigned &&
+        !avars.Contains(v))
+      return false;
+  }
+
+  auto local_index = [&vars](VarId x) {
+    return static_cast<size_t>(
+        std::lower_bound(vars.begin(), vars.end(), x) - vars.begin());
+  };
+
+  std::unordered_set<ConfigKey, ConfigKeyHash> seen;
+  std::deque<std::pair<std::pair<StateId, Pos>, std::string>> queue;
+
+  auto push = [&](StateId q, Pos pos, std::string phases) {
+    ConfigKey key{(static_cast<uint64_t>(q) << 32) | pos, phases};
+    if (seen.insert(key).second) queue.push_back({{q, pos}, std::move(phases)});
+  };
+
+  push(a.initial(), 1, std::string(k, static_cast<char>(kAvail)));
+
+  while (!queue.empty()) {
+    auto [qp, phases] = queue.front();
+    auto [q, pos] = qp;
+    queue.pop_front();
+
+    if (a.IsFinal(q) && pos == n + 1) {
+      // µ' defines exactly the closed variables; check the accept
+      // condition: every assigned variable is closed (its span endpoints
+      // were enforced at operation time), no ⊥ variable is closed.
+      bool ok = true;
+      for (size_t i = 0; i < k && ok; ++i) {
+        switch (mu.StateOf(vars[i])) {
+          case ExtendedMapping::VarState::kAssigned:
+            ok = phases[i] == static_cast<char>(kClosed);
+            break;
+          case ExtendedMapping::VarState::kBottom:
+            ok = phases[i] != static_cast<char>(kClosed);
+            break;
+          case ExtendedMapping::VarState::kUnconstrained:
+            break;
+        }
+      }
+      if (ok) return true;
+    }
+
+    for (const VaTransition& t : a.TransitionsFrom(q)) {
+      switch (t.kind) {
+        case TransKind::kChars:
+          if (pos <= n && t.chars.Contains(doc.at(pos)))
+            push(t.to, pos + 1, phases);
+          break;
+        case TransKind::kEpsilon:
+          push(t.to, pos, phases);
+          break;
+        case TransKind::kOpen: {
+          size_t i = local_index(t.var);
+          if (phases[i] != static_cast<char>(kAvail)) break;
+          if (mu.StateOf(t.var) == ExtendedMapping::VarState::kAssigned &&
+              mu.Get(t.var)->begin != pos)
+            break;  // assigned spans pin the open position
+          std::string next = phases;
+          next[i] = static_cast<char>(kOpen);
+          push(t.to, pos, std::move(next));
+          break;
+        }
+        case TransKind::kClose: {
+          size_t i = local_index(t.var);
+          if (phases[i] != static_cast<char>(kOpen)) break;
+          if (mu.StateOf(t.var) == ExtendedMapping::VarState::kBottom)
+            break;  // closing would define a ⊥ variable
+          if (mu.StateOf(t.var) == ExtendedMapping::VarState::kAssigned &&
+              mu.Get(t.var)->end != pos)
+            break;
+          std::string next = phases;
+          next[i] = static_cast<char>(kClosed);
+          push(t.to, pos, std::move(next));
+          break;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool MatchesVa(const VA& a, const Document& doc) {
+  return EvalVa(a, doc, ExtendedMapping());
+}
+
+}  // namespace spanners

@@ -1,0 +1,28 @@
+// FPT evaluation of arbitrary (non-sequential) VA, parametrised by the
+// number of variables k (paper Theorem 5.10).
+//
+// The paper iterates over k! orderings of coalesced operation sets; we
+// implement an equivalent, simpler fixed-parameter algorithm: breadth-first
+// search over configurations (state, position, status-vector) with
+// status ∈ {available, open, closed} per variable — O(|A|·|d|·3^k), still
+// FPT in k. Equivalence with the brute-force run semantics is covered by
+// property tests.
+#ifndef SPANNERS_AUTOMATA_FPT_H_
+#define SPANNERS_AUTOMATA_FPT_H_
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "core/mapping.h"
+
+namespace spanners {
+
+/// Eval[VA]: does some µ' ∈ ⟦A⟧_doc extend `mu`? Works for any VA
+/// (sequentiality not required).
+bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu);
+
+/// NonEmp on a document: ⟦A⟧_doc ≠ ∅.
+bool MatchesVa(const VA& a, const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_FPT_H_

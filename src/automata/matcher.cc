@@ -1,0 +1,187 @@
+#include "automata/matcher.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+// How a variable's operations are treated during simulation.
+enum class OpTreatment : uint8_t {
+  kExact,      // assigned: ops consumable only as position ops
+  kSilent,     // unconstrained: both ops behave as ε
+  kSilentOpen  // ⊥: open behaves as ε (dangling ⇒ unused), close removed
+};
+
+struct PositionOps {
+  std::vector<VarOp> ops;  // ops pinned to this position, ≤ 2·|vars|
+
+  int IndexOf(const VarOp& op) const {
+    for (size_t i = 0; i < ops.size(); ++i)
+      if (ops[i] == op) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+}  // namespace
+
+bool EvalSequential(const VA& a, const Document& doc,
+                    const ExtendedMapping& mu) {
+  const Pos n = doc.length();
+  const std::vector<VarId> vars = a.Vars().ids();
+
+  // Treatment per automaton variable + per-position op sets.
+  std::vector<OpTreatment> treatment(vars.size(), OpTreatment::kSilent);
+  std::vector<PositionOps> pos_ops(n + 2);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    switch (mu.StateOf(vars[i])) {
+      case ExtendedMapping::VarState::kUnconstrained:
+        treatment[i] = OpTreatment::kSilent;
+        break;
+      case ExtendedMapping::VarState::kBottom:
+        treatment[i] = OpTreatment::kSilentOpen;
+        break;
+      case ExtendedMapping::VarState::kAssigned: {
+        treatment[i] = OpTreatment::kExact;
+        Span s = *mu.Get(vars[i]);
+        if (!doc.IsValidSpan(s)) return false;
+        pos_ops[s.begin].ops.push_back(VarOp{true, vars[i]});
+        pos_ops[s.end].ops.push_back(VarOp{false, vars[i]});
+        break;
+      }
+    }
+  }
+  // A variable assigned in `mu` but absent from the automaton can never be
+  // defined by any µ' ∈ ⟦A⟧: reject up front.
+  VarSet avars = a.Vars();
+  for (VarId v : mu.ConstrainedVars()) {
+    if (mu.StateOf(v) == ExtendedMapping::VarState::kAssigned &&
+        !avars.Contains(v))
+      return false;
+  }
+
+  auto treatment_of = [&](VarId x) {
+    size_t i = static_cast<size_t>(
+        std::lower_bound(vars.begin(), vars.end(), x) - vars.begin());
+    return treatment[i];
+  };
+
+  const size_t num_states = a.NumStates();
+
+  // Fast path for positions with no pinned ops: plain closure under ε and
+  // silently-treated variable operations.
+  auto apply_closure = [&](const std::vector<bool>& in) {
+    std::vector<bool> seen = in;
+    std::deque<StateId> queue;
+    for (StateId q = 0; q < num_states; ++q)
+      if (in[q]) queue.push_back(q);
+    while (!queue.empty()) {
+      StateId q = queue.front();
+      queue.pop_front();
+      for (const VaTransition& t : a.TransitionsFrom(q)) {
+        bool eps_like = t.kind == TransKind::kEpsilon;
+        if (t.IsVarOp()) {
+          OpTreatment tr = treatment_of(t.var);
+          eps_like = tr == OpTreatment::kSilent ||
+                     (tr == OpTreatment::kSilentOpen &&
+                      t.kind == TransKind::kOpen);
+        }
+        if (eps_like && !seen[t.to]) {
+          seen[t.to] = true;
+          queue.push_back(t.to);
+        }
+      }
+    }
+    return seen;
+  };
+
+  // Per position p: saturate the state set under ε-like moves and consume
+  // the pinned op set T_p exactly once. BFS over (state, consumed-mask).
+  auto apply_position = [&](const std::vector<bool>& in, Pos p) {
+    const PositionOps& tp = pos_ops[p];
+    if (tp.ops.empty()) return apply_closure(in);
+    const uint32_t full =
+        tp.ops.empty() ? 0u : ((1u << tp.ops.size()) - 1u);
+    // seen[state][mask]
+    std::vector<std::vector<bool>> seen(
+        num_states, std::vector<bool>(full + 1, false));
+    std::deque<std::pair<StateId, uint32_t>> queue;
+    for (StateId q = 0; q < num_states; ++q) {
+      if (in[q] && !seen[q][0]) {
+        seen[q][0] = true;
+        queue.emplace_back(q, 0u);
+      }
+    }
+    while (!queue.empty()) {
+      auto [q, mask] = queue.front();
+      queue.pop_front();
+      for (const VaTransition& t : a.TransitionsFrom(q)) {
+        uint32_t next_mask = mask;
+        switch (t.kind) {
+          case TransKind::kChars:
+            continue;
+          case TransKind::kEpsilon:
+            break;
+          case TransKind::kOpen:
+          case TransKind::kClose: {
+            OpTreatment tr = treatment_of(t.var);
+            if (tr == OpTreatment::kSilent) break;  // behaves as ε
+            if (tr == OpTreatment::kSilentOpen) {
+              if (t.kind == TransKind::kClose) continue;  // ⊥: no closes
+              break;  // silent open
+            }
+            // kExact: consumable only if pinned here and not consumed yet.
+            VarOp op{t.kind == TransKind::kOpen, t.var};
+            int idx = tp.IndexOf(op);
+            if (idx < 0) continue;
+            if (mask & (1u << idx)) continue;
+            next_mask = mask | (1u << idx);
+            break;
+          }
+        }
+        if (!seen[t.to][next_mask]) {
+          seen[t.to][next_mask] = true;
+          queue.emplace_back(t.to, next_mask);
+        }
+      }
+    }
+    std::vector<bool> out(num_states, false);
+    for (StateId q = 0; q < num_states; ++q) out[q] = seen[q][full];
+    return out;
+  };
+
+  std::vector<bool> current(num_states, false);
+  current[a.initial()] = true;
+  for (Pos p = 1; p <= n + 1; ++p) {
+    current = apply_position(current, p);
+    if (p <= n) {
+      std::vector<bool> next(num_states, false);
+      bool any = false;
+      char c = doc.at(p);
+      for (StateId q = 0; q < num_states; ++q) {
+        if (!current[q]) continue;
+        for (const VaTransition& t : a.TransitionsFrom(q)) {
+          if (t.kind == TransKind::kChars && t.chars.Contains(c)) {
+            next[t.to] = true;
+            any = true;
+          }
+        }
+      }
+      if (!any) return false;
+      current = std::move(next);
+    }
+  }
+  for (StateId f : a.finals())
+    if (current[f]) return true;
+  return false;
+}
+
+bool MatchesSequential(const VA& a, const Document& doc) {
+  return EvalSequential(a, doc, ExtendedMapping());
+}
+
+}  // namespace spanners

@@ -1,0 +1,31 @@
+// PTIME Eval for sequential VA (paper Theorem 5.7).
+//
+// Following the paper's proof, the extended mapping is embedded into the
+// document as per-position sets of variable operations ("coalesced"
+// symbols T_p); unconstrained variables' operations become ε-transitions,
+// ⊥-variables keep silent opens (dangling ⇒ unused) but lose their closes.
+// What remains is NFA membership, decided by state-set simulation.
+#ifndef SPANNERS_AUTOMATA_MATCHER_H_
+#define SPANNERS_AUTOMATA_MATCHER_H_
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "core/mapping.h"
+
+namespace spanners {
+
+/// Eval[seqVA]: does some µ' ∈ ⟦A⟧_doc extend `mu`?
+/// Precondition: IsSequentialVa(a). Runs in O(|A| · |doc| · 4^|T_p|) where
+/// |T_p| ≤ 2·|constrained vars at one position| — polynomial in combined
+/// input size for any fixed mapping, and genuinely polynomial because each
+/// position's op set is at most 2·|vars| and the subset lattice is walked
+/// breadth-first per position.
+bool EvalSequential(const VA& a, const Document& doc,
+                    const ExtendedMapping& mu);
+
+/// NonEmp on a document: ⟦A⟧_doc ≠ ∅. Precondition: IsSequentialVa(a).
+bool MatchesSequential(const VA& a, const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_MATCHER_H_

@@ -1,0 +1,308 @@
+#include "automata/ops.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+// Copies `src` into `dst`, returning the id offset.
+StateId Embed(const VA& src, VA* dst) {
+  StateId base = dst->AddStates(src.NumStates());
+  for (StateId q = 0; q < src.NumStates(); ++q) {
+    for (VaTransition t : src.TransitionsFrom(q)) {
+      t.to += base;
+      dst->AddTransition(base + q, t);
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+VA UnionVa(const VA& a, const VA& b) {
+  VA out;
+  StateId init = out.AddState();
+  out.SetInitial(init);
+  StateId base_a = Embed(a, &out);
+  StateId base_b = Embed(b, &out);
+  out.AddEpsilon(init, base_a + a.initial());
+  out.AddEpsilon(init, base_b + b.initial());
+  for (StateId f : a.finals()) out.AddFinal(base_a + f);
+  for (StateId f : b.finals()) out.AddFinal(base_b + f);
+  return out;
+}
+
+VA ProjectVa(const VA& a, const VarSet& keep) {
+  // Dropped variables' operations become ε, but their run-validity (open
+  // at most once, close only an open variable) must survive: track a
+  // status {avail, open, closed} per dropped variable in the state.
+  const std::vector<VarId> dropped = a.Vars().Minus(keep).ids();
+  auto dropped_index = [&dropped](VarId x) -> int {
+    auto it = std::lower_bound(dropped.begin(), dropped.end(), x);
+    if (it == dropped.end() || *it != x) return -1;
+    return static_cast<int>(it - dropped.begin());
+  };
+
+  VA out;
+  struct KeyHash {
+    size_t operator()(const std::pair<uint64_t, std::string>& k) const {
+      return std::hash<std::string>()(k.second) * 31 + k.first;
+    }
+  };
+  std::unordered_map<std::pair<uint64_t, std::string>, StateId, KeyHash> ids;
+  std::deque<std::pair<StateId, std::string>> queue;
+
+  auto intern = [&](StateId q, std::string phases) -> StateId {
+    std::pair<uint64_t, std::string> key{q, phases};
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState();
+    if (a.IsFinal(q)) out.AddFinal(id);
+    ids.emplace(std::move(key), id);
+    queue.emplace_back(q, std::move(phases));
+    return id;
+  };
+
+  out.SetInitial(intern(a.initial(), std::string(dropped.size(), 0)));
+  while (!queue.empty()) {
+    auto [q, phases] = queue.front();
+    queue.pop_front();
+    StateId from = ids.at({q, phases});
+    for (const VaTransition& t : a.TransitionsFrom(q)) {
+      switch (t.kind) {
+        case TransKind::kChars:
+          out.AddChar(from, t.chars, intern(t.to, phases));
+          break;
+        case TransKind::kEpsilon:
+          out.AddEpsilon(from, intern(t.to, phases));
+          break;
+        case TransKind::kOpen:
+        case TransKind::kClose: {
+          int i = dropped_index(t.var);
+          if (i < 0) {  // kept variable: pass through
+            VaTransition copy = t;
+            copy.to = intern(t.to, phases);
+            out.AddTransition(from, copy);
+            break;
+          }
+          bool is_open = t.kind == TransKind::kOpen;
+          char want = is_open ? 0 : 1;
+          if (phases[i] != want) break;  // invalid for the dropped var
+          std::string next = phases;
+          next[i] = is_open ? 1 : 2;
+          out.AddEpsilon(from, intern(t.to, std::move(next)));
+          break;
+        }
+      }
+    }
+  }
+  return out.Trimmed();
+}
+
+namespace {
+
+// Per-shared-variable join status. "Owner" is the side whose operations
+// are emitted by the product; a side may instead take its open transition
+// silently ("pseudo-open"), committing that variable to dangle (hence be
+// unused) in that side's run.
+enum JoinPhase : char {
+  kN00 = 0,  // untouched; neither side pseudo-opened
+  kN10,      // untouched; left pseudo-opened
+  kN01,      // untouched; right pseudo-opened
+  kN11,      // untouched; both pseudo-opened
+  kLOpen0,   // left owns, open emitted; right not pseudo-opened
+  kLOpen1,   //   ... right pseudo-opened
+  kLClosed0,
+  kLClosed1,
+  kROpen0,  // right owns; left not pseudo-opened
+  kROpen1,
+  kRClosed0,
+  kRClosed1,
+  kBOpen,    // both own (synchronised open emitted once)
+  kBClosed,  // synchronised close
+};
+
+struct JoinKey {
+  StateId q1, q2;
+  std::string phases;
+  bool operator==(const JoinKey& o) const {
+    return q1 == o.q1 && q2 == o.q2 && phases == o.phases;
+  }
+};
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    return (std::hash<std::string>()(k.phases) * 31 + k.q1) * 31 + k.q2;
+  }
+};
+
+}  // namespace
+
+VA JoinVa(const VA& a, const VA& b) {
+  const std::vector<VarId> shared = a.Vars().Intersect(b.Vars()).ids();
+  auto shared_index = [&shared](VarId x) -> int {
+    auto it = std::lower_bound(shared.begin(), shared.end(), x);
+    if (it == shared.end() || *it != x) return -1;
+    return static_cast<int>(it - shared.begin());
+  };
+
+  VA out;
+  std::unordered_map<JoinKey, StateId, JoinKeyHash> ids;
+  std::deque<JoinKey> queue;
+
+  auto intern = [&](StateId q1, StateId q2, std::string phases) -> StateId {
+    JoinKey key{q1, q2, std::move(phases)};
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState();
+    if (a.IsFinal(q1) && b.IsFinal(q2)) out.AddFinal(id);
+    ids.emplace(key, id);
+    queue.push_back(std::move(key));
+    return id;
+  };
+
+  out.SetInitial(intern(a.initial(), b.initial(),
+                        std::string(shared.size(), kN00)));
+
+  while (!queue.empty()) {
+    JoinKey key = queue.front();
+    queue.pop_front();
+    StateId from = ids.at(key);
+    const std::string& ph = key.phases;
+
+    // Letters: both sides advance on the charset intersection.
+    for (const VaTransition& t1 : a.TransitionsFrom(key.q1)) {
+      if (t1.kind != TransKind::kChars) continue;
+      for (const VaTransition& t2 : b.TransitionsFrom(key.q2)) {
+        if (t2.kind != TransKind::kChars) continue;
+        CharSet both = t1.chars.Intersect(t2.chars);
+        if (!both.empty())
+          out.AddChar(from, both, intern(t1.to, t2.to, ph));
+      }
+    }
+
+    // Left-side ε and variable operations.
+    for (const VaTransition& t1 : a.TransitionsFrom(key.q1)) {
+      switch (t1.kind) {
+        case TransKind::kChars:
+          break;
+        case TransKind::kEpsilon:
+          out.AddEpsilon(from, intern(t1.to, key.q2, ph));
+          break;
+        case TransKind::kOpen: {
+          int i = shared_index(t1.var);
+          if (i < 0) {  // private variable: pass through
+            out.AddOpen(from, t1.var, intern(t1.to, key.q2, ph));
+            break;
+          }
+          char p = ph[i];
+          // Solo open: left becomes the owner; right is barred from
+          // emitting x later (it may still pseudo-open).
+          if (p == kN00 || p == kN01) {
+            std::string next = ph;
+            next[i] = p == kN00 ? kLOpen0 : kLOpen1;
+            out.AddOpen(from, t1.var, intern(t1.to, key.q2, std::move(next)));
+          }
+          // Synchronised open: both sides take their open now.
+          if (p == kN00) {
+            for (const VaTransition& t2 : b.TransitionsFrom(key.q2)) {
+              if (t2.kind == TransKind::kOpen && t2.var == t1.var) {
+                std::string next = ph;
+                next[i] = kBOpen;
+                out.AddOpen(from, t1.var, intern(t1.to, t2.to, std::move(next)));
+              }
+            }
+          }
+          // Pseudo-open: the left run leaves x dangling (unused).
+          if (p == kN00 || p == kN01 || p == kROpen0 || p == kRClosed0) {
+            std::string next = ph;
+            next[i] = p == kN00      ? kN10
+                      : p == kN01    ? kN11
+                      : p == kROpen0 ? kROpen1
+                                     : kRClosed1;
+            out.AddEpsilon(from, intern(t1.to, key.q2, std::move(next)));
+          }
+          break;
+        }
+        case TransKind::kClose: {
+          int i = shared_index(t1.var);
+          if (i < 0) {
+            out.AddClose(from, t1.var, intern(t1.to, key.q2, ph));
+            break;
+          }
+          char p = ph[i];
+          if (p == kLOpen0 || p == kLOpen1) {  // solo close by the owner
+            std::string next = ph;
+            next[i] = p == kLOpen0 ? kLClosed0 : kLClosed1;
+            out.AddClose(from, t1.var, intern(t1.to, key.q2, std::move(next)));
+          } else if (p == kBOpen) {  // synchronised close
+            for (const VaTransition& t2 : b.TransitionsFrom(key.q2)) {
+              if (t2.kind == TransKind::kClose && t2.var == t1.var) {
+                std::string next = ph;
+                next[i] = kBClosed;
+                out.AddClose(from, t1.var,
+                             intern(t1.to, t2.to, std::move(next)));
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    // Right-side ε and variable operations (mirror image; synchronised
+    // steps were already added from the left side).
+    for (const VaTransition& t2 : b.TransitionsFrom(key.q2)) {
+      switch (t2.kind) {
+        case TransKind::kChars:
+          break;
+        case TransKind::kEpsilon:
+          out.AddEpsilon(from, intern(key.q1, t2.to, ph));
+          break;
+        case TransKind::kOpen: {
+          int i = shared_index(t2.var);
+          if (i < 0) {
+            out.AddOpen(from, t2.var, intern(key.q1, t2.to, ph));
+            break;
+          }
+          char p = ph[i];
+          if (p == kN00 || p == kN10) {
+            std::string next = ph;
+            next[i] = p == kN00 ? kROpen0 : kROpen1;
+            out.AddOpen(from, t2.var, intern(key.q1, t2.to, std::move(next)));
+          }
+          if (p == kN00 || p == kN10 || p == kLOpen0 || p == kLClosed0) {
+            std::string next = ph;
+            next[i] = p == kN00      ? kN01
+                      : p == kN10    ? kN11
+                      : p == kLOpen0 ? kLOpen1
+                                     : kLClosed1;
+            out.AddEpsilon(from, intern(key.q1, t2.to, std::move(next)));
+          }
+          break;
+        }
+        case TransKind::kClose: {
+          int i = shared_index(t2.var);
+          if (i < 0) {
+            out.AddClose(from, t2.var, intern(key.q1, t2.to, ph));
+            break;
+          }
+          char p = ph[i];
+          if (p == kROpen0 || p == kROpen1) {
+            std::string next = ph;
+            next[i] = p == kROpen0 ? kRClosed0 : kRClosed1;
+            out.AddClose(from, t2.var, intern(key.q1, t2.to, std::move(next)));
+          }
+          break;
+        }
+      }
+    }
+  }
+  return out.Trimmed();
+}
+
+}  // namespace spanners

@@ -1,0 +1,28 @@
+// The spanner algebra ∪ / π / ⋈ realised on variable-set automata
+// (paper Theorem 4.5: VA is closed under union, projection and join).
+//
+// Union is the classical ε-branch construction. Projection and join are
+// product constructions that track per-variable statuses inside states —
+// projection to keep run-validity of the dropped variables, join to
+// synchronise shared variables. Join carries the exponential blow-up the
+// paper predicts; bench E9 measures it.
+#ifndef SPANNERS_AUTOMATA_OPS_H_
+#define SPANNERS_AUTOMATA_OPS_H_
+
+#include "automata/va.h"
+
+namespace spanners {
+
+/// ⟦UnionVa(A1,A2)⟧_d = ⟦A1⟧_d ∪ ⟦A2⟧_d.
+VA UnionVa(const VA& a, const VA& b);
+
+/// ⟦ProjectVa(A, keep)⟧_d = π_keep(⟦A⟧_d).
+VA ProjectVa(const VA& a, const VarSet& keep);
+
+/// ⟦JoinVa(A1,A2)⟧_d = ⟦A1⟧_d ⋈ ⟦A2⟧_d (join of mapping sets: unions of
+/// compatible pairs).
+VA JoinVa(const VA& a, const VA& b);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_OPS_H_

@@ -1,0 +1,134 @@
+#include "automata/run_eval.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+// Per-variable run status. kUnopened < kOpen < kClosed is the only legal
+// progression; the open/close positions feed the produced mapping.
+struct VarStatus {
+  enum Phase : uint8_t { kUnopened, kOpen, kClosed } phase = kUnopened;
+  Pos open_at = 0;
+  Pos close_at = 0;
+
+  bool operator==(const VarStatus& o) const {
+    return phase == o.phase && open_at == o.open_at && close_at == o.close_at;
+  }
+};
+
+struct Config {
+  StateId state;
+  Pos pos;
+  std::vector<VarStatus> statuses;      // indexed by local var index
+  std::vector<uint32_t> open_stack;     // local var indexes, stack order
+
+  std::string Key() const {
+    std::string key;
+    key.reserve(16 + statuses.size() * 9 + open_stack.size() * 4);
+    auto put32 = [&key](uint32_t v) {
+      key.append(reinterpret_cast<const char*>(&v), 4);
+    };
+    put32(state);
+    put32(pos);
+    for (const VarStatus& s : statuses) {
+      key.push_back(static_cast<char>(s.phase));
+      put32(s.open_at);
+      put32(s.close_at);
+    }
+    for (uint32_t v : open_stack) put32(v);
+    return key;
+  }
+};
+
+// Shared search over configurations; `stack_discipline` switches between
+// VA and VAstk close rules.
+MappingSet Explore(const VA& a, const Document& doc, bool stack_discipline) {
+  const std::vector<VarId> vars = a.Vars().ids();
+  auto local_index = [&vars](VarId x) -> uint32_t {
+    auto it = std::lower_bound(vars.begin(), vars.end(), x);
+    SPANNERS_CHECK(it != vars.end() && *it == x);
+    return static_cast<uint32_t>(it - vars.begin());
+  };
+
+  MappingSet out;
+  std::unordered_set<std::string> seen;
+  std::vector<Config> stack;
+
+  Config start{a.initial(), 1, std::vector<VarStatus>(vars.size()), {}};
+  seen.insert(start.Key());
+  stack.push_back(std::move(start));
+
+  while (!stack.empty()) {
+    Config c = std::move(stack.back());
+    stack.pop_back();
+
+    if (a.IsFinal(c.state) && c.pos == doc.length() + 1) {
+      Mapping m;
+      for (size_t i = 0; i < vars.size(); ++i)
+        if (c.statuses[i].phase == VarStatus::kClosed)
+          m.Set(vars[i], Span(c.statuses[i].open_at, c.statuses[i].close_at));
+      out.Insert(std::move(m));
+      // Keep exploring: other runs may leave this configuration.
+    }
+
+    for (const VaTransition& t : a.TransitionsFrom(c.state)) {
+      Config next = c;
+      next.state = t.to;
+      switch (t.kind) {
+        case TransKind::kChars:
+          if (c.pos > doc.length() || !t.chars.Contains(doc.at(c.pos)))
+            continue;
+          next.pos = c.pos + 1;
+          break;
+        case TransKind::kEpsilon:
+          break;
+        case TransKind::kOpen: {
+          uint32_t i = local_index(t.var);
+          if (c.statuses[i].phase != VarStatus::kUnopened) continue;
+          next.statuses[i].phase = VarStatus::kOpen;
+          next.statuses[i].open_at = c.pos;
+          next.open_stack.push_back(i);
+          break;
+        }
+        case TransKind::kClose: {
+          uint32_t i = local_index(t.var);
+          if (c.statuses[i].phase != VarStatus::kOpen) continue;
+          if (stack_discipline &&
+              (c.open_stack.empty() || c.open_stack.back() != i))
+            continue;  // only the top of the stack may close
+          next.statuses[i].phase = VarStatus::kClosed;
+          next.statuses[i].close_at = c.pos;
+          auto it =
+              std::find(next.open_stack.begin(), next.open_stack.end(), i);
+          next.open_stack.erase(it);
+          break;
+        }
+      }
+      std::string key = next.Key();
+      if (seen.insert(std::move(key)).second) stack.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MappingSet RunEval(const VA& a, const Document& doc) {
+  return Explore(a, doc, /*stack_discipline=*/false);
+}
+
+MappingSet RunEvalStack(const VA& a, const Document& doc) {
+  return Explore(a, doc, /*stack_discipline=*/true);
+}
+
+bool IsHierarchicalOn(const VA& a, const Document& doc) {
+  return RunEval(a, doc).IsHierarchical();
+}
+
+}  // namespace spanners

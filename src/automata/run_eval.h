@@ -1,0 +1,27 @@
+// Brute-force run semantics of VA / VAstk (paper §3.2): explores every run
+// configuration explicitly. Exponential in the number of variables —
+// intended as ground truth for tests and small documents only. Efficient
+// evaluation lives in matcher.h / fpt.h / enumerate.h.
+#ifndef SPANNERS_AUTOMATA_RUN_EVAL_H_
+#define SPANNERS_AUTOMATA_RUN_EVAL_H_
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "core/mapping.h"
+
+namespace spanners {
+
+/// ⟦A⟧_d under variable-*set* semantics: variables open/close in any order,
+/// each at most once, opens may dangle (the variable is then unused).
+MappingSet RunEval(const VA& a, const Document& doc);
+
+/// ⟦A⟧_d under variable-*stack* semantics (VAstk): only the most recently
+/// opened, still-open variable may be closed.
+MappingSet RunEvalStack(const VA& a, const Document& doc);
+
+/// True iff A produces only hierarchical mappings on `doc`.
+bool IsHierarchicalOn(const VA& a, const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_RUN_EVAL_H_

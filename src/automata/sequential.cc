@@ -1,0 +1,138 @@
+#include "automata/sequential.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+enum VarPhase : uint8_t { kAvail = 0, kOpen = 1, kClosed = 2, kSkipped = 3 };
+
+}  // namespace
+
+bool IsSequentialVa(const VA& a) {
+  // Independent product search per variable: (state, phase of x).
+  for (VarId x : a.Vars()) {
+    const size_t n = a.NumStates();
+    std::vector<std::array<bool, 3>> seen(n, {false, false, false});
+    std::deque<std::pair<StateId, uint8_t>> queue;
+    seen[a.initial()][kAvail] = true;
+    queue.emplace_back(a.initial(), kAvail);
+    while (!queue.empty()) {
+      auto [q, phase] = queue.front();
+      queue.pop_front();
+      if (a.IsFinal(q) && phase == kOpen) return false;  // dangling at final
+      for (const VaTransition& t : a.TransitionsFrom(q)) {
+        uint8_t next = phase;
+        if (t.kind == TransKind::kOpen && t.var == x) {
+          if (phase != kAvail) return false;  // double open
+          next = kOpen;
+        } else if (t.kind == TransKind::kClose && t.var == x) {
+          if (phase != kOpen) return false;  // close before open / re-close
+          next = kClosed;
+        }
+        if (!seen[t.to][next]) {
+          seen[t.to][next] = true;
+          queue.emplace_back(t.to, next);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+VA MakeSequential(const VA& a) {
+  const std::vector<VarId> vars = a.Vars().ids();
+  const size_t k = vars.size();
+  auto local_index = [&vars](VarId x) {
+    return static_cast<size_t>(
+        std::lower_bound(vars.begin(), vars.end(), x) - vars.begin());
+  };
+
+  VA out;
+  StateId final_state = out.AddState();
+  out.AddFinal(final_state);
+
+  struct Key {
+    StateId q;
+    std::string phases;
+    bool operator==(const Key& o) const {
+      return q == o.q && phases == o.phases;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return std::hash<std::string>()(key.phases) * 31 + key.q;
+    }
+  };
+  std::unordered_map<Key, StateId, KeyHash> ids;
+  std::deque<Key> queue;
+
+  auto intern = [&](StateId q, const std::string& phases) {
+    Key key{q, phases};
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState();
+    ids.emplace(key, id);
+    queue.push_back(std::move(key));
+    // A product state accepts when the original state is final and no
+    // variable dangles open along this path.
+    if (a.IsFinal(q) &&
+        phases.find(static_cast<char>(kOpen)) == std::string::npos) {
+      out.AddEpsilon(id, final_state);
+    }
+    return id;
+  };
+
+  std::string start_phases(k, static_cast<char>(kAvail));
+  StateId start = intern(a.initial(), start_phases);
+  out.SetInitial(start);
+
+  while (!queue.empty()) {
+    Key key = queue.front();
+    queue.pop_front();
+    StateId from = ids.at(key);
+    for (const VaTransition& t : a.TransitionsFrom(key.q)) {
+      switch (t.kind) {
+        case TransKind::kChars:
+          out.AddChar(from, t.chars, intern(t.to, key.phases));
+          break;
+        case TransKind::kEpsilon:
+          out.AddEpsilon(from, intern(t.to, key.phases));
+          break;
+        case TransKind::kOpen: {
+          size_t i = local_index(t.var);
+          if (key.phases[i] != static_cast<char>(kAvail)) break;
+          // Really open the variable...
+          std::string opened = key.phases;
+          opened[i] = static_cast<char>(kOpen);
+          out.AddOpen(from, t.var, intern(t.to, opened));
+          // ...or skip the open: the original run would leave x dangling
+          // (hence unused); taking the transition silently and forbidding
+          // a later close preserves the semantics.
+          std::string skipped = key.phases;
+          skipped[i] = static_cast<char>(kSkipped);
+          out.AddEpsilon(from, intern(t.to, skipped));
+          break;
+        }
+        case TransKind::kClose: {
+          size_t i = local_index(t.var);
+          if (key.phases[i] != static_cast<char>(kOpen)) break;
+          std::string closed = key.phases;
+          closed[i] = static_cast<char>(kClosed);
+          out.AddClose(from, t.var, intern(t.to, closed));
+          break;
+        }
+      }
+    }
+  }
+  return out.Trimmed();
+}
+
+}  // namespace spanners

@@ -1,0 +1,28 @@
+// Sequential variable-set automata (paper §5.2).
+//
+// A VA is sequential when (i) no path from the initial state performs an
+// inconsistent variable operation (opening an open/closed variable,
+// closing an unopened/closed one) and (ii) every path reaching a final
+// state has closed every variable it opened. This is the semantics of the
+// checking algorithm in the paper's Proposition 5.5.
+#ifndef SPANNERS_AUTOMATA_SEQUENTIAL_H_
+#define SPANNERS_AUTOMATA_SEQUENTIAL_H_
+
+#include "automata/va.h"
+
+namespace spanners {
+
+/// Proposition 5.5: decides sequentiality. Runs in O(|vars| · |A|)
+/// (the paper gives NLOGSPACE; a deterministic product search is linear).
+bool IsSequentialVa(const VA& a);
+
+/// Proposition 5.6: an equivalent sequential VA. Tracks a per-variable
+/// status {available, open, closed, skipped} in the state, where "skipped"
+/// models taking an open transition whose variable will dangle (and is
+/// therefore unused). Worst-case exponential in |vars|; only reachable
+/// product states are materialised.
+VA MakeSequential(const VA& a);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_SEQUENTIAL_H_

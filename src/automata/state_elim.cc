@@ -1,0 +1,369 @@
+#include "automata/state_elim.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "rgx/printer.h"
+
+namespace spanners {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Regex-edge bookkeeping for state elimination. Edges are variable-free
+// RGX; an absent edge means "no op-free path".
+// ---------------------------------------------------------------------
+
+using EdgeMap = std::map<std::pair<StateId, StateId>, RgxPtr>;
+
+void AddEdge(EdgeMap* edges, StateId u, StateId v, RgxPtr r) {
+  auto [it, inserted] = edges->try_emplace({u, v}, r);
+  if (!inserted) it->second = RgxNode::Disj(it->second, std::move(r));
+}
+
+RgxPtr GetEdge(const EdgeMap& edges, StateId u, StateId v) {
+  auto it = edges.find({u, v});
+  return it == edges.end() ? nullptr : it->second;
+}
+
+// True if `r` matches exactly the empty word (structural check; every
+// ε-only expression accepts ε).
+bool IsEpsilonOnly(const RgxPtr& r) {
+  switch (r->kind()) {
+    case RgxKind::kEpsilon:
+      return true;
+    case RgxKind::kChars:
+    case RgxKind::kVar:
+      return false;
+    default:
+      break;
+  }
+  for (const RgxPtr& c : r->children())
+    if (!IsEpsilonOnly(c)) return false;
+  return true;
+}
+
+// Kleene-style update through intermediate node w:
+//   E[u][v] ∨= E[u][w] · E[w][w]* · E[w][v]
+void CloseThrough(EdgeMap* edges, const std::vector<StateId>& nodes,
+                  StateId w) {
+  RgxPtr self = GetEdge(*edges, w, w);
+  RgxPtr loop = self != nullptr ? RgxNode::Star(self) : nullptr;
+  for (StateId u : nodes) {
+    if (u == w) continue;
+    RgxPtr in = GetEdge(*edges, u, w);
+    if (in == nullptr) continue;
+    for (StateId v : nodes) {
+      if (v == w) continue;
+      RgxPtr out = GetEdge(*edges, w, v);
+      if (out == nullptr) continue;
+      RgxPtr path = loop != nullptr ? RgxNode::Concat({in, loop, out})
+                                    : RgxNode::Concat(in, out);
+      AddEdge(edges, u, v, std::move(path));
+    }
+  }
+}
+
+// One item of a path: either a regex segment or a variable operation.
+struct PathItem {
+  RgxPtr segment;           // nullptr for op items
+  std::optional<VarOp> op;  // nullopt for segment items
+};
+
+// ---------------------------------------------------------------------
+// Well-nesting. Operations separated only by ε-only segments happen at
+// the same document position and form a "block"; operations inside a
+// block may be reordered freely (spans are unaffected). A path is
+// convertible to RGX iff some block-internal reordering makes the whole
+// op sequence properly nested (this covers VAstk and the reordering step
+// of the Theorem 4.4 proof).
+// ---------------------------------------------------------------------
+
+struct Block {
+  std::vector<VarOp> ops;
+  std::vector<RgxPtr> tail;  // non-ε separator segments after the block
+};
+
+// Backtracking search for a nesting arrangement across all blocks.
+bool NestBlocks(const std::vector<Block>& blocks, size_t bi,
+                std::vector<bool>& used, size_t used_count,
+                std::vector<VarId>* stack,
+                std::vector<std::vector<VarOp>>* arranged) {
+  if (bi == blocks.size()) return stack->empty();
+  const std::vector<VarOp>& ops = blocks[bi].ops;
+  if (used_count == ops.size()) {
+    size_t next_size = bi + 1 < blocks.size() ? blocks[bi + 1].ops.size() : 0;
+    std::vector<bool> next_used(next_size, false);
+    return NestBlocks(blocks, bi + 1, next_used, 0, stack, arranged);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (used[i]) continue;
+    const VarOp& op = ops[i];
+    if (op.open) {
+      stack->push_back(op.var);
+    } else {
+      if (stack->empty() || stack->back() != op.var) continue;
+      stack->pop_back();
+    }
+    used[i] = true;
+    (*arranged)[bi].push_back(op);
+    if (NestBlocks(blocks, bi, used, used_count + 1, stack, arranged))
+      return true;
+    (*arranged)[bi].pop_back();
+    used[i] = false;
+    if (op.open) {
+      stack->pop_back();
+    } else {
+      stack->push_back(op.var);
+    }
+  }
+  return false;
+}
+
+// Builds the RGX for a well-nested item sequence; recursion depth mirrors
+// variable nesting.
+RgxPtr BuildNested(const std::vector<PathItem>& items, size_t* idx) {
+  std::vector<RgxPtr> parts;
+  while (*idx < items.size()) {
+    const PathItem& item = items[*idx];
+    if (item.segment != nullptr) {
+      parts.push_back(item.segment);
+      ++*idx;
+      continue;
+    }
+    if (!item.op->open) break;  // the matching close of the caller
+    VarId x = item.op->var;
+    ++*idx;
+    RgxPtr inner = BuildNested(items, idx);
+    SPANNERS_CHECK(*idx < items.size() && items[*idx].op.has_value() &&
+                   !items[*idx].op->open && items[*idx].op->var == x)
+        << "BuildNested: imbalanced arrangement";
+    ++*idx;  // consume the close
+    parts.push_back(RgxNode::Var(x, std::move(inner)));
+  }
+  return RgxNode::Concat(std::move(parts));
+}
+
+// Converts one consistent path (dangling opens already removed) into an
+// RGX, or nullopt when no block reordering nests it.
+std::optional<RgxPtr> PathToRgx(const std::vector<PathItem>& raw) {
+  std::vector<RgxPtr> lead;  // segments before the first op
+  std::vector<Block> blocks;
+  for (const PathItem& item : raw) {
+    if (!item.op.has_value()) {
+      if (blocks.empty()) {
+        lead.push_back(item.segment);
+      } else {
+        blocks.back().tail.push_back(item.segment);
+      }
+      continue;
+    }
+    // New op: merge into the current block if every separator since the
+    // previous op is ε-only (same document position); ε-only separators
+    // match only ε and are dropped.
+    bool merge = !blocks.empty();
+    if (merge) {
+      for (const RgxPtr& seg : blocks.back().tail) {
+        if (!IsEpsilonOnly(seg)) {
+          merge = false;
+          break;
+        }
+      }
+    }
+    if (merge) {
+      blocks.back().tail.clear();
+      blocks.back().ops.push_back(*item.op);
+    } else {
+      blocks.push_back(Block{{*item.op}, {}});
+    }
+  }
+
+  std::vector<std::vector<VarOp>> arranged(blocks.size());
+  std::vector<VarId> stack;
+  if (!blocks.empty()) {
+    std::vector<bool> used(blocks[0].ops.size(), false);
+    if (!NestBlocks(blocks, 0, used, 0, &stack, &arranged))
+      return std::nullopt;
+  }
+
+  std::vector<PathItem> items;
+  for (const RgxPtr& seg : lead) items.push_back({seg, std::nullopt});
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    for (const VarOp& op : arranged[b]) items.push_back({nullptr, op});
+    for (const RgxPtr& seg : blocks[b].tail)
+      items.push_back({seg, std::nullopt});
+  }
+  size_t idx = 0;
+  RgxPtr result = BuildNested(items, &idx);
+  SPANNERS_CHECK(idx == items.size()) << "BuildNested left trailing items";
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Path enumeration over the op-graph.
+// ---------------------------------------------------------------------
+
+struct OpEdge {
+  StateId from;
+  VarOp op;
+  StateId to;
+};
+
+enum VPhase : uint8_t { kAvail, kOpen, kClosed };
+
+struct PathEnumerator {
+  const EdgeMap* closure;
+  const std::vector<OpEdge>* op_edges;
+  const VA* va;
+  std::vector<VarId> vars;
+  std::vector<RgxPtr> results;
+  std::set<std::string> seen_patterns;
+  bool saw_non_nestable = false;
+
+  int VarIndex(VarId x) const {
+    return static_cast<int>(
+        std::lower_bound(vars.begin(), vars.end(), x) - vars.begin());
+  }
+
+  // Segment regex from u to v: the closed-over edge, plus ε when staying
+  // at the same node is possible (u == v).
+  std::optional<RgxPtr> Segment(StateId u, StateId v) const {
+    RgxPtr direct = GetEdge(*closure, u, v);
+    if (u == v) {
+      return direct != nullptr ? RgxNode::Disj(direct, RgxNode::Epsilon())
+                               : RgxNode::Epsilon();
+    }
+    if (direct == nullptr) return std::nullopt;
+    return direct;
+  }
+
+  void Emit(const std::vector<PathItem>& raw_items,
+            const std::vector<uint8_t>& phases) {
+    // Drop dangling opens: opening a variable and never closing it leaves
+    // the variable unused (Thm 4.3 proof step).
+    std::vector<PathItem> cleaned;
+    for (const PathItem& item : raw_items) {
+      if (item.op.has_value() && item.op->open &&
+          phases[VarIndex(item.op->var)] == kOpen)
+        continue;
+      cleaned.push_back(item);
+    }
+    std::optional<RgxPtr> rgx = PathToRgx(cleaned);
+    if (!rgx.has_value()) {
+      saw_non_nestable = true;
+      return;
+    }
+    std::string pat = ToPattern(*rgx);
+    if (seen_patterns.insert(std::move(pat)).second)
+      results.push_back(*std::move(rgx));
+  }
+
+  void Dfs(StateId at, std::vector<PathItem>* items,
+           std::vector<uint8_t>* phases) {
+    // Finish at any final state reachable op-free from here.
+    for (StateId f : va->finals()) {
+      std::optional<RgxPtr> seg = Segment(at, f);
+      if (!seg.has_value()) continue;
+      items->push_back({*seg, std::nullopt});
+      Emit(*items, *phases);
+      items->pop_back();
+    }
+    // Or take another consistent op edge.
+    for (const OpEdge& e : *op_edges) {
+      int i = VarIndex(e.op.var);
+      uint8_t expect = e.op.open ? kAvail : kOpen;
+      if ((*phases)[i] != expect) continue;
+      std::optional<RgxPtr> seg = Segment(at, e.from);
+      if (!seg.has_value()) continue;
+      (*phases)[i] = e.op.open ? kOpen : kClosed;
+      items->push_back({*seg, std::nullopt});
+      items->push_back({nullptr, e.op});
+      Dfs(e.to, items, phases);
+      items->pop_back();
+      items->pop_back();
+      (*phases)[i] = expect;
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::vector<RgxPtr>> VaToFunctionalRgxUnion(const VA& a_in) {
+  VA a = a_in.Trimmed();
+  if (a.finals().empty()) return std::vector<RgxPtr>{};
+
+  // Collect op edges and the direct regex edges.
+  std::vector<OpEdge> op_edges;
+  EdgeMap edges;
+  std::set<StateId> kept = {a.initial()};
+  for (StateId f : a.finals()) kept.insert(f);
+  for (StateId q = 0; q < a.NumStates(); ++q) {
+    for (const VaTransition& t : a.TransitionsFrom(q)) {
+      switch (t.kind) {
+        case TransKind::kChars:
+          AddEdge(&edges, q, t.to, RgxNode::Chars(t.chars));
+          break;
+        case TransKind::kEpsilon:
+          AddEdge(&edges, q, t.to, RgxNode::Epsilon());
+          break;
+        case TransKind::kOpen:
+        case TransKind::kClose:
+          op_edges.push_back(
+              {q, VarOp{t.kind == TransKind::kOpen, t.var}, t.to});
+          kept.insert(q);
+          kept.insert(t.to);
+          break;
+      }
+    }
+  }
+
+  // Eliminate non-kept states, then close over the kept ones so that
+  // every edge captures *all* op-free paths (including through other
+  // kept nodes).
+  std::vector<StateId> all_nodes;
+  for (StateId q = 0; q < a.NumStates(); ++q) all_nodes.push_back(q);
+  for (StateId s = 0; s < a.NumStates(); ++s) {
+    if (kept.count(s) > 0) continue;
+    CloseThrough(&edges, all_nodes, s);
+    for (auto it = edges.begin(); it != edges.end();) {
+      if (it->first.first == s || it->first.second == s) {
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::vector<StateId> kept_nodes(kept.begin(), kept.end());
+  for (StateId w : kept_nodes) CloseThrough(&edges, kept_nodes, w);
+
+  PathEnumerator pe;
+  pe.closure = &edges;
+  pe.op_edges = &op_edges;
+  pe.va = &a;
+  pe.vars = a.Vars().ids();
+
+  std::vector<PathItem> items;
+  std::vector<uint8_t> phases(pe.vars.size(), kAvail);
+  pe.Dfs(a.initial(), &items, &phases);
+
+  if (pe.saw_non_nestable) {
+    return Status::NotSupported(
+        "VaToRgx: automaton has a non-hierarchical path (its variable "
+        "operations cannot be well-nested by same-position reordering)");
+  }
+  return std::move(pe.results);
+}
+
+Result<RgxPtr> VaToRgx(const VA& a) {
+  SPANNERS_ASSIGN_OR_RETURN(std::vector<RgxPtr> parts,
+                            VaToFunctionalRgxUnion(a));
+  if (parts.empty()) return RgxNode::Chars(CharSet::None());  // unsatisfiable
+  return RgxNode::Disj(std::move(parts));
+}
+
+}  // namespace spanners

@@ -1,0 +1,29 @@
+// VA → RGX by state elimination and path unions (paper Theorem 4.3 /
+// Theorem 4.4, Appendix B): eliminate operation-free states into regular-
+// expression edges, enumerate consistent paths of ≤ 2k variable
+// operations, drop dangling opens, reorder same-position operation blocks
+// into a well-nested arrangement, and emit the disjunction of path RGX.
+//
+// Scope (documented in DESIGN.md): supported for automata whose paths
+// admit a well-nested arrangement after same-position reordering — all
+// stack-disciplined automata (VAstk, Thompson outputs) and the
+// hierarchical automata of Theorem 4.4. Other inputs yield NotSupported.
+#ifndef SPANNERS_AUTOMATA_STATE_ELIM_H_
+#define SPANNERS_AUTOMATA_STATE_ELIM_H_
+
+#include "automata/va.h"
+#include "common/status.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// An RGX equivalent to `a`; an unsatisfiable class node when ⟦a⟧ ≡ ∅.
+Result<RgxPtr> VaToRgx(const VA& a);
+
+/// The same construction, keeping the union members separate. Each member
+/// is a functional RGX (path RGX) — the paper's corollary to Theorem 4.3.
+Result<std::vector<RgxPtr>> VaToFunctionalRgxUnion(const VA& a);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_STATE_ELIM_H_

@@ -1,0 +1,76 @@
+#include "automata/thompson.h"
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+struct Fragment {
+  StateId in;
+  StateId out;
+};
+
+Fragment Build(const RgxPtr& node, VA* va) {
+  switch (node->kind()) {
+    case RgxKind::kEpsilon: {
+      StateId i = va->AddState(), f = va->AddState();
+      va->AddEpsilon(i, f);
+      return {i, f};
+    }
+    case RgxKind::kChars: {
+      StateId i = va->AddState(), f = va->AddState();
+      va->AddChar(i, node->chars(), f);
+      return {i, f};
+    }
+    case RgxKind::kVar: {
+      Fragment inner = Build(node->child(0), va);
+      StateId i = va->AddState(), f = va->AddState();
+      va->AddOpen(i, node->var(), inner.in);
+      va->AddClose(inner.out, node->var(), f);
+      return {i, f};
+    }
+    case RgxKind::kConcat: {
+      Fragment acc = Build(node->child(0), va);
+      for (size_t k = 1; k < node->children().size(); ++k) {
+        Fragment next = Build(node->child(k), va);
+        va->AddEpsilon(acc.out, next.in);
+        acc.out = next.out;
+      }
+      return acc;
+    }
+    case RgxKind::kDisj: {
+      StateId i = va->AddState(), f = va->AddState();
+      for (const RgxPtr& c : node->children()) {
+        Fragment branch = Build(c, va);
+        va->AddEpsilon(i, branch.in);
+        va->AddEpsilon(branch.out, f);
+      }
+      return {i, f};
+    }
+    case RgxKind::kStar: {
+      Fragment inner = Build(node->child(0), va);
+      StateId i = va->AddState(), f = va->AddState();
+      va->AddEpsilon(i, inner.in);
+      va->AddEpsilon(inner.out, f);
+      va->AddEpsilon(i, f);
+      va->AddEpsilon(inner.out, inner.in);
+      return {i, f};
+    }
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+  return {0, 0};
+}
+
+}  // namespace
+
+VA CompileToVa(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  VA va;
+  Fragment frag = Build(rgx, &va);
+  va.SetInitial(frag.in);
+  va.AddFinal(frag.out);
+  return va;
+}
+
+}  // namespace spanners

@@ -1,0 +1,19 @@
+// Thompson construction RGX → VA (the "every RGX has an equivalent VAstk"
+// direction of the paper's Theorem 4.3): the classical algorithm extended
+// with open/close transitions around variable subexpressions. The output
+// has a single final state, linear size, and stack-disciplined variable
+// operations (so its VA and VAstk semantics coincide).
+#ifndef SPANNERS_AUTOMATA_THOMPSON_H_
+#define SPANNERS_AUTOMATA_THOMPSON_H_
+
+#include "automata/va.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// Compiles `rgx` into an equivalent VA.
+VA CompileToVa(const RgxPtr& rgx);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_THOMPSON_H_

@@ -1,0 +1,204 @@
+#include "automata/va.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+StateId VA::AddState() {
+  adj_.emplace_back();
+  return static_cast<StateId>(adj_.size() - 1);
+}
+
+StateId VA::AddStates(size_t n) {
+  StateId first = static_cast<StateId>(adj_.size());
+  adj_.resize(adj_.size() + n);
+  return first;
+}
+
+size_t VA::NumTransitions() const {
+  size_t n = 0;
+  for (const auto& out : adj_) n += out.size();
+  return n;
+}
+
+void VA::AddFinal(StateId q) {
+  auto it = std::lower_bound(finals_.begin(), finals_.end(), q);
+  if (it == finals_.end() || *it != q) finals_.insert(it, q);
+}
+
+bool VA::IsFinal(StateId q) const {
+  return std::binary_search(finals_.begin(), finals_.end(), q);
+}
+
+StateId VA::SingleFinal() const {
+  SPANNERS_CHECK(finals_.size() == 1)
+      << "expected exactly one final state, have " << finals_.size();
+  return finals_[0];
+}
+
+void VA::AddChar(StateId from, CharSet cs, StateId to) {
+  adj_[from].push_back({TransKind::kChars, cs, 0, to});
+}
+
+void VA::AddEpsilon(StateId from, StateId to) {
+  adj_[from].push_back({TransKind::kEpsilon, CharSet(), 0, to});
+}
+
+void VA::AddOpen(StateId from, VarId x, StateId to) {
+  adj_[from].push_back({TransKind::kOpen, CharSet(), x, to});
+}
+
+void VA::AddClose(StateId from, VarId x, StateId to) {
+  adj_[from].push_back({TransKind::kClose, CharSet(), x, to});
+}
+
+void VA::AddTransition(StateId from, const VaTransition& t) {
+  adj_[from].push_back(t);
+}
+
+VarSet VA::Vars() const {
+  VarSet out;
+  for (const auto& trans : adj_)
+    for (const VaTransition& t : trans)
+      if (t.IsVarOp()) out.Insert(t.var);
+  return out;
+}
+
+VA VA::Trimmed() const {
+  const size_t n = NumStates();
+  // Forward reachability.
+  std::vector<bool> fwd(n, false);
+  std::deque<StateId> queue = {initial_};
+  fwd[initial_] = true;
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    for (const VaTransition& t : adj_[q]) {
+      if (!fwd[t.to]) {
+        fwd[t.to] = true;
+        queue.push_back(t.to);
+      }
+    }
+  }
+  // Backward reachability from finals over reversed edges.
+  std::vector<std::vector<StateId>> rev(n);
+  for (StateId q = 0; q < n; ++q)
+    for (const VaTransition& t : adj_[q]) rev[t.to].push_back(q);
+  std::vector<bool> bwd(n, false);
+  for (StateId f : finals_) {
+    if (!bwd[f]) {
+      bwd[f] = true;
+      queue.push_back(f);
+    }
+  }
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    for (StateId p : rev[q]) {
+      if (!bwd[p]) {
+        bwd[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+
+  VA out;
+  std::vector<StateId> remap(n, UINT32_MAX);
+  for (StateId q = 0; q < n; ++q)
+    if (fwd[q] && bwd[q]) remap[q] = out.AddState();
+  // Keep a well-formed automaton even when the language is empty.
+  if (remap[initial_] == UINT32_MAX) {
+    VA empty;
+    empty.SetInitial(empty.AddState());
+    return empty;
+  }
+  out.SetInitial(remap[initial_]);
+  for (StateId f : finals_)
+    if (remap[f] != UINT32_MAX) out.AddFinal(remap[f]);
+  for (StateId q = 0; q < n; ++q) {
+    if (remap[q] == UINT32_MAX) continue;
+    for (const VaTransition& t : adj_[q]) {
+      if (remap[t.to] == UINT32_MAX) continue;
+      VaTransition copy = t;
+      copy.to = remap[t.to];
+      out.AddTransition(remap[q], copy);
+    }
+  }
+  return out;
+}
+
+std::vector<StateId> VA::EpsilonClosure(StateId q) const {
+  std::vector<bool> seen(NumStates(), false);
+  std::vector<StateId> out;
+  std::deque<StateId> queue = {q};
+  seen[q] = true;
+  while (!queue.empty()) {
+    StateId p = queue.front();
+    queue.pop_front();
+    out.push_back(p);
+    for (const VaTransition& t : adj_[p]) {
+      if (t.kind == TransKind::kEpsilon && !seen[t.to]) {
+        seen[t.to] = true;
+        queue.push_back(t.to);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool VA::IsDeterministic() const {
+  for (const auto& trans : adj_) {
+    for (size_t i = 0; i < trans.size(); ++i) {
+      if (trans[i].kind == TransKind::kEpsilon) return false;
+      for (size_t j = i + 1; j < trans.size(); ++j) {
+        const VaTransition& a = trans[i];
+        const VaTransition& b = trans[j];
+        if (a.kind == TransKind::kChars && b.kind == TransKind::kChars) {
+          if (!a.chars.Intersect(b.chars).empty()) return false;
+        } else if (a.kind == b.kind && a.IsVarOp() && a.var == b.var) {
+          return false;  // duplicate variable-op symbol
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string VA::ToDot() const {
+  std::string out = "digraph VA {\n  rankdir=LR;\n";
+  out += "  __start [shape=point];\n";
+  for (StateId q = 0; q < NumStates(); ++q) {
+    out += "  q" + std::to_string(q) +
+           (IsFinal(q) ? " [shape=doublecircle];\n" : " [shape=circle];\n");
+  }
+  out += "  __start -> q" + std::to_string(initial_) + ";\n";
+  for (StateId q = 0; q < NumStates(); ++q) {
+    for (const VaTransition& t : adj_[q]) {
+      std::string label;
+      switch (t.kind) {
+        case TransKind::kChars:
+          label = t.chars.ToString();
+          break;
+        case TransKind::kEpsilon:
+          label = "eps";
+          break;
+        case TransKind::kOpen:
+          label = Variable::Name(t.var) + "|-";
+          break;
+        case TransKind::kClose:
+          label = "-|" + Variable::Name(t.var);
+          break;
+      }
+      out += "  q" + std::to_string(q) + " -> q" + std::to_string(t.to) +
+             " [label=\"" + label + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace spanners

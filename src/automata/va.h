@@ -1,0 +1,111 @@
+// Variable-set automata (VA, paper §3.2): finite automata extended with
+// variable-open (x⊢) and variable-close (⊣x) transitions. Letter
+// transitions carry CharSets (a transition on a class is the disjunction
+// of its letters). The structure supports multiple final states — the
+// paper allows this w.l.o.g. (Appendix D) and determinization needs it.
+#ifndef SPANNERS_AUTOMATA_VA_H_
+#define SPANNERS_AUTOMATA_VA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/charset.h"
+#include "core/variable.h"
+
+namespace spanners {
+
+using StateId = uint32_t;
+
+enum class TransKind : uint8_t {
+  kChars,    // consume one letter from a CharSet
+  kEpsilon,  // move without consuming
+  kOpen,     // x⊢ : open variable x at the current position
+  kClose,    // ⊣x : close variable x at the current position
+};
+
+/// One outgoing transition of a VA state.
+struct VaTransition {
+  TransKind kind;
+  CharSet chars;  // kChars only
+  VarId var = 0;  // kOpen / kClose only
+  StateId to = 0;
+
+  bool IsVarOp() const {
+    return kind == TransKind::kOpen || kind == TransKind::kClose;
+  }
+};
+
+/// A variable operation symbol (x⊢ or ⊣x) as used in run labels.
+struct VarOp {
+  bool open;
+  VarId var;
+
+  bool operator==(const VarOp& o) const {
+    return open == o.open && var == o.var;
+  }
+  bool operator<(const VarOp& o) const {
+    return var != o.var ? var < o.var : open > o.open;  // opens before closes
+  }
+  std::string ToString() const {
+    return open ? Variable::Name(var) + "⊢" : "⊣" + Variable::Name(var);
+  }
+};
+
+/// A variable-set automaton. States are dense ids; build incrementally.
+class VA {
+ public:
+  VA() = default;
+
+  StateId AddState();
+  /// Adds `n` states, returning the first id.
+  StateId AddStates(size_t n);
+  size_t NumStates() const { return adj_.size(); }
+  size_t NumTransitions() const;
+
+  void SetInitial(StateId q) { initial_ = q; }
+  StateId initial() const { return initial_; }
+
+  void AddFinal(StateId q);
+  void ClearFinals() { finals_.clear(); }
+  bool IsFinal(StateId q) const;
+  const std::vector<StateId>& finals() const { return finals_; }
+  /// The unique final state; aborts unless exactly one exists.
+  StateId SingleFinal() const;
+
+  void AddChar(StateId from, CharSet cs, StateId to);
+  void AddEpsilon(StateId from, StateId to);
+  void AddOpen(StateId from, VarId x, StateId to);
+  void AddClose(StateId from, VarId x, StateId to);
+  void AddTransition(StateId from, const VaTransition& t);
+
+  const std::vector<VaTransition>& TransitionsFrom(StateId q) const {
+    return adj_[q];
+  }
+
+  /// var(A): variables appearing in open or close transitions.
+  VarSet Vars() const;
+
+  /// Copy with only useful states (reachable from the initial state and
+  /// co-reachable to some final state); ids are renumbered.
+  VA Trimmed() const;
+
+  /// States reachable from `q` via ε-transitions only (including q).
+  std::vector<StateId> EpsilonClosure(StateId q) const;
+
+  /// No ε-transitions, at most one successor per variable operation, and
+  /// pairwise-disjoint CharSets per state (paper §6 determinism).
+  bool IsDeterministic() const;
+
+  /// Graphviz dot rendering, for debugging and docs.
+  std::string ToDot() const;
+
+ private:
+  std::vector<std::vector<VaTransition>> adj_;
+  StateId initial_ = 0;
+  std::vector<StateId> finals_;  // sorted, unique
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_VA_H_

@@ -1,0 +1,110 @@
+#include "common/charset.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+// Escapes one byte for display inside a character class.
+void AppendEscaped(std::string* out, unsigned char c) {
+  switch (c) {
+    case '\n':
+      *out += "\\n";
+      return;
+    case '\t':
+      *out += "\\t";
+      return;
+    case '\\':
+      *out += "\\\\";
+      return;
+    case ']':
+      *out += "\\]";
+      return;
+    case '-':
+      *out += "\\-";
+      return;
+    case '^':
+      *out += "\\^";
+      return;
+    default:
+      break;
+  }
+  if (c < 0x20 || c >= 0x7f) {
+    static const char kHex[] = "0123456789abcdef";
+    *out += "\\x";
+    *out += kHex[c >> 4];
+    *out += kHex[c & 0xf];
+  } else {
+    *out += static_cast<char>(c);
+  }
+}
+
+// Appends the members of `contains` as a compact range list.
+void AppendClassBody(std::string* out,
+                     const std::function<bool(unsigned char)>& contains) {
+  int c = 0;
+  while (c < 256) {
+    if (!contains(static_cast<unsigned char>(c))) {
+      ++c;
+      continue;
+    }
+    int lo = c;
+    while (c < 256 && contains(static_cast<unsigned char>(c))) ++c;
+    int hi = c - 1;
+    AppendEscaped(out, static_cast<unsigned char>(lo));
+    if (hi > lo + 1) *out += '-';
+    if (hi > lo) AppendEscaped(out, static_cast<unsigned char>(hi));
+  }
+}
+
+}  // namespace
+
+CharSet CharSet::Range(char lo, char hi) {
+  CharSet s;
+  unsigned char ulo = static_cast<unsigned char>(lo);
+  unsigned char uhi = static_cast<unsigned char>(hi);
+  SPANNERS_CHECK(ulo <= uhi) << "invalid CharSet range";
+  for (int c = ulo; c <= uhi; ++c) s.bits_.set(c);
+  return s;
+}
+
+char CharSet::AnyMember() const {
+  SPANNERS_CHECK(!empty()) << "AnyMember on empty CharSet";
+  // Prefer printable witnesses so debug output stays readable.
+  for (int c = 'a'; c <= 'z'; ++c)
+    if (bits_.test(c)) return static_cast<char>(c);
+  for (int c = 0x20; c < 0x7f; ++c)
+    if (bits_.test(c)) return static_cast<char>(c);
+  for (int c = 0; c < 256; ++c)
+    if (bits_.test(c)) return static_cast<char>(c);
+  return '\0';  // unreachable
+}
+
+std::string CharSet::ToString() const {
+  if (bits_.all()) return ".";
+  if (bits_.count() == 1) {
+    std::string out;
+    AppendEscaped(&out, static_cast<unsigned char>(AnyMember()));
+    return out;
+  }
+  std::string out = "[";
+  // Use the complemented form when it is (much) smaller.
+  if (bits_.count() > 128) {
+    out += '^';
+    AppendClassBody(&out, [this](unsigned char c) { return !bits_.test(c); });
+  } else {
+    AppendClassBody(&out, [this](unsigned char c) { return bits_.test(c); });
+  }
+  out += ']';
+  return out;
+}
+
+size_t CharSet::Hash() const {
+  // std::bitset::hash is available via std::hash.
+  return std::hash<std::bitset<256>>{}(bits_);
+}
+
+}  // namespace spanners

@@ -1,0 +1,87 @@
+// A set of characters over the byte alphabet, used both as RGX character
+// classes and as VA letter-transition labels. A single CharSet transition
+// stands for the disjunction of all its letters (the paper's Σ shorthand).
+#ifndef SPANNERS_COMMON_CHARSET_H_
+#define SPANNERS_COMMON_CHARSET_H_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace spanners {
+
+/// An immutable-ish set of bytes with set algebra. Value type.
+class CharSet {
+ public:
+  CharSet() = default;
+
+  /// The singleton set {c}.
+  static CharSet Of(char c) {
+    CharSet s;
+    s.bits_.set(static_cast<unsigned char>(c));
+    return s;
+  }
+  /// All bytes in `chars`.
+  static CharSet OfString(std::string_view chars) {
+    CharSet s;
+    for (char c : chars) s.bits_.set(static_cast<unsigned char>(c));
+    return s;
+  }
+  /// The inclusive byte range [lo, hi].
+  static CharSet Range(char lo, char hi);
+  /// The full alphabet Σ (all 256 bytes).
+  static CharSet Any() {
+    CharSet s;
+    s.bits_.set();
+    return s;
+  }
+  /// The empty set.
+  static CharSet None() { return CharSet(); }
+
+  bool Contains(char c) const {
+    return bits_.test(static_cast<unsigned char>(c));
+  }
+  bool empty() const { return bits_.none(); }
+  size_t size() const { return bits_.count(); }
+
+  CharSet Complement() const {
+    CharSet s = *this;
+    s.bits_.flip();
+    return s;
+  }
+  CharSet Union(const CharSet& other) const {
+    CharSet s = *this;
+    s.bits_ |= other.bits_;
+    return s;
+  }
+  CharSet Intersect(const CharSet& other) const {
+    CharSet s = *this;
+    s.bits_ &= other.bits_;
+    return s;
+  }
+  CharSet Minus(const CharSet& other) const {
+    CharSet s = *this;
+    s.bits_ &= ~other.bits_;
+    return s;
+  }
+
+  bool operator==(const CharSet& other) const { return bits_ == other.bits_; }
+  bool operator!=(const CharSet& other) const { return bits_ != other.bits_; }
+
+  /// Some member, for witness construction. Precondition: !empty().
+  char AnyMember() const;
+
+  /// Printable form: a single char, or a [...] class, or "." for Σ.
+  std::string ToString() const;
+
+  /// Stable hash usable in unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::bitset<256> bits_;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_COMMON_CHARSET_H_

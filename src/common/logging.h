@@ -1,0 +1,59 @@
+// Check macros in the Arrow style: SPANNERS_CHECK aborts with a message on
+// violated invariants; SPANNERS_DCHECK compiles out in release builds.
+#ifndef SPANNERS_COMMON_LOGGING_H_
+#define SPANNERS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace spanners {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << "[" << file << ":" << line << "] Check failed: " << expr << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a DCHECK is compiled out.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace spanners
+
+#define SPANNERS_CHECK(cond)                                          \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::spanners::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define SPANNERS_DCHECK(cond)            \
+  if (true) {                            \
+  } else /* NOLINT */                    \
+    ::spanners::internal::NullLogMessage()
+#else
+#define SPANNERS_DCHECK(cond) SPANNERS_CHECK(cond)
+#endif
+
+#endif  // SPANNERS_COMMON_LOGGING_H_

@@ -1,0 +1,155 @@
+// Status / Result<T> error model, following the Arrow / RocksDB idiom:
+// fallible operations return a Status (or a Result<T> carrying a value),
+// never throw across the public API.
+#ifndef SPANNERS_COMMON_STATUS_H_
+#define SPANNERS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace spanners {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parser errors, bad spans, ...)
+  kNotSupported,      // outside the implemented fragment (documented scope)
+  kUnsatisfiable,     // the object provably has empty semantics
+  kOutOfRange,        // index / position out of bounds
+  kInternal,          // invariant violation (a bug in this library)
+};
+
+/// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// An operation outcome: OK, or an error code plus message.
+///
+/// OK status carries no allocation; error states share an immutable
+/// heap-allocated payload, so Status is cheap to copy.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors arrow::Result.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise (see SPANNERS_CHECK).
+  const T& value() const&;
+  T& value() &;
+  T&& value() &&;
+
+  /// Alias for value(); reads well at call sites: `ParseRgx(s).ValueOrDie()`.
+  const T& ValueOrDie() const& { return value(); }
+  T&& ValueOrDie() && { return std::move(*this).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace spanners
+
+#include "common/logging.h"  // IWYU pragma: keep  (for SPANNERS_CHECK)
+
+namespace spanners {
+
+template <typename T>
+const T& Result<T>::value() const& {
+  SPANNERS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+  return std::get<T>(repr_);
+}
+
+template <typename T>
+T& Result<T>::value() & {
+  SPANNERS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+  return std::get<T>(repr_);
+}
+
+template <typename T>
+T&& Result<T>::value() && {
+  SPANNERS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+  return std::move(std::get<T>(repr_));
+}
+
+}  // namespace spanners
+
+/// Propagate an error Status out of the current function.
+#define SPANNERS_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::spanners::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluate a Result expression; on error, propagate; else bind the value.
+#define SPANNERS_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  SPANNERS_ASSIGN_OR_RETURN_IMPL_(                        \
+      SPANNERS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define SPANNERS_CONCAT_INNER_(a, b) a##b
+#define SPANNERS_CONCAT_(a, b) SPANNERS_CONCAT_INNER_(a, b)
+#define SPANNERS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)  \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+#endif  // SPANNERS_COMMON_STATUS_H_

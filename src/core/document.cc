@@ -1,0 +1,14 @@
+#include "core/document.h"
+
+namespace spanners {
+
+std::vector<Span> Document::AllSpans() const {
+  std::vector<Span> out;
+  const Pos n = length();
+  out.reserve(static_cast<size_t>(n + 1) * (n + 2) / 2);
+  for (Pos i = 1; i <= n + 1; ++i)
+    for (Pos j = i; j <= n + 1; ++j) out.emplace_back(i, j);
+  return out;
+}
+
+}  // namespace spanners

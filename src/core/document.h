@@ -1,0 +1,52 @@
+// A document is a finite string over Σ (paper, §2). This wrapper fixes the
+// paper's 1-based span convention in one place.
+#ifndef SPANNERS_CORE_DOCUMENT_H_
+#define SPANNERS_CORE_DOCUMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/span.h"
+
+namespace spanners {
+
+/// An immutable document. Cheap to copy views are exposed via content().
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::string text) : text_(std::move(text)) {}
+
+  /// |d|, the number of characters.
+  Pos length() const { return static_cast<Pos>(text_.size()); }
+
+  /// The raw string.
+  const std::string& text() const { return text_; }
+
+  /// Character at 1-based position p, 1 <= p <= |d|.
+  char at(Pos p) const { return text_[p - 1]; }
+
+  /// True iff (i, j) is a span of this document: 1 <= i <= j <= |d|+1.
+  bool IsValidSpan(const Span& s) const {
+    return 1 <= s.begin && s.begin <= s.end && s.end <= length() + 1;
+  }
+
+  /// d(p): the content of span p. Precondition: IsValidSpan(p).
+  std::string_view content(const Span& s) const {
+    return std::string_view(text_).substr(s.begin - 1, s.length());
+  }
+
+  /// span(d): every span of this document, in lexicographic order.
+  /// There are (n+1)(n+2)/2 of them.
+  std::vector<Span> AllSpans() const;
+
+  /// The span (1, |d|+1) covering the whole document.
+  Span Whole() const { return Span(1, length() + 1); }
+
+ private:
+  std::string text_;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_CORE_DOCUMENT_H_

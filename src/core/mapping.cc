@@ -1,0 +1,308 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+// Boost-style hash combiner.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Mapping Mapping::Single(VarId x, Span s) {
+  Mapping m;
+  m.entries_.push_back({x, s});
+  return m;
+}
+
+std::optional<Span> Mapping::Get(VarId x) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it == entries_.end() || it->var != x) return std::nullopt;
+  return it->span;
+}
+
+void Mapping::Set(VarId x, Span s) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it != entries_.end() && it->var == x) {
+    it->span = s;
+  } else {
+    entries_.insert(it, {x, s});
+  }
+}
+
+void Mapping::Erase(VarId x) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it != entries_.end() && it->var == x) entries_.erase(it);
+}
+
+VarSet Mapping::Domain() const {
+  std::vector<VarId> ids;
+  ids.reserve(entries_.size());
+  for (const Entry& e : entries_) ids.push_back(e.var);
+  return VarSet(std::move(ids));
+}
+
+bool Mapping::CompatibleWith(const Mapping& other) const {
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->var < b->var) {
+      ++a;
+    } else if (b->var < a->var) {
+      ++b;
+    } else {
+      if (a->span != b->span) return false;
+      ++a;
+      ++b;
+    }
+  }
+  return true;
+}
+
+std::optional<Mapping> Mapping::TryUnion(const Mapping& a, const Mapping& b) {
+  Mapping out;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() || ib != b.entries_.end()) {
+    if (ib == b.entries_.end() ||
+        (ia != a.entries_.end() && ia->var < ib->var)) {
+      out.entries_.push_back(*ia++);
+    } else if (ia == a.entries_.end() || ib->var < ia->var) {
+      out.entries_.push_back(*ib++);
+    } else {
+      if (ia->span != ib->span) return std::nullopt;
+      out.entries_.push_back(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+Mapping Mapping::UnionCompatible(const Mapping& a, const Mapping& b) {
+  std::optional<Mapping> u = TryUnion(a, b);
+  SPANNERS_CHECK(u.has_value()) << "UnionCompatible on incompatible mappings";
+  return *std::move(u);
+}
+
+bool Mapping::IsHierarchical() const {
+  for (size_t i = 0; i < entries_.size(); ++i)
+    for (size_t j = i + 1; j < entries_.size(); ++j)
+      if (!HierarchicalPair(entries_[i].span, entries_[j].span)) return false;
+  return true;
+}
+
+bool Mapping::IsPointDisjoint() const {
+  for (size_t i = 0; i < entries_.size(); ++i)
+    for (size_t j = i + 1; j < entries_.size(); ++j)
+      if (!entries_[i].span.PointDisjointWith(entries_[j].span)) return false;
+  return true;
+}
+
+Mapping Mapping::Project(const VarSet& keep) const {
+  Mapping out;
+  for (const Entry& e : entries_)
+    if (keep.Contains(e.var)) out.entries_.push_back(e);
+  return out;
+}
+
+bool Mapping::SubmappingOf(const Mapping& other) const {
+  for (const Entry& e : entries_) {
+    std::optional<Span> s = other.Get(e.var);
+    if (!s.has_value() || *s != e.span) return false;
+  }
+  return true;
+}
+
+bool Mapping::operator<(const Mapping& o) const {
+  return std::lexicographical_compare(
+      entries_.begin(), entries_.end(), o.entries_.begin(), o.entries_.end(),
+      [](const Entry& a, const Entry& b) {
+        if (a.var != b.var) return a.var < b.var;
+        return a.span < b.span;
+      });
+}
+
+size_t Mapping::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Entry& e : entries_) {
+    h = HashCombine(h, e.var);
+    h = HashCombine(h, e.span.begin);
+    h = HashCombine(h, e.span.end);
+  }
+  return h;
+}
+
+std::string Mapping::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Variable::Name(entries_[i].var) + " -> " +
+           entries_[i].span.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string Mapping::DebugString(const Document& doc) const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Variable::Name(entries_[i].var) + " -> " +
+           entries_[i].span.ToString() + " \"" +
+           std::string(doc.content(entries_[i].span)) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MappingSet::MappingSet(std::vector<Mapping> ms) {
+  for (Mapping& m : ms) set_.insert(std::move(m));
+}
+
+MappingSet MappingSet::Union(const MappingSet& a, const MappingSet& b) {
+  MappingSet out = a;
+  for (const Mapping& m : b) out.Insert(m);
+  return out;
+}
+
+MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const Mapping& ma : a)
+    for (const Mapping& mb : b)
+      if (std::optional<Mapping> u = Mapping::TryUnion(ma, mb))
+        out.Insert(*std::move(u));
+  return out;
+}
+
+MappingSet MappingSet::Project(const VarSet& keep) const {
+  MappingSet out;
+  for (const Mapping& m : set_) out.Insert(m.Project(keep));
+  return out;
+}
+
+bool MappingSet::IsHierarchical() const {
+  for (const Mapping& m : set_)
+    if (!m.IsHierarchical()) return false;
+  return true;
+}
+
+std::vector<Mapping> MappingSet::Sorted() const {
+  std::vector<Mapping> out(set_.begin(), set_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MappingSet::ToString(const Document* doc) const {
+  std::string out;
+  for (const Mapping& m : Sorted()) {
+    out += doc != nullptr ? m.DebugString(*doc) : m.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+ExtendedMapping ExtendedMapping::FromMapping(const Mapping& m) {
+  ExtendedMapping out;
+  for (const Mapping::Entry& e : m.entries()) out.Assign(e.var, e.span);
+  return out;
+}
+
+void ExtendedMapping::Assign(VarId x, Span s) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it != entries_.end() && it->var == x) {
+    it->span = s;
+  } else {
+    entries_.insert(it, {x, s});
+  }
+}
+
+void ExtendedMapping::AssignBottom(VarId x) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it != entries_.end() && it->var == x) {
+    it->span = std::nullopt;
+  } else {
+    entries_.insert(it, {x, std::nullopt});
+  }
+}
+
+void ExtendedMapping::Clear(VarId x) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it != entries_.end() && it->var == x) entries_.erase(it);
+}
+
+ExtendedMapping::VarState ExtendedMapping::StateOf(VarId x) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it == entries_.end() || it->var != x) return VarState::kUnconstrained;
+  return it->span.has_value() ? VarState::kAssigned : VarState::kBottom;
+}
+
+std::optional<Span> ExtendedMapping::Get(VarId x) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), x,
+      [](const Entry& e, VarId v) { return e.var < v; });
+  if (it == entries_.end() || it->var != x) return std::nullopt;
+  return it->span;
+}
+
+VarSet ExtendedMapping::ConstrainedVars() const {
+  std::vector<VarId> ids;
+  ids.reserve(entries_.size());
+  for (const Entry& e : entries_) ids.push_back(e.var);
+  return VarSet(std::move(ids));
+}
+
+bool ExtendedMapping::ExtendedBy(const Mapping& m) const {
+  for (const Entry& e : entries_) {
+    std::optional<Span> got = m.Get(e.var);
+    if (e.span.has_value()) {
+      if (!got.has_value() || *got != *e.span) return false;
+    } else {
+      if (got.has_value()) return false;  // pinned to ⊥ but defined
+    }
+  }
+  return true;
+}
+
+Mapping ExtendedMapping::AssignedPart() const {
+  Mapping out;
+  for (const Entry& e : entries_)
+    if (e.span.has_value()) out.Set(e.var, *e.span);
+  return out;
+}
+
+std::string ExtendedMapping::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += Variable::Name(e.var) + " -> " +
+           (e.span.has_value() ? e.span->ToString() : "⊥");
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace spanners

@@ -1,0 +1,166 @@
+// Mappings: partial functions from variables to spans (paper, §2), the
+// paper's replacement for relations so that extraction can return
+// incomplete information. Also extended mappings (with ⊥) used by the Eval
+// decision problem (§5.1), and sets of mappings with ∪ / ⋈ / π algebra.
+#ifndef SPANNERS_CORE_MAPPING_H_
+#define SPANNERS_CORE_MAPPING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/document.h"
+#include "core/span.h"
+#include "core/variable.h"
+
+namespace spanners {
+
+/// A partial function µ : V ⇀ span(d). Value type; entries kept sorted by
+/// VarId so equality / hashing / compatibility are linear merges.
+class Mapping {
+ public:
+  struct Entry {
+    VarId var;
+    Span span;
+    bool operator==(const Entry& o) const {
+      return var == o.var && span == o.span;
+    }
+  };
+
+  Mapping() = default;
+
+  /// The empty mapping ∅.
+  static Mapping Empty() { return Mapping(); }
+  /// [x → s], defined only on x.
+  static Mapping Single(VarId x, Span s);
+
+  bool Defines(VarId x) const { return Get(x).has_value(); }
+  std::optional<Span> Get(VarId x) const;
+  /// Insert-or-overwrite x → s.
+  void Set(VarId x, Span s);
+  /// Remove x from the domain (no-op when absent).
+  void Erase(VarId x);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+  VarSet Domain() const;
+
+  /// µ1 ~ µ2: agree on the shared domain.
+  bool CompatibleWith(const Mapping& other) const;
+
+  /// µ1 ∪ µ2 when compatible, std::nullopt otherwise.
+  static std::optional<Mapping> TryUnion(const Mapping& a, const Mapping& b);
+  /// µ1 ∪ µ2; aborts if incompatible. Use when compatibility is invariant.
+  static Mapping UnionCompatible(const Mapping& a, const Mapping& b);
+
+  /// True if every pair of assigned spans is contained-or-disjoint.
+  bool IsHierarchical() const;
+  /// True if every pair of assigned spans is point-disjoint (§6).
+  bool IsPointDisjoint() const;
+
+  /// π_keep(µ): restriction of the domain to `keep`.
+  Mapping Project(const VarSet& keep) const;
+
+  /// µ ⊆ other: other agrees with µ on all of dom(µ).
+  bool SubmappingOf(const Mapping& other) const;
+
+  bool operator==(const Mapping& o) const { return entries_ == o.entries_; }
+  bool operator!=(const Mapping& o) const { return !(*this == o); }
+  /// Lexicographic order on the entry list (for deterministic output).
+  bool operator<(const Mapping& o) const;
+
+  size_t Hash() const;
+
+  /// "{x -> (1, 4), y -> (4, 7)}".
+  std::string ToString() const;
+  /// Like ToString but includes span contents from `doc`.
+  std::string DebugString(const Document& doc) const;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by var
+};
+
+struct MappingHash {
+  size_t operator()(const Mapping& m) const { return m.Hash(); }
+};
+
+/// A deduplicated set of mappings with the algebra of the paper:
+/// M1 ⋈ M2 = { µ1 ∪ µ2 | µ1 ∈ M1, µ2 ∈ M2, µ1 ~ µ2 }.
+class MappingSet {
+ public:
+  MappingSet() = default;
+  explicit MappingSet(std::vector<Mapping> ms);
+
+  void Insert(Mapping m) { set_.insert(std::move(m)); }
+  bool Contains(const Mapping& m) const { return set_.count(m) > 0; }
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
+
+  static MappingSet Union(const MappingSet& a, const MappingSet& b);
+  static MappingSet Join(const MappingSet& a, const MappingSet& b);
+  MappingSet Project(const VarSet& keep) const;
+
+  /// True if every mapping in the set is hierarchical.
+  bool IsHierarchical() const;
+
+  /// Deterministically ordered copy of the members.
+  std::vector<Mapping> Sorted() const;
+
+  bool operator==(const MappingSet& o) const { return set_ == o.set_; }
+  bool operator!=(const MappingSet& o) const { return !(*this == o); }
+
+  /// Multi-line listing; includes contents when `doc` is given.
+  std::string ToString(const Document* doc = nullptr) const;
+
+ private:
+  std::unordered_set<Mapping, MappingHash> set_;
+};
+
+/// An extended mapping: variables are unconstrained, assigned a span, or
+/// pinned to ⊥ ("will not be mapped"). This is the third input of the Eval
+/// decision problem (§5.1).
+class ExtendedMapping {
+ public:
+  enum class VarState : uint8_t { kUnconstrained, kBottom, kAssigned };
+
+  ExtendedMapping() = default;
+  /// Lifts a normal mapping: its domain becomes assigned, rest unconstrained.
+  static ExtendedMapping FromMapping(const Mapping& m);
+
+  void Assign(VarId x, Span s);
+  void AssignBottom(VarId x);
+  void Clear(VarId x);  // back to unconstrained
+
+  VarState StateOf(VarId x) const;
+  /// The assigned span, when StateOf(x) == kAssigned.
+  std::optional<Span> Get(VarId x) const;
+
+  /// Variables that are constrained (assigned or ⊥).
+  VarSet ConstrainedVars() const;
+
+  /// µ ⊆ m in the paper's sense: assigned vars agree with m, ⊥ vars are
+  /// undefined in m.
+  bool ExtendedBy(const Mapping& m) const;
+
+  /// The assigned part as a plain mapping (drops ⊥ entries).
+  Mapping AssignedPart() const;
+
+  std::string ToString() const;
+
+ private:
+  struct Entry {
+    VarId var;
+    std::optional<Span> span;  // nullopt == ⊥
+  };
+  std::vector<Entry> entries_;  // sorted by var
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_CORE_MAPPING_H_

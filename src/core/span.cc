@@ -1,0 +1,9 @@
+#include "core/span.h"
+
+namespace spanners {
+
+std::string Span::ToString() const {
+  return "(" + std::to_string(begin) + ", " + std::to_string(end) + ")";
+}
+
+}  // namespace spanners

@@ -1,0 +1,68 @@
+// Spans: intervals (i, j) inside a document, 1 <= i <= j <= |d|+1, whose
+// content is the infix of d between positions i and j-1 (paper, §2).
+#ifndef SPANNERS_CORE_SPAN_H_
+#define SPANNERS_CORE_SPAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace spanners {
+
+/// Document position, 1-based as in the paper.
+using Pos = uint32_t;
+
+/// A span (i, j) of a document. Value type, totally ordered.
+struct Span {
+  Pos begin = 1;  // i
+  Pos end = 1;    // j, begin <= end
+
+  constexpr Span() = default;
+  constexpr Span(Pos b, Pos e) : begin(b), end(e) {}
+
+  /// Number of characters covered.
+  constexpr Pos length() const { return end - begin; }
+  constexpr bool IsEmpty() const { return begin == end; }
+
+  /// True if this span lies fully inside `outer` (span containment).
+  constexpr bool ContainedIn(const Span& outer) const {
+    return outer.begin <= begin && end <= outer.end;
+  }
+  /// True if the two spans share no position (as character intervals).
+  constexpr bool DisjointWith(const Span& other) const {
+    return end <= other.begin || other.end <= begin;
+  }
+  /// Point-disjointness (§6): the endpoint sets {i1,j1} and {i2,j2} are
+  /// disjoint.
+  constexpr bool PointDisjointWith(const Span& other) const {
+    return begin != other.begin && begin != other.end &&
+           end != other.begin && end != other.end;
+  }
+
+  /// Concatenation s1 · s2, defined iff this->end == other.begin.
+  std::optional<Span> Concat(const Span& other) const {
+    if (end != other.begin) return std::nullopt;
+    return Span(begin, other.end);
+  }
+
+  constexpr bool operator==(const Span& o) const {
+    return begin == o.begin && end == o.end;
+  }
+  constexpr bool operator!=(const Span& o) const { return !(*this == o); }
+  constexpr bool operator<(const Span& o) const {
+    return begin != o.begin ? begin < o.begin : end < o.end;
+  }
+
+  /// "(i, j)" in the paper's notation.
+  std::string ToString() const;
+};
+
+/// Two spans are "hierarchical" when one contains the other or they are
+/// disjoint (the shapes RGX / VAstk can produce).
+constexpr bool HierarchicalPair(const Span& a, const Span& b) {
+  return a.ContainedIn(b) || b.ContainedIn(a) || a.DisjointWith(b);
+}
+
+}  // namespace spanners
+
+#endif  // SPANNERS_CORE_SPAN_H_

@@ -1,0 +1,65 @@
+#include "core/spanner.h"
+
+#include "automata/fpt.h"
+#include "automata/matcher.h"
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "automata/thompson.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+
+Spanner::Spanner(RgxPtr rgx, VA va)
+    : rgx_(std::move(rgx)),
+      va_(std::move(va)),
+      vars_(va_.Vars()),
+      sequential_(IsSequentialVa(va_)) {}
+
+Result<Spanner> Spanner::FromPattern(std::string_view pattern) {
+  SPANNERS_ASSIGN_OR_RETURN(RgxPtr rgx, ParseRgx(pattern));
+  return FromRgx(std::move(rgx));
+}
+
+Spanner Spanner::FromRgx(RgxPtr rgx) {
+  VA va = CompileToVa(rgx);
+  return Spanner(std::move(rgx), std::move(va));
+}
+
+Spanner Spanner::FromVa(VA va) { return Spanner(nullptr, std::move(va)); }
+
+MappingSet Spanner::ExtractAll(const Document& doc) const {
+  return RunEval(va_, doc);
+}
+
+MappingEnumerator Spanner::Enumerate(const Document& doc) const {
+  if (sequential_) {
+    return MappingEnumerator(
+        vars_, doc, [this, &doc](const ExtendedMapping& mu) {
+          return EvalSequential(va_, doc, mu);
+        });
+  }
+  return MappingEnumerator(vars_, doc,
+                           [this, &doc](const ExtendedMapping& mu) {
+                             return EvalVa(va_, doc, mu);
+                           });
+}
+
+bool Spanner::Eval(const Document& doc, const ExtendedMapping& mu) const {
+  return sequential_ ? EvalSequential(va_, doc, mu) : EvalVa(va_, doc, mu);
+}
+
+bool Spanner::ModelCheck(const Document& doc, const Mapping& mu) const {
+  // µ ∈ ⟦γ⟧_doc ⟺ Eval with µ's entries assigned and every other
+  // variable of the spanner pinned to ⊥ (the paper's §5.1 reduction of
+  // model checking to Eval).
+  ExtendedMapping probe = ExtendedMapping::FromMapping(mu);
+  for (VarId x : vars_)
+    if (!mu.Defines(x)) probe.AssignBottom(x);
+  return Eval(doc, probe);
+}
+
+bool Spanner::Matches(const Document& doc) const {
+  return Eval(doc, ExtendedMapping());
+}
+
+}  // namespace spanners

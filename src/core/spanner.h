@@ -1,0 +1,73 @@
+// High-level facade: a compiled, ready-to-run document spanner.
+//
+// Wraps pattern parsing, Thompson compilation, fragment detection and
+// evaluator selection behind one type:
+//
+//   Spanner s = Spanner::FromPattern(".*Seller: (x{[^,]*}),.*").ValueOrDie();
+//   for (const Mapping& m : s.ExtractAll(doc)) ...
+//
+// Evaluator choice: sequential automata use the PTIME machinery of
+// Theorem 5.7 for decision problems; extraction itself uses the
+// output-sensitive run enumeration, with the polynomial-delay Algorithm 1
+// available explicitly.
+#ifndef SPANNERS_CORE_SPANNER_H_
+#define SPANNERS_CORE_SPANNER_H_
+
+#include <string_view>
+
+#include "automata/enumerate.h"
+#include "automata/va.h"
+#include "common/status.h"
+#include "core/document.h"
+#include "core/mapping.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+class Spanner {
+ public:
+  /// Compiles an RGX text pattern (see rgx/parser.h for the syntax).
+  static Result<Spanner> FromPattern(std::string_view pattern);
+  /// Wraps an existing AST.
+  static Spanner FromRgx(RgxPtr rgx);
+  /// Wraps an existing automaton (no RGX attached).
+  static Spanner FromVa(VA va);
+
+  /// The compiled automaton.
+  const VA& va() const { return va_; }
+  /// The source formula; nullptr when constructed FromVa.
+  const RgxPtr& rgx() const { return rgx_; }
+  /// var(γ): the capture variables.
+  const VarSet& vars() const { return vars_; }
+  /// Whether the PTIME sequential machinery applies (§5.2).
+  bool is_sequential() const { return sequential_; }
+
+  /// ⟦γ⟧_doc, computed by run enumeration (output-sensitive).
+  MappingSet ExtractAll(const Document& doc) const;
+
+  /// Incremental polynomial-delay enumeration (Theorem 5.1). The returned
+  /// enumerator borrows this spanner and the document.
+  MappingEnumerator Enumerate(const Document& doc) const;
+
+  /// Eval (§5.1): can `mu` be extended to an output on `doc`?
+  /// Dispatches to Theorem 5.7 (sequential) or Theorem 5.10 (FPT).
+  bool Eval(const Document& doc, const ExtendedMapping& mu) const;
+
+  /// ModelCheck (§5.1): is `mu` itself an output on `doc`?
+  bool ModelCheck(const Document& doc, const Mapping& mu) const;
+
+  /// NonEmp: does the spanner produce any mapping on `doc`?
+  bool Matches(const Document& doc) const;
+
+ private:
+  Spanner(RgxPtr rgx, VA va);
+
+  RgxPtr rgx_;  // may be nullptr
+  VA va_;
+  VarSet vars_;
+  bool sequential_;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_CORE_SPANNER_H_

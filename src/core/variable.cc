@@ -1,0 +1,97 @@
+#include "core/variable.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+struct InternPool {
+  std::mutex mu;
+  std::unordered_map<std::string, VarId> by_name;
+  std::vector<std::string> names;
+};
+
+InternPool& Pool() {
+  static InternPool* pool = new InternPool();  // leaked intentionally
+  return *pool;
+}
+
+}  // namespace
+
+VarId Variable::Intern(std::string_view name) {
+  InternPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  auto it = pool.by_name.find(std::string(name));
+  if (it != pool.by_name.end()) return it->second;
+  VarId id = static_cast<VarId>(pool.names.size());
+  pool.names.emplace_back(name);
+  pool.by_name.emplace(pool.names.back(), id);
+  return id;
+}
+
+const std::string& Variable::Name(VarId id) {
+  InternPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  SPANNERS_CHECK(id < pool.names.size()) << "unknown VarId " << id;
+  return pool.names[id];
+}
+
+VarSet::VarSet(std::vector<VarId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+void VarSet::Insert(VarId v) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), v);
+  if (it == ids_.end() || *it != v) ids_.insert(it, v);
+}
+
+bool VarSet::Contains(VarId v) const {
+  return std::binary_search(ids_.begin(), ids_.end(), v);
+}
+
+VarSet VarSet::Union(const VarSet& other) const {
+  VarSet out;
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+VarSet VarSet::Intersect(const VarSet& other) const {
+  VarSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+VarSet VarSet::Minus(const VarSet& other) const {
+  VarSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+bool VarSet::DisjointWith(const VarSet& other) const {
+  return Intersect(other).empty();
+}
+
+bool VarSet::SubsetOf(const VarSet& other) const {
+  return Minus(other).empty();
+}
+
+std::string VarSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Variable::Name(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace spanners

@@ -1,0 +1,58 @@
+// Capture variables. Names are interned process-wide into dense VarIds so
+// mappings, expressions, automata and rules can share variables cheaply and
+// join by identity.
+#ifndef SPANNERS_CORE_VARIABLE_H_
+#define SPANNERS_CORE_VARIABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spanners {
+
+/// Dense identifier of an interned variable name.
+using VarId = uint32_t;
+
+/// Process-wide, thread-safe variable name interning.
+class Variable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  static VarId Intern(std::string_view name);
+  /// The name interned for `id`. Precondition: `id` was returned by Intern.
+  static const std::string& Name(VarId id);
+};
+
+/// A sorted, deduplicated set of VarIds. Small-vector semantics.
+class VarSet {
+ public:
+  VarSet() = default;
+  explicit VarSet(std::vector<VarId> ids);
+
+  void Insert(VarId v);
+  bool Contains(VarId v) const;
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+
+  VarSet Union(const VarSet& other) const;
+  VarSet Intersect(const VarSet& other) const;
+  VarSet Minus(const VarSet& other) const;
+  bool DisjointWith(const VarSet& other) const;
+  bool SubsetOf(const VarSet& other) const;
+
+  const std::vector<VarId>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  bool operator==(const VarSet& o) const { return ids_ == o.ids_; }
+
+  /// "{x, y, z}" with interned names.
+  std::string ToString() const;
+
+ private:
+  std::vector<VarId> ids_;  // sorted, unique
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_CORE_VARIABLE_H_

@@ -1,0 +1,112 @@
+#include "rgx/analysis.h"
+
+#include "common/logging.h"
+
+namespace spanners {
+
+VarSet RgxVars(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  VarSet out;
+  if (rgx->kind() == RgxKind::kVar) out.Insert(rgx->var());
+  for (const RgxPtr& c : rgx->children()) out = out.Union(RgxVars(c));
+  return out;
+}
+
+std::optional<VarSet> FunctionalDomain(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon:
+    case RgxKind::kChars:
+      return VarSet();
+    case RgxKind::kVar: {
+      std::optional<VarSet> inner = FunctionalDomain(rgx->child(0));
+      if (!inner.has_value() || inner->Contains(rgx->var()))
+        return std::nullopt;
+      inner->Insert(rgx->var());
+      return inner;
+    }
+    case RgxKind::kConcat: {
+      VarSet acc;
+      for (const RgxPtr& c : rgx->children()) {
+        std::optional<VarSet> part = FunctionalDomain(c);
+        if (!part.has_value() || !part->DisjointWith(acc))
+          return std::nullopt;
+        acc = acc.Union(*part);
+      }
+      return acc;
+    }
+    case RgxKind::kDisj: {
+      std::optional<VarSet> first = FunctionalDomain(rgx->child(0));
+      if (!first.has_value()) return std::nullopt;
+      for (size_t i = 1; i < rgx->children().size(); ++i) {
+        std::optional<VarSet> other = FunctionalDomain(rgx->child(i));
+        if (!other.has_value() || !(*other == *first)) return std::nullopt;
+      }
+      return first;
+    }
+    case RgxKind::kStar:
+      if (!RgxVars(rgx->child(0)).empty()) return std::nullopt;
+      return VarSet();
+  }
+  return std::nullopt;
+}
+
+bool IsFunctional(const RgxPtr& rgx) {
+  return FunctionalDomain(rgx).has_value();
+}
+
+bool IsFunctionalWrt(const RgxPtr& rgx, const VarSet& x) {
+  std::optional<VarSet> dom = FunctionalDomain(rgx);
+  return dom.has_value() && *dom == x;
+}
+
+bool IsSequential(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon:
+    case RgxKind::kChars:
+      return true;
+    case RgxKind::kVar:
+      return !RgxVars(rgx->child(0)).Contains(rgx->var()) &&
+             IsSequential(rgx->child(0));
+    case RgxKind::kConcat: {
+      VarSet seen;
+      for (const RgxPtr& c : rgx->children()) {
+        if (!IsSequential(c)) return false;
+        VarSet vars = RgxVars(c);
+        if (!vars.DisjointWith(seen)) return false;
+        seen = seen.Union(vars);
+      }
+      return true;
+    }
+    case RgxKind::kDisj: {
+      for (const RgxPtr& c : rgx->children())
+        if (!IsSequential(c)) return false;
+      return true;
+    }
+    case RgxKind::kStar:
+      return RgxVars(rgx->child(0)).empty();
+  }
+  return false;
+}
+
+bool IsSpanRgx(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  if (rgx->kind() == RgxKind::kVar) {
+    const RgxPtr& body = rgx->child(0);
+    bool any_star = body->kind() == RgxKind::kStar &&
+                    body->child(0)->kind() == RgxKind::kChars &&
+                    body->child(0)->chars() == CharSet::Any();
+    if (!any_star) return false;
+    return true;
+  }
+  for (const RgxPtr& c : rgx->children())
+    if (!IsSpanRgx(c)) return false;
+  return true;
+}
+
+bool IsProperSpanRgx(const RgxPtr& rgx) {
+  return IsSpanRgx(rgx) && IsSequential(rgx);
+}
+
+}  // namespace spanners

@@ -1,0 +1,46 @@
+// Structural analyses of RGX formulas used throughout the paper:
+// var(γ), the functional fragment of [Fagin et al.] (§4.1), the sequential
+// fragment (§5.2), and the spanRGX fragment of [Arenas et al.] (§3.3).
+#ifndef SPANNERS_RGX_ANALYSIS_H_
+#define SPANNERS_RGX_ANALYSIS_H_
+
+#include <optional>
+
+#include "core/variable.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// var(γ): all variables occurring in γ.
+VarSet RgxVars(const RgxPtr& rgx);
+
+/// The unique X such that γ is functional wrt X, or nullopt when γ is not
+/// functional wrt any set. When defined, equals var(γ).
+std::optional<VarSet> FunctionalDomain(const RgxPtr& rgx);
+
+/// γ is functional (wrt var(γ)): every variable is assigned exactly once
+/// on every way of matching γ. This is the original definition of regex
+/// formulas in [Fagin et al. 2015] (paper's Theorem 4.1).
+bool IsFunctional(const RgxPtr& rgx);
+
+/// γ is functional wrt exactly the set X.
+bool IsFunctionalWrt(const RgxPtr& rgx, const VarSet& x);
+
+/// γ is sequential (§5.2): for every subformula ϕ1·ϕ2,
+/// var(ϕ1) ∩ var(ϕ2) = ∅; for every ϕ*, var(ϕ) = ∅; and no variable is
+/// re-bound inside its own scope (x{ϕ} with x ∈ var(ϕ)). The last
+/// condition makes RGX sequentiality coincide with VA sequentiality of
+/// the Thompson construction (used in the Theorem 5.7 proof).
+bool IsSequential(const RgxPtr& rgx);
+
+/// γ is a spanRGX (§3.3): every subexpression x{ϕ} has ϕ = Σ*.
+bool IsSpanRgx(const RgxPtr& rgx);
+
+/// γ is a *proper* span regular expression (Theorem 4.2): a spanRGX in
+/// which no derivable word uses a variable twice — equivalently, a
+/// sequential spanRGX.
+bool IsProperSpanRgx(const RgxPtr& rgx);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RGX_ANALYSIS_H_

@@ -1,0 +1,139 @@
+#include "rgx/ast.h"
+
+#include "common/logging.h"
+
+namespace spanners {
+
+struct RgxNodeFactory {
+  static RgxPtr Make(RgxKind kind, CharSet chars, VarId var,
+                     std::vector<RgxPtr> children) {
+    return RgxPtr(
+        new RgxNode(kind, chars, var, std::move(children)));
+  }
+};
+
+size_t RgxNode::NodeCount() const {
+  size_t n = 1;
+  for (const RgxPtr& c : children_) n += c->NodeCount();
+  return n;
+}
+
+RgxPtr RgxNode::Epsilon() {
+  static const RgxPtr kEps =
+      RgxNodeFactory::Make(RgxKind::kEpsilon, CharSet(), 0, {});
+  return kEps;
+}
+
+RgxPtr RgxNode::Chars(CharSet cs) {
+  return RgxNodeFactory::Make(RgxKind::kChars, cs, 0, {});
+}
+
+RgxPtr RgxNode::Lit(char c) { return Chars(CharSet::Of(c)); }
+
+RgxPtr RgxNode::Str(std::string_view s) {
+  std::vector<RgxPtr> parts;
+  parts.reserve(s.size());
+  for (char c : s) parts.push_back(Lit(c));
+  return Concat(std::move(parts));
+}
+
+RgxPtr RgxNode::AnyStar() {
+  static const RgxPtr kAnyStar = Star(Chars(CharSet::Any()));
+  return kAnyStar;
+}
+
+RgxPtr RgxNode::Var(VarId x, RgxPtr body) {
+  SPANNERS_CHECK(body != nullptr);
+  return RgxNodeFactory::Make(RgxKind::kVar, CharSet(), x,
+                              {std::move(body)});
+}
+
+RgxPtr RgxNode::Var(std::string_view name, RgxPtr body) {
+  return Var(Variable::Intern(name), std::move(body));
+}
+
+RgxPtr RgxNode::SpanVar(std::string_view name) {
+  return Var(name, AnyStar());
+}
+
+RgxPtr RgxNode::SpanVar(VarId x) { return Var(x, AnyStar()); }
+
+RgxPtr RgxNode::Concat(std::vector<RgxPtr> parts) {
+  std::vector<RgxPtr> flat;
+  for (RgxPtr& p : parts) {
+    SPANNERS_CHECK(p != nullptr);
+    if (p->kind() == RgxKind::kConcat) {
+      for (const RgxPtr& c : p->children()) flat.push_back(c);
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.empty()) return Epsilon();
+  if (flat.size() == 1) return flat[0];
+  return RgxNodeFactory::Make(RgxKind::kConcat, CharSet(), 0,
+                              std::move(flat));
+}
+
+RgxPtr RgxNode::Concat(RgxPtr a, RgxPtr b) {
+  std::vector<RgxPtr> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  return Concat(std::move(parts));
+}
+
+RgxPtr RgxNode::Disj(std::vector<RgxPtr> parts) {
+  SPANNERS_CHECK(!parts.empty()) << "Disj needs at least one disjunct";
+  std::vector<RgxPtr> flat;
+  for (RgxPtr& p : parts) {
+    SPANNERS_CHECK(p != nullptr);
+    if (p->kind() == RgxKind::kDisj) {
+      for (const RgxPtr& c : p->children()) flat.push_back(c);
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.size() == 1) return flat[0];
+  return RgxNodeFactory::Make(RgxKind::kDisj, CharSet(), 0, std::move(flat));
+}
+
+RgxPtr RgxNode::Disj(RgxPtr a, RgxPtr b) {
+  std::vector<RgxPtr> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  return Disj(std::move(parts));
+}
+
+RgxPtr RgxNode::Star(RgxPtr body) {
+  SPANNERS_CHECK(body != nullptr);
+  return RgxNodeFactory::Make(RgxKind::kStar, CharSet(), 0,
+                              {std::move(body)});
+}
+
+RgxPtr RgxNode::Plus(RgxPtr body) { return Concat(body, Star(body)); }
+
+RgxPtr RgxNode::Opt(RgxPtr body) {
+  return Disj(std::move(body), Epsilon());
+}
+
+bool RgxNode::Equals(const RgxPtr& a, const RgxPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case RgxKind::kEpsilon:
+      return true;
+    case RgxKind::kChars:
+      return a->chars() == b->chars();
+    case RgxKind::kVar:
+      if (a->var() != b->var()) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i)
+    if (!Equals(a->children()[i], b->children()[i])) return false;
+  return true;
+}
+
+}  // namespace spanners

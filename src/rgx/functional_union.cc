@@ -1,0 +1,128 @@
+#include "rgx/functional_union.h"
+
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+#include "rgx/printer.h"
+
+namespace spanners {
+
+namespace {
+
+std::vector<RgxPtr> Dedup(std::vector<RgxPtr> in) {
+  std::set<std::string> seen;
+  std::vector<RgxPtr> out;
+  for (RgxPtr& r : in)
+    if (seen.insert(ToPattern(r)).second) out.push_back(std::move(r));
+  return out;
+}
+
+std::vector<RgxPtr> Go(const RgxPtr& node);
+
+// Ordered selections of pairwise variable-disjoint alternatives from
+// `withvars`, interleaved with `base` (the star of the variable-free
+// alternatives): base · v1 · base · ... · vm · base.
+void StarSelections(const std::vector<RgxPtr>& withvars, const RgxPtr& base,
+                    std::vector<bool>* taken, VarSet used,
+                    std::vector<RgxPtr>* sequence,
+                    std::vector<RgxPtr>* out) {
+  {
+    std::vector<RgxPtr> parts = {base};
+    for (const RgxPtr& v : *sequence) {
+      parts.push_back(v);
+      parts.push_back(base);
+    }
+    out->push_back(RgxNode::Concat(std::move(parts)));
+  }
+  for (size_t i = 0; i < withvars.size(); ++i) {
+    if ((*taken)[i]) continue;
+    VarSet vars = RgxVars(withvars[i]);
+    if (!vars.DisjointWith(used)) continue;
+    (*taken)[i] = true;
+    sequence->push_back(withvars[i]);
+    StarSelections(withvars, base, taken, used.Union(vars), sequence, out);
+    sequence->pop_back();
+    (*taken)[i] = false;
+  }
+}
+
+std::vector<RgxPtr> Go(const RgxPtr& node) {
+  switch (node->kind()) {
+    case RgxKind::kEpsilon:
+    case RgxKind::kChars:
+      return {node};
+    case RgxKind::kVar: {
+      std::vector<RgxPtr> out;
+      for (const RgxPtr& alt : Go(node->child(0))) {
+        if (RgxVars(alt).Contains(node->var())) continue;  // x{..x..}: unsat
+        out.push_back(RgxNode::Var(node->var(), alt));
+      }
+      return out;
+    }
+    case RgxKind::kConcat: {
+      std::vector<RgxPtr> acc = {RgxNode::Epsilon()};
+      for (const RgxPtr& child : node->children()) {
+        std::vector<RgxPtr> child_alts = Go(child);
+        std::vector<RgxPtr> next;
+        for (const RgxPtr& left : acc) {
+          VarSet lvars = RgxVars(left);
+          for (const RgxPtr& right : child_alts) {
+            if (!lvars.DisjointWith(RgxVars(right)))
+              continue;  // same variable on both sides: unsatisfiable
+            next.push_back(RgxNode::Concat(left, right));
+          }
+        }
+        acc = Dedup(std::move(next));
+        if (acc.empty()) return {};
+      }
+      return acc;
+    }
+    case RgxKind::kDisj: {
+      std::vector<RgxPtr> out;
+      for (const RgxPtr& child : node->children()) {
+        std::vector<RgxPtr> alts = Go(child);
+        out.insert(out.end(), alts.begin(), alts.end());
+      }
+      return Dedup(std::move(out));
+    }
+    case RgxKind::kStar: {
+      if (RgxVars(node->child(0)).empty()) return {node};
+      std::vector<RgxPtr> alts = Go(node->child(0));
+      std::vector<RgxPtr> varfree, withvars;
+      for (RgxPtr& alt : alts) {
+        if (RgxVars(alt).empty()) {
+          varfree.push_back(std::move(alt));
+        } else {
+          withvars.push_back(std::move(alt));
+        }
+      }
+      RgxPtr base = varfree.empty()
+                        ? RgxNode::Epsilon()
+                        : RgxNode::Star(RgxNode::Disj(std::move(varfree)));
+      std::vector<RgxPtr> out;
+      std::vector<bool> taken(withvars.size(), false);
+      std::vector<RgxPtr> sequence;
+      StarSelections(withvars, base, &taken, VarSet(), &sequence, &out);
+      return Dedup(std::move(out));
+    }
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+  return {};
+}
+
+}  // namespace
+
+std::vector<RgxPtr> ToFunctionalUnion(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  std::vector<RgxPtr> out = Go(rgx);
+  for (const RgxPtr& r : out) {
+    SPANNERS_DCHECK(IsFunctional(r))
+        << "ToFunctionalUnion produced non-functional disjunct: "
+        << ToPattern(r);
+  }
+  return out;
+}
+
+}  // namespace spanners

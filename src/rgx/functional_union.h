@@ -1,0 +1,27 @@
+// Decomposition of an RGX into an equivalent union of *functional* RGX
+// formulas — the corollary to the paper's Theorem 4.3, and the engine
+// behind Proposition 4.8 (simple rules → unions of functional rules).
+//
+// Works directly on the AST: disjunctions split, concatenations take
+// cross-products of alternatives with disjoint variable sets (overlapping
+// ones are unsatisfiable and dropped), and a Kleene star over a variable-
+// bearing body unrolls into ordered selections of its variable-bearing
+// alternatives interleaved with a star of the variable-free ones. The
+// union can be exponentially larger, as the paper predicts (bench E9/E10).
+#ifndef SPANNERS_RGX_FUNCTIONAL_UNION_H_
+#define SPANNERS_RGX_FUNCTIONAL_UNION_H_
+
+#include <vector>
+
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// Functional RGX formulas whose union is equivalent to `rgx`. The empty
+/// vector means `rgx` is unsatisfiable. spanRGX inputs yield spanRGX
+/// outputs.
+std::vector<RgxPtr> ToFunctionalUnion(const RgxPtr& rgx);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RGX_FUNCTIONAL_UNION_H_

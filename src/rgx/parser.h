@@ -1,0 +1,28 @@
+// Text syntax for RGX formulas.
+//
+//   alt    := cat ('|' cat)*
+//   cat    := factor*                       (empty cat is ε)
+//   factor := atom ('*' | '+' | '?')*
+//   atom   := '(' alt ')' | ident '{' alt '}' | '[' class ']'
+//           | '.'  (any letter, the paper's Σ) | '\e' (ε) | literal
+//
+// An identifier ([A-Za-z_][A-Za-z0-9_]*) immediately followed by '{'
+// denotes a capture variable; otherwise its first character is taken as a
+// letter literal. Escapes: \e \n \t \\ \. \| \* \+ \? \( \) \[ \] \{ \}
+// \- \^ and \xNN. Character classes support ranges and '^' negation.
+#ifndef SPANNERS_RGX_PARSER_H_
+#define SPANNERS_RGX_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// Parses `pattern` into an RGX AST. Errors carry a position and reason.
+Result<RgxPtr> ParseRgx(std::string_view pattern);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RGX_PARSER_H_

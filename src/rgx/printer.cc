@@ -1,0 +1,137 @@
+#include "rgx/printer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+// Binding strength, loosest to tightest.
+enum Level { kAltLevel = 0, kCatLevel = 1, kFactorLevel = 2 };
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void AppendLiteral(std::string* out, char c) {
+  switch (c) {
+    case '\n':
+      *out += "\\n";
+      return;
+    case '\t':
+      *out += "\\t";
+      return;
+    case '\\':
+    case '.':
+    case '|':
+    case '*':
+    case '+':
+    case '?':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+      *out += '\\';
+      *out += c;
+      return;
+    default:
+      break;
+  }
+  unsigned char u = static_cast<unsigned char>(c);
+  if (u < 0x20 || u >= 0x7f) {
+    static const char kHex[] = "0123456789abcdef";
+    *out += "\\x";
+    *out += kHex[u >> 4];
+    *out += kHex[u & 0xf];
+  } else {
+    *out += c;
+  }
+}
+
+void Print(const RgxPtr& node, Level context, std::string* out);
+
+// A variable printed right after an identifier character would be fused
+// with it by the parser's maximal-munch rule; parenthesise in that case.
+void PrintConcatElement(const RgxPtr& node, std::string* out) {
+  if (node->kind() == RgxKind::kVar && !out->empty() &&
+      IsIdentChar(out->back())) {
+    *out += '(';
+    Print(node, kAltLevel, out);
+    *out += ')';
+  } else {
+    Print(node, kCatLevel, out);
+  }
+}
+
+void Print(const RgxPtr& node, Level context, std::string* out) {
+  switch (node->kind()) {
+    case RgxKind::kEpsilon:
+      *out += "\\e";
+      return;
+    case RgxKind::kChars: {
+      const CharSet& cs = node->chars();
+      if (cs.size() == 1) {
+        AppendLiteral(out, cs.AnyMember());
+      } else {
+        *out += cs.ToString();  // "." or "[...]" — parser-compatible
+      }
+      return;
+    }
+    case RgxKind::kVar:
+      *out += Variable::Name(node->var());
+      *out += '{';
+      Print(node->child(0), kAltLevel, out);
+      *out += '}';
+      return;
+    case RgxKind::kStar: {
+      const RgxPtr& body = node->child(0);
+      bool atomic = body->kind() == RgxKind::kEpsilon ||
+                    body->kind() == RgxKind::kChars ||
+                    body->kind() == RgxKind::kVar;
+      if (atomic) {
+        Print(body, kFactorLevel, out);
+      } else {
+        *out += '(';
+        Print(body, kAltLevel, out);
+        *out += ')';
+      }
+      *out += '*';
+      return;
+    }
+    case RgxKind::kConcat: {
+      bool paren = context > kCatLevel;
+      if (paren) *out += '(';
+      for (const RgxPtr& c : node->children()) PrintConcatElement(c, out);
+      if (paren) *out += ')';
+      return;
+    }
+    case RgxKind::kDisj: {
+      bool paren = context > kAltLevel;
+      if (paren) *out += '(';
+      bool first = true;
+      for (const RgxPtr& c : node->children()) {
+        if (!first) *out += '|';
+        first = false;
+        Print(c, kCatLevel, out);
+      }
+      if (paren) *out += ')';
+      return;
+    }
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+}
+
+}  // namespace
+
+std::string ToPattern(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  std::string out;
+  Print(rgx, kAltLevel, &out);
+  return out;
+}
+
+}  // namespace spanners

@@ -1,0 +1,18 @@
+// Pretty-printing of RGX formulas back to the parser's text syntax.
+// Round-trip guarantee: ParseRgx(ToPattern(γ)) is structurally equal to γ
+// up to the factory normalisations.
+#ifndef SPANNERS_RGX_PRINTER_H_
+#define SPANNERS_RGX_PRINTER_H_
+
+#include <string>
+
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// Parser-compatible text form of `rgx`.
+std::string ToPattern(const RgxPtr& rgx);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RGX_PRINTER_H_

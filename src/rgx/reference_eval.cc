@@ -1,0 +1,125 @@
+#include "rgx/reference_eval.h"
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+
+namespace spanners {
+
+namespace {
+
+// {(s1·s2, µ1 ∪ µ2) | span-concatenable, dom(µ1) ∩ dom(µ2) = ∅}.
+// Table 2 requires *disjoint domains*, not mere compatibility: rebinding a
+// variable on both sides of a concatenation yields no output.
+SpanMappingSet ConcatSets(const SpanMappingSet& a, const SpanMappingSet& b) {
+  SpanMappingSet out;
+  for (const SpanMapping& x : a) {
+    for (const SpanMapping& y : b) {
+      if (x.span.end != y.span.begin) continue;
+      if (!x.mapping.Domain().DisjointWith(y.mapping.Domain())) continue;
+      out.insert(SpanMapping{
+          Span(x.span.begin, y.span.end),
+          Mapping::UnionCompatible(x.mapping, y.mapping)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SpanMappingSet LowerEval(const RgxPtr& rgx, const Document& doc) {
+  SPANNERS_CHECK(rgx != nullptr);
+  const Pos n = doc.length();
+  SpanMappingSet out;
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon: {
+      // [ε]_d = {(s, ∅) | d(s) = ε}.
+      for (Pos i = 1; i <= n + 1; ++i)
+        out.insert(SpanMapping{Span(i, i), Mapping::Empty()});
+      return out;
+    }
+    case RgxKind::kChars: {
+      // [a]_d = {(s, ∅) | d(s) = a}, generalised to a class of letters.
+      for (Pos i = 1; i <= n; ++i)
+        if (rgx->chars().Contains(doc.at(i)))
+          out.insert(SpanMapping{Span(i, i + 1), Mapping::Empty()});
+      return out;
+    }
+    case RgxKind::kVar: {
+      // [x{R}]_d = {(s, [x→s] ∪ µ') | (s, µ') ∈ [R]_d, x ∉ dom(µ')}.
+      SpanMappingSet inner = LowerEval(rgx->child(0), doc);
+      for (const SpanMapping& sm : inner) {
+        if (sm.mapping.Defines(rgx->var())) continue;
+        Mapping m = sm.mapping;
+        m.Set(rgx->var(), sm.span);
+        out.insert(SpanMapping{sm.span, std::move(m)});
+      }
+      return out;
+    }
+    case RgxKind::kConcat: {
+      out = LowerEval(rgx->child(0), doc);
+      for (size_t i = 1; i < rgx->children().size(); ++i)
+        out = ConcatSets(out, LowerEval(rgx->child(i), doc));
+      return out;
+    }
+    case RgxKind::kDisj: {
+      for (const RgxPtr& c : rgx->children()) {
+        SpanMappingSet part = LowerEval(c, doc);
+        out.insert(part.begin(), part.end());
+      }
+      return out;
+    }
+    case RgxKind::kStar: {
+      // [R*]_d = [ε]_d ∪ [R]_d ∪ [R²]_d ∪ ... — computed as a fixpoint,
+      // which terminates because spans and domains are drawn from finite
+      // universes.
+      SpanMappingSet body = LowerEval(rgx->child(0), doc);
+      out = LowerEval(RgxNode::Epsilon(), doc);
+      SpanMappingSet frontier = out;
+      while (!frontier.empty()) {
+        SpanMappingSet next = ConcatSets(frontier, body);
+        frontier.clear();
+        for (const SpanMapping& sm : next)
+          if (out.insert(sm).second) frontier.insert(sm);
+      }
+      return out;
+    }
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+  return out;
+}
+
+MappingSet ReferenceEval(const RgxPtr& rgx, const Document& doc) {
+  SpanMappingSet lower = LowerEval(rgx, doc);
+  MappingSet out;
+  const Span whole = doc.Whole();
+  for (const SpanMapping& sm : lower)
+    if (sm.span == whole) out.Insert(sm.mapping);
+  return out;
+}
+
+MappingSet AllTotalMappings(const VarSet& vars, const Document& doc) {
+  MappingSet out;
+  std::vector<Span> spans = doc.AllSpans();
+  std::vector<Mapping> partial = {Mapping::Empty()};
+  for (VarId v : vars) {
+    std::vector<Mapping> next;
+    next.reserve(partial.size() * spans.size());
+    for (const Mapping& m : partial) {
+      for (const Span& s : spans) {
+        Mapping ext = m;
+        ext.Set(v, s);
+        next.push_back(std::move(ext));
+      }
+    }
+    partial = std::move(next);
+  }
+  for (Mapping& m : partial) out.Insert(std::move(m));
+  return out;
+}
+
+MappingSet ReferenceEvalWithTotals(const RgxPtr& rgx, const Document& doc) {
+  MappingSet totals = AllTotalMappings(RgxVars(rgx), doc);
+  return MappingSet::Join(totals, ReferenceEval(rgx, doc));
+}
+
+}  // namespace spanners

@@ -1,0 +1,56 @@
+// Literal implementation of the paper's Table 2: the two-layer denotational
+// semantics of RGX. [γ]_d is a set of (span, mapping) pairs; ⟦γ⟧_d keeps
+// the mappings whose span is the whole document.
+//
+// This evaluator is the library's ground truth. It is deliberately naive
+// (worst-case exponential) and intended for small documents in tests and
+// for validating the efficient automata-based evaluators.
+#ifndef SPANNERS_RGX_REFERENCE_EVAL_H_
+#define SPANNERS_RGX_REFERENCE_EVAL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/document.h"
+#include "core/mapping.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// One element of [γ]_d.
+struct SpanMapping {
+  Span span;
+  Mapping mapping;
+
+  bool operator==(const SpanMapping& o) const {
+    return span == o.span && mapping == o.mapping;
+  }
+};
+
+struct SpanMappingHash {
+  size_t operator()(const SpanMapping& sm) const {
+    size_t h = sm.mapping.Hash();
+    h ^= (static_cast<size_t>(sm.span.begin) << 32) ^ sm.span.end;
+    return h;
+  }
+};
+
+using SpanMappingSet =
+    std::unordered_set<SpanMapping, SpanMappingHash>;
+
+/// The lower layer [γ]_d of Table 2.
+SpanMappingSet LowerEval(const RgxPtr& rgx, const Document& doc);
+
+/// The upper layer ⟦γ⟧_d of Table 2: mappings matched to the whole document.
+MappingSet ReferenceEval(const RgxPtr& rgx, const Document& doc);
+
+/// All total functions var → span(doc), the set M of Theorem 4.2.
+MappingSet AllTotalMappings(const VarSet& vars, const Document& doc);
+
+/// ⟦γ⟧'_d = M ⋈ ⟦γ⟧_d: the relation-based semantics of span regular
+/// expressions from [Arenas et al. 2016] recovered per Theorem 4.2.
+MappingSet ReferenceEvalWithTotals(const RgxPtr& rgx, const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RGX_REFERENCE_EVAL_H_

@@ -1,0 +1,118 @@
+#include "rgx/simplify.h"
+
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+#include "rgx/printer.h"
+
+namespace spanners {
+
+namespace {
+
+bool IsEmptyClass(const RgxPtr& r) {
+  return r->kind() == RgxKind::kChars && r->chars().empty();
+}
+
+bool IsEpsilon(const RgxPtr& r) { return r->kind() == RgxKind::kEpsilon; }
+
+}  // namespace
+
+bool IsStructurallyUnsatisfiable(const RgxPtr& rgx) {
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon:
+      return false;
+    case RgxKind::kChars:
+      return rgx->chars().empty();
+    case RgxKind::kVar:
+      // x{γ'} with x occurring in γ' can never bind; otherwise it is as
+      // satisfiable as its body.
+      if (RgxVars(rgx->child(0)).Contains(rgx->var())) return true;
+      return IsStructurallyUnsatisfiable(rgx->child(0));
+    case RgxKind::kConcat: {
+      // Unsatisfiable factor, or the same variable forced on both sides
+      // of the concatenation on every derivation. The latter needs
+      // per-word reasoning; we use the sound approximation: some variable
+      // appears in the functional-domain (mandatory) part of two factors.
+      for (const RgxPtr& c : rgx->children())
+        if (IsStructurallyUnsatisfiable(c)) return true;
+      std::optional<VarSet> seen = VarSet();
+      for (const RgxPtr& c : rgx->children()) {
+        std::optional<VarSet> dom = FunctionalDomain(c);
+        if (!dom.has_value()) {
+          seen = std::nullopt;  // can no longer track mandatory variables
+          break;
+        }
+        if (!seen.has_value()) break;
+        if (!seen->DisjointWith(*dom)) return true;
+        seen = seen->Union(*dom);
+      }
+      return false;
+    }
+    case RgxKind::kDisj: {
+      for (const RgxPtr& c : rgx->children())
+        if (!IsStructurallyUnsatisfiable(c)) return false;
+      return true;
+    }
+    case RgxKind::kStar:
+      return false;  // matches ε regardless of the body
+  }
+  return false;
+}
+
+RgxPtr SimplifyRgx(const RgxPtr& rgx) {
+  SPANNERS_CHECK(rgx != nullptr);
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon:
+    case RgxKind::kChars:
+      return rgx;
+    case RgxKind::kVar: {
+      RgxPtr body = SimplifyRgx(rgx->child(0));
+      if (IsStructurallyUnsatisfiable(body) ||
+          RgxVars(body).Contains(rgx->var()))
+        return RgxNode::Chars(CharSet::None());
+      return RgxNode::Var(rgx->var(), std::move(body));
+    }
+    case RgxKind::kConcat: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : rgx->children()) {
+        RgxPtr s = SimplifyRgx(c);
+        if (IsEmptyClass(s)) return s;  // ∅ absorbs
+        if (IsEpsilon(s)) continue;     // ε unit
+        parts.push_back(std::move(s));
+      }
+      return RgxNode::Concat(std::move(parts));  // ε when parts empty
+    }
+    case RgxKind::kDisj: {
+      std::vector<RgxPtr> parts;
+      std::set<std::string> seen;
+      CharSet letters;            // single-letter disjuncts merge into one
+      bool have_letters = false;  // class
+      for (const RgxPtr& c : rgx->children()) {
+        RgxPtr s = SimplifyRgx(c);
+        if (IsStructurallyUnsatisfiable(s)) continue;
+        if (s->kind() == RgxKind::kChars) {
+          letters = letters.Union(s->chars());
+          have_letters = true;
+          continue;
+        }
+        if (seen.insert(ToPattern(s)).second) parts.push_back(std::move(s));
+      }
+      if (have_letters && !letters.empty())
+        parts.push_back(RgxNode::Chars(letters));
+      if (parts.empty()) return RgxNode::Chars(CharSet::None());
+      return RgxNode::Disj(std::move(parts));
+    }
+    case RgxKind::kStar: {
+      RgxPtr body = SimplifyRgx(rgx->child(0));
+      if (IsEpsilon(body) || IsEmptyClass(body)) return RgxNode::Epsilon();
+      if (body->kind() == RgxKind::kStar) return body;  // (R*)* = R*
+      return RgxNode::Star(std::move(body));
+    }
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+  return rgx;
+}
+
+}  // namespace spanners

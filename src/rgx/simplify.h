@@ -1,0 +1,29 @@
+// Light algebraic simplification of RGX formulas. Motivated by the
+// state-elimination output (Theorem 4.3), which is correct but noisy:
+// ε-units in concatenations, unsatisfiable branches, duplicate disjuncts,
+// nested stars. All rewrites preserve the Table-2 semantics exactly
+// (property-tested against ReferenceEval).
+#ifndef SPANNERS_RGX_SIMPLIFY_H_
+#define SPANNERS_RGX_SIMPLIFY_H_
+
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// True if ⟦γ⟧_d = ∅ for every document d *because of the regex shape*
+/// (contains an empty character class on every alternative, or re-binds a
+/// variable unavoidably). Sound, not complete.
+bool IsStructurallyUnsatisfiable(const RgxPtr& rgx);
+
+/// Simplified formula with identical semantics:
+///  * ε units dropped from concatenations; unsatisfiable factors
+///    propagate (∅ · R = ∅);
+///  * unsatisfiable disjuncts dropped, duplicates (structurally equal)
+///    merged;
+///  * (R*)* = R*, ε* = ε, ∅* = ε;
+///  * single-letter classes kept, empty classes normalised to one ∅ node.
+RgxPtr SimplifyRgx(const RgxPtr& rgx);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RGX_SIMPLIFY_H_

@@ -1,0 +1,175 @@
+#include "rules/convert.h"
+
+#include <functional>
+#include <map>
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+#include "rgx/functional_union.h"
+#include "rules/cycle_elim.h"
+#include "rules/graph.h"
+
+namespace spanners {
+
+namespace {
+
+// Cross product of per-conjunct alternatives (Prop 4.8 second step).
+void CrossProduct(const std::vector<std::vector<RgxPtr>>& alts,
+                  const std::vector<VarId>& heads, size_t i,
+                  std::vector<RuleConstraint>* acc, const RgxPtr& body,
+                  std::vector<ExtractionRule>* out) {
+  if (i == alts.size()) {
+    out->emplace_back(body, *acc);
+    return;
+  }
+  for (const RgxPtr& alt : alts[i]) {
+    acc->push_back({heads[i - 1], alt});
+    CrossProduct(alts, heads, i + 1, acc, body, out);
+    acc->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<FunctionalDagRules> ToFunctionalDagRules(const ExtractionRule& rule) {
+  if (!rule.IsSimple())
+    return Status::InvalidArgument(
+        "ToFunctionalDagRules requires a simple rule");
+
+  // Decompose each formula into its functional alternatives.
+  std::vector<std::vector<RgxPtr>> alts;
+  std::vector<VarId> heads;
+  alts.push_back(ToFunctionalUnion(rule.body()));
+  if (alts[0].empty()) return FunctionalDagRules{};  // body unsatisfiable
+  for (const RuleConstraint& c : rule.constraints()) {
+    std::vector<RgxPtr> a = ToFunctionalUnion(c.formula);
+    // A constraint with no satisfiable alternative can never be met when
+    // instantiated; keep an unsatisfiable stand-in so instantiating
+    // members are pruned but non-instantiating ones survive.
+    if (a.empty()) a.push_back(RgxNode::Chars(CharSet::None()));
+    heads.push_back(c.var);
+    alts.push_back(std::move(a));
+  }
+
+  std::vector<ExtractionRule> members;
+  for (const RgxPtr& body_alt : alts[0]) {
+    std::vector<RuleConstraint> acc;
+    CrossProduct(alts, heads, 1, &acc, body_alt, &members);
+  }
+
+  // Cycle-eliminate each member (Theorem 4.7); drop unsatisfiable ones.
+  FunctionalDagRules out;
+  for (const ExtractionRule& member : members) {
+    SPANNERS_ASSIGN_OR_RETURN(CycleElimResult elim, EliminateCycles(member));
+    RuleGraph g(elim.rule);
+    SPANNERS_DCHECK(g.IsDagLike());
+    // Canonical unsatisfiable rules have an unmatchable body.
+    if (elim.rule.body()->kind() == RgxKind::kChars &&
+        elim.rule.body()->chars().empty())
+      continue;
+    out.aux_vars = out.aux_vars.Union(elim.aux_vars);
+    out.rules.push_back(std::move(elim.rule));
+  }
+  return out;
+}
+
+Result<RgxPtr> TreeRuleToRgx(const ExtractionRule& rule) {
+  if (!rule.IsSimple())
+    return Status::InvalidArgument("TreeRuleToRgx requires a simple rule");
+  RuleGraph g(rule);
+  if (!g.IsTreeLike())
+    return Status::NotSupported(
+        "TreeRuleToRgx requires a tree-like rule graph");
+
+  std::map<VarId, RgxPtr> formulas;
+  for (const RuleConstraint& c : rule.constraints())
+    formulas[c.var] = c.formula;
+
+  // γx = ϕx with every variable occurrence y replaced by y{γy}.
+  // Tree-ness guarantees termination; repeated occurrences duplicate the
+  // (already converted) subformula — the exponential growth the paper
+  // notes for Lemma B.1.
+  std::function<RgxPtr(const RgxPtr&)> convert =
+      [&](const RgxPtr& node) -> RgxPtr {
+    switch (node->kind()) {
+      case RgxKind::kEpsilon:
+      case RgxKind::kChars:
+        return node;
+      case RgxKind::kVar: {
+        auto it = formulas.find(node->var());
+        RgxPtr inner = it != formulas.end() ? convert(it->second)
+                                            : RgxNode::AnyStar();
+        return RgxNode::Var(node->var(), std::move(inner));
+      }
+      case RgxKind::kConcat: {
+        std::vector<RgxPtr> parts;
+        for (const RgxPtr& c : node->children()) parts.push_back(convert(c));
+        return RgxNode::Concat(std::move(parts));
+      }
+      case RgxKind::kDisj: {
+        std::vector<RgxPtr> parts;
+        for (const RgxPtr& c : node->children()) parts.push_back(convert(c));
+        return RgxNode::Disj(std::move(parts));
+      }
+      case RgxKind::kStar:
+        return RgxNode::Star(convert(node->child(0)));
+    }
+    SPANNERS_CHECK(false) << "unhandled RgxKind";
+    return node;
+  };
+  return convert(rule.body());
+}
+
+namespace {
+
+// Top-level strip: variables directly under this node become spanRGX
+// variables whose bodies turn into constraints (recursively).
+RgxPtr StripTopLevel(const RgxPtr& node,
+                     std::vector<RuleConstraint>* constraints) {
+  switch (node->kind()) {
+    case RgxKind::kVar: {
+      std::vector<RuleConstraint> inner_constraints;
+      RgxPtr inner = StripTopLevel(node->child(0), &inner_constraints);
+      bool trivial = inner->kind() == RgxKind::kStar &&
+                     inner->child(0)->kind() == RgxKind::kChars &&
+                     inner->child(0)->chars() == CharSet::Any();
+      if (!trivial || !inner_constraints.empty())
+        constraints->push_back({node->var(), inner});
+      for (RuleConstraint& c : inner_constraints)
+        constraints->push_back(std::move(c));
+      return RgxNode::SpanVar(node->var());
+    }
+    case RgxKind::kConcat: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : node->children())
+        parts.push_back(StripTopLevel(c, constraints));
+      return RgxNode::Concat(std::move(parts));
+    }
+    case RgxKind::kDisj: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : node->children())
+        parts.push_back(StripTopLevel(c, constraints));
+      return RgxNode::Disj(std::move(parts));
+    }
+    default:
+      return node;  // ε, chars, var-free star
+  }
+}
+
+}  // namespace
+
+std::vector<ExtractionRule> RgxToTreeRules(const RgxPtr& rgx) {
+  std::vector<ExtractionRule> out;
+  for (const RgxPtr& alt : ToFunctionalUnion(rgx)) {
+    std::vector<RuleConstraint> constraints;
+    RgxPtr body = StripTopLevel(alt, &constraints);
+    ExtractionRule rule(std::move(body), std::move(constraints));
+    SPANNERS_DCHECK(RuleGraph(rule).IsTreeLike() ||
+                    rule.constraints().empty())
+        << "RgxToTreeRules produced a non-tree rule: " << rule.ToString();
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace spanners

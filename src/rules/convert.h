@@ -1,0 +1,45 @@
+// Conversions connecting extraction rules with RGX (paper §4.3):
+//
+//  * Proposition 4.8 — every simple rule is equivalent to a union of
+//    functional dag-like rules (functional decomposition per formula,
+//    cross product, then cycle elimination on each member).
+//  * Lemma B.1 — every tree-like rule is equivalent to an RGX, by
+//    recursively nesting constraint formulas into their variables.
+//  * Theorem 4.10 (⇐ via Lemma B.2) — every RGX is equivalent to a union
+//    of simple tree-like rules, via the functional (path-RGX) union.
+//
+// Scope note (DESIGN.md): the dag-like → tree-like step of Proposition
+// 4.9 is implemented for rules whose graph is already a tree after
+// normalisation; genuinely dag-shaped inputs yield NotSupported. The
+// RGX ≡ rules equivalence is exercised end-to-end through the
+// RGX → tree-rules → RGX round trip.
+#ifndef SPANNERS_RULES_CONVERT_H_
+#define SPANNERS_RULES_CONVERT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rules/rule.h"
+
+namespace spanners {
+
+struct FunctionalDagRules {
+  std::vector<ExtractionRule> rules;
+  VarSet aux_vars;  // auxiliaries introduced by cycle elimination
+};
+
+/// Proposition 4.8. Precondition: `rule` is simple (InvalidArgument
+/// otherwise). Unsatisfiable members are dropped.
+Result<FunctionalDagRules> ToFunctionalDagRules(const ExtractionRule& rule);
+
+/// Lemma B.1. Precondition: the rule graph is a tree rooted at doc
+/// (after adding default x.Σ* constraints); NotSupported otherwise.
+Result<RgxPtr> TreeRuleToRgx(const ExtractionRule& rule);
+
+/// Theorem 4.10 (⇐): tree-like simple rules whose union is equivalent
+/// to `rgx`. Empty vector means `rgx` is unsatisfiable.
+std::vector<ExtractionRule> RgxToTreeRules(const RgxPtr& rgx);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RULES_CONVERT_H_

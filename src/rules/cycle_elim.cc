@@ -1,0 +1,270 @@
+#include "rules/cycle_elim.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+#include "rules/graph.h"
+
+namespace spanners {
+
+RgxPtr Nu(const RgxPtr& rgx) {
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon:
+      return RgxNode::Epsilon();
+    case RgxKind::kChars:
+      return nullptr;  // a letter can never spell a variable-only word
+    case RgxKind::kVar:
+      return rgx;  // ν(x) = x (spanRGX variable)
+    case RgxKind::kConcat: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : rgx->children()) {
+        RgxPtr nu = Nu(c);
+        if (nu == nullptr) return nullptr;  // H · α = H
+        parts.push_back(std::move(nu));
+      }
+      return RgxNode::Concat(std::move(parts));
+    }
+    case RgxKind::kDisj: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : rgx->children()) {
+        RgxPtr nu = Nu(c);
+        if (nu != nullptr) parts.push_back(std::move(nu));  // H ∨ α = α
+      }
+      if (parts.empty()) return nullptr;
+      return RgxNode::Disj(std::move(parts));
+    }
+    case RgxKind::kStar:
+      return RgxNode::Epsilon();  // ν(ϕ*) = ε
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+  return nullptr;
+}
+
+namespace {
+
+// Replaces every occurrence of a variable in `targets` by `replacement`
+// (or by ε when replacement == nullptr).
+RgxPtr ReplaceVars(const RgxPtr& rgx, const VarSet& targets,
+                   const RgxPtr& replacement) {
+  switch (rgx->kind()) {
+    case RgxKind::kEpsilon:
+    case RgxKind::kChars:
+      return rgx;
+    case RgxKind::kVar:
+      if (targets.Contains(rgx->var()))
+        return replacement != nullptr ? replacement : RgxNode::Epsilon();
+      return RgxNode::Var(rgx->var(),
+                          ReplaceVars(rgx->child(0), targets, replacement));
+    case RgxKind::kConcat: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : rgx->children())
+        parts.push_back(ReplaceVars(c, targets, replacement));
+      return RgxNode::Concat(std::move(parts));
+    }
+    case RgxKind::kDisj: {
+      std::vector<RgxPtr> parts;
+      for (const RgxPtr& c : rgx->children())
+        parts.push_back(ReplaceVars(c, targets, replacement));
+      return RgxNode::Disj(std::move(parts));
+    }
+    case RgxKind::kStar:
+      return RgxNode::Star(ReplaceVars(rgx->child(0), targets, replacement));
+  }
+  SPANNERS_CHECK(false) << "unhandled RgxKind";
+  return rgx;
+}
+
+// A canonical unsatisfiable dag-like rule over no variables: the body can
+// match no document (empty character class).
+ExtractionRule UnsatisfiableRule() {
+  return ExtractionRule(RgxNode::Chars(CharSet::None()), {});
+}
+
+// Fresh auxiliary variable names (interned; suffixed to avoid collisions).
+VarId FreshAux(int* counter) {
+  return Variable::Intern("__aux" + std::to_string((*counter)++));
+}
+
+}  // namespace
+
+Result<CycleElimResult> EliminateCycles(const ExtractionRule& rule_in) {
+  if (!rule_in.IsSimple())
+    return Status::InvalidArgument("EliminateCycles requires a simple rule");
+  if (!rule_in.IsFunctional())
+    return Status::InvalidArgument(
+        "EliminateCycles requires a functional rule");
+
+  // Normalise 1: under the mapping semantics of Table 2, an occurrence of
+  // x inside its own constraint formula can never bind ([x{..x..}] = ∅),
+  // so such branches are dead: replace self-occurrences by an unmatchable
+  // class. This also removes self-loops from Gϕ.
+  std::vector<RuleConstraint> desloped;
+  for (const RuleConstraint& c : rule_in.constraints()) {
+    desloped.push_back(
+        {c.var, ReplaceVars(c.formula, VarSet({c.var}),
+                            RgxNode::Chars(CharSet::None()))});
+  }
+  ExtractionRule rule_nsl(rule_in.body(), std::move(desloped));
+
+  // Normalise 2: give every variable a constraint (x.Σ* when missing) and
+  // drop constraints of variables never instantiated (unreachable from
+  // doc in Gϕ — their conjuncts are vacuous).
+  RuleGraph g0(rule_nsl);
+  VarSet reachable = g0.ReachableFromDoc();
+  std::map<VarId, RgxPtr> formulas;
+  for (VarId x : reachable) formulas[x] = RgxNode::AnyStar();
+  for (const RuleConstraint& c : rule_nsl.constraints())
+    if (reachable.Contains(c.var)) formulas[c.var] = c.formula;
+  RgxPtr body = rule_nsl.body();
+
+  // Colouring on the *original* formulas: black = every match contains a
+  // letter (ν = H); red = black or can reach black.
+  std::set<VarId> black;
+  for (const auto& [x, f] : formulas)
+    if (Nu(f) == nullptr) black.insert(x);
+  // red via reverse reachability over the var graph.
+  std::map<VarId, VarSet> succs;
+  for (const auto& [x, f] : formulas)
+    succs[x] = RgxVars(f).Intersect(reachable);
+  std::set<VarId> red(black);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [x, s] : succs) {
+      if (red.count(x) > 0) continue;
+      for (VarId y : s) {
+        if (red.count(y) > 0) {
+          red.insert(x);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Rebuild a working rule over the reachable constraints for SCC work.
+  std::vector<RuleConstraint> work;
+  for (const auto& [x, f] : formulas) work.push_back({x, f});
+  ExtractionRule working(body, work);
+  RuleGraph g(working);
+
+  // Variables reachable from some cycle must take ε content; they get the
+  // ν-rewritten constraints (the paper's "mark as type (3)").
+  std::set<VarId> marked;
+  int aux_counter = 0;
+  VarSet aux_vars;
+
+  for (const std::vector<size_t>& scc : g.SccsTopological()) {
+    if (!g.SccHasCycle(scc)) continue;
+    std::vector<VarId> members;
+    for (size_t node : scc) {
+      SPANNERS_CHECK(node != 0) << "doc node cannot lie on a cycle";
+      members.push_back(g.VarOf(node));
+    }
+    VarSet member_set{std::vector<VarId>(members.begin(), members.end())};
+    // Red cycle: unsatisfiable (a strictly-contained or letter-bearing
+    // content requirement contradicts equality along the cycle).
+    for (VarId m : members) {
+      if (red.count(m) > 0)
+        return CycleElimResult{UnsatisfiableRule(), VarSet()};
+    }
+
+    bool force_eps = g.SccIsSimpleCycle(scc) == false;
+    for (VarId m : members)
+      if (marked.count(m) > 0) force_eps = true;
+
+    // Order members along the cycle: follow within-SCC edges from an
+    // arbitrary start (for simple cycles this is the unique ordering; for
+    // chordal ones any order works since everything collapses to ε).
+    std::vector<VarId> ordered;
+    {
+      std::set<VarId> left(members.begin(), members.end());
+      VarId cur = members[0];
+      while (true) {
+        ordered.push_back(cur);
+        left.erase(cur);
+        if (left.empty()) break;
+        VarId next = cur;
+        for (VarId y : RgxVars(formulas[cur])) {
+          if (left.count(y) > 0) {
+            next = y;
+            break;
+          }
+        }
+        if (next == cur) {
+          // Not a path order (chordal); take any remaining member.
+          next = *left.begin();
+        }
+        cur = next;
+      }
+    }
+
+    VarId u = FreshAux(&aux_counter);
+    aux_vars.Insert(u);
+    if (!force_eps) {
+      // Type (2) — simple green cycle y1 → ... → yk → y1: all members are
+      // assigned one common span. Chain them: u.y1; yj.ν(ϕyj); break the
+      // back edge by replacing y1 with Σ* in yk's ν-formula.
+      formulas[u] = RgxNode::SpanVar(ordered[0]);
+      for (size_t j = 0; j + 1 < ordered.size(); ++j) {
+        RgxPtr nu = Nu(formulas[ordered[j]]);
+        SPANNERS_CHECK(nu != nullptr) << "green member must have ν ≠ H";
+        formulas[ordered[j]] = nu;
+      }
+      VarId yk = ordered.back();
+      RgxPtr nu = Nu(formulas[yk]);
+      SPANNERS_CHECK(nu != nullptr);
+      formulas[yk] =
+          ReplaceVars(nu, VarSet({ordered[0]}), RgxNode::AnyStar());
+    } else {
+      // Type (3) — chordal or downstream-of-a-cycle: all members take ε.
+      // u.(y1 · y2 · ... · yk); member formulas lose letters and their
+      // within-SCC references.
+      std::vector<RgxPtr> chain;
+      for (VarId m : ordered) chain.push_back(RgxNode::SpanVar(m));
+      formulas[u] = RgxNode::Concat(std::move(chain));
+      for (VarId m : ordered) {
+        RgxPtr nu = Nu(formulas[m]);
+        SPANNERS_CHECK(nu != nullptr);
+        formulas[m] = ReplaceVars(nu, member_set, nullptr);  // members → ε
+      }
+    }
+
+    // Redirect external references to cycle members: formulas of nodes
+    // outside the SCC now mention u instead (all members share u's span,
+    // or sit at u's position in the ε case).
+    RgxPtr u_var = RgxNode::SpanVar(u);
+    body = ReplaceVars(body, member_set, u_var);
+    for (auto& [x, f] : formulas) {
+      if (member_set.Contains(x) || x == u) continue;
+      f = ReplaceVars(f, member_set, u_var);
+    }
+
+    // Everything reachable from the cycle is forced to ε content.
+    for (size_t node : scc) {
+      for (VarId y : g.ReachableFrom(node)) {
+        if (!member_set.Contains(y)) marked.insert(y);
+      }
+    }
+  }
+
+  // Marked variables get their ν-rewritten formulas (ε content).
+  for (VarId m : marked) {
+    auto it = formulas.find(m);
+    if (it == formulas.end()) continue;  // aux or already handled
+    if (aux_vars.Contains(m)) continue;
+    RgxPtr nu = Nu(it->second);
+    if (nu == nullptr)
+      return CycleElimResult{UnsatisfiableRule(), VarSet()};
+    it->second = nu;
+  }
+
+  std::vector<RuleConstraint> out;
+  for (const auto& [x, f] : formulas) out.push_back({x, f});
+  return CycleElimResult{ExtractionRule(body, std::move(out)), aux_vars};
+}
+
+}  // namespace spanners

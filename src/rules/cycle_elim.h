@@ -1,0 +1,33 @@
+// Cycle elimination for simple functional rules (paper Theorem 4.7):
+// every simple rule whose formulas are functional spanRGX converts, in
+// polynomial time, into an equivalent dag-like rule. The construction
+// introduces auxiliary variables (as in the paper's example
+// x.y ∧ y.z ∧ z.ux ⇒ w.x ∧ x.y ∧ y.z ∧ z.u·Σ* ∧ u.ε); equivalence is
+// therefore modulo projecting the auxiliaries away, which callers do with
+// the returned aux set.
+#ifndef SPANNERS_RULES_CYCLE_ELIM_H_
+#define SPANNERS_RULES_CYCLE_ELIM_H_
+
+#include "common/status.h"
+#include "rules/rule.h"
+
+namespace spanners {
+
+/// The paper's ν function: νγ keeps exactly the matches of γ that spell a
+/// word of variables only (no alphabet letters). Returns nullptr for H
+/// (no such match — the "black" colour in the Theorem 4.7 proof).
+RgxPtr Nu(const RgxPtr& rgx);
+
+struct CycleElimResult {
+  ExtractionRule rule;
+  VarSet aux_vars;  // fresh variables; project away for equivalence
+};
+
+/// Theorem 4.7. Preconditions: `rule` is simple and functional (checked;
+/// InvalidArgument otherwise). When the cycle analysis proves the rule
+/// unsatisfiable, returns a canonical unsatisfiable dag-like rule.
+Result<CycleElimResult> EliminateCycles(const ExtractionRule& rule);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RULES_CYCLE_ELIM_H_

@@ -1,0 +1,137 @@
+#include "rules/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+
+namespace spanners {
+
+RuleGraph::RuleGraph(const ExtractionRule& rule) {
+  vars_ = rule.AllVars().ids();
+  adj_.resize(vars_.size() + 1);
+
+  auto add_edges = [this](size_t from, const RgxPtr& formula) {
+    for (VarId y : RgxVars(formula)) adj_[from].push_back(NodeOf(y));
+  };
+  add_edges(0, rule.body());
+  for (const RuleConstraint& c : rule.constraints())
+    add_edges(NodeOf(c.var), c.formula);
+}
+
+size_t RuleGraph::NodeOf(VarId x) const {
+  auto it = std::lower_bound(vars_.begin(), vars_.end(), x);
+  SPANNERS_CHECK(it != vars_.end() && *it == x)
+      << "variable not in rule graph";
+  return static_cast<size_t>(it - vars_.begin()) + 1;
+}
+
+bool RuleGraph::IsDagLike() const {
+  for (const auto& scc : SccsTopological())
+    if (SccHasCycle(scc)) return false;
+  return true;
+}
+
+bool RuleGraph::IsTreeLike() const {
+  if (!IsDagLike()) return false;
+  std::vector<int> indegree(size(), 0);
+  for (size_t u = 0; u < size(); ++u) {
+    // Count distinct edges; a variable occurring twice in one formula
+    // still contributes a single edge (u, v), but two different parents
+    // break tree-ness.
+    std::set<size_t> succs(adj_[u].begin(), adj_[u].end());
+    for (size_t v : succs) ++indegree[v];
+  }
+  if (indegree[0] != 0) return false;
+  // Every variable node: exactly one parent and reachable from doc.
+  VarSet reachable = ReachableFromDoc();
+  for (size_t v = 1; v < size(); ++v) {
+    if (indegree[v] != 1) return false;
+    if (!reachable.Contains(VarOf(v))) return false;
+  }
+  return true;
+}
+
+VarSet RuleGraph::ReachableFromDoc() const { return ReachableFrom(0); }
+
+VarSet RuleGraph::ReachableFrom(size_t node) const {
+  std::vector<bool> seen(size(), false);
+  std::deque<size_t> queue = {node};
+  VarSet out;
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (size_t v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        if (v != 0) out.Insert(VarOf(v));
+        queue.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<size_t>> RuleGraph::SccsTopological() const {
+  // Tarjan's algorithm; SCCs come out in reverse topological order.
+  const size_t n = size();
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> sccs;
+  int counter = 0;
+
+  std::function<void(size_t)> strongconnect = [&](size_t v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t w : adj_[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<size_t> scc;
+      size_t w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+      } while (w != v);
+      sccs.push_back(std::move(scc));
+    }
+  };
+  for (size_t v = 0; v < n; ++v)
+    if (index[v] < 0) strongconnect(v);
+  std::reverse(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+bool RuleGraph::SccHasCycle(const std::vector<size_t>& scc) const {
+  if (scc.size() > 1) return true;
+  size_t v = scc[0];
+  return std::find(adj_[v].begin(), adj_[v].end(), v) != adj_[v].end();
+}
+
+bool RuleGraph::SccIsSimpleCycle(const std::vector<size_t>& scc) const {
+  if (!SccHasCycle(scc)) return false;
+  std::set<size_t> members(scc.begin(), scc.end());
+  for (size_t v : scc) {
+    int within = 0;
+    std::set<size_t> seen;
+    for (size_t w : adj_[v]) {
+      if (members.count(w) > 0 && seen.insert(w).second) ++within;
+    }
+    if (within != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace spanners

@@ -1,0 +1,62 @@
+// The graph Gϕ of an extraction rule (paper §4.3): a node per variable
+// plus a special doc node; edge (x, y) when y occurs in x's formula, and
+// (doc, x) when x occurs in ϕ0. Supplies the dag-like / tree-like checks
+// and Tarjan SCCs for cycle elimination (Theorem 4.7, paper's [26]).
+#ifndef SPANNERS_RULES_GRAPH_H_
+#define SPANNERS_RULES_GRAPH_H_
+
+#include <vector>
+
+#include "core/variable.h"
+#include "rules/rule.h"
+
+namespace spanners {
+
+/// Gϕ with the doc node at index 0 and variables at 1..n.
+class RuleGraph {
+ public:
+  explicit RuleGraph(const ExtractionRule& rule);
+
+  /// Node count including doc.
+  size_t size() const { return adj_.size(); }
+  /// The variable of node index i >= 1.
+  VarId VarOf(size_t node) const { return vars_[node - 1]; }
+  /// Node index of variable x (0 if absent — the doc index — never a var).
+  size_t NodeOf(VarId x) const;
+
+  const std::vector<size_t>& SuccessorsOf(size_t node) const {
+    return adj_[node];
+  }
+
+  /// Gϕ has no directed cycle among variables.
+  bool IsDagLike() const;
+  /// Gϕ is a tree rooted at doc: every variable node has exactly one
+  /// incoming edge and is reachable from doc, and there are no cycles.
+  bool IsTreeLike() const;
+
+  /// Variables reachable from doc (instantiable variables).
+  VarSet ReachableFromDoc() const;
+  /// Variables reachable from the given node (excluding the node itself
+  /// unless it lies on a cycle through itself).
+  VarSet ReachableFrom(size_t node) const;
+
+  /// Tarjan SCCs in topological order (sources first). Each SCC is a list
+  /// of node indexes.
+  std::vector<std::vector<size_t>> SccsTopological() const;
+
+  /// True if the SCC (given as node indexes) contains a cycle: more than
+  /// one node, or a single node with a self-loop.
+  bool SccHasCycle(const std::vector<size_t>& scc) const;
+
+  /// True if the SCC is a *simple* cycle: every member has exactly one
+  /// within-SCC successor (counting multiplicity one).
+  bool SccIsSimpleCycle(const std::vector<size_t>& scc) const;
+
+ private:
+  std::vector<VarId> vars_;                // sorted
+  std::vector<std::vector<size_t>> adj_;   // 0 = doc
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RULES_GRAPH_H_

@@ -1,0 +1,127 @@
+#include "rules/rule.h"
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+#include "rgx/printer.h"
+
+namespace spanners {
+
+ExtractionRule::ExtractionRule(RgxPtr body,
+                               std::vector<RuleConstraint> constraints)
+    : body_(std::move(body)), constraints_(std::move(constraints)) {
+  SPANNERS_CHECK(body_ != nullptr);
+  for (const RuleConstraint& c : constraints_)
+    SPANNERS_CHECK(c.formula != nullptr);
+}
+
+Result<ExtractionRule> ExtractionRule::Create(
+    RgxPtr body, std::vector<RuleConstraint> constraints) {
+  if (body == nullptr) return Status::InvalidArgument("rule body is null");
+  if (!IsSpanRgx(body))
+    return Status::InvalidArgument("rule body is not a spanRGX: " +
+                                   ToPattern(body));
+  for (const RuleConstraint& c : constraints) {
+    if (c.formula == nullptr)
+      return Status::InvalidArgument("rule constraint formula is null");
+    if (!IsSpanRgx(c.formula))
+      return Status::InvalidArgument(
+          "constraint for " + Variable::Name(c.var) +
+          " is not a spanRGX: " + ToPattern(c.formula));
+  }
+  return ExtractionRule(std::move(body), std::move(constraints));
+}
+
+Result<ExtractionRule> ExtractionRule::Parse(std::string_view text) {
+  // Split on "&&" at the top level (no escaping needed: '&' is not an RGX
+  // metacharacter, but a literal '&' inside a formula must not be doubled).
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '&' && text[i + 1] == '&') {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 2;
+      ++i;
+    }
+  }
+  parts.push_back(text.substr(start));
+
+  auto trim = [](std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+      s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+      s.remove_suffix(1);
+    return s;
+  };
+
+  if (parts.empty()) return Status::InvalidArgument("empty rule");
+  SPANNERS_ASSIGN_OR_RETURN(RgxPtr body, ParseRgx(trim(parts[0])));
+
+  std::vector<RuleConstraint> constraints;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::string_view part = trim(parts[i]);
+    size_t dot = part.find('.');
+    if (dot == std::string_view::npos || dot == 0)
+      return Status::InvalidArgument(
+          "rule conjunct must look like x.(formula): " + std::string(part));
+    std::string_view name = part.substr(0, dot);
+    SPANNERS_ASSIGN_OR_RETURN(RgxPtr f, ParseRgx(part.substr(dot + 1)));
+    constraints.push_back({Variable::Intern(name), std::move(f)});
+  }
+  return Create(std::move(body), std::move(constraints));
+}
+
+std::optional<RgxPtr> ExtractionRule::ConstraintFor(VarId x) const {
+  for (const RuleConstraint& c : constraints_)
+    if (c.var == x) return c.formula;
+  return std::nullopt;
+}
+
+bool ExtractionRule::IsSimple() const {
+  VarSet heads;
+  for (const RuleConstraint& c : constraints_) {
+    if (heads.Contains(c.var)) return false;
+    heads.Insert(c.var);
+  }
+  return true;
+}
+
+bool ExtractionRule::IsFunctional() const {
+  if (!::spanners::IsFunctional(body_)) return false;
+  for (const RuleConstraint& c : constraints_)
+    if (!::spanners::IsFunctional(c.formula)) return false;
+  return true;
+}
+
+bool ExtractionRule::IsSequential() const {
+  if (!spanners::IsSequential(body_)) return false;
+  for (const RuleConstraint& c : constraints_)
+    if (!spanners::IsSequential(c.formula)) return false;
+  return true;
+}
+
+bool ExtractionRule::IsSpanRgxRule() const {
+  if (!IsSpanRgx(body_)) return false;
+  for (const RuleConstraint& c : constraints_)
+    if (!IsSpanRgx(c.formula)) return false;
+  return true;
+}
+
+VarSet ExtractionRule::AllVars() const {
+  VarSet out = RgxVars(body_);
+  for (const RuleConstraint& c : constraints_) {
+    out.Insert(c.var);
+    out = out.Union(RgxVars(c.formula));
+  }
+  return out;
+}
+
+std::string ExtractionRule::ToString() const {
+  std::string out = ToPattern(body_);
+  for (const RuleConstraint& c : constraints_) {
+    out += " && " + Variable::Name(c.var) + ".(" + ToPattern(c.formula) + ")";
+  }
+  return out;
+}
+
+}  // namespace spanners

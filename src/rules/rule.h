@@ -1,0 +1,66 @@
+// Extraction rules (paper §3.3, from [Arenas et al. 2016]):
+//   ϕ = ϕ0 ∧ x1.ϕ1 ∧ ... ∧ xm.ϕm
+// where every ϕi is a spanRGX. ϕ0 is matched against the whole document;
+// xi.ϕi constrains the span captured by xi. The mapping-based semantics
+// (with instantiated variables) lives in rule_eval.h.
+#ifndef SPANNERS_RULES_RULE_H_
+#define SPANNERS_RULES_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/variable.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// One conjunct x.ϕ of a rule.
+struct RuleConstraint {
+  VarId var;
+  RgxPtr formula;
+};
+
+/// An extraction rule ϕ0 ∧ x1.ϕ1 ∧ … ∧ xm.ϕm.
+class ExtractionRule {
+ public:
+  ExtractionRule(RgxPtr body, std::vector<RuleConstraint> constraints);
+
+  /// Validating constructor: all formulas must be spanRGX.
+  static Result<ExtractionRule> Create(
+      RgxPtr body, std::vector<RuleConstraint> constraints);
+
+  /// Parses "ϕ0 && x.(ϕx) && y.(ϕy)". Formulas use the RGX text syntax;
+  /// spanRGX variables are written explicitly (x{.*}).
+  static Result<ExtractionRule> Parse(std::string_view text);
+
+  const RgxPtr& body() const { return body_; }
+  const std::vector<RuleConstraint>& constraints() const {
+    return constraints_;
+  }
+  std::optional<RgxPtr> ConstraintFor(VarId x) const;
+
+  /// Simple (§4.3): all constraint heads x1..xm pairwise distinct.
+  bool IsSimple() const;
+  /// All formulas (body and constraints) are functional spanRGX.
+  bool IsFunctional() const;
+  /// All formulas are sequential spanRGX.
+  bool IsSequential() const;
+  /// All formulas are spanRGX (enforced by Create/Parse).
+  bool IsSpanRgxRule() const;
+
+  /// Every variable mentioned anywhere (heads and formulas).
+  VarSet AllVars() const;
+
+  /// "ϕ0 && x.(ϕx) && ..." in the parser's syntax.
+  std::string ToString() const;
+
+ private:
+  RgxPtr body_;
+  std::vector<RuleConstraint> constraints_;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RULES_RULE_H_

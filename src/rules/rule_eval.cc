@@ -1,0 +1,120 @@
+#include "rules/rule_eval.h"
+
+#include "common/logging.h"
+#include "rgx/reference_eval.h"
+
+namespace spanners {
+
+MappingSet EvalConstraintFormula(VarId x, const RgxPtr& formula,
+                                 const Document& doc) {
+  MappingSet out;
+  for (const SpanMapping& sm : LowerEval(RgxNode::Var(x, formula), doc))
+    out.Insert(sm.mapping);
+  return out;
+}
+
+VarSet InstantiatedVars(const ExtractionRule& rule, const Mapping& mu0,
+                        const std::vector<Mapping>& mu) {
+  VarSet ivar = mu0.Domain();
+  const auto& cs = rule.constraints();
+  SPANNERS_CHECK(mu.size() == cs.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (!ivar.Contains(cs[i].var)) continue;
+      VarSet dom = mu[i].Domain();
+      if (!dom.SubsetOf(ivar)) {
+        ivar = ivar.Union(dom);
+        changed = true;
+      }
+    }
+  }
+  return ivar;
+}
+
+namespace {
+
+// Recursively chooses µi per constraint (a member of its candidate set or
+// ∅), checking compatibility eagerly and the ivar conditions at the leaf.
+void ChooseTuples(const ExtractionRule& rule, const Document& doc,
+                  const std::vector<std::vector<Mapping>>& candidates,
+                  const Mapping& mu0, size_t i, std::vector<Mapping>* chosen,
+                  std::vector<bool>* is_empty_choice, MappingSet* out) {
+  const auto& cs = rule.constraints();
+  if (i == cs.size()) {
+    VarSet ivar = InstantiatedVars(rule, mu0, *chosen);
+    // Condition (2): xi ∈ ivar ⇒ µi was picked from ⟦xi.ϕi⟧ (not the ∅
+    // stand-in); xi ∉ ivar ⇒ µi = ∅.
+    for (size_t j = 0; j < cs.size(); ++j) {
+      bool instantiated = ivar.Contains(cs[j].var);
+      if (instantiated && (*is_empty_choice)[j]) return;
+      if (!instantiated && !(*is_empty_choice)[j]) return;
+    }
+    Mapping result = mu0;
+    for (const Mapping& m : *chosen) {
+      std::optional<Mapping> u = Mapping::TryUnion(result, m);
+      if (!u.has_value()) return;  // should not happen: checked eagerly
+      result = *std::move(u);
+    }
+    out->Insert(std::move(result));
+    return;
+  }
+  // Option A: xi not instantiated, µi = ∅.
+  chosen->push_back(Mapping::Empty());
+  is_empty_choice->push_back(true);
+  ChooseTuples(rule, doc, candidates, mu0, i + 1, chosen, is_empty_choice,
+               out);
+  chosen->pop_back();
+  is_empty_choice->pop_back();
+  // Option B: pick a member, requiring pairwise compatibility so far.
+  for (const Mapping& m : candidates[i]) {
+    if (!m.CompatibleWith(mu0)) continue;
+    bool ok = true;
+    for (const Mapping& prev : *chosen) {
+      if (!m.CompatibleWith(prev)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    chosen->push_back(m);
+    is_empty_choice->push_back(false);
+    ChooseTuples(rule, doc, candidates, mu0, i + 1, chosen, is_empty_choice,
+                 out);
+    chosen->pop_back();
+    is_empty_choice->pop_back();
+  }
+}
+
+}  // namespace
+
+MappingSet RuleReferenceEval(const ExtractionRule& rule,
+                             const Document& doc) {
+  MappingSet body_mappings = ReferenceEval(rule.body(), doc);
+  std::vector<std::vector<Mapping>> candidates;
+  candidates.reserve(rule.constraints().size());
+  for (const RuleConstraint& c : rule.constraints()) {
+    MappingSet set = EvalConstraintFormula(c.var, c.formula, doc);
+    candidates.emplace_back(set.Sorted());
+  }
+
+  MappingSet out;
+  for (const Mapping& mu0 : body_mappings) {
+    std::vector<Mapping> chosen;
+    std::vector<bool> is_empty_choice;
+    ChooseTuples(rule, doc, candidates, mu0, 0, &chosen, &is_empty_choice,
+                 &out);
+  }
+  return out;
+}
+
+MappingSet UnionRuleEval(const std::vector<ExtractionRule>& rules,
+                         const Document& doc) {
+  MappingSet out;
+  for (const ExtractionRule& r : rules)
+    out = MappingSet::Union(out, RuleReferenceEval(r, doc));
+  return out;
+}
+
+}  // namespace spanners

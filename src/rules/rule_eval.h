@@ -1,0 +1,40 @@
+// Reference semantics of extraction rules (paper §3.3): a tuple of
+// mappings (µ0, µ1, ..., µm) satisfies ϕ when µ0 ∈ ⟦ϕ0⟧_d, every
+// *instantiated* xi has µi ∈ ⟦xi.ϕi⟧_d (non-instantiated ones contribute
+// ∅), and all µi are pairwise compatible; the output is ∪µi.
+//
+// This evaluator enumerates candidate tuples exhaustively — exponential,
+// ground truth for tests. The PTIME algorithm for sequential tree-like
+// rules (Theorem 5.9) lives in tree_eval.h.
+#ifndef SPANNERS_RULES_RULE_EVAL_H_
+#define SPANNERS_RULES_RULE_EVAL_H_
+
+#include <vector>
+
+#include "core/document.h"
+#include "core/mapping.h"
+#include "rules/rule.h"
+
+namespace spanners {
+
+/// ⟦x.R⟧_d = {µ | ∃s. (s, µ) ∈ [x{R}]_d} — the constraint-formula
+/// semantics (the span may sit anywhere in the document).
+MappingSet EvalConstraintFormula(VarId x, const RgxPtr& formula,
+                                 const Document& doc);
+
+/// ivar(ϕ, µ̄): the minimum set containing dom(µ0) and closed under
+/// "xi instantiated ⇒ dom(µi) ⊆ ivar".
+VarSet InstantiatedVars(const ExtractionRule& rule,
+                        const Mapping& mu0,
+                        const std::vector<Mapping>& mu);
+
+/// ⟦ϕ⟧_d by exhaustive tuple enumeration.
+MappingSet RuleReferenceEval(const ExtractionRule& rule, const Document& doc);
+
+/// Union-of-rules semantics (paper §4.3): ⋃_ϕ ⟦ϕ⟧_d.
+MappingSet UnionRuleEval(const std::vector<ExtractionRule>& rules,
+                         const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RULES_RULE_EVAL_H_

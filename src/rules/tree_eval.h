@@ -1,0 +1,36 @@
+// PTIME Eval for sequential tree-like rules (paper Theorem 5.9).
+//
+// Following the paper's proof: the assigned part of the extended mapping
+// is embedded into the document as a label sequence (letters + variable
+// operations, ordered by position and by the nesting the rule tree
+// dictates; clusters of indistinguishable empty-span siblings are handled
+// by trying their few possible orders). Memoised interval goals
+// (variable, label interval) are then decided by NFA simulation, where a
+// child variable's bracket either jumps over its pinned operations
+// (assigned child) or guesses an extent (unconstrained child).
+#ifndef SPANNERS_RULES_TREE_EVAL_H_
+#define SPANNERS_RULES_TREE_EVAL_H_
+
+#include "common/status.h"
+#include "core/document.h"
+#include "core/mapping.h"
+#include "rules/rule.h"
+
+namespace spanners {
+
+/// Checks the Theorem 5.9 preconditions: simple, sequential, spanRGX
+/// formulas, tree-like graph.
+Status ValidateTreeRule(const ExtractionRule& rule);
+
+/// Eval of a sequential tree-like rule: does some µ' ∈ ⟦rule⟧_doc extend
+/// `mu`? Precondition: ValidateTreeRule(rule).ok().
+bool EvalTreeRule(const ExtractionRule& rule, const Document& doc,
+                  const ExtendedMapping& mu);
+
+/// ⟦rule⟧_doc via Algorithm 1 with the EvalTreeRule oracle
+/// (polynomial delay by Theorems 5.1 + 5.9).
+MappingSet EnumerateTreeRule(const ExtractionRule& rule, const Document& doc);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_RULES_TREE_EVAL_H_

@@ -1,0 +1,47 @@
+// Umbrella header for libspanners — document spanners for extracting
+// incomplete information (Maturana, Riveros, Vrgoč; PODS 2018).
+//
+// Quickstart:
+//   auto doc = spanners::Document("Seller: John, ID75\n");
+//   auto rgx = spanners::ParseRgx(".*Seller: (x{[^,]*}),.*").ValueOrDie();
+//   auto va  = spanners::CompileToVa(rgx);
+//   for (const auto& m : spanners::EnumerateSequential(va, doc))
+//     std::cout << m.DebugString(doc) << "\n";
+#ifndef SPANNERS_SPANNERS_H_
+#define SPANNERS_SPANNERS_H_
+
+#include "common/charset.h"       // IWYU pragma: export
+#include "common/status.h"        // IWYU pragma: export
+#include "core/document.h"        // IWYU pragma: export
+#include "core/mapping.h"         // IWYU pragma: export
+#include "core/spanner.h"         // IWYU pragma: export
+#include "core/span.h"            // IWYU pragma: export
+#include "core/variable.h"        // IWYU pragma: export
+#include "rgx/analysis.h"         // IWYU pragma: export
+#include "rgx/ast.h"              // IWYU pragma: export
+#include "rgx/functional_union.h" // IWYU pragma: export
+#include "rgx/parser.h"           // IWYU pragma: export
+#include "rgx/printer.h"          // IWYU pragma: export
+#include "rgx/reference_eval.h"   // IWYU pragma: export
+#include "rgx/simplify.h"         // IWYU pragma: export
+#include "automata/determinize.h" // IWYU pragma: export
+#include "automata/enumerate.h"   // IWYU pragma: export
+#include "automata/fpt.h"         // IWYU pragma: export
+#include "automata/matcher.h"     // IWYU pragma: export
+#include "automata/ops.h"         // IWYU pragma: export
+#include "automata/run_eval.h"    // IWYU pragma: export
+#include "automata/sequential.h"  // IWYU pragma: export
+#include "automata/state_elim.h"  // IWYU pragma: export
+#include "automata/thompson.h"    // IWYU pragma: export
+#include "automata/va.h"          // IWYU pragma: export
+#include "rules/convert.h"        // IWYU pragma: export
+#include "rules/cycle_elim.h"     // IWYU pragma: export
+#include "rules/graph.h"          // IWYU pragma: export
+#include "rules/rule.h"           // IWYU pragma: export
+#include "rules/rule_eval.h"      // IWYU pragma: export
+#include "rules/tree_eval.h"      // IWYU pragma: export
+#include "static_analysis/containment.h"     // IWYU pragma: export
+#include "static_analysis/equivalence.h"     // IWYU pragma: export
+#include "static_analysis/satisfiability.h"  // IWYU pragma: export
+
+#endif  // SPANNERS_SPANNERS_H_

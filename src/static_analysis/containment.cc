@@ -1,0 +1,345 @@
+#include "static_analysis/containment.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "common/logging.h"
+
+namespace spanners {
+
+namespace {
+
+constexpr StateId kDead = UINT32_MAX;
+
+using StateSet = std::vector<StateId>;  // sorted
+using OpSet = std::vector<VarOp>;       // sorted by (var, open-first)
+
+StateSet SortUnique(StateSet s) {
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+StateSet EpsClosure(const VA& a, StateSet s) {
+  std::set<StateId> acc;
+  for (StateId q : s)
+    for (StateId c : a.EpsilonClosure(q)) acc.insert(c);
+  return StateSet(acc.begin(), acc.end());
+}
+
+StateSet MoveChar(const VA& a, const StateSet& s, char c) {
+  StateSet out;
+  for (StateId q : s)
+    for (const VaTransition& t : a.TransitionsFrom(q))
+      if (t.kind == TransKind::kChars && t.chars.Contains(c))
+        out.push_back(t.to);
+  return EpsClosure(a, SortUnique(std::move(out)));
+}
+
+bool ContainsOp(const OpSet& ops, const VarOp& op) {
+  return std::binary_search(ops.begin(), ops.end(), op);
+}
+
+// States of `a` reachable from `s` by performing every op of `ops`
+// exactly once (any order consistent with open-before-close for pairs in
+// the same block), interleaved with ε — the Perm(P) step of Thm 6.4.
+StateSet MoveOpSet(const VA& a, const StateSet& s, const OpSet& ops) {
+  const uint32_t full = ops.empty() ? 0u : (1u << ops.size()) - 1u;
+  std::set<std::pair<StateId, uint32_t>> seen;
+  std::deque<std::pair<StateId, uint32_t>> queue;
+  for (StateId q : EpsClosure(a, s)) {
+    seen.insert({q, 0});
+    queue.push_back({q, 0});
+  }
+  StateSet out;
+  while (!queue.empty()) {
+    auto [q, mask] = queue.front();
+    queue.pop_front();
+    if (mask == full) out.push_back(q);
+    for (const VaTransition& t : a.TransitionsFrom(q)) {
+      uint32_t next = mask;
+      if (t.kind == TransKind::kEpsilon) {
+        // pass through
+      } else if (t.IsVarOp()) {
+        VarOp op{t.kind == TransKind::kOpen, t.var};
+        int idx = -1;
+        for (size_t i = 0; i < ops.size(); ++i)
+          if (ops[i] == op) idx = static_cast<int>(i);
+        if (idx < 0 || (mask & (1u << idx))) continue;
+        if (!op.open) {
+          // Close in the same block: its open (if also in the block) must
+          // have been consumed already.
+          VarOp open_op{true, op.var};
+          for (size_t i = 0; i < ops.size(); ++i)
+            if (ops[i] == open_op && !(mask & (1u << i))) idx = -2;
+          if (idx == -2) continue;
+        }
+        next = mask | (1u << idx);
+      } else {
+        continue;
+      }
+      if (seen.insert({t.to, next}).second) queue.push_back({t.to, next});
+    }
+  }
+  return SortUnique(std::move(out));
+}
+
+// Enumerates the operation blocks A1 can actually perform from `s` —
+// pairs (op set, resulting A1 states). Driving the search by A1 keeps the
+// move space proportional to A1's structure instead of 2^|ops|
+// (counterexample labels are necessarily A1-feasible).
+std::map<OpSet, StateSet> FeasibleOpBlocks(const VA& a, const StateSet& s,
+                                           const std::set<VarId>& avail,
+                                           const std::set<VarId>& open) {
+  struct Node {
+    StateId state;
+    OpSet ops;
+    bool operator<(const Node& o) const {
+      return state != o.state ? state < o.state : ops < o.ops;
+    }
+  };
+  std::set<Node> seen;
+  std::deque<Node> queue;
+  for (StateId q : EpsClosure(a, s)) {
+    Node n{q, {}};
+    seen.insert(n);
+    queue.push_back(std::move(n));
+  }
+  std::map<OpSet, StateSet> out;
+  while (!queue.empty()) {
+    Node n = queue.front();
+    queue.pop_front();
+    if (!n.ops.empty()) out[n.ops].push_back(n.state);
+    for (const VaTransition& t : a.TransitionsFrom(n.state)) {
+      Node next = n;
+      next.state = t.to;
+      if (t.kind == TransKind::kEpsilon) {
+        // pass
+      } else if (t.kind == TransKind::kOpen) {
+        VarOp op{true, t.var};
+        if (avail.count(t.var) == 0 || ContainsOp(n.ops, op)) continue;
+        next.ops.insert(
+            std::lower_bound(next.ops.begin(), next.ops.end(), op), op);
+      } else if (t.kind == TransKind::kClose) {
+        VarOp op{false, t.var};
+        if (ContainsOp(n.ops, op)) continue;
+        bool ok = open.count(t.var) > 0 || ContainsOp(n.ops, {true, t.var});
+        if (!ok) continue;
+        next.ops.insert(
+            std::lower_bound(next.ops.begin(), next.ops.end(), op), op);
+      } else {
+        continue;
+      }
+      if (seen.insert(next).second) queue.push_back(std::move(next));
+    }
+  }
+  for (auto& [ops, states] : out) states = SortUnique(std::move(states));
+  return out;
+}
+
+bool AnyFinal(const VA& a, const StateSet& s) {
+  for (StateId q : s)
+    if (a.IsFinal(q)) return true;
+  return false;
+}
+
+struct Config {
+  StateSet s1, s2;
+  std::set<VarId> avail;  // V
+  std::set<VarId> open;   // Y
+  bool ops_last = false;  // maximal blocks: no two op moves in a row
+  bool operator<(const Config& o) const {
+    if (s1 != o.s1) return s1 < o.s1;
+    if (s2 != o.s2) return s2 < o.s2;
+    if (avail != o.avail) return avail < o.avail;
+    if (open != o.open) return open < o.open;
+    return ops_last < o.ops_last;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// Shared engine for IsContainedIn / FindCounterexample: returns the text
+// of a counterexample document, or nullopt when contained.
+std::optional<std::string> SearchCounterexample(const VA& a1_in,
+                                                const VA& a2_in) {
+  // Sequentialise both sides: accepting labels then close everything they
+  // open, so a label determines its (document, mapping) pair up to
+  // same-position permutation — which the op-block moves normalise.
+  VA a1 = MakeSequential(a1_in);
+  VA a2 = MakeSequential(a2_in);
+
+  // Alphabet atoms across both automata, plus one "other" letter.
+  std::vector<CharSet> charsets;
+  for (const VA* a : {&a1, &a2})
+    for (StateId q = 0; q < a->NumStates(); ++q)
+      for (const VaTransition& t : a->TransitionsFrom(q))
+        if (t.kind == TransKind::kChars) charsets.push_back(t.chars);
+  std::vector<CharSet> atoms = PartitionAtoms(charsets);
+  CharSet covered;
+  for (const CharSet& cs : charsets) covered = covered.Union(cs);
+  if (!covered.Complement().empty()) atoms.push_back(covered.Complement());
+
+  Config start;
+  start.s1 = EpsClosure(a1, {a1.initial()});
+  start.s2 = EpsClosure(a2, {a2.initial()});
+  for (VarId x : a1.Vars().Union(a2.Vars())) start.avail.insert(x);
+
+  std::set<Config> seen = {start};
+  std::deque<Config> queue = {start};
+  std::map<Config, std::string> texts;  // document text of the label so far
+  texts.emplace(start, "");
+
+  while (!queue.empty()) {
+    Config cfg = queue.front();
+    queue.pop_front();
+
+    if (AnyFinal(a1, cfg.s1) && !AnyFinal(a2, cfg.s2))
+      return texts.at(cfg);  // this configuration's label is a counterexample
+    if (cfg.s1.empty()) continue;  // A1 cannot accept any extension
+
+    // Letter moves.
+    for (const CharSet& atom : atoms) {
+      char c = atom.AnyMember();
+      Config next;
+      next.s1 = MoveChar(a1, cfg.s1, c);
+      if (next.s1.empty()) continue;
+      next.s2 = MoveChar(a2, cfg.s2, c);
+      next.avail = cfg.avail;
+      next.open = cfg.open;
+      next.ops_last = false;
+      if (seen.insert(next).second) {
+        texts.emplace(next, texts.at(cfg) + c);
+        queue.push_back(next);
+      }
+    }
+
+    // Operation-block moves (only after a letter / at the start, so each
+    // same-position block is taken as one normalised move).
+    if (!cfg.ops_last) {
+      for (auto& [ops, s1_states] :
+           FeasibleOpBlocks(a1, cfg.s1, cfg.avail, cfg.open)) {
+        Config next;
+        next.s1 = s1_states;
+        next.s2 = MoveOpSet(a2, cfg.s2, ops);
+        next.avail = cfg.avail;
+        next.open = cfg.open;
+        next.ops_last = true;
+        for (const VarOp& op : ops) {
+          if (op.open) {
+            next.avail.erase(op.var);
+            next.open.insert(op.var);
+          }
+        }
+        for (const VarOp& op : ops) {
+          if (!op.open) next.open.erase(op.var);
+        }
+        if (seen.insert(next).second) {
+          texts.emplace(next, texts.at(cfg));  // ops add no letters
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool IsContainedIn(const VA& a1, const VA& a2) {
+  return !SearchCounterexample(a1, a2).has_value();
+}
+
+
+std::optional<ContainmentWitness> FindCounterexample(const VA& a1,
+                                                     const VA& a2) {
+  std::optional<std::string> text = SearchCounterexample(a1, a2);
+  if (!text.has_value()) return std::nullopt;
+  // Recover a mapping separating the two semantics on the witness
+  // document (some mapping must, by construction of the search).
+  Document doc(*std::move(text));
+  MappingSet left = RunEval(a1, doc);
+  MappingSet right = RunEval(a2, doc);
+  for (const Mapping& m : left.Sorted()) {
+    if (!right.Contains(m)) return ContainmentWitness{doc, m};
+  }
+  SPANNERS_CHECK(false)
+      << "containment search produced a non-separating witness";
+  return std::nullopt;
+}
+
+bool IsContainedInDetSeqPd(const VA& a1, const VA& a2) {
+  SPANNERS_DCHECK(a1.IsDeterministic() && a2.IsDeterministic());
+  SPANNERS_DCHECK(IsSequentialVa(a1) && IsSequentialVa(a2));
+
+  std::vector<CharSet> charsets;
+  for (const VA* a : {&a1, &a2})
+    for (StateId q = 0; q < a->NumStates(); ++q)
+      for (const VaTransition& t : a->TransitionsFrom(q))
+        if (t.kind == TransKind::kChars) charsets.push_back(t.chars);
+  std::vector<CharSet> atoms = PartitionAtoms(charsets);
+
+  // A2's unique matching move, or kDead.
+  auto move2 = [&a2](StateId q2, const VaTransition& t1,
+                     char witness) -> StateId {
+    if (q2 == kDead) return kDead;
+    for (const VaTransition& t2 : a2.TransitionsFrom(q2)) {
+      switch (t1.kind) {
+        case TransKind::kChars:
+          if (t2.kind == TransKind::kChars && t2.chars.Contains(witness))
+            return t2.to;
+          break;
+        case TransKind::kOpen:
+          if (t2.kind == TransKind::kOpen && t2.var == t1.var) return t2.to;
+          break;
+        case TransKind::kClose:
+          if (t2.kind == TransKind::kClose && t2.var == t1.var)
+            return t2.to;
+          break;
+        case TransKind::kEpsilon:
+          break;
+      }
+    }
+    return kDead;
+  };
+
+  std::set<std::pair<StateId, StateId>> seen = {
+      {a1.initial(), a2.initial()}};
+  std::deque<std::pair<StateId, StateId>> queue = {
+      {a1.initial(), a2.initial()}};
+  while (!queue.empty()) {
+    auto [q1, q2] = queue.front();
+    queue.pop_front();
+    if (a1.IsFinal(q1) && (q2 == kDead || !a2.IsFinal(q2))) return false;
+    for (const VaTransition& t1 : a1.TransitionsFrom(q1)) {
+      if (t1.kind == TransKind::kEpsilon) continue;  // deterministic
+      if (t1.kind == TransKind::kChars) {
+        for (const CharSet& atom : atoms) {
+          CharSet overlap = atom.Intersect(t1.chars);
+          if (overlap.empty()) continue;
+          std::pair<StateId, StateId> next = {
+              t1.to, move2(q2, t1, overlap.AnyMember())};
+          if (seen.insert(next).second) queue.push_back(next);
+        }
+      } else {
+        std::pair<StateId, StateId> next = {t1.to, move2(q2, t1, '\0')};
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+bool AreEquivalentVa(const VA& a1, const VA& a2) {
+  return IsContainedIn(a1, a2) && IsContainedIn(a2, a1);
+}
+
+}  // namespace spanners

@@ -1,0 +1,47 @@
+// Containment of VA (paper §6, Theorems 6.4, 6.6, 6.7):
+// ⟦A1⟧_d ⊆ ⟦A2⟧_d for every document d.
+//
+// The general decision procedure realises the Theorem 6.4 algorithm as a
+// breadth-first search over configurations (S1 ⊆ Q1, S2 ⊆ Q2, V, Y): a
+// reachable configuration whose S1 accepts while S2 does not witnesses
+// non-containment. Inputs are first sequentialised so that labels are in
+// bijection with (document, mapping) pairs up to same-position
+// permutations (which the op-set moves normalise). Worst-case exponential
+// — PSPACE-hardness (Thm 6.4) says we cannot do better in general.
+//
+// For deterministic sequential VA producing point-disjoint mappings the
+// problem drops to PTIME (Theorem 6.7): a parallel product simulation.
+#ifndef SPANNERS_STATIC_ANALYSIS_CONTAINMENT_H_
+#define SPANNERS_STATIC_ANALYSIS_CONTAINMENT_H_
+
+#include <optional>
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "core/mapping.h"
+
+namespace spanners {
+
+/// General containment ⟦A1⟧ ⊆ ⟦A2⟧ (all documents).
+bool IsContainedIn(const VA& a1, const VA& a2);
+
+/// A witness of non-containment: a document d and mapping µ with
+/// µ ∈ ⟦A1⟧_d \ ⟦A2⟧_d; nullopt when contained.
+struct ContainmentWitness {
+  Document doc;
+  Mapping mapping;
+};
+std::optional<ContainmentWitness> FindCounterexample(const VA& a1,
+                                                     const VA& a2);
+
+/// Theorem 6.7 PTIME containment. Preconditions: both automata
+/// deterministic, sequential, and point-disjoint (producing only
+/// point-disjoint mappings); checked with SPANNERS_DCHECK in debug.
+bool IsContainedInDetSeqPd(const VA& a1, const VA& a2);
+
+/// Containment in both directions.
+bool AreEquivalentVa(const VA& a1, const VA& a2);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_STATIC_ANALYSIS_CONTAINMENT_H_

@@ -1,0 +1,56 @@
+#include "static_analysis/equivalence.h"
+
+#include <functional>
+#include <string>
+
+#include "automata/run_eval.h"
+#include "automata/thompson.h"
+
+namespace spanners {
+
+namespace {
+
+// Invokes `visit` on every document over `letters` up to max_len; stops
+// early when `visit` returns false.
+bool ForEachDocument(std::string_view letters, size_t max_len,
+                     const std::function<bool(const Document&)>& visit) {
+  std::string text;
+  std::function<bool()> grow = [&]() -> bool {
+    if (!visit(Document(text))) return false;
+    if (text.size() == max_len) return true;
+    for (char c : letters) {
+      text.push_back(c);
+      if (!grow()) return false;
+      text.pop_back();
+    }
+    return true;
+  };
+  return grow();
+}
+
+}  // namespace
+
+bool ContainedUpTo(const VA& a1, const VA& a2, std::string_view letters,
+                   size_t max_len) {
+  return ForEachDocument(letters, max_len, [&](const Document& d) {
+    MappingSet m1 = RunEval(a1, d);
+    MappingSet m2 = RunEval(a2, d);
+    for (const Mapping& m : m1)
+      if (!m2.Contains(m)) return false;
+    return true;
+  });
+}
+
+bool EquivalentUpTo(const VA& a1, const VA& a2, std::string_view letters,
+                    size_t max_len) {
+  return ForEachDocument(letters, max_len, [&](const Document& d) {
+    return RunEval(a1, d) == RunEval(a2, d);
+  });
+}
+
+bool RgxEquivalentUpTo(const RgxPtr& g1, const RgxPtr& g2,
+                       std::string_view letters, size_t max_len) {
+  return EquivalentUpTo(CompileToVa(g1), CompileToVa(g2), letters, max_len);
+}
+
+}  // namespace spanners

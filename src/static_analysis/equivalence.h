@@ -1,0 +1,28 @@
+// Bounded semantic comparison helpers: exhaustively compare spanner
+// semantics over every document up to a length bound. Used by tests as an
+// independent oracle for the symbolic containment/equivalence procedures.
+#ifndef SPANNERS_STATIC_ANALYSIS_EQUIVALENCE_H_
+#define SPANNERS_STATIC_ANALYSIS_EQUIVALENCE_H_
+
+#include <string_view>
+
+#include "automata/va.h"
+#include "rgx/ast.h"
+
+namespace spanners {
+
+/// ⟦a1⟧_d ⊆ ⟦a2⟧_d for every document d over `letters` with |d| <= max_len.
+bool ContainedUpTo(const VA& a1, const VA& a2, std::string_view letters,
+                   size_t max_len);
+
+/// Equality of semantics over the same bounded document universe.
+bool EquivalentUpTo(const VA& a1, const VA& a2, std::string_view letters,
+                    size_t max_len);
+
+/// Bounded equivalence of two RGX formulas (via Thompson + run semantics).
+bool RgxEquivalentUpTo(const RgxPtr& g1, const RgxPtr& g2,
+                       std::string_view letters, size_t max_len);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_STATIC_ANALYSIS_EQUIVALENCE_H_

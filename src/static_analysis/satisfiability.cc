@@ -1,0 +1,159 @@
+#include "static_analysis/satisfiability.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include <algorithm>
+#include <functional>
+
+#include "automata/thompson.h"
+#include "common/logging.h"
+#include "rules/convert.h"
+#include "rules/rule_eval.h"
+#include "rules/tree_eval.h"
+
+namespace spanners {
+
+namespace {
+
+enum Phase : uint8_t { kAvail = 0, kOpen = 1, kClosed = 2 };
+
+struct SatConfig {
+  StateId state;
+  std::string phases;
+  bool operator<(const SatConfig& o) const {
+    return state != o.state ? state < o.state : phases < o.phases;
+  }
+};
+
+// Reachability over (state, statuses); optionally reconstructs a witness.
+std::optional<Document> SearchWitness(const VA& a) {
+  const std::vector<VarId> vars = a.Vars().ids();
+  auto index_of = [&vars](VarId x) {
+    return static_cast<size_t>(
+        std::lower_bound(vars.begin(), vars.end(), x) - vars.begin());
+  };
+
+  std::map<SatConfig, std::pair<SatConfig, char>> parent;  // cfg -> (prev, c)
+  std::deque<SatConfig> queue;
+  SatConfig start{a.initial(), std::string(vars.size(), kAvail)};
+  parent.emplace(start, std::make_pair(start, '\0'));
+  queue.push_back(start);
+
+  while (!queue.empty()) {
+    SatConfig cfg = queue.front();
+    queue.pop_front();
+    if (a.IsFinal(cfg.state)) {
+      // Reconstruct the document from the letter transitions on the path.
+      std::string text;
+      SatConfig cur = cfg;
+      while (true) {
+        auto [prev, c] = parent.at(cur);
+        if (prev.state == cur.state && prev.phases == cur.phases &&
+            c == '\0')
+          break;
+        if (c != '\0') text += c;
+        cur = prev;
+      }
+      std::reverse(text.begin(), text.end());
+      return Document(std::move(text));
+    }
+    for (const VaTransition& t : a.TransitionsFrom(cfg.state)) {
+      SatConfig next = cfg;
+      next.state = t.to;
+      char consumed = '\0';
+      switch (t.kind) {
+        case TransKind::kChars:
+          if (t.chars.empty()) continue;
+          consumed = t.chars.AnyMember();
+          break;
+        case TransKind::kEpsilon:
+          break;
+        case TransKind::kOpen: {
+          size_t i = index_of(t.var);
+          if (cfg.phases[i] != kAvail) continue;
+          next.phases[i] = kOpen;
+          break;
+        }
+        case TransKind::kClose: {
+          size_t i = index_of(t.var);
+          if (cfg.phases[i] != kOpen) continue;
+          next.phases[i] = kClosed;
+          break;
+        }
+      }
+      if (parent.emplace(next, std::make_pair(cfg, consumed)).second)
+        queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool IsSatisfiableVa(const VA& a) { return SearchWitness(a).has_value(); }
+
+std::optional<Document> SatWitnessVa(const VA& a) { return SearchWitness(a); }
+
+bool IsSatisfiableSequentialVa(const VA& a) {
+  // Sequentiality makes every initial→final path a valid run: plain BFS.
+  std::vector<bool> seen(a.NumStates(), false);
+  std::deque<StateId> queue = {a.initial()};
+  seen[a.initial()] = true;
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    if (a.IsFinal(q)) return true;
+    for (const VaTransition& t : a.TransitionsFrom(q)) {
+      if (t.kind == TransKind::kChars && t.chars.empty()) continue;
+      if (!seen[t.to]) {
+        seen[t.to] = true;
+        queue.push_back(t.to);
+      }
+    }
+  }
+  return false;
+}
+
+bool IsSatisfiableRgx(const RgxPtr& rgx) {
+  return IsSatisfiableVa(CompileToVa(rgx));
+}
+
+bool IsSatisfiableRuleBounded(const ExtractionRule& rule,
+                              const CharSet& alphabet, size_t max_len) {
+  std::string letters;
+  for (int c = 0; c < 256; ++c)
+    if (alphabet.Contains(static_cast<char>(c)))
+      letters.push_back(static_cast<char>(c));
+  std::string text;
+  std::function<bool(size_t)> grow = [&](size_t len) -> bool {
+    if (!RuleReferenceEval(rule, Document(text)).empty()) return true;
+    if (len == max_len) return false;
+    for (char c : letters) {
+      text.push_back(c);
+      if (grow(len + 1)) return true;
+      text.pop_back();
+    }
+    return false;
+  };
+  return grow(0);
+}
+
+Document TreeRuleSatWitness(const ExtractionRule& rule) {
+  SPANNERS_CHECK(ValidateTreeRule(rule).ok())
+      << "TreeRuleSatWitness requires a sequential tree-like rule";
+  // Theorem 6.3: sequential tree-like rules are always satisfiable. Find a
+  // witness on the Lemma B.1 RGX image: the composed automaton is
+  // sequential, so the witness search is reachability in its size.
+  Result<RgxPtr> image = TreeRuleToRgx(rule);
+  SPANNERS_CHECK(image.ok()) << image.status().ToString();
+  std::optional<Document> witness = SatWitnessVa(CompileToVa(*image));
+  SPANNERS_CHECK(witness.has_value())
+      << "sequential tree-like rule must be satisfiable (Theorem 6.3): "
+      << rule.ToString();
+  return *std::move(witness);
+}
+
+}  // namespace spanners

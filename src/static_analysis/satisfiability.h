@@ -1,0 +1,48 @@
+// Satisfiability of extraction languages (paper §6, Theorems 6.1–6.3).
+//
+// Sat[VA] is NP-complete: decided here by reachability over configurations
+// (state, per-variable status) — exponential in |vars| in the worst case,
+// in line with the lower bound. Sat[seqVA] is plain graph reachability
+// (the paper's NLOGSPACE observation). Rule satisfiability is NP-hard even
+// for functional dag-like rules; a bounded-document decision procedure is
+// provided (complete up to the given document length), while sequential
+// tree-like rules are always satisfiable (Theorem 6.3).
+#ifndef SPANNERS_STATIC_ANALYSIS_SATISFIABILITY_H_
+#define SPANNERS_STATIC_ANALYSIS_SATISFIABILITY_H_
+
+#include <optional>
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "rgx/ast.h"
+#include "rules/rule.h"
+
+namespace spanners {
+
+/// Sat[VA]: ∃d. ⟦A⟧_d ≠ ∅. Configuration-space reachability.
+bool IsSatisfiableVa(const VA& a);
+
+/// A witness document when satisfiable (Lemma D.1 bounds its length).
+std::optional<Document> SatWitnessVa(const VA& a);
+
+/// Sat[seqVA]: plain reachability from the initial to a final state over
+/// transitions with non-empty labels (Theorem 6.2).
+/// Precondition: IsSequentialVa(a).
+bool IsSatisfiableSequentialVa(const VA& a);
+
+/// Sat[RGX] via the Thompson construction.
+bool IsSatisfiableRgx(const RgxPtr& rgx);
+
+/// Rule satisfiability by exhaustive search over documents of length at
+/// most `max_len` drawn from `alphabet`. Sound; complete only up to the
+/// bound (rule Sat is NP-hard, Theorem 6.3).
+bool IsSatisfiableRuleBounded(const ExtractionRule& rule,
+                              const CharSet& alphabet, size_t max_len);
+
+/// Theorem 6.3 (second half): sequential tree-like rules are always
+/// satisfiable; returns a witness document for such a rule.
+Document TreeRuleSatWitness(const ExtractionRule& rule);
+
+}  // namespace spanners
+
+#endif  // SPANNERS_STATIC_ANALYSIS_SATISFIABILITY_H_

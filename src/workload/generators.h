@@ -1,0 +1,80 @@
+// Workload generators for benchmarks and property tests: random documents,
+// random (sequential / functional / arbitrary) RGX formulas, random VAs,
+// and the paper's motivating document families (the Table 1 land-registry
+// CSV and a synthetic server log).
+#ifndef SPANNERS_WORKLOAD_GENERATORS_H_
+#define SPANNERS_WORKLOAD_GENERATORS_H_
+
+#include <random>
+#include <string>
+
+#include "automata/va.h"
+#include "core/document.h"
+#include "rgx/ast.h"
+#include "rules/rule.h"
+
+namespace spanners {
+namespace workload {
+
+/// A random document of `length` over the given letters.
+Document RandomDocument(std::string_view letters, size_t length,
+                        std::mt19937* rng);
+
+struct RandomRgxOptions {
+  size_t max_depth = 4;
+  size_t num_vars = 2;           // drawn from x0..x{num_vars-1}
+  std::string letters = "ab";
+  bool sequential_only = false;  // produce only sequential formulas
+  bool functional_only = false;  // produce only functional formulas
+  bool span_rgx_only = false;    // variables wrap Σ* only
+};
+
+/// A random RGX obeying the requested fragment restrictions.
+RgxPtr RandomRgx(const RandomRgxOptions& options, std::mt19937* rng);
+
+/// A random VA with roughly `num_states` states over `num_vars` variables.
+/// May be non-sequential; always trimmed.
+VA RandomVa(size_t num_states, size_t num_vars, std::string_view letters,
+            std::mt19937* rng);
+
+// ---- Table 1: land-registry CSV --------------------------------------
+
+struct LandRegistryOptions {
+  size_t rows = 100;
+  double tax_probability = 0.4;  // rows with the optional tax field
+  double buyer_probability = 0.3;
+  uint32_t seed = 42;
+};
+
+/// A CSV document shaped like the paper's Table 1:
+///   "Seller: John, ID75\n" / "Buyer: Marcelo, ID832, P78\n" /
+///   "Seller: Mark, ID7, $35000\n" ...
+Document LandRegistryDocument(const LandRegistryOptions& options);
+
+/// RGX extracting one seller name (the paper's §3.1 first example),
+/// anchored to the whole document:  .*Seller: x{[^,\n]*},.*
+RgxPtr SellerNameRgx();
+
+/// RGX extracting a seller name plus the optional tax field (the paper's
+/// §3.1 incomplete-information example): y stays unassigned when the row
+/// has no tax field.
+RgxPtr SellerNameTaxRgx();
+
+// ---- synthetic server log ---------------------------------------------
+
+struct LogOptions {
+  size_t lines = 200;
+  double error_probability = 0.2;
+  uint32_t seed = 7;
+};
+
+/// Lines like "host12 GET /a/b 200\n" / "host3 POST /x 500 err=timeout\n".
+Document ServerLogDocument(const LogOptions& options);
+
+/// RGX extracting method + path (+ optional error cause) of one line.
+RgxPtr LogLineRgx();
+
+}  // namespace workload
+}  // namespace spanners
+
+#endif  // SPANNERS_WORKLOAD_GENERATORS_H_

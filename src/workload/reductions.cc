@@ -1,0 +1,334 @@
+#include "workload/reductions.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "automata/determinize.h"
+#include "common/logging.h"
+
+namespace spanners {
+namespace workload {
+
+namespace {
+
+VarId XVar(size_t i, size_t j) {
+  return Variable::Intern("sat_x_" + std::to_string(i) + "_" +
+                          std::to_string(j));
+}
+
+VarId YVar(size_t i, size_t j, size_t k, size_t l) {
+  return Variable::Intern("sat_y_" + std::to_string(i) + "_" +
+                          std::to_string(j) + "_" + std::to_string(k) + "_" +
+                          std::to_string(l));
+}
+
+// p_{i,j} in conflict with p_{k,l} (paper, proof of Theorem 5.2): i < k
+// and the same propositional variable links the clauses so that making
+// p_{i,j} true forces p_{k,l} false.
+bool InConflict(const OneInThreeSat& inst, size_t i, size_t j, size_t k,
+                size_t l) {
+  if (i >= k) return false;
+  for (size_t m = 0; m < 3; ++m) {
+    if (m != l && inst.clauses[i][j] == inst.clauses[k][m]) return true;
+    if (m != j && inst.clauses[i][m] == inst.clauses[k][l]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OneInThreeSat RandomOneInThreeSat(size_t num_props, size_t num_clauses,
+                                  std::mt19937* rng) {
+  SPANNERS_CHECK(num_props >= 3);
+  OneInThreeSat inst;
+  inst.num_props = num_props;
+  std::uniform_int_distribution<size_t> pick(0, num_props - 1);
+  for (size_t c = 0; c < num_clauses; ++c) {
+    std::array<size_t, 3> clause;
+    clause[0] = pick(*rng);
+    do {
+      clause[1] = pick(*rng);
+    } while (clause[1] == clause[0]);
+    do {
+      clause[2] = pick(*rng);
+    } while (clause[2] == clause[0] || clause[2] == clause[1]);
+    inst.clauses.push_back(clause);
+  }
+  return inst;
+}
+
+bool SolveOneInThreeSat(const OneInThreeSat& inst) {
+  SPANNERS_CHECK(inst.num_props < 26) << "brute force limited to 25 props";
+  for (uint32_t bits = 0; bits < (1u << inst.num_props); ++bits) {
+    bool ok = true;
+    for (const auto& clause : inst.clauses) {
+      int trues = 0;
+      for (size_t v : clause)
+        if (bits & (1u << v)) ++trues;
+      if (trues != 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+RgxPtr OneInThreeSatToSpanRgx(const OneInThreeSat& inst) {
+  // γα = γ1 · γ2 · ... · γn where
+  //   γi = x_{i,1}·γ_{i,1} ∨ x_{i,2}·γ_{i,2} ∨ x_{i,3}·γ_{i,3}
+  // and γ_{i,j} concatenates the conflict variables of p_{i,j}. On the
+  // empty document every variable can only take the span (1,1); picking
+  // branch j of clause i asserts p_{i,j} true and claims its conflict
+  // variables, so two conflicting choices collide on some y variable
+  // (concatenation demands disjoint domains).
+  const size_t n = inst.clauses.size();
+  std::vector<RgxPtr> clause_parts;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<RgxPtr> branches;
+    for (size_t j = 0; j < 3; ++j) {
+      std::vector<RgxPtr> parts = {RgxNode::SpanVar(XVar(i, j))};
+      for (size_t k = 0; k < n; ++k) {
+        for (size_t l = 0; l < 3; ++l) {
+          if (InConflict(inst, i, j, k, l))
+            parts.push_back(RgxNode::SpanVar(YVar(i, j, k, l)));
+          if (InConflict(inst, k, l, i, j))
+            parts.push_back(RgxNode::SpanVar(YVar(k, l, i, j)));
+        }
+      }
+      branches.push_back(RgxNode::Concat(std::move(parts)));
+    }
+    clause_parts.push_back(RgxNode::Disj(std::move(branches)));
+  }
+  return RgxNode::Concat(std::move(clause_parts));
+}
+
+ExtractionRule OneInThreeSatToDagRule(const OneInThreeSat& inst) {
+  // Theorem 5.8: variables T (true zone), F (false zone), prop variables,
+  // and clause chain c1..cn over the document "#". Positions left of '#'
+  // mean true, right of '#' mean false.
+  const size_t n = inst.clauses.size();
+  SPANNERS_CHECK(n >= 1);
+  auto prop = [](size_t p) {
+    return Variable::Intern("prop_" + std::to_string(p));
+  };
+  auto cvar = [](size_t i) {
+    return Variable::Intern("clause_" + std::to_string(i));
+  };
+  VarId tvar = Variable::Intern("zone_T");
+  VarId fvar = Variable::Intern("zone_F");
+
+  // Body: T · c1 · F.
+  RgxPtr body = RgxNode::Concat(
+      {RgxNode::SpanVar(tvar), RgxNode::SpanVar(cvar(0)),
+       RgxNode::SpanVar(fvar)});
+
+  std::vector<RuleConstraint> constraints;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& cl = inst.clauses[i];
+    std::vector<RgxPtr> branches;
+    for (size_t j = 0; j < 3; ++j) {
+      std::vector<RgxPtr> parts = {RgxNode::SpanVar(prop(cl[j]))};
+      if (i + 1 < n) {
+        parts.push_back(RgxNode::SpanVar(cvar(i + 1)));
+      } else {
+        parts.push_back(RgxNode::SpanVar(tvar));
+        parts.push_back(RgxNode::Lit('#'));
+        parts.push_back(RgxNode::SpanVar(fvar));
+      }
+      for (size_t m = 0; m < 3; ++m)
+        if (m != j) parts.push_back(RgxNode::SpanVar(prop(cl[m])));
+      branches.push_back(RgxNode::Concat(std::move(parts)));
+    }
+    constraints.push_back({cvar(i), RgxNode::Disj(std::move(branches))});
+  }
+  return ExtractionRule(std::move(body), std::move(constraints));
+}
+
+Digraph RandomDigraph(size_t vertices, double edge_probability,
+                      std::mt19937* rng) {
+  Digraph g;
+  g.num_vertices = vertices;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (size_t u = 0; u < vertices; ++u)
+    for (size_t v = 0; v < vertices; ++v)
+      if (u != v && coin(*rng) < edge_probability) g.edges.push_back({u, v});
+  return g;
+}
+
+bool HasHamiltonianPath(const Digraph& g) {
+  SPANNERS_CHECK(g.num_vertices <= 20);
+  std::vector<std::vector<size_t>> adj(g.num_vertices);
+  for (auto [u, v] : g.edges) adj[u].push_back(v);
+  const uint32_t full = (1u << g.num_vertices) - 1u;
+  // DP over (visited set, last vertex).
+  std::vector<std::vector<bool>> dp(
+      1u << g.num_vertices, std::vector<bool>(g.num_vertices, false));
+  for (size_t v = 0; v < g.num_vertices; ++v) dp[1u << v][v] = true;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    for (size_t v = 0; v < g.num_vertices; ++v) {
+      if (!dp[mask][v]) continue;
+      if (mask == full) return true;
+      for (size_t w : adj[v])
+        if (!(mask & (1u << w))) dp[mask | (1u << w)][w] = true;
+    }
+  }
+  return g.num_vertices == 0;
+}
+
+VA HamiltonianToRelationalVa(const Digraph& g) {
+  // Proposition 5.4 construction (Figure 4): open every vertex variable
+  // at q0, then walk layers closing one vertex variable per step along
+  // graph edges; all closes happen at position (1,1), so the automaton is
+  // relational; an accepting run exists iff a Hamiltonian path does.
+  const size_t n = g.num_vertices;
+  SPANNERS_CHECK(n >= 1);
+  auto vvar = [](size_t v) {
+    return Variable::Intern("ham_v" + std::to_string(v));
+  };
+  VA a;
+  StateId q0 = a.AddState();
+  a.SetInitial(q0);
+  // p[v][layer] for layer 0..n-1.
+  std::vector<std::vector<StateId>> p(n);
+  for (size_t v = 0; v < n; ++v) {
+    p[v].resize(n);
+    for (size_t i = 0; i < n; ++i) p[v][i] = a.AddState();
+  }
+  StateId qf = a.AddState();
+  a.AddFinal(qf);
+  for (size_t v = 0; v < n; ++v) {
+    a.AddOpen(q0, vvar(v), q0);
+    a.AddClose(q0, vvar(v), p[v][0]);  // start the path at v
+    a.AddEpsilon(p[v][n - 1], qf);
+  }
+  for (auto [u, v] : g.edges)
+    for (size_t i = 0; i + 1 < n; ++i)
+      a.AddClose(p[u][i], vvar(v), p[v][i + 1]);
+  return a;
+}
+
+Dnf RandomDnf(size_t num_props, size_t num_clauses, std::mt19937* rng) {
+  SPANNERS_CHECK(num_props >= 3);
+  Dnf dnf;
+  dnf.num_props = num_props;
+  std::uniform_int_distribution<size_t> pick(0, num_props - 1);
+  std::uniform_int_distribution<int> sign(0, 1);
+  for (size_t c = 0; c < num_clauses; ++c) {
+    std::array<std::pair<size_t, bool>, 3> clause;
+    size_t a = pick(*rng), b, d;
+    do {
+      b = pick(*rng);
+    } while (b == a);
+    do {
+      d = pick(*rng);
+    } while (d == a || d == b);
+    clause[0] = {a, sign(*rng) == 1};
+    clause[1] = {b, sign(*rng) == 1};
+    clause[2] = {d, sign(*rng) == 1};
+    dnf.clauses.push_back(clause);
+  }
+  return dnf;
+}
+
+bool IsValidDnf(const Dnf& dnf) {
+  SPANNERS_CHECK(dnf.num_props < 26);
+  for (uint32_t bits = 0; bits < (1u << dnf.num_props); ++bits) {
+    bool some_clause = false;
+    for (const auto& clause : dnf.clauses) {
+      bool all = true;
+      for (auto [p, positive] : clause) {
+        bool value = (bits & (1u << p)) != 0;
+        if (value != positive) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        some_clause = true;
+        break;
+      }
+    }
+    if (!some_clause) return false;
+  }
+  return true;
+}
+
+namespace {
+
+VarId PosVar(size_t p) {
+  return Variable::Intern("dnf_p" + std::to_string(p));
+}
+VarId NegVar(size_t p) {
+  return Variable::Intern("dnf_np" + std::to_string(p));
+}
+VarId ClauseVar(size_t c) {
+  return Variable::Intern("dnf_c" + std::to_string(c));
+}
+
+// Adds an open+close "gadget" for variable x between two fresh states.
+StateId Gadget(VA* a, StateId from, VarId x) {
+  StateId mid = a->AddState();
+  StateId to = a->AddState();
+  a->AddOpen(from, x, mid);
+  a->AddClose(mid, x, to);
+  return to;
+}
+
+}  // namespace
+
+std::pair<VA, VA> DnfValidityToContainment(const Dnf& dnf) {
+  const size_t n = dnf.num_props;
+  const size_t m = dnf.clauses.size();
+
+  // A1: choose a valuation (pi or p̄i per i), then list all clause vars.
+  VA a1;
+  StateId cur = a1.AddState();
+  a1.SetInitial(cur);
+  for (size_t i = 0; i < n; ++i) {
+    StateId pos_end = Gadget(&a1, cur, PosVar(i));
+    // Both branches must meet again: route the negative gadget to the
+    // same end state via an ε at its end.
+    StateId neg_mid = a1.AddState();
+    a1.AddOpen(cur, NegVar(i), neg_mid);
+    a1.AddClose(neg_mid, NegVar(i), pos_end);
+    cur = pos_end;
+  }
+  for (size_t c = 0; c < m; ++c) cur = Gadget(&a1, cur, ClauseVar(c));
+  a1.AddFinal(cur);
+
+  // A2: one branch per clause Ci: ci gadget, the three literal gadgets,
+  // a pos/neg choice for every other proposition, then all ck (k ≠ i).
+  VA a2;
+  StateId init = a2.AddState();
+  a2.SetInitial(init);
+  StateId final_state = a2.AddState();
+  a2.AddFinal(final_state);
+  for (size_t c = 0; c < m; ++c) {
+    StateId branch = Gadget(&a2, init, ClauseVar(c));
+    std::vector<bool> used(n, false);
+    for (auto [p, positive] : dnf.clauses[c]) {
+      used[p] = true;
+      branch = Gadget(&a2, branch, positive ? PosVar(p) : NegVar(p));
+    }
+    for (size_t p = 0; p < n; ++p) {
+      if (used[p]) continue;
+      StateId pos_end = Gadget(&a2, branch, PosVar(p));
+      StateId neg_mid = a2.AddState();
+      a2.AddOpen(branch, NegVar(p), neg_mid);
+      a2.AddClose(neg_mid, NegVar(p), pos_end);
+      branch = pos_end;
+    }
+    for (size_t k = 0; k < m; ++k)
+      if (k != c) branch = Gadget(&a2, branch, ClauseVar(k));
+    a2.AddEpsilon(branch, final_state);
+  }
+  // The ε-merges into the final state break determinism; the subset
+  // construction (Prop 6.5) restores it while preserving semantics.
+  return {std::move(a1), Determinize(a2)};
+}
+
+}  // namespace workload
+}  // namespace spanners

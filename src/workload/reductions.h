@@ -1,0 +1,76 @@
+// The paper's hardness reductions, used as adversarial benchmark
+// workloads:
+//   * 1-IN-3-SAT → spanRGX              (Theorem 5.2: NonEmp[spanRGX])
+//   * 1-IN-3-SAT → functional dag rules (Theorem 5.8: rule NonEmp / Sat)
+//   * Hamiltonian path → relational VA  (Proposition 5.4)
+//   * DNF validity → det. seq. VA pair  (Theorem 6.6: containment coNP)
+#ifndef SPANNERS_WORKLOAD_REDUCTIONS_H_
+#define SPANNERS_WORKLOAD_REDUCTIONS_H_
+
+#include <array>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "automata/va.h"
+#include "rgx/ast.h"
+#include "rules/rule.h"
+
+namespace spanners {
+namespace workload {
+
+/// A positive 1-IN-3-SAT instance: clauses of three propositional
+/// variables (indices), no negations; satisfied when exactly one variable
+/// per clause is true.
+struct OneInThreeSat {
+  size_t num_props = 0;
+  std::vector<std::array<size_t, 3>> clauses;
+};
+
+/// A random instance with the given size.
+OneInThreeSat RandomOneInThreeSat(size_t num_props, size_t num_clauses,
+                                  std::mt19937* rng);
+
+/// Brute-force ground truth (2^num_props).
+bool SolveOneInThreeSat(const OneInThreeSat& instance);
+
+/// Theorem 5.2 reduction: a spanRGX γα with ⟦γα⟧_ε ≠ ∅ iff the instance
+/// has a 1-in-3 satisfying assignment.
+RgxPtr OneInThreeSatToSpanRgx(const OneInThreeSat& instance);
+
+/// Theorem 5.8 reduction: a functional dag-like rule satisfied on the
+/// document "#" iff the instance has a 1-in-3 satisfying assignment.
+ExtractionRule OneInThreeSatToDagRule(const OneInThreeSat& instance);
+
+/// A directed graph as adjacency lists.
+struct Digraph {
+  size_t num_vertices = 0;
+  std::vector<std::pair<size_t, size_t>> edges;
+};
+
+Digraph RandomDigraph(size_t vertices, double edge_probability,
+                      std::mt19937* rng);
+bool HasHamiltonianPath(const Digraph& g);
+
+/// Proposition 5.4 reduction: a *relational* VA with ⟦A⟧_ε ≠ ∅ iff the
+/// graph has a Hamiltonian path.
+VA HamiltonianToRelationalVa(const Digraph& g);
+
+/// A DNF formula: disjunction of conjunctive clauses; literals are
+/// (prop index, positive?) and every clause has exactly three literals.
+struct Dnf {
+  size_t num_props = 0;
+  std::vector<std::array<std::pair<size_t, bool>, 3>> clauses;
+};
+
+Dnf RandomDnf(size_t num_props, size_t num_clauses, std::mt19937* rng);
+bool IsValidDnf(const Dnf& dnf);  // brute force over valuations
+
+/// Theorem 6.6 reduction: deterministic sequential VAs (A1, A2) with
+/// ⟦A1⟧ ⊆ ⟦A2⟧ (on every document) iff the DNF is valid.
+std::pair<VA, VA> DnfValidityToContainment(const Dnf& dnf);
+
+}  // namespace workload
+}  // namespace spanners
+
+#endif  // SPANNERS_WORKLOAD_REDUCTIONS_H_

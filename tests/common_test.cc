@@ -1,0 +1,119 @@
+// Tests for the common substrate: Status/Result and CharSet.
+#include <gtest/gtest.h>
+
+#include "common/charset.h"
+#include "common/status.h"
+
+namespace spanners {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, CopyIsCheap) {
+  Status s = Status::NotSupported("nope");
+  Status t = s;
+  EXPECT_EQ(t, s);
+  EXPECT_EQ(t.message(), "nope");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnsatisfiable), "Unsatisfiable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  SPANNERS_ASSIGN_OR_RETURN(int h, Half(v));
+  return Half(h);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(CharSetTest, BasicMembership) {
+  CharSet s = CharSet::OfString("abc");
+  EXPECT_TRUE(s.Contains('a'));
+  EXPECT_FALSE(s.Contains('d'));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(CharSet::None().empty());
+  EXPECT_EQ(CharSet::Any().size(), 256u);
+}
+
+TEST(CharSetTest, Algebra) {
+  CharSet ab = CharSet::OfString("ab");
+  CharSet bc = CharSet::OfString("bc");
+  EXPECT_EQ(ab.Union(bc).size(), 3u);
+  EXPECT_EQ(ab.Intersect(bc).size(), 1u);
+  EXPECT_TRUE(ab.Intersect(bc).Contains('b'));
+  EXPECT_EQ(ab.Minus(bc).size(), 1u);
+  EXPECT_TRUE(ab.Minus(bc).Contains('a'));
+  EXPECT_EQ(ab.Complement().size(), 254u);
+  EXPECT_FALSE(ab.Complement().Contains('a'));
+}
+
+TEST(CharSetTest, Range) {
+  CharSet digits = CharSet::Range('0', '9');
+  EXPECT_EQ(digits.size(), 10u);
+  EXPECT_TRUE(digits.Contains('5'));
+  EXPECT_FALSE(digits.Contains('a'));
+}
+
+TEST(CharSetTest, AnyMemberPrefersPrintable) {
+  CharSet s = CharSet::OfString("xyz");
+  char m = s.AnyMember();
+  EXPECT_TRUE(s.Contains(m));
+  EXPECT_GE(m, 'x');
+}
+
+TEST(CharSetTest, ToStringForms) {
+  EXPECT_EQ(CharSet::Any().ToString(), ".");
+  EXPECT_EQ(CharSet::Of('a').ToString(), "a");
+  std::string cls = CharSet::Range('a', 'f').ToString();
+  EXPECT_EQ(cls.front(), '[');
+  EXPECT_EQ(cls.back(), ']');
+  // Large sets print complemented.
+  EXPECT_EQ(CharSet::Of(',').Complement().ToString().substr(0, 2), "[^");
+}
+
+TEST(CharSetTest, HashDistinguishes) {
+  EXPECT_NE(CharSet::Of('a').Hash(), CharSet::Of('b').Hash());
+  EXPECT_EQ(CharSet::OfString("ab").Hash(), CharSet::OfString("ba").Hash());
+}
+
+}  // namespace
+}  // namespace spanners

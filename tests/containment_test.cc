@@ -1,0 +1,192 @@
+// Tests for containment (Theorems 6.4, 6.6, 6.7), cross-validated against
+// bounded semantic enumeration.
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "automata/thompson.h"
+#include "rgx/parser.h"
+#include "static_analysis/containment.h"
+#include "static_analysis/equivalence.h"
+#include "workload/generators.h"
+#include "workload/reductions.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(ContainmentTest, PlainRegularLanguages) {
+  EXPECT_TRUE(IsContainedIn(CompileToVa(P("ab")), CompileToVa(P("a*b*"))));
+  EXPECT_FALSE(IsContainedIn(CompileToVa(P("a*b*")), CompileToVa(P("ab"))));
+  EXPECT_TRUE(IsContainedIn(CompileToVa(P("a(b|c)")),
+                            CompileToVa(P("ab|ac"))));
+}
+
+TEST(ContainmentTest, SpannerContainment) {
+  // x{a*} ⊑ x{(a|b)*} (same variable, larger language).
+  EXPECT_TRUE(
+      IsContainedIn(CompileToVa(P("x{a*}")), CompileToVa(P("x{(a|b)*}"))));
+  EXPECT_FALSE(
+      IsContainedIn(CompileToVa(P("x{(a|b)*}")), CompileToVa(P("x{a*}"))));
+}
+
+TEST(ContainmentTest, DifferentVariablesNotContained) {
+  EXPECT_FALSE(
+      IsContainedIn(CompileToVa(P("x{a}")), CompileToVa(P("y{a}"))));
+}
+
+TEST(ContainmentTest, PartialVersusTotal) {
+  // x{a}b|a(y{b}) outputs {x..} and {y..}; x{a}b alone is contained in it.
+  VA big = CompileToVa(P("x{a}b|a(y{b})"));
+  VA small = CompileToVa(P("x{a}b"));
+  EXPECT_TRUE(IsContainedIn(small, big));
+  EXPECT_FALSE(IsContainedIn(big, small));
+}
+
+TEST(ContainmentTest, DanglingOpenEqualsNotOpening) {
+  // An automaton that opens x and never closes it produces the same
+  // mappings as one that never touches x.
+  VA dangling;
+  {
+    StateId q0 = dangling.AddState(), q1 = dangling.AddState(),
+            q2 = dangling.AddState();
+    dangling.SetInitial(q0);
+    dangling.AddFinal(q2);
+    dangling.AddOpen(q0, Variable::Intern("x"), q1);
+    dangling.AddChar(q1, CharSet::Of('a'), q2);
+  }
+  VA plain = CompileToVa(P("a"));
+  EXPECT_TRUE(IsContainedIn(dangling, plain));
+  EXPECT_TRUE(IsContainedIn(plain, dangling));
+  EXPECT_TRUE(AreEquivalentVa(dangling, plain));
+}
+
+TEST(ContainmentTest, EmptySpanVariables) {
+  VA a1 = CompileToVa(P("x{\\e}a"));
+  VA a2 = CompileToVa(P("x{\\e}a|x{a}"));
+  EXPECT_TRUE(IsContainedIn(a1, a2));
+  EXPECT_FALSE(IsContainedIn(a2, a1));
+}
+
+TEST(ContainmentTest, EquivalenceOfConversions) {
+  // The symbolic equivalence agrees with conversion pipelines.
+  RgxPtr g = P("x{a*}(y{b}|\\e)");
+  VA a = CompileToVa(g);
+  EXPECT_TRUE(AreEquivalentVa(a, MakeSequential(a)));
+  EXPECT_TRUE(AreEquivalentVa(a, Determinize(a)));
+}
+
+TEST(ContainmentTest, AgreesWithBoundedEnumeration) {
+  std::mt19937 rng(99);
+  workload::RandomRgxOptions opt;
+  opt.max_depth = 3;
+  opt.num_vars = 1;
+  opt.letters = "ab";
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    VA a1 = CompileToVa(workload::RandomRgx(opt, &rng));
+    VA a2 = CompileToVa(workload::RandomRgx(opt, &rng));
+    bool symbolic = IsContainedIn(a1, a2);
+    bool bounded = ContainedUpTo(a1, a2, "ab", 4);
+    // The bounded check can miss long counterexamples, but symbolic
+    // containment must imply bounded containment, and a bounded
+    // counterexample must refute symbolic containment.
+    if (symbolic) {
+      EXPECT_TRUE(bounded) << "trial " << trial;
+    }
+    if (!bounded) {
+      EXPECT_FALSE(symbolic) << "trial " << trial;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 40);
+}
+
+TEST(ContainmentDetSeqTest, MatchesGeneralAlgorithm) {
+  // Deterministic sequential point-disjoint pairs.
+  struct Case {
+    const char* a1;
+    const char* a2;
+  } cases[] = {
+      {"ab", "a*b*"},
+      {"x{a*}", "x{(a|b)*}"},
+      {"x{a}b", "x{a}(b|c)"},
+      {"x{a}(b)y{c}", "x{a}(b|c)y{c}"},
+  };
+  for (const Case& c : cases) {
+    VA a1 = Determinize(CompileToVa(P(c.a1)));
+    VA a2 = Determinize(CompileToVa(P(c.a2)));
+    ASSERT_TRUE(a1.IsDeterministic() && a2.IsDeterministic());
+    if (!IsSequentialVa(a1) || !IsSequentialVa(a2)) continue;
+    EXPECT_EQ(IsContainedInDetSeqPd(a1, a2), IsContainedIn(a1, a2))
+        << c.a1 << " vs " << c.a2;
+    EXPECT_EQ(IsContainedInDetSeqPd(a2, a1), IsContainedIn(a2, a1))
+        << c.a2 << " vs " << c.a1;
+  }
+}
+
+
+TEST(ContainmentTest, CounterexampleWitness) {
+  VA big = CompileToVa(P("x{(a|b)*}"));
+  VA small = CompileToVa(P("x{a*}"));
+  std::optional<ContainmentWitness> w = FindCounterexample(big, small);
+  ASSERT_TRUE(w.has_value());
+  // The witness mapping separates the two semantics on the witness doc.
+  MappingSet left = RunEval(big, w->doc);
+  MappingSet right = RunEval(small, w->doc);
+  EXPECT_TRUE(left.Contains(w->mapping));
+  EXPECT_FALSE(right.Contains(w->mapping));
+
+  EXPECT_FALSE(FindCounterexample(small, big).has_value());
+}
+
+TEST(ContainmentTest, CounterexampleOnVarFreeLanguages) {
+  VA a = CompileToVa(P("a+"));
+  VA b = CompileToVa(P("aa*b|\\e"));
+  std::optional<ContainmentWitness> w = FindCounterexample(a, b);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(RunEval(a, w->doc).empty());
+  EXPECT_TRUE(RunEval(b, w->doc).empty());
+}
+
+TEST(ContainmentReductionTest, DnfValidity) {
+  // Theorem 6.6: ⟦A1⟧ ⊆ ⟦A2⟧ iff the DNF is valid.
+  using workload::Dnf;
+  // p ∨ ¬p (padded to 3 literals over 3 props): valid.
+  Dnf valid;
+  valid.num_props = 3;
+  valid.clauses.push_back({{{0, true}, {1, true}, {2, true}}});
+  valid.clauses.push_back({{{0, false}, {1, true}, {2, true}}});
+  valid.clauses.push_back({{{0, true}, {1, false}, {2, true}}});
+  valid.clauses.push_back({{{0, true}, {1, true}, {2, false}}});
+  valid.clauses.push_back({{{0, false}, {1, false}, {2, true}}});
+  valid.clauses.push_back({{{0, false}, {1, true}, {2, false}}});
+  valid.clauses.push_back({{{0, true}, {1, false}, {2, false}}});
+  valid.clauses.push_back({{{0, false}, {1, false}, {2, false}}});
+  ASSERT_TRUE(workload::IsValidDnf(valid));
+  auto [v1, v2] = workload::DnfValidityToContainment(valid);
+  EXPECT_TRUE(IsContainedIn(v1, v2));
+
+  // A single clause over 3 props: not valid.
+  Dnf invalid;
+  invalid.num_props = 3;
+  invalid.clauses.push_back({{{0, true}, {1, true}, {2, true}}});
+  ASSERT_FALSE(workload::IsValidDnf(invalid));
+  auto [i1, i2] = workload::DnfValidityToContainment(invalid);
+  EXPECT_FALSE(IsContainedIn(i1, i2));
+}
+
+TEST(ContainmentReductionTest, RandomDnfAgainstBruteForce) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    workload::Dnf dnf = workload::RandomDnf(3, 3 + trial, &rng);
+    auto [a1, a2] = workload::DnfValidityToContainment(dnf);
+    EXPECT_EQ(IsContainedIn(a1, a2), workload::IsValidDnf(dnf))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,248 @@
+// Tests for spans, documents, variables and mappings (paper §2).
+#include <gtest/gtest.h>
+
+#include "core/document.h"
+#include "core/mapping.h"
+#include "core/span.h"
+#include "core/variable.h"
+
+namespace spanners {
+namespace {
+
+TEST(SpanTest, ContentConvention) {
+  // The paper's running example: d0 = "Information extraction".
+  Document d("Information extraction");
+  EXPECT_EQ(d.length(), 23u - 1u);
+  EXPECT_EQ(d.content(Span(1, 23)), "Information extraction");
+  EXPECT_EQ(d.content(Span(1, 12)), "Information");
+  EXPECT_EQ(d.content(Span(13, 23)), "extraction");
+  EXPECT_EQ(d.content(Span(5, 5)), "");  // i == j spans ε
+}
+
+TEST(SpanTest, Validity) {
+  Document d("abc");
+  EXPECT_TRUE(d.IsValidSpan(Span(1, 1)));
+  EXPECT_TRUE(d.IsValidSpan(Span(1, 4)));
+  EXPECT_TRUE(d.IsValidSpan(Span(4, 4)));
+  EXPECT_FALSE(d.IsValidSpan(Span(0, 2)));
+  EXPECT_FALSE(d.IsValidSpan(Span(2, 5)));
+}
+
+TEST(SpanTest, AllSpansCount) {
+  Document d("abc");  // n = 3 -> (n+1)(n+2)/2 = 10 spans
+  EXPECT_EQ(d.AllSpans().size(), 10u);
+}
+
+TEST(SpanTest, Concat) {
+  Span a(1, 4), b(4, 7), c(5, 7);
+  ASSERT_TRUE(a.Concat(b).has_value());
+  EXPECT_EQ(*a.Concat(b), Span(1, 7));
+  EXPECT_FALSE(a.Concat(c).has_value());
+}
+
+TEST(SpanTest, Containment) {
+  EXPECT_TRUE(Span(2, 4).ContainedIn(Span(1, 5)));
+  EXPECT_TRUE(Span(2, 4).ContainedIn(Span(2, 4)));
+  EXPECT_FALSE(Span(1, 5).ContainedIn(Span(2, 4)));
+}
+
+TEST(SpanTest, Disjointness) {
+  EXPECT_TRUE(Span(1, 3).DisjointWith(Span(3, 5)));
+  EXPECT_FALSE(Span(1, 4).DisjointWith(Span(3, 5)));
+}
+
+TEST(SpanTest, PointDisjointness) {
+  // (1,3) and (3,5) are disjoint as intervals but share the point 3.
+  EXPECT_TRUE(Span(1, 3).DisjointWith(Span(3, 5)));
+  EXPECT_FALSE(Span(1, 3).PointDisjointWith(Span(3, 5)));
+  EXPECT_TRUE(Span(1, 3).PointDisjointWith(Span(4, 6)));
+}
+
+TEST(SpanTest, HierarchicalPair) {
+  EXPECT_TRUE(HierarchicalPair(Span(1, 5), Span(2, 3)));
+  EXPECT_TRUE(HierarchicalPair(Span(1, 2), Span(3, 4)));
+  EXPECT_FALSE(HierarchicalPair(Span(1, 4), Span(2, 6)));  // overlap
+}
+
+TEST(VariableTest, InterningIsStable) {
+  VarId x1 = Variable::Intern("x");
+  VarId x2 = Variable::Intern("x");
+  VarId y = Variable::Intern("y");
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, y);
+  EXPECT_EQ(Variable::Name(x1), "x");
+  EXPECT_EQ(Variable::Name(y), "y");
+}
+
+TEST(VarSetTest, SetAlgebra) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y"),
+        z = Variable::Intern("z");
+  VarSet a({x, y});
+  VarSet b({y, z});
+  EXPECT_TRUE(a.Contains(x));
+  EXPECT_FALSE(a.Contains(z));
+  EXPECT_EQ(a.Union(b).size(), 3u);
+  EXPECT_EQ(a.Intersect(b).size(), 1u);
+  EXPECT_TRUE(a.Intersect(b).Contains(y));
+  EXPECT_EQ(a.Minus(b).size(), 1u);
+  EXPECT_FALSE(a.DisjointWith(b));
+  EXPECT_TRUE(VarSet({x}).SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+}
+
+TEST(MappingTest, EmptyMapping) {
+  Mapping m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.Domain().empty());
+  EXPECT_FALSE(m.Defines(Variable::Intern("x")));
+}
+
+TEST(MappingTest, SetGetErase) {
+  VarId x = Variable::Intern("x");
+  Mapping m;
+  m.Set(x, Span(1, 4));
+  ASSERT_TRUE(m.Defines(x));
+  EXPECT_EQ(*m.Get(x), Span(1, 4));
+  m.Set(x, Span(2, 5));
+  EXPECT_EQ(*m.Get(x), Span(2, 5));
+  m.Erase(x);
+  EXPECT_FALSE(m.Defines(x));
+}
+
+TEST(MappingTest, CompatibilityAndUnion) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  Mapping m1 = Mapping::Single(x, Span(1, 4));
+  Mapping m2 = Mapping::Single(y, Span(4, 7));
+  Mapping m3 = Mapping::Single(x, Span(2, 4));
+  EXPECT_TRUE(m1.CompatibleWith(m2));   // disjoint domains
+  EXPECT_FALSE(m1.CompatibleWith(m3));  // disagree on x
+  EXPECT_TRUE(m1.CompatibleWith(m1));
+
+  std::optional<Mapping> u = Mapping::TryUnion(m1, m2);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u->Get(x), Span(1, 4));
+  EXPECT_EQ(*u->Get(y), Span(4, 7));
+  EXPECT_FALSE(Mapping::TryUnion(m1, m3).has_value());
+}
+
+TEST(MappingTest, SubmappingOf) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  Mapping small = Mapping::Single(x, Span(1, 2));
+  Mapping big = small;
+  big.Set(y, Span(2, 3));
+  EXPECT_TRUE(small.SubmappingOf(big));
+  EXPECT_FALSE(big.SubmappingOf(small));
+  EXPECT_TRUE(Mapping::Empty().SubmappingOf(small));
+}
+
+TEST(MappingTest, Hierarchical) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  Mapping nested = Mapping::Single(x, Span(1, 6));
+  nested.Set(y, Span(2, 4));
+  EXPECT_TRUE(nested.IsHierarchical());
+
+  Mapping overlap = Mapping::Single(x, Span(1, 4));
+  overlap.Set(y, Span(2, 6));
+  EXPECT_FALSE(overlap.IsHierarchical());
+}
+
+TEST(MappingTest, PointDisjoint) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  Mapping m = Mapping::Single(x, Span(1, 3));
+  m.Set(y, Span(4, 6));
+  EXPECT_TRUE(m.IsPointDisjoint());
+  m.Set(y, Span(3, 6));  // touches x's right endpoint
+  EXPECT_FALSE(m.IsPointDisjoint());
+}
+
+TEST(MappingTest, Project) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  Mapping m = Mapping::Single(x, Span(1, 3));
+  m.Set(y, Span(4, 6));
+  Mapping p = m.Project(VarSet({x}));
+  EXPECT_TRUE(p.Defines(x));
+  EXPECT_FALSE(p.Defines(y));
+}
+
+TEST(MappingSetTest, DedupAndUnion) {
+  VarId x = Variable::Intern("x");
+  MappingSet s;
+  s.Insert(Mapping::Single(x, Span(1, 2)));
+  s.Insert(Mapping::Single(x, Span(1, 2)));
+  EXPECT_EQ(s.size(), 1u);
+  MappingSet t;
+  t.Insert(Mapping::Single(x, Span(2, 3)));
+  EXPECT_EQ(MappingSet::Union(s, t).size(), 2u);
+}
+
+TEST(MappingSetTest, JoinSemantics) {
+  // M1 ⋈ M2 from the paper: union compatible pairs.
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  MappingSet m1;
+  m1.Insert(Mapping::Single(x, Span(1, 2)));
+  m1.Insert(Mapping::Single(x, Span(2, 3)));
+  MappingSet m2;
+  m2.Insert(Mapping::Single(x, Span(1, 2)));  // compatible with first only
+  m2.Insert(Mapping::Single(y, Span(5, 6)));  // compatible with both
+  MappingSet j = MappingSet::Join(m1, m2);
+  // {x->(1,2)}, {x->(1,2),y->(5,6)}, {x->(2,3),y->(5,6)}
+  EXPECT_EQ(j.size(), 3u);
+  Mapping expect = Mapping::Single(x, Span(2, 3));
+  expect.Set(y, Span(5, 6));
+  EXPECT_TRUE(j.Contains(expect));
+}
+
+TEST(MappingSetTest, JoinWithEmptyMappingActsAsTrue) {
+  // The empty mapping is the join identity (it represents TRUE).
+  VarId x = Variable::Intern("x");
+  MappingSet truth;
+  truth.Insert(Mapping::Empty());
+  MappingSet m;
+  m.Insert(Mapping::Single(x, Span(1, 2)));
+  EXPECT_EQ(MappingSet::Join(truth, m).size(), 1u);
+  EXPECT_TRUE(MappingSet::Join(truth, m).Contains(Mapping::Single(x, Span(1, 2))));
+}
+
+TEST(ExtendedMappingTest, States) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y"),
+        z = Variable::Intern("z");
+  ExtendedMapping em;
+  em.Assign(x, Span(1, 2));
+  em.AssignBottom(y);
+  EXPECT_EQ(em.StateOf(x), ExtendedMapping::VarState::kAssigned);
+  EXPECT_EQ(em.StateOf(y), ExtendedMapping::VarState::kBottom);
+  EXPECT_EQ(em.StateOf(z), ExtendedMapping::VarState::kUnconstrained);
+  em.Clear(y);
+  EXPECT_EQ(em.StateOf(y), ExtendedMapping::VarState::kUnconstrained);
+}
+
+TEST(ExtendedMappingTest, ExtendedBy) {
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  ExtendedMapping em;
+  em.Assign(x, Span(1, 2));
+  em.AssignBottom(y);
+
+  Mapping good = Mapping::Single(x, Span(1, 2));
+  EXPECT_TRUE(em.ExtendedBy(good));
+
+  Mapping wrong_span = Mapping::Single(x, Span(1, 3));
+  EXPECT_FALSE(em.ExtendedBy(wrong_span));
+
+  Mapping defines_bottom = good;
+  defines_bottom.Set(y, Span(2, 2));
+  EXPECT_FALSE(em.ExtendedBy(defines_bottom));
+
+  Mapping missing_x = Mapping::Empty();
+  EXPECT_FALSE(em.ExtendedBy(missing_x));
+}
+
+TEST(ExtendedMappingTest, FromMappingRoundTrip) {
+  VarId x = Variable::Intern("x");
+  Mapping m = Mapping::Single(x, Span(3, 7));
+  ExtendedMapping em = ExtendedMapping::FromMapping(m);
+  EXPECT_TRUE(em.ExtendedBy(m));
+  EXPECT_EQ(em.AssignedPart(), m);
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,160 @@
+// Tests for ν and cycle elimination (Theorem 4.7). Equivalence is modulo
+// projecting away the auxiliary variables the construction introduces.
+#include <gtest/gtest.h>
+
+#include "rgx/parser.h"
+#include "rgx/printer.h"
+#include "rules/cycle_elim.h"
+#include "rules/graph.h"
+#include "rules/rule_eval.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+ExtractionRule R(std::string_view text) {
+  return ExtractionRule::Parse(text).ValueOrDie();
+}
+
+void ExpectEquivalentModuloAux(const ExtractionRule& original,
+                               const CycleElimResult& elim,
+                               const std::vector<const char*>& docs) {
+  VarSet original_vars = original.AllVars();
+  for (const char* txt : docs) {
+    Document d(txt);
+    MappingSet want = RuleReferenceEval(original, d);
+    MappingSet got =
+        RuleReferenceEval(elim.rule, d).Project(original_vars);
+    EXPECT_EQ(got, want) << "doc \"" << txt << "\"\noriginal  "
+                         << original.ToString() << "\nrewritten "
+                         << elim.rule.ToString();
+  }
+}
+
+TEST(NuTest, LettersAreBlack) {
+  EXPECT_EQ(Nu(P("a")), nullptr);
+  EXPECT_EQ(Nu(P("a|b")), nullptr);
+  EXPECT_EQ(Nu(P("x{.*}a")), nullptr);  // concat with a letter
+}
+
+TEST(NuTest, VariablesSurvive) {
+  RgxPtr nu = Nu(P("x{.*}"));
+  ASSERT_NE(nu, nullptr);
+  EXPECT_EQ(nu->kind(), RgxKind::kVar);
+}
+
+TEST(NuTest, DisjunctionDropsBlackBranches) {
+  RgxPtr nu = Nu(P("a|x{.*}"));
+  ASSERT_NE(nu, nullptr);
+  EXPECT_EQ(nu->kind(), RgxKind::kVar);  // only the x branch survives
+}
+
+TEST(NuTest, StarBecomesEpsilon) {
+  RgxPtr nu = Nu(P("a*"));
+  ASSERT_NE(nu, nullptr);
+  EXPECT_EQ(nu->kind(), RgxKind::kEpsilon);
+}
+
+TEST(NuTest, ConcatOfVars) {
+  RgxPtr nu = Nu(P("x{.*}a*y{.*}"));
+  ASSERT_NE(nu, nullptr);
+  // x · ε · y
+  EXPECT_EQ(ToPattern(nu), ToPattern(P("x{.*}\\ey{.*}")));
+}
+
+TEST(CycleElimTest, AcyclicRuleUnchangedSemantics) {
+  ExtractionRule r = R("a(x{.*}) && x.(b*)");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok()) << elim.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim->rule).IsDagLike());
+  ExpectEquivalentModuloAux(r, *elim, {"", "a", "ab", "abb"});
+}
+
+TEST(CycleElimTest, SimpleTwoCycle) {
+  // x.y ∧ y.x: all members equal.
+  ExtractionRule r = R("a(x{.*}) && x.(y{.*}) && y.(x{.*})");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok()) << elim.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim->rule).IsDagLike());
+  ExpectEquivalentModuloAux(r, *elim, {"", "a", "ab", "abc"});
+}
+
+TEST(CycleElimTest, PaperExampleThreeCycleWithTail) {
+  // The paper's example: x.y ∧ y.z ∧ z.ux  ⇒
+  //   w.x ∧ x.y ∧ y.z ∧ z.u·Σ* ∧ u.ε  (w auxiliary).
+  ExtractionRule r =
+      R("a(x{.*}) && x.(y{.*}) && y.(z{.*}) && z.(u{.*}x{.*})");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok()) << elim.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim->rule).IsDagLike());
+  EXPECT_FALSE(elim->aux_vars.empty());
+  ExpectEquivalentModuloAux(r, *elim, {"", "a", "ab", "abc"});
+}
+
+TEST(CycleElimTest, RedCycleIsUnsatisfiable) {
+  // x.y ∧ y.ax: the letter forces strict containment — unsatisfiable.
+  ExtractionRule r = R("x{.*} && x.(y{.*}) && y.(a(x{.*}))");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok());
+  for (const char* txt : {"", "a", "aa"})
+    EXPECT_TRUE(RuleReferenceEval(elim->rule, Document(txt)).empty()) << txt;
+}
+
+TEST(CycleElimTest, SelfReferenceIsDeadBranch) {
+  // Under the Table 2 semantics, x inside its own constraint can never
+  // bind: x.(x) is unsatisfiable when x is instantiated...
+  ExtractionRule r = R("a(x{.*})b && x.(x{.*})");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok()) << elim.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim->rule).IsDagLike());
+  ExpectEquivalentModuloAux(r, *elim, {"ab", "acb", "b"});
+
+  // Note: a live non-self branch (x.(x|c*)) would not be functional —
+  // under Theorem 4.7's functionality precondition every self-referential
+  // constraint is dead when instantiated. Both branches self-referential:
+  ExtractionRule r2 = R("a(x{.*})b && x.((x{.*})|c(x{.*}))");
+  Result<CycleElimResult> elim2 = EliminateCycles(r2);
+  ASSERT_TRUE(elim2.ok()) << elim2.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim2->rule).IsDagLike());
+  ExpectEquivalentModuloAux(r2, *elim2, {"ab", "acb", "b", "accb"});
+}
+
+TEST(CycleElimTest, SelfLoopRed) {
+  // x.ax is unsatisfiable.
+  ExtractionRule r = R("x{.*} && x.(a(x{.*}))");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok());
+  for (const char* txt : {"", "a", "aa"})
+    EXPECT_TRUE(RuleReferenceEval(elim->rule, Document(txt)).empty()) << txt;
+}
+
+TEST(CycleElimTest, ChordalCycleForcesEmpty) {
+  // x.yz ∧ y.x ∧ z.x: chordal SCC, all members ε at one point.
+  ExtractionRule r =
+      R("a(x{.*}) && x.(y{.*}z{.*}) && y.(x{.*}) && z.(x{.*})");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok()) << elim.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim->rule).IsDagLike());
+  ExpectEquivalentModuloAux(r, *elim, {"", "a", "ab"});
+}
+
+TEST(CycleElimTest, DownstreamOfCycleForcedEmpty) {
+  // u is referenced from inside a cycle: its content must be ε, and its
+  // own constraint must still hold.
+  ExtractionRule r =
+      R("a(x{.*}) && x.(y{.*}) && y.(u{.*}x{.*}) && u.(b*)");
+  Result<CycleElimResult> elim = EliminateCycles(r);
+  ASSERT_TRUE(elim.ok()) << elim.status().ToString();
+  EXPECT_TRUE(RuleGraph(elim->rule).IsDagLike());
+  ExpectEquivalentModuloAux(r, *elim, {"", "a", "ab"});
+}
+
+TEST(CycleElimTest, RequiresSimpleFunctionalRule) {
+  ExtractionRule not_simple = R("x{.*} && x.(a) && x.(b)");
+  EXPECT_FALSE(EliminateCycles(not_simple).ok());
+  ExtractionRule not_functional = R("x{.*}|y{.*} && x.(a)");
+  EXPECT_FALSE(EliminateCycles(not_functional).ok());
+}
+
+}  // namespace
+}  // namespace spanners

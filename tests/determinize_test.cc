@@ -1,0 +1,75 @@
+// Tests for determinization (Prop 6.5) and CharSet atom partitioning.
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/run_eval.h"
+#include "automata/thompson.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(PartitionAtomsTest, DisjointInputStaysIntact) {
+  std::vector<CharSet> atoms =
+      PartitionAtoms({CharSet::Of('a'), CharSet::Of('b')});
+  EXPECT_EQ(atoms.size(), 2u);
+}
+
+TEST(PartitionAtomsTest, OverlapSplits) {
+  std::vector<CharSet> atoms =
+      PartitionAtoms({CharSet::Range('a', 'f'), CharSet::Range('d', 'k')});
+  // Expected atoms: [a-c], [d-f], [g-k].
+  EXPECT_EQ(atoms.size(), 3u);
+  size_t total = 0;
+  for (const CharSet& a : atoms) {
+    total += a.size();
+    for (const CharSet& b : atoms) {
+      if (&a != &b) {
+        EXPECT_TRUE(a.Intersect(b).empty());
+      }
+    }
+  }
+  EXPECT_EQ(total, 11u);  // a..k
+}
+
+TEST(PartitionAtomsTest, EmptyInput) {
+  EXPECT_TRUE(PartitionAtoms({}).empty());
+}
+
+TEST(DeterminizeTest, OutputIsDeterministic) {
+  for (const char* pat : {"a*b|ab*", "x{a*}y{b*}", "(x{a}|a)*",
+                          "x{[a-f]*}|y{[d-k]*}"}) {
+    VA d = Determinize(CompileToVa(P(pat)));
+    EXPECT_TRUE(d.IsDeterministic()) << pat;
+  }
+}
+
+TEST(DeterminizeTest, PreservesSemantics) {
+  const char* patterns[] = {"a*b|ab*", "x{a*}y{b*}", "(x{a}|a)*",
+                            "x{a}x{b}", "x{[^,]*}(, y{[^,]*}|\\e)"};
+  const char* docs[] = {"", "a", "ab", "aabb", "b,c"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    VA d = Determinize(a);
+    for (const char* txt : docs) {
+      Document doc(txt);
+      EXPECT_EQ(RunEval(d, doc), RunEval(a, doc)) << pat << " on " << txt;
+    }
+  }
+}
+
+TEST(DeterminizeTest, DeterministicRunsAreUnambiguousOnLabels) {
+  // For a deterministic VA, every (document, mapping) pair has exactly one
+  // run per label ordering; semantics must still match.
+  VA a = CompileToVa(P("x{a|b}(c|d)"));
+  VA d = Determinize(a);
+  Document doc("ac");
+  MappingSet out = RunEval(d, doc);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Mapping::Single(Variable::Intern("x"), Span(1, 2))));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,208 @@
+// Tests for the Eval decision procedures (Theorems 5.7 and 5.10) and the
+// polynomial-delay enumerator (Theorem 5.1 / Algorithm 1), validated
+// against brute-force run semantics.
+#include <gtest/gtest.h>
+
+#include "automata/enumerate.h"
+#include "automata/fpt.h"
+#include "automata/matcher.h"
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "automata/thompson.h"
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+#include "rgx/reference_eval.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+// Brute-force Eval: ∃µ' ∈ RunEval(a, d) with µ ⊆ µ'.
+bool BruteEval(const VA& a, const Document& d, const ExtendedMapping& mu) {
+  for (const Mapping& m : RunEval(a, d))
+    if (mu.ExtendedBy(m)) return true;
+  return false;
+}
+
+// Exhaustively compares an Eval implementation against brute force on
+// every single-variable constraint and a sample of two-variable ones.
+void CheckEvalAgainstBrute(
+    const VA& a, const Document& d,
+    const std::function<bool(const ExtendedMapping&)>& eval) {
+  // Empty constraint.
+  EXPECT_EQ(eval(ExtendedMapping()), BruteEval(a, d, ExtendedMapping()));
+  std::vector<VarId> vars = a.Vars().ids();
+  std::vector<Span> spans = d.AllSpans();
+  for (VarId x : vars) {
+    {
+      ExtendedMapping mu;
+      mu.AssignBottom(x);
+      EXPECT_EQ(eval(mu), BruteEval(a, d, mu)) << "x=⊥";
+    }
+    for (const Span& s : spans) {
+      ExtendedMapping mu;
+      mu.Assign(x, s);
+      EXPECT_EQ(eval(mu), BruteEval(a, d, mu))
+          << Variable::Name(x) << " -> " << s.ToString();
+    }
+  }
+  // Pairs (first two vars, coarse sweep).
+  if (vars.size() >= 2) {
+    for (const Span& s1 : spans) {
+      for (const Span& s2 : spans) {
+        ExtendedMapping mu;
+        mu.Assign(vars[0], s1);
+        mu.Assign(vars[1], s2);
+        EXPECT_EQ(eval(mu), BruteEval(a, d, mu))
+            << s1.ToString() << "/" << s2.ToString();
+      }
+    }
+  }
+}
+
+TEST(EvalSequentialTest, AgreesWithBruteForce) {
+  const char* patterns[] = {"x{a*}y{b*}", "x{a}|x{b}", "x{a(y{b})}c",
+                            "a*x{b*}a*", "x{[^,]*}(, y{[^,]*}|\\e)"};
+  const char* docs[] = {"", "a", "ab", "aabb", "b,cd"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    ASSERT_TRUE(IsSequentialVa(a)) << pat;
+    for (const char* txt : docs) {
+      SCOPED_TRACE(std::string(pat) + " on \"" + txt + "\"");
+      Document d(txt);
+      CheckEvalAgainstBrute(a, d, [&](const ExtendedMapping& mu) {
+        return EvalSequential(a, d, mu);
+      });
+    }
+  }
+}
+
+TEST(EvalSequentialTest, AssignedVariableAbsentFromAutomatonRejects) {
+  VA a = CompileToVa(P("x{a}"));
+  Document d("a");
+  ExtendedMapping mu;
+  mu.Assign(Variable::Intern("zz_unknown"), Span(1, 1));
+  EXPECT_FALSE(EvalSequential(a, d, mu));
+  // ⊥ for an absent variable is trivially satisfiable.
+  ExtendedMapping mu2;
+  mu2.AssignBottom(Variable::Intern("zz_unknown"));
+  EXPECT_TRUE(EvalSequential(a, d, mu2));
+}
+
+TEST(EvalSequentialTest, InvalidSpanRejects) {
+  VA a = CompileToVa(P("x{a}"));
+  Document d("a");
+  ExtendedMapping mu;
+  mu.Assign(Variable::Intern("x"), Span(1, 9));  // out of bounds
+  EXPECT_FALSE(EvalSequential(a, d, mu));
+}
+
+TEST(EvalVaTest, AgreesWithBruteForceOnNonSequential) {
+  // Non-sequential automata: the FPT evaluator must handle them.
+  const char* patterns[] = {"(x{a}|a)*", "(x{(a|b)*}|y{(a|b)*})*",
+                            "x{a}x{b}", "x{x{a}}"};
+  const char* docs[] = {"", "a", "aa", "ab", "abab"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    for (const char* txt : docs) {
+      SCOPED_TRACE(std::string(pat) + " on \"" + txt + "\"");
+      Document d(txt);
+      CheckEvalAgainstBrute(
+          a, d, [&](const ExtendedMapping& mu) { return EvalVa(a, d, mu); });
+    }
+  }
+}
+
+TEST(EvalVaTest, DanglingOpenAutomaton) {
+  // Accepting run opens x, never closes: Eval(x=⊥) true, Eval(x=s) false.
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q2);
+
+  Document d("a");
+  ExtendedMapping bottom;
+  bottom.AssignBottom(x);
+  EXPECT_TRUE(EvalVa(a, d, bottom));
+  ExtendedMapping assigned;
+  assigned.Assign(x, Span(1, 2));
+  EXPECT_FALSE(EvalVa(a, d, assigned));
+}
+
+TEST(EnumerateTest, SequentialEnumerationMatchesRunSemantics) {
+  const char* patterns[] = {"x{a*}y{b*}", "x{a}|x{b}",
+                            "x{[^,]*}(, y{[^,]*}|\\e)", "a*x{b*}a*"};
+  const char* docs[] = {"", "ab", "aabb", "x,y"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    for (const char* txt : docs) {
+      Document d(txt);
+      EXPECT_EQ(EnumerateSequential(a, d), RunEval(a, d))
+          << pat << " on " << txt;
+    }
+  }
+}
+
+TEST(EnumerateTest, GeneralEnumerationMatchesRunSemantics) {
+  const char* patterns[] = {"(x{a}|a)*", "x{a}x{b}",
+                            "(x{(a|b)*}|y{(a|b)*})*"};
+  const char* docs[] = {"", "a", "aa", "abab"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    for (const char* txt : docs) {
+      Document d(txt);
+      EXPECT_EQ(EnumerateVa(a, d), RunEval(a, d)) << pat << " on " << txt;
+    }
+  }
+}
+
+TEST(EnumerateTest, NoDuplicates) {
+  VA a = CompileToVa(P("(x{(a|b)*}|y{(a|b)*})*"));
+  Document d("abab");
+  MappingEnumerator e = MakeVaEnumerator(a, d);
+  std::vector<Mapping> seen;
+  while (std::optional<Mapping> m = e.Next()) {
+    for (const Mapping& prev : seen) EXPECT_FALSE(prev == *m);
+    seen.push_back(*std::move(m));
+  }
+  EXPECT_EQ(seen.size(), RunEval(a, d).size());
+}
+
+TEST(EnumerateTest, EmptySemanticsYieldsNothing) {
+  VA a = CompileToVa(P("x{x{a}}"));
+  Document d("a");
+  MappingEnumerator e = MakeVaEnumerator(a, d);
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+TEST(EnumerateTest, VarFreeExpressionYieldsEmptyMappingOnce) {
+  VA a = CompileToVa(P("a*b"));
+  Document yes("aab");
+  MappingEnumerator e = MakeSequentialEnumerator(a, yes);
+  std::optional<Mapping> first = e.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->empty());
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+TEST(EnumerateTest, OracleCallsBoundedBetweenOutputs) {
+  // Polynomial-delay witness: between consecutive outputs, at most
+  // |vars| · (|spans|+1) + 1 oracle calls.
+  VA a = CompileToVa(P("x{a*}y{b*}(z{a}|\\e)"));
+  Document d("aabba");
+  size_t k = a.Vars().size();
+  size_t bound = k * (d.AllSpans().size() + 1) + 1;
+  MappingEnumerator e = MakeSequentialEnumerator(a, d);
+  size_t last = 0;
+  while (e.Next().has_value()) {
+    EXPECT_LE(e.oracle_calls() - last, bound);
+    last = e.oracle_calls();
+  }
+}
+
+}  // namespace
+}  // namespace spanners

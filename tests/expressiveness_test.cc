@@ -1,0 +1,144 @@
+// Consolidated expressiveness checks for §4 of the paper: the hierarchy
+// among RGX, VAstk, hierarchical VA, general VA, and extraction rules.
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/run_eval.h"
+#include "automata/state_elim.h"
+#include "automata/thompson.h"
+#include "rgx/parser.h"
+#include "rgx/printer.h"
+#include "rgx/reference_eval.h"
+#include "rgx/simplify.h"
+#include "rules/rule_eval.h"
+#include "static_analysis/containment.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(ExpressivenessTest, RgxEqualsVaStk) {
+  // Theorem 4.3 both ways on a formula with nesting, disjunction over
+  // variables, and partial outputs.
+  RgxPtr g = P("x{a(y{b*})}c|x{ab*}d");
+  VA va = CompileToVa(g);
+  // VA and VAstk semantics coincide on Thompson images...
+  for (const char* txt : {"abc", "abbd", "ac", "d"}) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(va, d), RunEvalStack(va, d)) << txt;
+    EXPECT_EQ(RunEval(va, d), ReferenceEval(g, d)) << txt;
+  }
+  // ...and the automaton converts back to an equivalent RGX.
+  RgxPtr back = SimplifyRgx(VaToRgx(va).ValueOrDie());
+  for (const char* txt : {"abc", "abbd", "ac"}) {
+    Document d(txt);
+    EXPECT_EQ(ReferenceEval(back, d), ReferenceEval(g, d))
+        << ToPattern(back) << " on " << txt;
+  }
+}
+
+TEST(ExpressivenessTest, HierarchicalVaEqualsRgx) {
+  // Theorem 4.4: a hand-built hierarchical (but not stack-ordered) VA
+  // converts to RGX. Ops at one position reorder into nesting.
+  VA a;
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState(),
+          q3 = a.AddState(), q4 = a.AddState(), q5 = a.AddState(),
+          q6 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q6);
+  // y opens first, x second (same position), but y closes first too —
+  // x ⊆ y fails; their spans nest the other way: reorder needed.
+  a.AddOpen(q0, y, q1);
+  a.AddOpen(q1, x, q2);
+  a.AddChar(q2, CharSet::Of('a'), q3);
+  a.AddClose(q3, y, q4);  // y = x's span — same endpoints
+  a.AddClose(q4, x, q5);
+  a.AddEpsilon(q5, q6);
+  Result<RgxPtr> back = VaToRgx(a);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  Document d("a");
+  EXPECT_EQ(ReferenceEval(*back, d), RunEval(a, d));
+  Mapping m = Mapping::Single(x, Span(1, 2));
+  m.Set(y, Span(1, 2));
+  EXPECT_TRUE(RunEval(a, d).Contains(m));
+}
+
+TEST(ExpressivenessTest, GeneralVaStrictlyStrongerThanRgx) {
+  // §3.2 / Theorem 4.4: a non-hierarchical VA has no RGX equivalent; our
+  // converter reports that instead of silently dropping mappings.
+  VA overlap;
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  StateId s0 = overlap.AddState(), s1 = overlap.AddState(),
+          s2 = overlap.AddState(), s3 = overlap.AddState(),
+          s4 = overlap.AddState(), s5 = overlap.AddState(),
+          s6 = overlap.AddState(), s7 = overlap.AddState();
+  overlap.SetInitial(s0);
+  overlap.AddFinal(s7);
+  overlap.AddOpen(s0, x, s1);
+  overlap.AddChar(s1, CharSet::Of('a'), s2);
+  overlap.AddOpen(s2, y, s3);
+  overlap.AddChar(s3, CharSet::Of('b'), s4);
+  overlap.AddClose(s4, x, s5);
+  overlap.AddChar(s5, CharSet::Of('c'), s6);
+  overlap.AddClose(s6, y, s7);
+  EXPECT_FALSE(RunEval(overlap, Document("abc")).IsHierarchical());
+  EXPECT_FALSE(VaToRgx(overlap).ok());
+}
+
+TEST(ExpressivenessTest, RulesExpressNonHierarchicalMappings) {
+  // Theorem 4.6 direction 1: the rule x ∧ x.Σ*yΣ* ∧ x.Σ*zΣ* produces
+  // overlapping y/z — no RGX can (RGX outputs are hierarchical; checked
+  // as a property test over random RGX elsewhere).
+  ExtractionRule rule =
+      ExtractionRule::Parse("x{.*} && x.(.*y{.*}.*) && x.(.*z{.*}.*)")
+          .ValueOrDie();
+  MappingSet out = RuleReferenceEval(rule, Document("aaa"));
+  EXPECT_FALSE(out.IsHierarchical());
+}
+
+TEST(ExpressivenessTest, RgxDisjunctionOfVariablesVsRules) {
+  // Theorem 4.6 direction 2 witness behaviour: γ = (a·x{b}) ∨ (b·x{a})
+  // accepts exactly two document-mapping pairs; the naive single rule
+  // ax ∨ bx ∧ x.(a ∨ b) accepts a third (d = aa), as in the paper's
+  // proof. Union-of-rules, however, captures γ exactly (Theorem 4.10).
+  RgxPtr g = P("a(x{b})|b(x{a})");
+  VarId x = Variable::Intern("x");
+  MappingSet on_ab = ReferenceEval(g, Document("ab"));
+  MappingSet on_ba = ReferenceEval(g, Document("ba"));
+  MappingSet on_aa = ReferenceEval(g, Document("aa"));
+  EXPECT_TRUE(on_ab.Contains(Mapping::Single(x, Span(2, 3))));
+  EXPECT_TRUE(on_ba.Contains(Mapping::Single(x, Span(2, 3))));
+  EXPECT_TRUE(on_aa.empty());
+
+  ExtractionRule naive =
+      ExtractionRule::Parse("a(x{.*})|b(x{.*}) && x.(a|b)").ValueOrDie();
+  MappingSet naive_aa = RuleReferenceEval(naive, Document("aa"));
+  EXPECT_FALSE(naive_aa.empty());  // the paper's counterexample pair
+}
+
+TEST(ExpressivenessTest, AlgebraReachesBeyondStackAutomata) {
+  // Theorem 4.5: VAstk^{∪,π,⋈} ≡ VA — a join of two stack-producible
+  // spanners yields the overlap pattern no single RGX produces.
+  VA a1 = CompileToVa(P("x{ab}c"));
+  VA a2 = CompileToVa(P("a(y{bc})"));
+  VA j = JoinVa(a1, a2);
+  EXPECT_FALSE(RunEval(j, Document("abc")).IsHierarchical());
+  EXPECT_FALSE(VaToRgx(j).ok());  // indeed not RGX-expressible
+}
+
+TEST(ExpressivenessTest, ContainmentSeparatesFragments) {
+  // The partial-output spanner strictly contains its total restriction.
+  VA partial = CompileToVa(P("x{a*}(y{b+}|\\e)"));
+  VA total = CompileToVa(P("x{a*}y{b+}"));
+  EXPECT_TRUE(IsContainedIn(total, partial));
+  EXPECT_FALSE(IsContainedIn(partial, total));
+  std::optional<ContainmentWitness> w = FindCounterexample(partial, total);
+  ASSERT_TRUE(w.has_value());
+  // The separating mapping must be one that leaves y undefined.
+  EXPECT_FALSE(w->mapping.Defines(Variable::Intern("y")));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,137 @@
+// Tests for the spanner algebra on automata (Theorem 4.5): union,
+// projection and join agree with the corresponding operations on the
+// output mapping sets.
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/run_eval.h"
+#include "automata/thompson.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+const char* kDocs[] = {"", "a", "ab", "ba", "aabb", "abab"};
+
+TEST(UnionVaTest, MatchesSemanticUnion) {
+  VA a = CompileToVa(P("x{a*}b*"));
+  VA b = CompileToVa(P("a*y{b*}"));
+  VA u = UnionVa(a, b);
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(u, d), MappingSet::Union(RunEval(a, d), RunEval(b, d)))
+        << txt;
+  }
+}
+
+TEST(ProjectVaTest, MatchesSemanticProjection) {
+  VA a = CompileToVa(P("x{a*}y{b*}"));
+  VarSet keep({Variable::Intern("x")});
+  VA p = ProjectVa(a, keep);
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(p, d), RunEval(a, d).Project(keep)) << txt;
+  }
+}
+
+TEST(ProjectVaTest, PreservesRunValidityOfDroppedVars) {
+  // (x{a}|a)* — x usable at most once. After projecting x away the
+  // automaton must not suddenly allow the x-branch twice.
+  VA a = CompileToVa(P("(x{a}|a)*b"));
+  VarSet keep;  // project everything away
+  VA p = ProjectVa(a, keep);
+  for (const char* txt : {"b", "ab", "aab", "aaab"}) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(p, d), RunEval(a, d).Project(keep)) << txt;
+  }
+}
+
+TEST(ProjectVaTest, ProjectToAllVarsIsIdentity) {
+  VA a = CompileToVa(P("x{a*}y{b*}"));
+  VA p = ProjectVa(a, a.Vars());
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(p, d), RunEval(a, d)) << txt;
+  }
+}
+
+TEST(JoinVaTest, DisjointVariables) {
+  // No shared variables: join is a cross product of compatible (always)
+  // pairs on the same document.
+  VA a = CompileToVa(P("x{a*}.*"));
+  VA b = CompileToVa(P(".*y{b*}"));
+  VA j = JoinVa(a, b);
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(j, d), MappingSet::Join(RunEval(a, d), RunEval(b, d)))
+        << txt;
+  }
+}
+
+TEST(JoinVaTest, SharedVariableMustAgree) {
+  // x is shared: only pairs assigning x the same span survive.
+  VA a = CompileToVa(P("x{a*}b*"));
+  VA b = CompileToVa(P("x{a*b*}"));
+  VA j = JoinVa(a, b);
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(j, d), MappingSet::Join(RunEval(a, d), RunEval(b, d)))
+        << txt;
+  }
+}
+
+TEST(JoinVaTest, PartialMappingsJoin) {
+  // The incomplete-information subtlety: one side may leave the shared
+  // variable undefined; such pairs are compatible.
+  VA a = CompileToVa(P("x{a}b|ab"));       // x defined only on branch 1
+  VA b = CompileToVa(P("x{a}b|a(y{b})"));  // x or y
+  VA j = JoinVa(a, b);
+  for (const char* txt : {"ab", "a", "b", "abab"}) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(j, d), MappingSet::Join(RunEval(a, d), RunEval(b, d)))
+        << txt;
+  }
+}
+
+TEST(JoinVaTest, EmptySpansAndSharedVars) {
+  VA a = CompileToVa(P("x{\\e}a*"));
+  VA b = CompileToVa(P("a*x{\\e}"));
+  VA j = JoinVa(a, b);
+  for (const char* txt : {"", "a", "aa"}) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(j, d), MappingSet::Join(RunEval(a, d), RunEval(b, d)))
+        << txt;
+  }
+}
+
+TEST(JoinVaTest, JoinWithPlainRegexActsAsFilter) {
+  // Join with a var-free automaton filters by document membership.
+  VA a = CompileToVa(P("x{a*}b*"));
+  VA b = CompileToVa(P("aab*"));
+  VA j = JoinVa(a, b);
+  for (const char* txt : {"ab", "aab", "aabb", "b"}) {
+    Document d(txt);
+    EXPECT_EQ(RunEval(j, d), MappingSet::Join(RunEval(a, d), RunEval(b, d)))
+        << txt;
+  }
+}
+
+TEST(JoinVaTest, NonHierarchicalJoinOutput) {
+  // The classic power of join: overlapping spans inexpressible by RGX.
+  // A1 binds x to a prefix, A2 binds y to a suffix; on "abc" the join can
+  // produce overlapping x and y.
+  VA a = CompileToVa(P("x{ab}c"));
+  VA b = CompileToVa(P("a(y{bc})"));
+  VA j = JoinVa(a, b);
+  Document d("abc");
+  MappingSet joined = RunEval(j, d);
+  Mapping m = Mapping::Single(Variable::Intern("x"), Span(1, 3));
+  m.Set(Variable::Intern("y"), Span(2, 4));
+  EXPECT_TRUE(joined.Contains(m));
+  EXPECT_FALSE(joined.IsHierarchical());
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,117 @@
+// Tests for var(γ), functional / sequential / spanRGX analyses (§4, §5.2).
+#include <gtest/gtest.h>
+
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(RgxVarsTest, CollectsNestedVariables) {
+  VarSet vars = RgxVars(P("x{a y{b*} c}|z{d}"));
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_TRUE(vars.Contains(Variable::Intern("x")));
+  EXPECT_TRUE(vars.Contains(Variable::Intern("y")));
+  EXPECT_TRUE(vars.Contains(Variable::Intern("z")));
+}
+
+TEST(FunctionalTest, VarFreeIsFunctional) {
+  EXPECT_TRUE(IsFunctional(P("a*b|c")));
+  EXPECT_TRUE(IsFunctional(P("\\e")));
+}
+
+TEST(FunctionalTest, SimpleCapture) {
+  EXPECT_TRUE(IsFunctional(P("x{a*}")));
+  EXPECT_TRUE(IsFunctional(P("x{a*}y{b*}")));
+  EXPECT_TRUE(IsFunctional(P("x{a y{b}}")));  // nested, each var once
+}
+
+TEST(FunctionalTest, DisjunctsMustBindSameVariables) {
+  EXPECT_TRUE(IsFunctional(P("x{a}|x{b}")));
+  EXPECT_FALSE(IsFunctional(P("x{a}|y{b}")));
+  EXPECT_FALSE(IsFunctional(P("x{a}|a")));  // one branch misses x
+}
+
+TEST(FunctionalTest, StarBodyMustBeVariableFree) {
+  EXPECT_FALSE(IsFunctional(P("(x{a})*")));
+  EXPECT_TRUE(IsFunctional(P("(ab)*x{a}")));
+}
+
+TEST(FunctionalTest, ConcatMustSplitVariables) {
+  EXPECT_FALSE(IsFunctional(P("x{a}x{b}")));  // x on both sides
+}
+
+TEST(FunctionalTest, SelfNestedVariableNotFunctional) {
+  EXPECT_FALSE(IsFunctional(P("x{x{a}}")));
+}
+
+TEST(FunctionalTest, FunctionalDomainEqualsVars) {
+  RgxPtr g = P("x{a*}(y{b}|y{c})");
+  std::optional<VarSet> dom = FunctionalDomain(g);
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_TRUE(*dom == RgxVars(g));
+  EXPECT_TRUE(IsFunctionalWrt(g, RgxVars(g)));
+  EXPECT_FALSE(IsFunctionalWrt(g, VarSet()));
+}
+
+TEST(SequentialTest, FunctionalImpliesSequential) {
+  // §5.2: funcRGX ⊆ seqRGX.
+  for (const char* pat :
+       {"x{a*}y{b*}", "x{a y{b}}", "x{a}|x{b}", "(ab)*x{a}"}) {
+    SCOPED_TRACE(pat);
+    EXPECT_TRUE(IsFunctional(P(pat)));
+    EXPECT_TRUE(IsSequential(P(pat)));
+  }
+}
+
+TEST(SequentialTest, SequentialNotNecessarilyFunctional) {
+  // Disjuncts binding different variables: sequential but not functional.
+  RgxPtr g = P("x{a}|y{b}");
+  EXPECT_TRUE(IsSequential(g));
+  EXPECT_FALSE(IsFunctional(g));
+}
+
+TEST(SequentialTest, RepeatedVariableInConcatNotSequential) {
+  EXPECT_FALSE(IsSequential(P("x{a}x{b}")));
+  EXPECT_FALSE(IsSequential(P("x{a}(b|x{c})")));
+}
+
+TEST(SequentialTest, VariableUnderStarNotSequential) {
+  EXPECT_FALSE(IsSequential(P("(x{a})*")));
+  EXPECT_FALSE(IsSequential(P("(x{a}|b)*")));
+}
+
+TEST(SequentialTest, SelfNestedNotSequential) {
+  EXPECT_FALSE(IsSequential(P("x{x{a}}")));
+}
+
+TEST(SequentialTest, PaperExamplesAreSequential) {
+  // "all extraction expressions discussed in Section 3 are sequential".
+  EXPECT_TRUE(IsSequential(P(".*Seller: (x{[^,]*}),.*")));
+  EXPECT_TRUE(
+      IsSequential(P(".*Seller: (x{[^,\\n]*}),[^,\\n]*(, (y{[^\\n]*})|\\e)\\n.*")));
+  EXPECT_TRUE(IsSequential(P("(x{(a|b)*}|y{(a|b)*})*")) == false);
+  // Note: the Kleene-star-over-variables example of Example 3.1 is *not*
+  // sequential — it is exactly the kind of formula whose evaluation is
+  // hard in general.
+}
+
+TEST(SpanRgxTest, Recognition) {
+  EXPECT_TRUE(IsSpanRgx(P("a x{.*} b")));
+  EXPECT_TRUE(IsSpanRgx(P("x{.*}|y{.*}")));
+  EXPECT_FALSE(IsSpanRgx(P("x{a*}")));     // shaped body
+  EXPECT_FALSE(IsSpanRgx(P("x{y{.*}}")));  // nested variables
+  EXPECT_TRUE(IsSpanRgx(P("abc")));        // var-free is trivially spanRGX
+}
+
+TEST(SpanRgxTest, Properness) {
+  // x{Σ*}·x{Σ*} is the improper expression from Theorem 4.2.
+  EXPECT_FALSE(IsProperSpanRgx(P("x{.*}x{.*}")));
+  EXPECT_TRUE(IsProperSpanRgx(P("a x{.*} b y{.*}")));
+  EXPECT_TRUE(IsProperSpanRgx(P("x{.*}|x{.*}")));
+}
+
+}  // namespace
+}  // namespace spanners

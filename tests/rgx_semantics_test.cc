@@ -1,0 +1,205 @@
+// Tests of the denotational semantics (paper Table 2), reproducing the
+// paper's Example 3.1 on d = "aaabbb" exactly, plus the motivating
+// incomplete-information example from §3.1.
+#include <gtest/gtest.h>
+
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+#include "rgx/reference_eval.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+bool LowerContains(const SpanMappingSet& s, Span span, const Mapping& m) {
+  return s.count(SpanMapping{span, m}) > 0;
+}
+
+TEST(RgxSemanticsTest, EpsilonMatchesEmptySpans) {
+  Document d("ab");
+  SpanMappingSet s = LowerEval(P("\\e"), d);
+  EXPECT_EQ(s.size(), 3u);  // (1,1), (2,2), (3,3)
+  EXPECT_TRUE(LowerContains(s, Span(2, 2), Mapping::Empty()));
+}
+
+TEST(RgxSemanticsTest, Example31_SingleLetter) {
+  // [a]_d = {((1,2),∅), ((2,3),∅), ((3,4),∅)} on d = aaabbb.
+  Document d("aaabbb");
+  SpanMappingSet s = LowerEval(P("a"), d);
+  EXPECT_EQ(s.size(), 3u);
+  for (Pos i = 1; i <= 3; ++i)
+    EXPECT_TRUE(LowerContains(s, Span(i, i + 1), Mapping::Empty()));
+}
+
+TEST(RgxSemanticsTest, Example31_VariableOverLetter) {
+  // [x{a}]_d assigns the span to x; ⟦x{a}⟧_d is empty because no pair
+  // spans the whole document.
+  Document d("aaabbb");
+  VarId x = Variable::Intern("x");
+  SpanMappingSet s = LowerEval(P("x{a}"), d);
+  EXPECT_EQ(s.size(), 3u);
+  for (Pos i = 1; i <= 3; ++i)
+    EXPECT_TRUE(
+        LowerContains(s, Span(i, i + 1), Mapping::Single(x, Span(i, i + 1))));
+  EXPECT_TRUE(ReferenceEval(P("x{a}"), d).empty());
+}
+
+TEST(RgxSemanticsTest, Example31_Concatenation) {
+  // ⟦x{a*}·y{b*}⟧_d contains µ with µ(x)=(1,4), µ(y)=(4,7).
+  Document d("aaabbb");
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  SpanMappingSet astar = LowerEval(P("a*"), d);
+  EXPECT_TRUE(LowerContains(astar, Span(1, 4), Mapping::Empty()));
+  EXPECT_TRUE(LowerContains(astar, Span(5, 5), Mapping::Empty()));
+  SpanMappingSet bstar = LowerEval(P("b*"), d);
+  EXPECT_TRUE(LowerContains(bstar, Span(4, 5), Mapping::Empty()));
+  EXPECT_TRUE(LowerContains(bstar, Span(4, 7), Mapping::Empty()));
+
+  MappingSet out = ReferenceEval(P("x{a*}y{b*}"), d);
+  Mapping expected = Mapping::Single(x, Span(1, 4));
+  expected.Set(y, Span(4, 7));
+  EXPECT_TRUE(out.Contains(expected));
+  // Every output must split the document at some a/b boundary compatible
+  // with the content: x gets a prefix of a's, y the complement, and the
+  // boundary can only sit in [1..4]x[4..7] consistently; enumerate:
+  // x=(1,k), y=(k,7) for k in {4} only (y must spell b* and x a*).
+  // Additionally x can end before position 4 only if y starts with a — not
+  // allowed. So the output is exactly one mapping.
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(RgxSemanticsTest, Example31_RepeatedVariableInConcatYieldsNothing) {
+  Document d("aaabbb");
+  EXPECT_TRUE(ReferenceEval(P("x{a*}x{b*}"), d).empty());
+}
+
+TEST(RgxSemanticsTest, SelfNestedVariableYieldsNothing) {
+  // x{x{R}} can never output (x would bind inside itself).
+  Document d("a");
+  EXPECT_TRUE(ReferenceEval(P("x{x{a}}"), d).empty());
+}
+
+TEST(RgxSemanticsTest, Example31_StarOverVariables) {
+  // e = (x{(a|b)*} | y{(a|b)*})* can output µ(x)=(4,7), µ(y)=(1,4).
+  Document d("aaabbb");
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  MappingSet out = ReferenceEval(P("(x{(a|b)*}|y{(a|b)*})*"), d);
+  Mapping expected = Mapping::Single(y, Span(1, 4));
+  expected.Set(x, Span(4, 7));
+  EXPECT_TRUE(out.Contains(expected));
+  // The empty mapping also arises: iterate zero times... but then the span
+  // is (i,i) ≠ whole document. One iteration with only x (or only y)
+  // covering everything also works.
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(1, 7))));
+  EXPECT_TRUE(out.Contains(Mapping::Single(y, Span(1, 7))));
+}
+
+TEST(RgxSemanticsTest, PlainRegexOutputsEmptyMappingAsTrue) {
+  // Ordinary regular expressions: ⟦γ⟧_d = {∅} iff d ∈ L(γ), else {}.
+  Document yes("aab");
+  Document no("aba");
+  RgxPtr g = P("a*b");
+  MappingSet out_yes = ReferenceEval(g, yes);
+  EXPECT_EQ(out_yes.size(), 1u);
+  EXPECT_TRUE(out_yes.Contains(Mapping::Empty()));
+  EXPECT_TRUE(ReferenceEval(g, no).empty());
+}
+
+TEST(RgxSemanticsTest, DisjunctionWithDifferentDomains) {
+  // The paper's headline feature: R1 ∨ R2 may output mappings with
+  // different domains (impossible in the relational setting).
+  Document d("ab");
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  MappingSet out = ReferenceEval(P("x{a}b|a(y{b})"), d);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(1, 2))));
+  EXPECT_TRUE(out.Contains(Mapping::Single(y, Span(2, 3))));
+}
+
+TEST(RgxSemanticsTest, OptionalFieldProducesPartialMapping) {
+  // §3.1 optional-tax idiom: y is extracted only when present.
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  RgxPtr g = P("x{[^,]*}(, y{[^,]*}|\\e)");
+  Document with("john, 35000");
+  Document without("john");
+
+  MappingSet m1 = ReferenceEval(g, with);
+  Mapping full = Mapping::Single(x, Span(1, 5));
+  full.Set(y, Span(7, 12));
+  EXPECT_TRUE(m1.Contains(full));
+
+  MappingSet m2 = ReferenceEval(g, without);
+  EXPECT_TRUE(m2.Contains(Mapping::Single(x, Span(1, 5))));
+  for (const Mapping& m : m2) EXPECT_FALSE(m.Defines(y));
+}
+
+TEST(RgxSemanticsTest, EmptyCharSetIsUnsatisfiable) {
+  Document d("");
+  EXPECT_TRUE(ReferenceEval(RgxNode::Chars(CharSet::None()), d).empty());
+}
+
+TEST(RgxSemanticsTest, StarOfVariableOnEmptyDocument) {
+  // On d = ε, (x{a})* can only iterate zero times: output is {∅}.
+  Document d("");
+  MappingSet out = ReferenceEval(P("(x{a})*"), d);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Mapping::Empty()));
+}
+
+TEST(RgxSemanticsTest, StarAssignsVariableAtMostOnce) {
+  // (x{a})* on "aa" would need x twice — concatenation forbids it.
+  Document d("aa");
+  MappingSet out = ReferenceEval(P("(x{a})*"), d);
+  EXPECT_TRUE(out.empty());
+  // But (x{a}|a)* succeeds, assigning x to either position.
+  MappingSet out2 = ReferenceEval(P("(x{a}|a)*"), d);
+  VarId x = Variable::Intern("x");
+  EXPECT_TRUE(out2.Contains(Mapping::Empty()));
+  EXPECT_TRUE(out2.Contains(Mapping::Single(x, Span(1, 2))));
+  EXPECT_TRUE(out2.Contains(Mapping::Single(x, Span(2, 3))));
+  EXPECT_EQ(out2.size(), 3u);
+}
+
+TEST(RgxSemanticsTest, HierarchicalOutputs) {
+  // RGX outputs are always hierarchical (§3.2 / Theorem 4.4 discussion).
+  Document d("abab");
+  for (const char* pat :
+       {"x{a(y{b})}ab", "x{ab}y{ab}", "(x{(a|b)*}|y{(a|b)*})*",
+        "x{y{a}b}z{ab}"}) {
+    EXPECT_TRUE(ReferenceEval(P(pat), d).IsHierarchical()) << pat;
+  }
+}
+
+TEST(RgxSemanticsTest, TotalsJoinRecoversArenasSemantics) {
+  // Theorem 4.2: joining with all total mappings recovers the
+  // relation-based semantics in which unmatched variables take arbitrary
+  // spans.
+  Document d("ab");
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  RgxPtr g = P("x{a}b|a(y{b})");  // partial-mapping outputs
+  MappingSet arenas = ReferenceEvalWithTotals(g, d);
+  // Every output is now total on {x, y}.
+  for (const Mapping& m : arenas) {
+    EXPECT_TRUE(m.Defines(x));
+    EXPECT_TRUE(m.Defines(y));
+  }
+  // x -> (1,2) with y arbitrary: 6 spans for y; y -> (2,3) with x
+  // arbitrary: 6 spans for x; overlap mapping {x->(1,2), y->(2,3)} counted
+  // once: 11 total.
+  EXPECT_EQ(arenas.size(), 11u);
+}
+
+TEST(RgxSemanticsTest, FunctionalRgxOutputsAreTotal) {
+  // Theorem 4.1 sanity: functional RGX outputs define all of var(γ).
+  Document d("aabb");
+  RgxPtr g = P("x{a*}y{b*}");
+  ASSERT_TRUE(IsFunctional(g));
+  MappingSet out = ReferenceEval(g, d);
+  ASSERT_FALSE(out.empty());
+  VarSet vars = RgxVars(g);
+  for (const Mapping& m : out) EXPECT_TRUE(vars == m.Domain());
+}
+
+}  // namespace
+}  // namespace spanners

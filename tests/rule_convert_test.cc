@@ -1,0 +1,143 @@
+// Tests for the rule ↔ RGX conversions (Prop 4.8, Lemma B.1, Thm 4.10).
+#include <gtest/gtest.h>
+
+#include "rgx/parser.h"
+#include "rgx/printer.h"
+#include "rgx/reference_eval.h"
+#include "rules/convert.h"
+#include "rules/graph.h"
+#include "rules/rule_eval.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+ExtractionRule R(std::string_view text) {
+  return ExtractionRule::Parse(text).ValueOrDie();
+}
+
+const char* kDocs[] = {"", "a", "b", "ab", "ba", "aabb", "aba"};
+
+TEST(ToFunctionalDagRulesTest, PaperExample) {
+  // ϕ = (x ∨ y) ∧ x.(a ∨ b) ∧ y.(c):
+  // equivalent to {x ∧ x.a, x ∧ x.b, y ∧ y.c} (after pruning).
+  ExtractionRule rule = R("x{.*}|y{.*} && x.(a|b) && y.(c)");
+  Result<FunctionalDagRules> out = ToFunctionalDagRules(rule);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const ExtractionRule& r : out->rules) {
+    EXPECT_TRUE(r.IsFunctional()) << r.ToString();
+    EXPECT_TRUE(RuleGraph(r).IsDagLike()) << r.ToString();
+  }
+  VarSet original_vars = rule.AllVars();
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(UnionRuleEval(out->rules, d).Project(original_vars),
+              RuleReferenceEval(rule, d))
+        << txt;
+  }
+}
+
+TEST(ToFunctionalDagRulesTest, CyclicNonFunctionalRule) {
+  // Non-functional formulas + a cycle: both transformations compose.
+  ExtractionRule rule =
+      R("a(x{.*}) && x.(y{.*}|b) && y.(x{.*})");
+  Result<FunctionalDagRules> out = ToFunctionalDagRules(rule);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (const ExtractionRule& r : out->rules)
+    EXPECT_TRUE(RuleGraph(r).IsDagLike()) << r.ToString();
+  VarSet original_vars = rule.AllVars();
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(UnionRuleEval(out->rules, d).Project(original_vars),
+              RuleReferenceEval(rule, d))
+        << txt;
+  }
+}
+
+TEST(ToFunctionalDagRulesTest, RequiresSimpleRule) {
+  EXPECT_FALSE(ToFunctionalDagRules(R("x{.*} && x.(a) && x.(b)")).ok());
+}
+
+TEST(TreeRuleToRgxTest, PaperExampleFromLemmaB1) {
+  // (a·x·b·y) ∧ x.(abc·z) ∧ y.Σ* ∧ z.d  ⇒  a·x{abc·z{d}}·b·y{Σ*}.
+  ExtractionRule rule =
+      R("a(x{.*})b(y{.*}) && x.(abc(z{.*})) && z.(d)");
+  Result<RgxPtr> rgx = TreeRuleToRgx(rule);
+  ASSERT_TRUE(rgx.ok()) << rgx.status().ToString();
+  for (const char* txt : {"aabcdb", "aabcdbz", "ab"}) {
+    Document d(txt);
+    EXPECT_EQ(ReferenceEval(*rgx, d), RuleReferenceEval(rule, d)) << txt;
+  }
+}
+
+TEST(TreeRuleToRgxTest, EquivalenceOnTreeRules) {
+  const char* rules[] = {
+      "a(x{.*}) && x.(b*)",
+      "x{.*}y{.*} && x.(a*) && y.(b*)",
+      "x{.*}|b && x.(a(y{.*})) && y.(\\e|b)",
+  };
+  for (const char* text : rules) {
+    ExtractionRule rule = R(text);
+    Result<RgxPtr> rgx = TreeRuleToRgx(rule);
+    ASSERT_TRUE(rgx.ok()) << text << ": " << rgx.status().ToString();
+    for (const char* txt : kDocs) {
+      Document d(txt);
+      EXPECT_EQ(ReferenceEval(*rgx, d), RuleReferenceEval(rule, d))
+          << text << " on " << txt;
+    }
+  }
+}
+
+TEST(TreeRuleToRgxTest, RejectsNonTree) {
+  EXPECT_FALSE(
+      TreeRuleToRgx(R("x{.*}y{.*} && x.(z{.*}) && y.(z{.*})")).ok());
+  EXPECT_FALSE(
+      TreeRuleToRgx(R("x{.*} && x.(y{.*}) && y.(x{.*})")).ok());
+}
+
+TEST(RgxToTreeRulesTest, RoundTripEquivalence) {
+  // Theorem 4.10: every RGX is a union of tree-like rules.
+  const char* patterns[] = {"x{a*}",          "x{a*}y{b*}",
+                            "x{a(y{b*})c}",   "x{a}|y{b}",
+                            "(x{a}|a)*",      "a*x{b*}(y{a}|\\e)"};
+  for (const char* pat : patterns) {
+    SCOPED_TRACE(pat);
+    RgxPtr g = P(pat);
+    std::vector<ExtractionRule> rules = RgxToTreeRules(g);
+    for (const ExtractionRule& r : rules) {
+      EXPECT_TRUE(r.IsSimple());
+      EXPECT_TRUE(r.constraints().empty() || RuleGraph(r).IsTreeLike())
+          << r.ToString();
+    }
+    for (const char* txt : kDocs) {
+      Document d(txt);
+      EXPECT_EQ(UnionRuleEval(rules, d), ReferenceEval(g, d))
+          << pat << " on " << txt;
+    }
+  }
+}
+
+TEST(RgxToTreeRulesTest, UnsatisfiableRgxYieldsEmptyUnion) {
+  EXPECT_TRUE(RgxToTreeRules(P("x{x{a}}")).empty());
+}
+
+TEST(RgxToTreeRulesTest, FullCircleThroughLemmaB1) {
+  // RGX → tree rules → RGX preserves semantics.
+  RgxPtr g = P("a*x{b*(y{a*})}|c");
+  std::vector<ExtractionRule> rules = RgxToTreeRules(g);
+  ASSERT_FALSE(rules.empty());
+  std::vector<RgxPtr> back;
+  for (const ExtractionRule& r : rules) {
+    Result<RgxPtr> one = TreeRuleToRgx(r);
+    ASSERT_TRUE(one.ok()) << r.ToString();
+    back.push_back(*one);
+  }
+  RgxPtr united = RgxNode::Disj(back);
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(ReferenceEval(united, d), ReferenceEval(g, d)) << txt;
+  }
+}
+
+}  // namespace
+}  // namespace spanners

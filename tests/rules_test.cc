@@ -1,0 +1,224 @@
+// Tests for extraction rules: structure, graph, and reference semantics
+// (paper §3.3, §4.3).
+#include <gtest/gtest.h>
+
+#include "rgx/parser.h"
+#include "rules/graph.h"
+#include "rules/rule.h"
+#include "rules/rule_eval.h"
+
+namespace spanners {
+namespace {
+
+ExtractionRule R(std::string_view text) {
+  Result<ExtractionRule> r = ExtractionRule::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ValueOrDie();
+}
+
+TEST(RuleParseTest, BodyOnly) {
+  ExtractionRule r = R("a(x{.*})b");
+  EXPECT_TRUE(r.constraints().empty());
+  EXPECT_TRUE(r.IsSimple());
+}
+
+TEST(RuleParseTest, WithConstraints) {
+  ExtractionRule r = R("x{.*} && x.(ab*)");
+  ASSERT_EQ(r.constraints().size(), 1u);
+  EXPECT_EQ(Variable::Name(r.constraints()[0].var), "x");
+  EXPECT_TRUE(r.ConstraintFor(Variable::Intern("x")).has_value());
+  EXPECT_FALSE(r.ConstraintFor(Variable::Intern("nope")).has_value());
+}
+
+TEST(RuleParseTest, RejectsNonSpanRgx) {
+  // x{a*} is not a spanRGX (shaped variable body).
+  EXPECT_FALSE(ExtractionRule::Parse("x{a*}").ok());
+  EXPECT_FALSE(ExtractionRule::Parse("x{.*} && x.(y{a})").ok());
+}
+
+TEST(RuleParseTest, RejectsMalformedConjunct) {
+  EXPECT_FALSE(ExtractionRule::Parse("x{.*} && (ab*)").ok());
+}
+
+TEST(RuleStructureTest, SimpleCheck) {
+  EXPECT_TRUE(R("x{.*} && x.(a)").IsSimple());
+  EXPECT_FALSE(R("x{.*} && x.(a) && x.(b)").IsSimple());
+}
+
+TEST(RuleStructureTest, FunctionalAndSequential) {
+  EXPECT_TRUE(R("x{.*}y{.*} && x.(a*)").IsFunctional());
+  EXPECT_FALSE(R("x{.*}|y{.*}").IsFunctional());  // disjuncts differ
+  EXPECT_TRUE(R("x{.*}|y{.*}").IsSequential());
+  EXPECT_FALSE(R("x{.*}x{.*}").IsSequential());
+}
+
+TEST(RuleGraphTest, EdgesAndClassification) {
+  // doc -> x (in body); x -> y (y occurs in x's formula).
+  ExtractionRule r = R("a(x{.*}) && x.(y{.*} b)");
+  RuleGraph g(r);
+  EXPECT_TRUE(g.IsDagLike());
+  EXPECT_TRUE(g.IsTreeLike());
+}
+
+TEST(RuleGraphTest, CyclicRuleIsNotDag) {
+  // x.y ∧ y.x (through spanRGX vars).
+  ExtractionRule r = R("x{.*} && x.(y{.*}) && y.(x{.*})");
+  RuleGraph g(r);
+  EXPECT_FALSE(g.IsDagLike());
+  EXPECT_FALSE(g.IsTreeLike());
+}
+
+TEST(RuleGraphTest, DagButNotTree) {
+  // Both x and y reference z: two parents.
+  ExtractionRule r =
+      R("x{.*}y{.*} && x.(z{.*}) && y.(z{.*})");
+  RuleGraph g(r);
+  EXPECT_TRUE(g.IsDagLike());
+  EXPECT_FALSE(g.IsTreeLike());
+}
+
+TEST(RuleGraphTest, SccsTopologicalOrder) {
+  ExtractionRule r = R("x{.*} && x.(y{.*}) && y.(x{.*}a)");
+  RuleGraph g(r);
+  std::vector<std::vector<size_t>> sccs = g.SccsTopological();
+  // doc first, then the {x, y} cycle.
+  ASSERT_GE(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0].size(), 1u);  // doc
+  bool found_cycle = false;
+  for (const auto& scc : sccs)
+    if (scc.size() == 2) found_cycle = true;
+  EXPECT_TRUE(found_cycle);
+}
+
+TEST(RuleGraphTest, SimpleCycleDetection) {
+  ExtractionRule simple = R("x{.*} && x.(y{.*}) && y.(x{.*})");
+  RuleGraph g1(simple);
+  for (const auto& scc : g1.SccsTopological()) {
+    if (g1.SccHasCycle(scc)) {
+      EXPECT_TRUE(g1.SccIsSimpleCycle(scc));
+    }
+  }
+
+  // x references y twice: within-SCC out-degree 1 still (same target),
+  // but x.(y z), z.(x) + y.(x) gives a chord.
+  ExtractionRule chord =
+      R("x{.*} && x.(y{.*}z{.*}) && y.(x{.*}) && z.(x{.*})");
+  RuleGraph g2(chord);
+  bool has_non_simple = false;
+  for (const auto& scc : g2.SccsTopological())
+    if (g2.SccHasCycle(scc) && !g2.SccIsSimpleCycle(scc))
+      has_non_simple = true;
+  EXPECT_TRUE(has_non_simple);
+}
+
+TEST(RuleEvalTest, BodyOnlyRuleEqualsRgxSemantics) {
+  ExtractionRule r = R("a(x{.*})b");
+  Document d("aab");
+  MappingSet out = RuleReferenceEval(r, d);
+  VarId x = Variable::Intern("x");
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(2, 3))));
+}
+
+TEST(RuleEvalTest, ConstraintRestrictsShape) {
+  // Paper's idiom: a·x·a* ∧ x.R.
+  ExtractionRule r = R("a(x{.*})a* && x.(bb*)");
+  VarId x = Variable::Intern("x");
+  Document d("abba");
+  MappingSet out = RuleReferenceEval(r, d);
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(2, 4))));
+  for (const Mapping& m : out) {
+    ASSERT_TRUE(m.Defines(x));
+    std::string_view content = d.content(*m.Get(x));
+    EXPECT_TRUE(content.find('a') == std::string_view::npos &&
+                !content.empty());
+  }
+}
+
+TEST(RuleEvalTest, ConjunctionOfConstraintsIntersects) {
+  // Σ*·x·Σ* ∧ x.R1 ∧ x.R2 — not simple, but reference semantics handles
+  // it: x's content must match both.
+  ExtractionRule r = R(".*x{.*}.* && x.(a*) && x.(.b|a*)");
+  Document d("ab");
+  MappingSet out = RuleReferenceEval(r, d);
+  VarId x = Variable::Intern("x");
+  // a* ∩ (.b|a*) contents over "ab": "a", "", ("ab" matches .b but not a*).
+  for (const Mapping& m : out) {
+    std::string_view c = d.content(*m.Get(x));
+    EXPECT_TRUE(c == "a" || c.empty()) << c;
+  }
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(1, 2))));
+}
+
+TEST(RuleEvalTest, NondeterministicDisjunctionInstantiation) {
+  // The paper's px ∨ yq ∧ x.pab*q ∧ y.pba*q example: only the chosen
+  // variable's constraint applies.
+  ExtractionRule r = R("x{.*}|y{.*} && x.(ab*) && y.(ba*)");
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+
+  Document d1("abb");
+  MappingSet out1 = RuleReferenceEval(r, d1);
+  EXPECT_TRUE(out1.Contains(Mapping::Single(x, Span(1, 4))));
+  // y branch: content must match ba* — "abb" does not.
+  for (const Mapping& m : out1) EXPECT_FALSE(m.Defines(y));
+
+  Document d2("ba");
+  MappingSet out2 = RuleReferenceEval(r, d2);
+  EXPECT_TRUE(out2.Contains(Mapping::Single(y, Span(1, 3))));
+  for (const Mapping& m : out2) EXPECT_FALSE(m.Defines(x));
+}
+
+TEST(RuleEvalTest, NonHierarchicalOutputs) {
+  // Theorem 4.6 witness: x ∧ x.Σ*·y·Σ* ∧ x.Σ*·z·Σ* can overlap y and z —
+  // inexpressible by RGX.
+  ExtractionRule r =
+      R("x{.*} && x.(.*y{.*}.*) && x.(.*z{.*}.*)");
+  Document d("aaaa");
+  MappingSet out = RuleReferenceEval(r, d);
+  EXPECT_FALSE(out.IsHierarchical());
+  VarId y = Variable::Intern("y"), z = Variable::Intern("z");
+  Mapping overlap = Mapping::Single(Variable::Intern("x"), Span(1, 5));
+  overlap.Set(y, Span(1, 3));
+  overlap.Set(z, Span(2, 4));
+  EXPECT_TRUE(out.Contains(overlap));
+}
+
+TEST(RuleEvalTest, UnsatisfiableCycleRule) {
+  // Paper: x ∧ x.y ∧ y.ax is unsatisfiable (x strictly inside itself).
+  ExtractionRule r = R("x{.*} && x.(y{.*}) && y.(a(x{.*}))");
+  for (const char* txt : {"", "a", "aa", "aaa"})
+    EXPECT_TRUE(RuleReferenceEval(r, Document(txt)).empty()) << txt;
+}
+
+TEST(RuleEvalTest, SatisfiableCycleRuleAllVarsEqual) {
+  // x.y ∧ y.x forces equal spans.
+  ExtractionRule r = R("a(x{.*}) && x.(y{.*}) && y.(x{.*})");
+  Document d("ab");
+  MappingSet out = RuleReferenceEval(r, d);
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  for (const Mapping& m : out) EXPECT_EQ(m.Get(x), m.Get(y));
+  Mapping both = Mapping::Single(x, Span(2, 3));
+  both.Set(y, Span(2, 3));
+  EXPECT_TRUE(out.Contains(both));
+}
+
+TEST(RuleEvalTest, VacuousUnreachableConstraint) {
+  // z is not reachable from doc: its constraint never applies.
+  ExtractionRule r = R("a(x{.*}) && z.(b)");
+  Document d("ab");
+  MappingSet out = RuleReferenceEval(r, d);
+  VarId x = Variable::Intern("x"), z = Variable::Intern("z");
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(2, 3))));
+  for (const Mapping& m : out) EXPECT_FALSE(m.Defines(z));
+}
+
+TEST(RuleEvalTest, UnionOfRules) {
+  std::vector<ExtractionRule> rules = {R("x{.*}b"), R("a(y{.*})")};
+  Document d("ab");
+  MappingSet out = UnionRuleEval(rules, d);
+  EXPECT_TRUE(out.Contains(Mapping::Single(Variable::Intern("x"), Span(1, 2))));
+  EXPECT_TRUE(out.Contains(Mapping::Single(Variable::Intern("y"), Span(2, 3))));
+}
+
+}  // namespace
+}  // namespace spanners

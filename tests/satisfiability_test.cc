@@ -1,0 +1,128 @@
+// Tests for satisfiability (Theorems 6.1–6.3).
+#include <gtest/gtest.h>
+
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "automata/thompson.h"
+#include "rgx/parser.h"
+#include "rules/rule_eval.h"
+#include "static_analysis/satisfiability.h"
+#include "workload/reductions.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(SatVaTest, PlainRegularLanguages) {
+  EXPECT_TRUE(IsSatisfiableRgx(P("a*b")));
+  EXPECT_TRUE(IsSatisfiableRgx(P("\\e")));
+  EXPECT_FALSE(IsSatisfiableRgx(RgxNode::Chars(CharSet::None())));
+}
+
+TEST(SatVaTest, VariableConstraints) {
+  EXPECT_TRUE(IsSatisfiableRgx(P("x{a*}y{b*}")));
+  // x used twice in a concatenation: no consistent run.
+  EXPECT_FALSE(IsSatisfiableRgx(P("x{a}x{b}")));
+  // Self-nested variable.
+  EXPECT_FALSE(IsSatisfiableRgx(P("x{x{a}}")));
+  // Disjunction rescues satisfiability.
+  EXPECT_TRUE(IsSatisfiableRgx(P("x{a}x{b}|c")));
+}
+
+TEST(SatVaTest, WitnessIsAccepted) {
+  for (const char* pat : {"a*b", "x{a*}y{b+}c", "x{ab}|y{ba}"}) {
+    SCOPED_TRACE(pat);
+    VA a = CompileToVa(P(pat));
+    std::optional<Document> w = SatWitnessVa(a);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_FALSE(RunEval(a, *w).empty()) << "witness \"" << w->text() << "\"";
+  }
+}
+
+TEST(SatVaTest, WitnessLengthIsBounded) {
+  // Lemma D.1: a satisfiable VA has a witness of size (2|V|+1)|Q|.
+  VA a = CompileToVa(P("x{a+}b+y{c+}"));
+  std::optional<Document> w = SatWitnessVa(a);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_LE(w->length(), (2 * a.Vars().size() + 1) * a.NumStates());
+}
+
+TEST(SatSeqVaTest, AgreesWithGeneralOnSequentialInputs) {
+  for (const char* pat : {"a*b", "x{a*}y{b*}", "x{a}|x{b}", "x{a(y{b})}"}) {
+    VA a = CompileToVa(P(pat));
+    ASSERT_TRUE(IsSequentialVa(a)) << pat;
+    EXPECT_EQ(IsSatisfiableSequentialVa(a), IsSatisfiableVa(a)) << pat;
+  }
+}
+
+TEST(SatSeqVaTest, EmptyCharsetTransitionIsNotAPath) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q1);
+  a.AddChar(q0, CharSet::None(), q1);
+  EXPECT_FALSE(IsSatisfiableSequentialVa(a));
+  EXPECT_FALSE(IsSatisfiableVa(a));
+}
+
+TEST(SatReductionTest, OneInThreeSatInstancesMatchBruteForce) {
+  // Theorem 5.2 / 6.1: γα satisfiable iff the instance is 1-in-3
+  // satisfiable (the witness document is always ε).
+  std::mt19937 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    workload::OneInThreeSat inst =
+        workload::RandomOneInThreeSat(4, 2 + trial % 3, &rng);
+    RgxPtr gamma = workload::OneInThreeSatToSpanRgx(inst);
+    VA a = CompileToVa(gamma);
+    EXPECT_EQ(IsSatisfiableVa(a), workload::SolveOneInThreeSat(inst))
+        << "trial " << trial;
+    // Satisfiability coincides with NonEmp on the empty document here.
+    EXPECT_EQ(!RunEval(a, Document("")).empty(),
+              workload::SolveOneInThreeSat(inst))
+        << "trial " << trial;
+  }
+}
+
+TEST(SatRuleTest, BoundedSearch) {
+  ExtractionRule sat =
+      ExtractionRule::Parse("a(x{.*}) && x.(b*)").ValueOrDie();
+  EXPECT_TRUE(IsSatisfiableRuleBounded(sat, CharSet::OfString("ab"), 2));
+  ExtractionRule unsat =
+      ExtractionRule::Parse("x{.*} && x.(y{.*}) && y.(a(x{.*}))")
+          .ValueOrDie();
+  EXPECT_FALSE(IsSatisfiableRuleBounded(unsat, CharSet::OfString("a"), 3));
+}
+
+TEST(SatRuleTest, DagRuleReductionMatchesBruteForce) {
+  // Theorem 5.8 / 6.3: the dag-rule image is satisfiable (on "#") iff the
+  // 1-IN-3-SAT instance is.
+  std::mt19937 rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    workload::OneInThreeSat inst =
+        workload::RandomOneInThreeSat(3 + trial % 3, 2, &rng);
+    ExtractionRule rule = workload::OneInThreeSatToDagRule(inst);
+    EXPECT_TRUE(rule.IsFunctional()) << "trial " << trial;
+    EXPECT_EQ(!RuleReferenceEval(rule, Document("#")).empty(),
+              workload::SolveOneInThreeSat(inst))
+        << "trial " << trial;
+  }
+}
+
+TEST(SatTreeRuleTest, AlwaysSatisfiableWithWitness) {
+  // Theorem 6.3: sequential tree-like rules are always satisfiable.
+  const char* rules[] = {
+      "a(x{.*}) && x.(b*)",
+      "x{.*}y{.*} && x.(a+) && y.(b+)",
+      "x{.*} && x.(c(y{.*})) && y.(d+)",
+  };
+  for (const char* text : rules) {
+    ExtractionRule rule = ExtractionRule::Parse(text).ValueOrDie();
+    Document w = TreeRuleSatWitness(rule);
+    EXPECT_FALSE(RuleReferenceEval(rule, w).empty())
+        << text << " witness \"" << w.text() << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,113 @@
+// Tests for sequentiality of VA (Prop 5.5), MakeSequential (Prop 5.6),
+// and agreement between RGX-level and VA-level sequentiality.
+#include <gtest/gtest.h>
+
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "automata/thompson.h"
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(SequentialVaTest, ThompsonPreservesSequentiality) {
+  // The compilation direction used in the Theorem 5.7 proof: sequential
+  // RGX yields sequential VA, non-sequential RGX yields non-sequential VA.
+  const char* seq[] = {"a*", "x{a*}y{b*}", "x{a}|x{b}", "x{a(y{b})}",
+                       ".*Seller: (x{[^,]*}),.*"};
+  for (const char* pat : seq) {
+    SCOPED_TRACE(pat);
+    EXPECT_TRUE(IsSequential(P(pat)));
+    EXPECT_TRUE(IsSequentialVa(CompileToVa(P(pat))));
+  }
+  const char* nonseq[] = {"x{a}x{b}", "(x{a})*", "x{x{a}}",
+                          "(x{(a|b)*}|y{(a|b)*})*"};
+  for (const char* pat : nonseq) {
+    SCOPED_TRACE(pat);
+    EXPECT_FALSE(IsSequential(P(pat)));
+    EXPECT_FALSE(IsSequentialVa(CompileToVa(P(pat))));
+  }
+}
+
+TEST(SequentialVaTest, DanglingOpenAtFinalIsNotSequential) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q2);  // x never closes
+  EXPECT_FALSE(IsSequentialVa(a));
+}
+
+TEST(SequentialVaTest, CloseWithoutOpenIsNotSequential) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q1);
+  a.AddClose(q0, Variable::Intern("x"), q1);
+  EXPECT_FALSE(IsSequentialVa(a));
+}
+
+TEST(SequentialVaTest, UnreachableViolationDoesNotCount) {
+  // The bad transition must lie on a path from q0.
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  StateId island = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddClose(q1, x, q2);
+  a.AddClose(island, x, island);  // unreachable inconsistency
+  EXPECT_TRUE(IsSequentialVa(a));
+}
+
+TEST(MakeSequentialTest, PreservesSemantics) {
+  // Prop 5.6 on paper's non-sequential examples; equality checked against
+  // brute-force run semantics.
+  const char* patterns[] = {"(x{a}|a)*", "(x{(a|b)*}|y{(a|b)*})*",
+                            "x{a}x{b}", "x{a*}"};
+  const char* docs[] = {"", "a", "aa", "ab", "aabb"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    VA s = MakeSequential(a);
+    EXPECT_TRUE(IsSequentialVa(s)) << pat;
+    for (const char* txt : docs) {
+      Document d(txt);
+      EXPECT_EQ(RunEval(s, d), RunEval(a, d)) << pat << " on " << txt;
+    }
+  }
+}
+
+TEST(MakeSequentialTest, HandlesDanglingOpens) {
+  // Automaton whose only accepting run dangles x: the sequentialised
+  // automaton must still accept (with x unused).
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q2);
+
+  VA s = MakeSequential(a);
+  EXPECT_TRUE(IsSequentialVa(s));
+  Document d("a");
+  EXPECT_EQ(RunEval(s, d), RunEval(a, d));
+  EXPECT_TRUE(RunEval(s, d).Contains(Mapping::Empty()));
+}
+
+TEST(MakeSequentialTest, IdempotentOnSequentialInput) {
+  VA a = CompileToVa(P("x{a*}y{b*}"));
+  VA s = MakeSequential(a);
+  EXPECT_TRUE(IsSequentialVa(s));
+  Document d("aabb");
+  EXPECT_EQ(RunEval(s, d), RunEval(a, d));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,93 @@
+// Tests for the RGX simplifier: semantics preservation (property-checked
+// against ReferenceEval) and the individual rewrite rules.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rgx/parser.h"
+#include "rgx/printer.h"
+#include "rgx/reference_eval.h"
+#include "rgx/simplify.h"
+#include "automata/state_elim.h"
+#include "automata/thompson.h"
+#include "workload/generators.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(StructuralUnsatTest, Detections) {
+  EXPECT_TRUE(IsStructurallyUnsatisfiable(RgxNode::Chars(CharSet::None())));
+  EXPECT_TRUE(IsStructurallyUnsatisfiable(P("x{x{a}}")));
+  EXPECT_TRUE(IsStructurallyUnsatisfiable(P("x{a}x{b}")));
+  EXPECT_FALSE(IsStructurallyUnsatisfiable(P("x{a}|x{b}")));
+  EXPECT_FALSE(IsStructurallyUnsatisfiable(P("a*")));
+  EXPECT_FALSE(IsStructurallyUnsatisfiable(P("\\e")));
+}
+
+TEST(SimplifyTest, EpsilonUnits) {
+  EXPECT_EQ(ToPattern(SimplifyRgx(P("\\ea\\eb\\e"))), "ab");
+}
+
+TEST(SimplifyTest, UnsatisfiableFactorsAbsorb) {
+  RgxPtr s = SimplifyRgx(RgxNode::Concat(
+      RgxNode::Lit('a'), RgxNode::Chars(CharSet::None())));
+  EXPECT_TRUE(IsStructurallyUnsatisfiable(s));
+  EXPECT_EQ(s->kind(), RgxKind::kChars);
+}
+
+TEST(SimplifyTest, DuplicateDisjunctsMerge) {
+  EXPECT_EQ(ToPattern(SimplifyRgx(P("ab|ab|ab"))), "ab");
+}
+
+TEST(SimplifyTest, LetterDisjunctsBecomeClass) {
+  RgxPtr s = SimplifyRgx(P("a|b|c"));
+  ASSERT_EQ(s->kind(), RgxKind::kChars);
+  EXPECT_EQ(s->chars().size(), 3u);
+}
+
+TEST(SimplifyTest, StarRules) {
+  EXPECT_EQ(SimplifyRgx(P("\\e*"))->kind(), RgxKind::kEpsilon);
+  EXPECT_EQ(ToPattern(SimplifyRgx(P("(a*)*"))), "a*");
+  EXPECT_EQ(SimplifyRgx(RgxNode::Star(RgxNode::Chars(CharSet::None())))
+                ->kind(),
+            RgxKind::kEpsilon);
+}
+
+TEST(SimplifyTest, UnsatVariableBodyPropagates) {
+  RgxPtr s = SimplifyRgx(P("x{y{y{a}}}|b"));
+  EXPECT_EQ(ToPattern(s), "b");
+}
+
+TEST(SimplifyTest, PreservesSemanticsOnRandomFormulas) {
+  std::mt19937 rng(31337);
+  workload::RandomRgxOptions opt;
+  opt.max_depth = 4;
+  opt.num_vars = 2;
+  for (int trial = 0; trial < 40; ++trial) {
+    RgxPtr g = workload::RandomRgx(opt, &rng);
+    RgxPtr s = SimplifyRgx(g);
+    for (size_t len : {0, 1, 2, 3}) {
+      Document d = workload::RandomDocument("ab", len, &rng);
+      ASSERT_EQ(ReferenceEval(s, d), ReferenceEval(g, d))
+          << ToPattern(g) << "  ->  " << ToPattern(s) << " on \""
+          << d.text() << "\"";
+    }
+  }
+}
+
+TEST(SimplifyTest, ShrinksStateEliminationOutput) {
+  // The VA→RGX output carries ε noise; simplification must not grow it.
+  RgxPtr g = P("x{a*}y{b*}");
+  RgxPtr back = VaToRgx(CompileToVa(g)).ValueOrDie();
+  RgxPtr slim = SimplifyRgx(back);
+  EXPECT_LE(slim->NodeCount(), back->NodeCount());
+  for (const char* txt : {"", "ab", "aabb"}) {
+    Document d(txt);
+    EXPECT_EQ(ReferenceEval(slim, d), ReferenceEval(g, d)) << txt;
+  }
+}
+
+}  // namespace
+}  // namespace spanners

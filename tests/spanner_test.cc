@@ -1,0 +1,92 @@
+// Tests for the high-level Spanner facade (evaluation dispatch,
+// ModelCheck, enumeration).
+#include <gtest/gtest.h>
+
+#include "core/spanner.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+namespace {
+
+TEST(SpannerTest, FromPatternAndExtract) {
+  Spanner s = Spanner::FromPattern("x{a*}y{b*}").ValueOrDie();
+  EXPECT_TRUE(s.is_sequential());
+  EXPECT_EQ(s.vars().size(), 2u);
+  Document d("aabb");
+  MappingSet out = s.ExtractAll(d);
+  EXPECT_EQ(out.size(), 1u);
+  Mapping m = Mapping::Single(Variable::Intern("x"), Span(1, 3));
+  m.Set(Variable::Intern("y"), Span(3, 5));
+  EXPECT_TRUE(out.Contains(m));
+}
+
+TEST(SpannerTest, ParseErrorPropagates) {
+  Result<Spanner> bad = Spanner::FromPattern("x{a");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpannerTest, NonSequentialDispatch) {
+  Spanner s = Spanner::FromPattern("(x{a}|a)*").ValueOrDie();
+  EXPECT_FALSE(s.is_sequential());
+  Document d("aa");
+  EXPECT_TRUE(s.Matches(d));
+  EXPECT_EQ(s.ExtractAll(d).size(), 3u);  // ∅, x→(1,2), x→(2,3)
+}
+
+TEST(SpannerTest, EvalAndModelCheck) {
+  Spanner s = Spanner::FromPattern("x{a*}y{b*}").ValueOrDie();
+  Document d("ab");
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+
+  Mapping good = Mapping::Single(x, Span(1, 2));
+  good.Set(y, Span(2, 3));
+  EXPECT_TRUE(s.ModelCheck(d, good));
+
+  // A partial mapping extendable to an output is *not* model-checked
+  // positively (ModelCheck asks for exact membership)...
+  Mapping partial = Mapping::Single(x, Span(1, 2));
+  EXPECT_FALSE(s.ModelCheck(d, partial));
+  // ...but Eval accepts it as extendable.
+  EXPECT_TRUE(s.Eval(d, ExtendedMapping::FromMapping(partial)));
+
+  Mapping wrong = Mapping::Single(x, Span(1, 3));
+  wrong.Set(y, Span(3, 3));
+  EXPECT_FALSE(s.ModelCheck(d, wrong));
+}
+
+TEST(SpannerTest, ModelCheckOnPartialOutputs) {
+  // Disjunction with different domains: the partial mapping {x→..} IS an
+  // output of the x-branch and must model-check.
+  Spanner s = Spanner::FromPattern("x{a}b|a(y{b})").ValueOrDie();
+  Document d("ab");
+  EXPECT_TRUE(s.ModelCheck(d, Mapping::Single(Variable::Intern("x"),
+                                              Span(1, 2))));
+  EXPECT_TRUE(s.ModelCheck(d, Mapping::Single(Variable::Intern("y"),
+                                              Span(2, 3))));
+  EXPECT_FALSE(s.ModelCheck(d, Mapping::Empty()));
+}
+
+TEST(SpannerTest, EnumerateAgreesWithExtractAll) {
+  for (const char* pat : {"x{a*}y{b*}", "(x{a}|a)*", "x{[^,]*}(,y{.*}|\\e)"}) {
+    Spanner s = Spanner::FromPattern(pat).ValueOrDie();
+    Document d("a,b");
+    MappingEnumerator e = s.Enumerate(d);
+    EXPECT_EQ(e.Drain(), s.ExtractAll(d)) << pat;
+  }
+}
+
+TEST(SpannerTest, FromVaWithoutRgx) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q1);
+  a.AddChar(q0, CharSet::Of('z'), q1);
+  Spanner s = Spanner::FromVa(a);
+  EXPECT_EQ(s.rgx(), nullptr);
+  EXPECT_TRUE(s.Matches(Document("z")));
+  EXPECT_FALSE(s.Matches(Document("x")));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,164 @@
+// Tests for VA → RGX (Theorems 4.3 / 4.4) and the functional-union
+// decomposition (corollary to Theorem 4.3).
+#include <gtest/gtest.h>
+
+#include "automata/run_eval.h"
+#include "automata/state_elim.h"
+#include "automata/thompson.h"
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+#include "rgx/printer.h"
+#include "rgx/functional_union.h"
+#include "rgx/reference_eval.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+const char* kDocs[] = {"", "a", "b", "ab", "ba", "aabb", "abab"};
+
+void ExpectRgxEquivalent(const RgxPtr& g1, const RgxPtr& g2) {
+  for (const char* txt : kDocs) {
+    Document d(txt);
+    EXPECT_EQ(ReferenceEval(g1, d), ReferenceEval(g2, d))
+        << ToPattern(g1) << " vs " << ToPattern(g2) << " on \"" << txt
+        << "\"";
+  }
+}
+
+TEST(VaToRgxTest, RoundTripThroughThompson) {
+  const char* patterns[] = {"a*b",
+                            "x{a*}",
+                            "x{a*}y{b*}",
+                            "x{a}|x{b}",
+                            "x{a(y{b})}",
+                            "a*x{b*}a*",
+                            "x{a}b|a(y{b})"};
+  for (const char* pat : patterns) {
+    SCOPED_TRACE(pat);
+    RgxPtr original = P(pat);
+    Result<RgxPtr> back = VaToRgx(CompileToVa(original));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ExpectRgxEquivalent(original, *back);
+  }
+}
+
+TEST(VaToRgxTest, RoundTripNonSequentialStar) {
+  // Star over a variable: the path union materialises the one-use cases.
+  RgxPtr original = P("(x{a}|a)*");
+  Result<RgxPtr> back = VaToRgx(CompileToVa(original));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectRgxEquivalent(original, *back);
+}
+
+TEST(VaToRgxTest, UnsatisfiableAutomatonYieldsUnsatisfiableRgx) {
+  // x{x{a}} has empty semantics on every document.
+  Result<RgxPtr> back = VaToRgx(CompileToVa(P("x{x{a}}")));
+  ASSERT_TRUE(back.ok());
+  for (const char* txt : kDocs)
+    EXPECT_TRUE(ReferenceEval(*back, Document(txt)).empty());
+}
+
+TEST(VaToRgxTest, HandlesDanglingOpens) {
+  // Automaton that opens x and never closes: equivalent to "a" alone.
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  a.AddOpen(q0, Variable::Intern("x"), q1);
+  a.AddChar(q1, CharSet::Of('a'), q2);
+  Result<RgxPtr> back = VaToRgx(a);
+  ASSERT_TRUE(back.ok());
+  ExpectRgxEquivalent(*back, P("a"));
+}
+
+TEST(VaToRgxTest, HierarchicalVaWithSamePositionReordering) {
+  // Open x then y at the same position but close x after y — nestable
+  // after reordering the same-position block (Theorem 4.4 machinery).
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState(),
+          q3 = a.AddState(), q4 = a.AddState(), q5 = a.AddState();
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  a.SetInitial(q0);
+  a.AddFinal(q5);
+  a.AddOpen(q0, x, q1);
+  a.AddOpen(q1, y, q2);
+  a.AddChar(q2, CharSet::Of('a'), q3);
+  a.AddClose(q3, x, q4);  // closes x first although y opened second...
+  a.AddClose(q4, y, q5);  // ...but both closes share a position: reorder.
+  Result<RgxPtr> back = VaToRgx(a);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  Document d("a");
+  Mapping m = Mapping::Single(x, Span(1, 2));
+  m.Set(y, Span(1, 2));
+  EXPECT_EQ(ReferenceEval(*back, d), RunEval(a, d));
+  EXPECT_TRUE(ReferenceEval(*back, d).Contains(m));
+}
+
+TEST(VaToRgxTest, NonHierarchicalVaIsRejected) {
+  // x over (1,3), y over (2,4) on "abc": genuinely overlapping spans.
+  VA a;
+  StateId s0 = a.AddState(), s1 = a.AddState(), s2 = a.AddState(),
+          s3 = a.AddState(), s4 = a.AddState(), s5 = a.AddState(),
+          s6 = a.AddState(), s7 = a.AddState();
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  a.SetInitial(s0);
+  a.AddFinal(s7);
+  a.AddOpen(s0, x, s1);
+  a.AddChar(s1, CharSet::Of('a'), s2);
+  a.AddOpen(s2, y, s3);
+  a.AddChar(s3, CharSet::Of('b'), s4);
+  a.AddClose(s4, x, s5);
+  a.AddChar(s5, CharSet::Of('c'), s6);
+  a.AddClose(s6, y, s7);
+  Result<RgxPtr> back = VaToRgx(a);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(VaToFunctionalUnionTest, EveryDisjunctIsFunctional) {
+  for (const char* pat : {"x{a}|a", "(x{a}|a)*", "x{a*}(y{b}|\\e)"}) {
+    Result<std::vector<RgxPtr>> parts =
+        VaToFunctionalRgxUnion(CompileToVa(P(pat)));
+    ASSERT_TRUE(parts.ok()) << pat;
+    for (const RgxPtr& r : *parts)
+      EXPECT_TRUE(IsFunctional(r)) << pat << " disjunct " << ToPattern(r);
+  }
+}
+
+TEST(ToFunctionalUnionTest, AstLevelDecomposition) {
+  const char* patterns[] = {"x{a}|a",      "(x{.*}|y{.*})(z{.*}|w{.*})",
+                            "(x{a}|a)*",   "x{a*}(y{b}|\\e)",
+                            "(x{a}|y{b}|c)*"};
+  for (const char* pat : patterns) {
+    SCOPED_TRACE(pat);
+    RgxPtr original = P(pat);
+    std::vector<RgxPtr> parts = ToFunctionalUnion(original);
+    for (const RgxPtr& r : parts) EXPECT_TRUE(IsFunctional(r));
+    RgxPtr united = parts.empty() ? RgxNode::Chars(CharSet::None())
+                                  : RgxNode::Disj(parts);
+    ExpectRgxEquivalent(original, united);
+  }
+}
+
+TEST(ToFunctionalUnionTest, PaperExampleFromProposition48) {
+  // (x ∨ y)·(z ∨ w) decomposes into the pairwise functional products.
+  std::vector<RgxPtr> parts =
+      ToFunctionalUnion(P("(x{.*}|y{.*})(z{.*}|w{.*})"));
+  EXPECT_EQ(parts.size(), 4u);  // x·z, x·w, y·z, y·w
+}
+
+TEST(ToFunctionalUnionTest, UnsatisfiableYieldsEmptyUnion) {
+  EXPECT_TRUE(ToFunctionalUnion(P("x{x{a}}")).empty());
+  EXPECT_TRUE(ToFunctionalUnion(P("x{a}x{b}")).empty());
+}
+
+TEST(ToFunctionalUnionTest, SpanRgxStaysSpanRgx) {
+  std::vector<RgxPtr> parts = ToFunctionalUnion(P("(x{.*}|y{.*})a(z{.*})"));
+  ASSERT_FALSE(parts.empty());
+  for (const RgxPtr& r : parts) EXPECT_TRUE(IsSpanRgx(r));
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,134 @@
+// Tests for the PTIME sequential tree-like rule evaluator (Theorem 5.9),
+// validated against the exhaustive reference semantics.
+#include <gtest/gtest.h>
+
+#include "rules/rule_eval.h"
+#include "rules/tree_eval.h"
+
+namespace spanners {
+namespace {
+
+ExtractionRule R(std::string_view text) {
+  return ExtractionRule::Parse(text).ValueOrDie();
+}
+
+// Exhaustive comparison of EvalTreeRule with brute force over all
+// single-variable and pairwise constraints.
+void CheckAgainstBrute(const ExtractionRule& rule, const Document& d) {
+  MappingSet truth = RuleReferenceEval(rule, d);
+  auto brute = [&truth](const ExtendedMapping& mu) {
+    for (const Mapping& m : truth)
+      if (mu.ExtendedBy(m)) return true;
+    return false;
+  };
+  EXPECT_EQ(EvalTreeRule(rule, d, ExtendedMapping()),
+            brute(ExtendedMapping()));
+  std::vector<VarId> vars = rule.AllVars().ids();
+  std::vector<Span> spans = d.AllSpans();
+  for (VarId x : vars) {
+    {
+      ExtendedMapping mu;
+      mu.AssignBottom(x);
+      EXPECT_EQ(EvalTreeRule(rule, d, mu), brute(mu))
+          << Variable::Name(x) << " = ⊥ on \"" << d.text() << "\"";
+    }
+    for (const Span& s : spans) {
+      ExtendedMapping mu;
+      mu.Assign(x, s);
+      EXPECT_EQ(EvalTreeRule(rule, d, mu), brute(mu))
+          << Variable::Name(x) << " -> " << s.ToString() << " on \""
+          << d.text() << "\" rule " << rule.ToString();
+    }
+  }
+  if (vars.size() >= 2) {
+    for (const Span& s1 : spans) {
+      for (const Span& s2 : spans) {
+        ExtendedMapping mu;
+        mu.Assign(vars[0], s1);
+        mu.Assign(vars[1], s2);
+        EXPECT_EQ(EvalTreeRule(rule, d, mu), brute(mu))
+            << s1.ToString() << "/" << s2.ToString() << " on \"" << d.text()
+            << "\" rule " << rule.ToString();
+      }
+    }
+  }
+}
+
+TEST(ValidateTreeRuleTest, AcceptsAndRejects) {
+  EXPECT_TRUE(ValidateTreeRule(R("a(x{.*}) && x.(b*)")).ok());
+  EXPECT_FALSE(ValidateTreeRule(R("x{.*} && x.(a) && x.(b)")).ok());
+  EXPECT_FALSE(
+      ValidateTreeRule(R("x{.*}y{.*} && x.(z{.*}) && y.(z{.*})")).ok());
+  EXPECT_FALSE(ValidateTreeRule(R("x{.*}x{.*}")).ok());  // non-sequential
+}
+
+TEST(EvalTreeRuleTest, BodyOnly) {
+  for (const char* txt : {"", "a", "ab", "aab"})
+    CheckAgainstBrute(R("a(x{.*})b"), Document(txt));
+}
+
+TEST(EvalTreeRuleTest, OneConstraint) {
+  for (const char* txt : {"", "ab", "abb", "ba"})
+    CheckAgainstBrute(R("a(x{.*}) && x.(b*)"), Document(txt));
+}
+
+TEST(EvalTreeRuleTest, NestedConstraints) {
+  for (const char* txt : {"", "ab", "aab", "abb"})
+    CheckAgainstBrute(R("x{.*} && x.(a*(y{.*})) && y.(b*)"),
+                      Document(txt));
+}
+
+TEST(EvalTreeRuleTest, DisjunctiveInstantiation) {
+  // Only the chosen branch's variable is instantiated.
+  for (const char* txt : {"ab", "ba", "a", "b"})
+    CheckAgainstBrute(R("x{.*}|y{.*} && x.(ab*) && y.(ba*)"),
+                      Document(txt));
+}
+
+TEST(EvalTreeRuleTest, TwoSiblings) {
+  for (const char* txt : {"", "ab", "aabb"})
+    CheckAgainstBrute(R("x{.*}y{.*} && x.(a*) && y.(b*)"), Document(txt));
+}
+
+TEST(EvalTreeRuleTest, EmptySpanSiblings) {
+  // Both x and y can be empty at the same position — the
+  // "indistinguishable variables" corner of the Theorem 5.9 proof.
+  for (const char* txt : {"", "a"})
+    CheckAgainstBrute(R("x{.*}y{.*}a* && x.(a*) && y.(\\e)"),
+                      Document(txt));
+}
+
+TEST(EvalTreeRuleTest, OptionalField) {
+  // The paper's incomplete-information motif as a rule.
+  for (const char* txt : {"n,t", "n", ","})
+    CheckAgainstBrute(R("x{.*}(,y{.*}|\\e) && x.([^,]*) && y.([^,]*)"),
+                      Document(txt));
+}
+
+TEST(EvalTreeRuleTest, DeepTree) {
+  for (const char* txt : {"abc", "aabbcc"})
+    CheckAgainstBrute(
+        R("x{.*} && x.(a*(y{.*})) && y.(b*(z{.*})) && z.(c*)"),
+        Document(txt));
+}
+
+TEST(EnumerateTreeRuleTest, MatchesReference) {
+  const char* rules[] = {
+      "a(x{.*}) && x.(b*)",
+      "x{.*}y{.*} && x.(a*) && y.(b*)",
+      "x{.*}|y{.*} && x.(ab*) && y.(ba*)",
+      "x{.*} && x.(a*(y{.*})) && y.(b*)",
+  };
+  const char* docs[] = {"", "a", "ab", "ba", "abb"};
+  for (const char* text : rules) {
+    ExtractionRule rule = R(text);
+    for (const char* txt : docs) {
+      Document d(txt);
+      EXPECT_EQ(EnumerateTreeRule(rule, d), RuleReferenceEval(rule, d))
+          << text << " on " << txt;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spanners

@@ -1,0 +1,217 @@
+// Tests for the VA structure, run semantics (VA and VAstk), and the
+// Thompson construction (Theorem 4.3, RGX → VAstk direction).
+#include <gtest/gtest.h>
+
+#include "automata/run_eval.h"
+#include "automata/thompson.h"
+#include "automata/va.h"
+#include "rgx/parser.h"
+#include "rgx/reference_eval.h"
+
+namespace spanners {
+namespace {
+
+RgxPtr P(std::string_view p) { return ParseRgx(p).ValueOrDie(); }
+
+TEST(VaTest, BuildAndInspect) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q1);
+  a.AddClose(q1, x, q2);
+  EXPECT_EQ(a.NumStates(), 3u);
+  EXPECT_EQ(a.NumTransitions(), 3u);
+  EXPECT_TRUE(a.IsFinal(q2));
+  EXPECT_FALSE(a.IsFinal(q0));
+  EXPECT_TRUE(a.Vars().Contains(x));
+  EXPECT_EQ(a.SingleFinal(), q2);
+}
+
+TEST(VaTest, RunEvalSimpleCapture) {
+  // q0 -x⊢-> q1 -a*-> q1 -⊣x-> q2 : captures the whole document of a's.
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q1);
+  a.AddClose(q1, x, q2);
+
+  MappingSet out = RunEval(a, Document("aa"));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Mapping::Single(x, Span(1, 3))));
+  EXPECT_TRUE(RunEval(a, Document("ab")).empty());
+}
+
+TEST(VaTest, DanglingOpenMeansUnused) {
+  // Open x but never close: accepting runs exist and x stays undefined.
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q2);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q2);
+
+  MappingSet out = RunEval(a, Document("a"));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Mapping::Empty()));
+}
+
+TEST(VaTest, VariableOpensAtMostOncePerRun) {
+  // A loop through an open transition cannot be taken twice.
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState();
+  a.SetInitial(q0);
+  a.AddFinal(q0);
+  VarId x = Variable::Intern("x");
+  a.AddOpen(q0, x, q1);
+  a.AddChar(q1, CharSet::Of('a'), q0);
+
+  // On "a": open, a — accept with x dangling (unused).
+  MappingSet one = RunEval(a, Document("a"));
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one.Contains(Mapping::Empty()));
+  // On "aa": would need to open x twice — no accepting run.
+  EXPECT_TRUE(RunEval(a, Document("aa")).empty());
+}
+
+TEST(VaTest, NonHierarchicalOverlapIsExpressible) {
+  // VA (unlike RGX) can produce overlapping spans: x over positions 1..3,
+  // y over 2..4 of "abc".
+  VA a;
+  VarId x = Variable::Intern("x"), y = Variable::Intern("y");
+  StateId s0 = a.AddState(), s1 = a.AddState(), s2 = a.AddState(),
+          s3 = a.AddState(), s4 = a.AddState(), s5 = a.AddState(),
+          s6 = a.AddState();
+  a.SetInitial(s0);
+  a.AddFinal(s6);
+  a.AddOpen(s0, x, s1);
+  a.AddChar(s1, CharSet::Of('a'), s2);
+  a.AddOpen(s2, y, s3);
+  a.AddChar(s3, CharSet::Of('b'), s4);
+  a.AddClose(s4, x, s5);
+  a.AddChar(s5, CharSet::Of('c'), s6);
+  // close y at the very end:
+  StateId s7 = a.AddState();
+  a.AddClose(s6, y, s7);
+  a.ClearFinals();
+  a.AddFinal(s7);
+
+  MappingSet out = RunEval(a, Document("abc"));
+  Mapping m = Mapping::Single(x, Span(1, 3));
+  m.Set(y, Span(2, 4));
+  EXPECT_TRUE(out.Contains(m));
+  EXPECT_FALSE(out.IsHierarchical());
+  // The stack semantics rejects the crossing close order.
+  EXPECT_TRUE(RunEvalStack(a, Document("abc")).empty());
+}
+
+TEST(VaTest, StackSemanticsAgreesOnNestedAutomata) {
+  // Thompson outputs are stack-disciplined: VA and VAstk semantics match.
+  VA a = CompileToVa(P("x{a(y{b})c}"));
+  Document d("abc");
+  EXPECT_EQ(RunEval(a, d), RunEvalStack(a, d));
+  EXPECT_EQ(RunEval(a, d).size(), 1u);
+}
+
+TEST(VaTest, TrimRemovesUselessStates) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState();
+  a.AddState();  // unreachable
+  StateId q3 = a.AddState();  // reachable but dead-ended
+  a.SetInitial(q0);
+  a.AddFinal(q1);
+  a.AddChar(q0, CharSet::Of('a'), q1);
+  a.AddChar(q0, CharSet::Of('b'), q3);
+  VA t = a.Trimmed();
+  EXPECT_EQ(t.NumStates(), 2u);
+  EXPECT_EQ(t.NumTransitions(), 1u);
+  EXPECT_EQ(RunEval(t, Document("a")), RunEval(a, Document("a")));
+}
+
+TEST(VaTest, EpsilonClosure) {
+  VA a;
+  StateId q0 = a.AddState(), q1 = a.AddState(), q2 = a.AddState(),
+          q3 = a.AddState();
+  a.SetInitial(q0);
+  a.AddEpsilon(q0, q1);
+  a.AddEpsilon(q1, q2);
+  a.AddChar(q2, CharSet::Of('a'), q3);
+  std::vector<StateId> cl = a.EpsilonClosure(q0);
+  EXPECT_EQ(cl, (std::vector<StateId>{q0, q1, q2}));
+}
+
+TEST(VaTest, IsDeterministic) {
+  VA det;
+  StateId p0 = det.AddState(), p1 = det.AddState();
+  det.SetInitial(p0);
+  det.AddFinal(p1);
+  det.AddChar(p0, CharSet::Of('a'), p1);
+  det.AddChar(p0, CharSet::Of('b'), p0);
+  EXPECT_TRUE(det.IsDeterministic());
+
+  VA overlap = det;
+  overlap.AddChar(p0, CharSet::Of('a'), p0);  // 'a' now has two successors
+  EXPECT_FALSE(overlap.IsDeterministic());
+
+  VA eps = det;
+  eps.AddEpsilon(p0, p1);
+  EXPECT_FALSE(eps.IsDeterministic());
+
+  VA dup_op = det;
+  VarId x = Variable::Intern("x");
+  dup_op.AddOpen(p0, x, p0);
+  dup_op.AddOpen(p0, x, p1);
+  EXPECT_FALSE(dup_op.IsDeterministic());
+}
+
+TEST(ThompsonTest, MatchesReferenceOnPaperExamples) {
+  const char* patterns[] = {
+      "a",          "x{a}",          "x{a*}y{b*}",       "x{a*}x{b*}",
+      "(x{(a|b)*}|y{(a|b)*})*",      "x{a(y{b})}c",      "a*b",
+      "x{a}b|a(y{b})",               "(x{a}|a)*",        "x{x{a}}",
+  };
+  const char* docs[] = {"", "a", "ab", "aaabbb", "abc", "ba", "aabb"};
+  for (const char* pat : patterns) {
+    RgxPtr g = P(pat);
+    VA a = CompileToVa(g);
+    for (const char* txt : docs) {
+      Document d(txt);
+      EXPECT_EQ(RunEval(a, d), ReferenceEval(g, d))
+          << "pattern " << pat << " on doc \"" << txt << "\"";
+    }
+  }
+}
+
+TEST(ThompsonTest, OutputSizeIsLinear) {
+  RgxPtr small = P("x{a*}");
+  RgxPtr big = P("x{a*}y{b*}z{c*}(u|v|w)*q{[a-z]+}");
+  VA a_small = CompileToVa(small);
+  VA a_big = CompileToVa(big);
+  // Each AST node contributes at most 2 states and a few transitions.
+  EXPECT_LE(a_small.NumStates(), 2 * small->NodeCount() + 2);
+  EXPECT_LE(a_big.NumStates(), 2 * big->NodeCount() + 2);
+}
+
+TEST(ThompsonTest, StackDisciplined) {
+  // RGX compiles to automata whose VA and VAstk semantics agree
+  // (the VAstk ≡ RGX side of Theorem 4.3).
+  const char* patterns[] = {"x{a*}y{b*}", "x{a(y{b})}c", "(x{a}|a)*",
+                            "x{(a|b)*}|y{.*}"};
+  const char* docs[] = {"ab", "abc", "aa", "ba"};
+  for (const char* pat : patterns) {
+    VA a = CompileToVa(P(pat));
+    for (const char* txt : docs) {
+      Document d(txt);
+      EXPECT_EQ(RunEval(a, d), RunEvalStack(a, d)) << pat << " on " << txt;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spanners

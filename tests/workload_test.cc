@@ -1,0 +1,158 @@
+// Sanity tests for the workload generators and reductions.
+#include <gtest/gtest.h>
+
+#include "automata/enumerate.h"
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "automata/thompson.h"
+#include "rgx/analysis.h"
+#include "rgx/reference_eval.h"
+#include "workload/generators.h"
+#include "workload/reductions.h"
+
+namespace spanners {
+namespace {
+
+using workload::LandRegistryOptions;
+using workload::LogOptions;
+
+TEST(GeneratorTest, RandomDocumentRespectsAlphabet) {
+  std::mt19937 rng(1);
+  Document d = workload::RandomDocument("xy", 50, &rng);
+  EXPECT_EQ(d.length(), 50u);
+  for (char c : d.text()) EXPECT_TRUE(c == 'x' || c == 'y');
+}
+
+TEST(GeneratorTest, RandomSequentialRgxIsSequential) {
+  std::mt19937 rng(2);
+  workload::RandomRgxOptions opt;
+  opt.sequential_only = true;
+  opt.num_vars = 3;
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(IsSequential(workload::RandomRgx(opt, &rng)));
+}
+
+TEST(GeneratorTest, RandomFunctionalRgxIsFunctional) {
+  std::mt19937 rng(3);
+  workload::RandomRgxOptions opt;
+  opt.functional_only = true;
+  opt.num_vars = 2;
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(IsFunctional(workload::RandomRgx(opt, &rng)));
+}
+
+TEST(GeneratorTest, RandomVaIsWellFormed) {
+  std::mt19937 rng(4);
+  VA a = workload::RandomVa(8, 2, "ab", &rng);
+  EXPECT_GE(a.NumStates(), 1u);
+}
+
+TEST(LandRegistryTest, DocumentShape) {
+  Document d = workload::LandRegistryDocument({.rows = 20, .seed = 5});
+  // Every row terminated by a newline; sellers and buyers present.
+  EXPECT_EQ(std::count(d.text().begin(), d.text().end(), '\n'), 20);
+  EXPECT_NE(d.text().find("Seller: "), std::string::npos);
+}
+
+TEST(LandRegistryTest, SellerRgxExtractsNames) {
+  Document d(
+      "Seller: John, ID75\n"
+      "Buyer: Marcelo, ID832, P78\n"
+      "Seller: Mark, ID7, $35000\n");
+  VA a = CompileToVa(workload::SellerNameRgx());
+  ASSERT_TRUE(IsSequentialVa(a));
+  MappingSet out = EnumerateSequential(a, d);
+  VarId x = Variable::Intern("x");
+  std::set<std::string> names;
+  for (const Mapping& m : out)
+    names.insert(std::string(d.content(*m.Get(x))));
+  EXPECT_TRUE(names.count("John") == 1);
+  EXPECT_TRUE(names.count("Mark") == 1);
+  EXPECT_TRUE(names.count("Marcelo") == 0);  // buyers not matched
+}
+
+TEST(LandRegistryTest, TaxRgxProducesPartialMappings) {
+  // The §3.1 motivating behaviour: y defined only when the row has a tax.
+  Document d(
+      "Seller: John, ID75\n"
+      "Seller: Mark, ID7, $35000\n");
+  VA a = CompileToVa(workload::SellerNameTaxRgx());
+  ASSERT_TRUE(IsSequentialVa(a));
+  MappingSet out = EnumerateSequential(a, d);
+  VarId x = Variable::Intern("x");
+  VarId y = Variable::Intern("y");
+  bool saw_partial = false, saw_total = false;
+  for (const Mapping& m : out) {
+    ASSERT_TRUE(m.Defines(x));
+    std::string name(d.content(*m.Get(x)));
+    if (name == "John") {
+      EXPECT_FALSE(m.Defines(y));
+      saw_partial = true;
+    }
+    if (name == "Mark" && m.Defines(y)) {
+      EXPECT_EQ(d.content(*m.Get(y)), "35000");
+      saw_total = true;
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_total);
+}
+
+TEST(ServerLogTest, LogRgxExtractsOptionalCause) {
+  Document d(
+      "host1 GET /a 200\n"
+      "host2 POST /x 500 err=timeout\n");
+  VA a = CompileToVa(workload::LogLineRgx());
+  ASSERT_TRUE(IsSequentialVa(a));
+  MappingSet out = EnumerateSequential(a, d);
+  VarId c = Variable::Intern("c");
+  bool saw_cause = false, saw_no_cause = false;
+  for (const Mapping& m : out) {
+    if (m.Defines(c)) {
+      EXPECT_EQ(d.content(*m.Get(c)), "timeout");
+      saw_cause = true;
+    } else {
+      saw_no_cause = true;
+    }
+  }
+  EXPECT_TRUE(saw_cause);
+  EXPECT_TRUE(saw_no_cause);
+}
+
+TEST(ReductionTest, HamiltonianPathViaRelationalVa) {
+  // Proposition 5.4: ⟦A⟧_ε ≠ ∅ iff the digraph has a Hamiltonian path;
+  // all produced mappings are total (the automaton is relational).
+  std::mt19937 rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    workload::Digraph g = workload::RandomDigraph(4, 0.4, &rng);
+    VA a = workload::HamiltonianToRelationalVa(g);
+    MappingSet out = RunEval(a, Document(""));
+    EXPECT_EQ(!out.empty(), workload::HasHamiltonianPath(g))
+        << "trial " << trial;
+    for (const Mapping& m : out) EXPECT_EQ(m.size(), 4u);  // relational
+  }
+}
+
+TEST(ReductionTest, DnfReductionAutomataAreDetSeq) {
+  std::mt19937 rng(8);
+  workload::Dnf dnf = workload::RandomDnf(3, 2, &rng);
+  auto [a1, a2] = workload::DnfValidityToContainment(dnf);
+  EXPECT_TRUE(a1.IsDeterministic());
+  EXPECT_TRUE(a2.IsDeterministic());
+  EXPECT_TRUE(IsSequentialVa(a1));
+  EXPECT_TRUE(IsSequentialVa(a2));
+}
+
+TEST(ReductionTest, OneInThreeSatEdgeCases) {
+  // A clause repeated twice is consistent; conflicting choices collide.
+  workload::OneInThreeSat inst;
+  inst.num_props = 3;
+  inst.clauses.push_back({0, 1, 2});
+  inst.clauses.push_back({0, 1, 2});
+  EXPECT_TRUE(workload::SolveOneInThreeSat(inst));
+  RgxPtr g = workload::OneInThreeSatToSpanRgx(inst);
+  EXPECT_FALSE(RunEval(CompileToVa(g), Document("")).empty());
+}
+
+}  // namespace
+}  // namespace spanners
