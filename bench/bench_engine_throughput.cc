@@ -1,0 +1,113 @@
+// Engine throughput: documents/sec and mappings/sec of BatchExtractor over
+// generated corpora, swept by thread count. The interesting curves:
+// scaling of the sequential-fragment workloads (land registry, server log)
+// with threads, and the plan-cache hit path vs. fresh compilation.
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace spanners;
+using namespace spanners::engine;
+
+ExtractionPlan LandRegistryPlan() {
+  return ExtractionPlan::FromSpanner(
+      Spanner::FromRgx(workload::SellerNameTaxRgx()));
+}
+
+// docs/sec and mappings/sec over the Table 1 CSV corpus, thread sweep.
+void BM_BatchExtract_LandRegistry(benchmark::State& state) {
+  workload::CorpusOptions o;
+  o.documents = 1000;
+  o.rows_per_document = 4;
+  Corpus corpus(workload::LandRegistryCorpus(o));
+  ExtractionPlan plan = LandRegistryPlan();
+  BatchOptions bo;
+  bo.num_threads = static_cast<size_t>(state.range(0));
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  uint64_t mappings = 0;
+  for (auto _ : state) {
+    BatchResult result = extractor.Extract(plan, corpus);
+    mappings = result.total_mappings;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * corpus.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["mappings/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * mappings),
+      benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(bo.num_threads);
+}
+BENCHMARK(BM_BatchExtract_LandRegistry)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same sweep over the server-log corpus (3 variables, optional field).
+void BM_BatchExtract_ServerLog(benchmark::State& state) {
+  workload::CorpusOptions o;
+  o.documents = 500;
+  o.rows_per_document = 3;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+  BatchOptions bo;
+  bo.num_threads = static_cast<size_t>(state.range(0));
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  uint64_t mappings = 0;
+  for (auto _ : state) {
+    BatchResult result = extractor.Extract(plan, corpus);
+    mappings = result.total_mappings;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.counters["docs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * corpus.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["mappings/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * mappings),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchExtract_ServerLog)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Plan-cache hit path vs. compiling the pattern from scratch each time.
+void BM_PlanCache_Hit(benchmark::State& state) {
+  PlanCache cache;
+  const char* kPattern = ".*Seller: (x{[^,\\n]*}),.*";
+  cache.GetOrCompile(kPattern).ValueOrDie();
+  for (auto _ : state) {
+    auto plan = cache.GetOrCompile(kPattern).ValueOrDie();
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanCache_Hit);
+
+void BM_PlanCache_CompileEachTime(benchmark::State& state) {
+  const char* kPattern = ".*Seller: (x{[^,\\n]*}),.*";
+  for (auto _ : state) {
+    auto plan = ExtractionPlan::Compile(kPattern).ValueOrDie();
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanCache_CompileEachTime);
+
+}  // namespace

@@ -9,15 +9,33 @@
 
 namespace spanners {
 
+namespace {
+
+// Past this many variables the brute-force run exploration risks an
+// exponential blow-up; fall back to the polynomial-delay machinery.
+constexpr size_t kRunEnumerationVarLimit = 6;
+
+Spanner::Evaluator PickEvaluator(const VarSet& vars, bool sequential) {
+  if (vars.size() <= kRunEnumerationVarLimit)
+    return Spanner::Evaluator::kRunEnumeration;
+  return sequential ? Spanner::Evaluator::kSequentialDelay
+                    : Spanner::Evaluator::kFptDelay;
+}
+
+}  // namespace
+
 Spanner::Spanner(RgxPtr rgx, VA va)
     : rgx_(std::move(rgx)),
       va_(std::move(va)),
       vars_(va_.Vars()),
-      sequential_(IsSequentialVa(va_)) {}
+      sequential_(IsSequentialVa(va_)),
+      recommended_(PickEvaluator(vars_, sequential_)) {}
 
 Result<Spanner> Spanner::FromPattern(std::string_view pattern) {
   SPANNERS_ASSIGN_OR_RETURN(RgxPtr rgx, ParseRgx(pattern));
-  return FromRgx(std::move(rgx));
+  Spanner s = FromRgx(std::move(rgx));
+  s.pattern_ = std::string(pattern);
+  return s;
 }
 
 Spanner Spanner::FromRgx(RgxPtr rgx) {
@@ -29,6 +47,34 @@ Spanner Spanner::FromVa(VA va) { return Spanner(nullptr, std::move(va)); }
 
 MappingSet Spanner::ExtractAll(const Document& doc) const {
   return RunEval(va_, doc);
+}
+
+MappingSet Spanner::ExtractAllWith(Evaluator evaluator,
+                                   const Document& doc) const {
+  switch (evaluator) {
+    case Evaluator::kRunEnumeration:
+      return RunEval(va_, doc);
+    case Evaluator::kSequentialDelay:
+      SPANNERS_CHECK(sequential_)
+          << "kSequentialDelay requires a sequential VA";
+      return EnumerateSequential(va_, doc);
+    case Evaluator::kFptDelay:
+      return EnumerateVa(va_, doc);
+  }
+  SPANNERS_CHECK(false) << "unknown evaluator";
+  return MappingSet();
+}
+
+std::string_view EvaluatorToString(Spanner::Evaluator e) {
+  switch (e) {
+    case Spanner::Evaluator::kRunEnumeration:
+      return "run-enumeration";
+    case Spanner::Evaluator::kSequentialDelay:
+      return "sequential-delay";
+    case Spanner::Evaluator::kFptDelay:
+      return "fpt-delay";
+  }
+  return "unknown";
 }
 
 MappingEnumerator Spanner::Enumerate(const Document& doc) const {

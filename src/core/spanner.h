@@ -13,6 +13,7 @@
 #ifndef SPANNERS_CORE_SPANNER_H_
 #define SPANNERS_CORE_SPANNER_H_
 
+#include <string>
 #include <string_view>
 
 #include "automata/enumerate.h"
@@ -26,6 +27,15 @@ namespace spanners {
 
 class Spanner {
  public:
+  /// The extraction strategies a compiled spanner can dispatch to. Exposed
+  /// so planning layers (src/engine/) can pick one once per pattern and
+  /// reuse the choice across a whole corpus.
+  enum class Evaluator : uint8_t {
+    kRunEnumeration,    // brute-force run semantics (output-sensitive)
+    kSequentialDelay,   // Theorem 5.7 oracle + Algorithm 1 (sequential only)
+    kFptDelay,          // Theorem 5.10 FPT oracle + Algorithm 1 (any VA)
+  };
+
   /// Compiles an RGX text pattern (see rgx/parser.h for the syntax).
   static Result<Spanner> FromPattern(std::string_view pattern);
   /// Wraps an existing AST.
@@ -37,13 +47,25 @@ class Spanner {
   const VA& va() const { return va_; }
   /// The source formula; nullptr when constructed FromVa.
   const RgxPtr& rgx() const { return rgx_; }
+  /// The source pattern text; empty unless constructed FromPattern.
+  const std::string& pattern() const { return pattern_; }
   /// var(γ): the capture variables.
   const VarSet& vars() const { return vars_; }
   /// Whether the PTIME sequential machinery applies (§5.2).
   bool is_sequential() const { return sequential_; }
 
+  /// Document-independent evaluator choice, decided once at compile time:
+  /// run enumeration for few variables (lowest constant factor), the
+  /// guaranteed-polynomial-delay paths otherwise, FPT when non-sequential.
+  Evaluator RecommendedEvaluator() const { return recommended_; }
+
   /// ⟦γ⟧_doc, computed by run enumeration (output-sensitive).
   MappingSet ExtractAll(const Document& doc) const;
+
+  /// ⟦γ⟧_doc computed by an explicit strategy. `kSequentialDelay` requires
+  /// is_sequential(). Thread-safe: shares only immutable state, so one
+  /// Spanner may serve concurrent extractions.
+  MappingSet ExtractAllWith(Evaluator evaluator, const Document& doc) const;
 
   /// Incremental polynomial-delay enumeration (Theorem 5.1). The returned
   /// enumerator borrows this spanner and the document.
@@ -63,10 +85,15 @@ class Spanner {
   Spanner(RgxPtr rgx, VA va);
 
   RgxPtr rgx_;  // may be nullptr
+  std::string pattern_;  // empty unless FromPattern
   VA va_;
   VarSet vars_;
   bool sequential_;
+  Evaluator recommended_;
 };
+
+/// "run-enumeration" / "sequential-delay" / "fpt-delay".
+std::string_view EvaluatorToString(Spanner::Evaluator e);
 
 }  // namespace spanners
 

@@ -1,0 +1,48 @@
+#include "engine/batch_extractor.h"
+
+#include <utility>
+
+namespace spanners {
+namespace engine {
+
+size_t BatchResult::MatchedDocuments() const {
+  size_t n = 0;
+  for (const auto& ms : per_doc)
+    if (!ms.empty()) ++n;
+  return n;
+}
+
+BatchExtractor::BatchExtractor(BatchOptions options)
+    : options_(options), pool_(options.num_threads) {}
+
+BatchResult BatchExtractor::Extract(const ExtractionPlan& plan,
+                                    const Corpus& corpus) {
+  BatchResult result;
+  result.per_doc.resize(corpus.size());
+  if (corpus.empty()) return result;
+
+  ShardingOptions sharding;
+  sharding.max_shards =
+      pool_.num_threads() *
+      (options_.shard_oversubscription == 0 ? 1
+                                            : options_.shard_oversubscription);
+  sharding.min_docs_per_shard = options_.min_docs_per_shard;
+  std::vector<Shard> shards = ShardCorpus(corpus, sharding);
+  result.shards = shards.size();
+
+  // One task per shard; each writes only its own slots of per_doc, so no
+  // synchronization is needed beyond the pool's completion barrier.
+  for (const Shard& shard : shards) {
+    pool_.Submit([&plan, &corpus, &result, shard] {
+      for (size_t i = shard.begin; i < shard.end; ++i)
+        result.per_doc[i] = plan.Extract(corpus[i]).Sorted();
+    });
+  }
+  pool_.WaitIdle();
+
+  for (const auto& ms : result.per_doc) result.total_mappings += ms.size();
+  return result;
+}
+
+}  // namespace engine
+}  // namespace spanners

@@ -1,0 +1,60 @@
+// BatchExtractor: runs one ExtractionPlan over a whole Corpus on a fixed
+// work-stealing thread pool. The corpus is cut into byte-balanced shards
+// (≈ oversubscription × threads of them, so stealing can rebalance skew);
+// each worker extracts its shard's documents into slots indexed by
+// document position. Output is therefore deterministic and independent of
+// the thread count: per_doc[i] is the sorted ⟦γ⟧_{d_i}.
+#ifndef SPANNERS_ENGINE_BATCH_EXTRACTOR_H_
+#define SPANNERS_ENGINE_BATCH_EXTRACTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.h"
+#include "engine/corpus.h"
+#include "engine/plan.h"
+#include "engine/thread_pool.h"
+
+namespace spanners {
+namespace engine {
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Shards ≈ num_threads × oversubscription (skew insurance).
+  size_t shard_oversubscription = 4;
+  /// Never shard finer than this many documents.
+  size_t min_docs_per_shard = 16;
+};
+
+struct BatchResult {
+  /// per_doc[i]: sorted mappings of corpus document i.
+  std::vector<std::vector<Mapping>> per_doc;
+  uint64_t total_mappings = 0;
+  size_t shards = 0;
+
+  /// Documents with at least one mapping.
+  size_t MatchedDocuments() const;
+};
+
+class BatchExtractor {
+ public:
+  explicit BatchExtractor(BatchOptions options = {});
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Extracts every document of `corpus` under `plan`. Blocking; safe to
+  /// call repeatedly (the pool is reused across batches). The plan and
+  /// corpus must outlive the call (they are borrowed, not copied).
+  BatchResult Extract(const ExtractionPlan& plan, const Corpus& corpus);
+
+ private:
+  BatchOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace engine
+}  // namespace spanners
+
+#endif  // SPANNERS_ENGINE_BATCH_EXTRACTOR_H_

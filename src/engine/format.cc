@@ -1,0 +1,121 @@
+#include "engine/format.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace spanners {
+namespace engine {
+
+namespace {
+
+void AppendTsvEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool ParseOutputFormat(const std::string& s, OutputFormat* out) {
+  if (s == "tsv") {
+    *out = OutputFormat::kTsv;
+    return true;
+  }
+  if (s == "json") {
+    *out = OutputFormat::kJson;
+    return true;
+  }
+  return false;
+}
+
+std::string TsvHeader(const VarSet& vars) {
+  std::string out = "doc";
+  for (VarId x : vars) {
+    const std::string& name = Variable::Name(x);
+    out += "\t" + name + ".span\t" + name + ".text";
+  }
+  return out;
+}
+
+std::string ToTsvRow(size_t doc_index, const Mapping& m, const VarSet& vars,
+                     const Document& doc) {
+  std::string out = std::to_string(doc_index);
+  for (VarId x : vars) {
+    out += '\t';
+    std::optional<Span> s = m.Get(x);
+    if (!s.has_value()) {
+      out += "⊥\t";  // ⊥: the variable is unassigned in this mapping
+      continue;
+    }
+    out += std::to_string(s->begin) + ".." + std::to_string(s->end);
+    out += '\t';
+    AppendTsvEscaped(doc.content(*s), &out);
+  }
+  return out;
+}
+
+std::string ToJsonRow(size_t doc_index, const Mapping& m, const VarSet& vars,
+                      const Document& doc) {
+  std::string out = "{\"doc\":" + std::to_string(doc_index);
+  for (VarId x : vars) {
+    out += ",\"";
+    AppendJsonEscaped(Variable::Name(x), &out);
+    out += "\":";
+    std::optional<Span> s = m.Get(x);
+    if (!s.has_value()) {
+      out += "null";
+      continue;
+    }
+    out += "{\"span\":[" + std::to_string(s->begin) + "," +
+           std::to_string(s->end) + "],\"text\":\"";
+    AppendJsonEscaped(doc.content(*s), &out);
+    out += "\"}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace engine
+}  // namespace spanners

@@ -1,0 +1,42 @@
+// Row formatting for engine output: one extracted mapping → one TSV or
+// JSON line. Used by tools/spanex and kept in the library so tests can pin
+// the exact wire format.
+#ifndef SPANNERS_ENGINE_FORMAT_H_
+#define SPANNERS_ENGINE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/document.h"
+#include "core/mapping.h"
+#include "core/variable.h"
+
+namespace spanners {
+namespace engine {
+
+enum class OutputFormat { kTsv, kJson };
+
+/// Parses "tsv" / "json" (case-sensitive).
+bool ParseOutputFormat(const std::string& s, OutputFormat* out);
+
+/// Header line naming the TSV columns for `vars` (doc, then one span and
+/// one content column per variable, in VarId order): e.g.
+/// "doc\tx.span\tx.text\ty.span\ty.text".
+std::string TsvHeader(const VarSet& vars);
+
+/// One TSV row: document index, then per variable of `vars` either
+/// "i..j" + extracted text or "⊥" + empty when the mapping leaves the
+/// variable unassigned (incomplete information). Tabs/newlines/backslashes
+/// in content are escaped as \t, \n, \\.
+std::string ToTsvRow(size_t doc_index, const Mapping& m, const VarSet& vars,
+                     const Document& doc);
+
+/// One JSON object per line (JSONL):
+/// {"doc":0,"x":{"span":[1,4],"text":"abc"},"y":null}.
+std::string ToJsonRow(size_t doc_index, const Mapping& m, const VarSet& vars,
+                      const Document& doc);
+
+}  // namespace engine
+}  // namespace spanners
+
+#endif  // SPANNERS_ENGINE_FORMAT_H_

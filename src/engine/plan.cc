@@ -1,0 +1,73 @@
+#include "engine/plan.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "rgx/analysis.h"
+
+namespace spanners {
+namespace engine {
+
+std::string PlanInfo::ToString() const {
+  std::string out;
+  out += sequential_va ? "sequential" : "non-sequential";
+  if (functional_rgx) out += ", functional";
+  if (span_rgx) out += ", spanRGX";
+  out += "; " + std::to_string(num_vars) + " vars, " +
+         std::to_string(num_states) + " states; ";
+  out += std::string(EvaluatorToString(evaluator));
+  return out;
+}
+
+ExtractionPlan::ExtractionPlan(Spanner spanner, std::string pattern)
+    : spanner_(std::move(spanner)),
+      pattern_(std::move(pattern)),
+      counters_(std::make_unique<Counters>()) {
+  info_.sequential_va = spanner_.is_sequential();
+  if (spanner_.rgx() != nullptr) {
+    info_.functional_rgx = IsFunctional(spanner_.rgx());
+    info_.span_rgx = IsSpanRgx(spanner_.rgx());
+  }
+  info_.num_vars = spanner_.vars().size();
+  info_.num_states = spanner_.va().NumStates();
+  info_.num_transitions = spanner_.va().NumTransitions();
+  info_.evaluator = spanner_.RecommendedEvaluator();
+}
+
+Result<ExtractionPlan> ExtractionPlan::Compile(std::string_view pattern) {
+  SPANNERS_ASSIGN_OR_RETURN(Spanner s, Spanner::FromPattern(pattern));
+  return ExtractionPlan(std::move(s), std::string(pattern));
+}
+
+ExtractionPlan ExtractionPlan::FromSpanner(Spanner spanner,
+                                           std::string pattern) {
+  if (pattern.empty()) pattern = spanner.pattern();
+  return ExtractionPlan(std::move(spanner), std::move(pattern));
+}
+
+MappingSet ExtractionPlan::Extract(const Document& doc) const {
+  MappingSet out = spanner_.ExtractAllWith(info_.evaluator, doc);
+  counters_->documents.fetch_add(1, std::memory_order_relaxed);
+  counters_->mappings.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+const std::vector<Mapping>& ExtractionPlan::ExtractSorted(
+    const Document& doc, PlanScratch* scratch) const {
+  MappingSet set = Extract(doc);
+  scratch->sorted.clear();
+  scratch->sorted.reserve(set.size());
+  for (const Mapping& m : set) scratch->sorted.push_back(m);
+  std::sort(scratch->sorted.begin(), scratch->sorted.end());
+  return scratch->sorted;
+}
+
+PlanStats ExtractionPlan::stats() const {
+  PlanStats s;
+  s.documents = counters_->documents.load(std::memory_order_relaxed);
+  s.mappings = counters_->mappings.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace engine
+}  // namespace spanners

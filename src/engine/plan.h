@@ -1,0 +1,97 @@
+// ExtractionPlan: a Spanner plus everything the engine wants decided once
+// per pattern instead of once per document — fragment analysis (functional
+// / sequential / spanRGX, via rgx/analysis.h), evaluator selection between
+// run enumeration, the Theorem 5.7 sequential path and the Theorem 5.10
+// FPT path, and per-call scratch reuse. A compiled plan is immutable and
+// safe to share across threads; mutable scratch lives in a caller-owned
+// PlanScratch (one per worker thread).
+#ifndef SPANNERS_ENGINE_PLAN_H_
+#define SPANNERS_ENGINE_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/document.h"
+#include "core/mapping.h"
+#include "core/spanner.h"
+
+namespace spanners {
+namespace engine {
+
+/// One-time structural analysis of a compiled pattern.
+struct PlanInfo {
+  bool sequential_va = false;   // §5.2 PTIME machinery applies
+  bool functional_rgx = false;  // [Fagin et al.] fragment (total mappings)
+  bool span_rgx = false;        // §3.3 fragment: vars wrap Σ* only
+  size_t num_vars = 0;
+  size_t num_states = 0;
+  size_t num_transitions = 0;
+  Spanner::Evaluator evaluator = Spanner::Evaluator::kRunEnumeration;
+
+  /// e.g. "sequential, functional; 2 vars, 14 states; run-enumeration".
+  std::string ToString() const;
+};
+
+/// Reusable per-thread scratch for Extract calls: sorting buffers survive
+/// across documents so steady-state extraction does not reallocate.
+struct PlanScratch {
+  std::vector<Mapping> sorted;
+};
+
+/// Monotonic extraction counters; safe under concurrent Extract calls.
+struct PlanStats {
+  uint64_t documents = 0;
+  uint64_t mappings = 0;
+};
+
+class ExtractionPlan {
+ public:
+  /// Parses, compiles and analyses `pattern`.
+  static Result<ExtractionPlan> Compile(std::string_view pattern);
+
+  /// Plans an already-built spanner (e.g. one assembled via the Theorem
+  /// 4.5 algebra). `pattern` is a display/cache key; defaults to the
+  /// spanner's own pattern text.
+  static ExtractionPlan FromSpanner(Spanner spanner, std::string pattern = "");
+
+  ExtractionPlan(ExtractionPlan&&) = default;
+  ExtractionPlan& operator=(ExtractionPlan&&) = default;
+
+  const Spanner& spanner() const { return spanner_; }
+  const std::string& pattern() const { return pattern_; }
+  const PlanInfo& info() const { return info_; }
+
+  /// ⟦γ⟧_doc with the plan's chosen evaluator. Thread-safe.
+  MappingSet Extract(const Document& doc) const;
+
+  /// Extract + deterministic ordering (Mapping::operator<). The returned
+  /// reference points into `scratch` and is valid until its next use.
+  const std::vector<Mapping>& ExtractSorted(const Document& doc,
+                                            PlanScratch* scratch) const;
+
+  /// Snapshot of the monotonic counters.
+  PlanStats stats() const;
+
+ private:
+  ExtractionPlan(Spanner spanner, std::string pattern);
+
+  Spanner spanner_;
+  std::string pattern_;
+  PlanInfo info_;
+  // unique_ptr keeps the plan movable despite the atomics.
+  struct Counters {
+    std::atomic<uint64_t> documents{0};
+    std::atomic<uint64_t> mappings{0};
+  };
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace engine
+}  // namespace spanners
+
+#endif  // SPANNERS_ENGINE_PLAN_H_

@@ -1,0 +1,86 @@
+#include "engine/thread_pool.h"
+
+#include <utility>
+
+namespace spanners {
+namespace engine {
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_ = std::vector<Worker>(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    workers_[i].thread = std::thread([this, i] { WorkerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (Worker& w : workers_) w.thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_[next_worker_].queue.push_back(std::move(task));
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
+  Worker& own = workers_[self];
+  if (!own.queue.empty()) {
+    *task = std::move(own.queue.front());
+    own.queue.pop_front();
+    return true;
+  }
+  // Steal from the busiest victim's back (oldest task: most likely large).
+  size_t victim = workers_.size();
+  size_t best = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (i == self) continue;
+    if (workers_[i].queue.size() > best) {
+      best = workers_[i].queue.size();
+      victim = i;
+    }
+  }
+  if (victim == workers_.size()) return false;
+  *task = std::move(workers_[victim].queue.back());
+  workers_[victim].queue.pop_back();
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (TryPop(self, &task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // destroy captures outside the lock
+      lock.lock();
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace engine
+}  // namespace spanners

@@ -1,0 +1,70 @@
+// A fixed-size thread pool with per-worker deques and work stealing: a
+// worker services its own deque LIFO (cache-friendly) and steals FIFO from
+// the back of a victim's deque when idle, so a skewed shard distribution
+// rebalances without a central contended queue.
+#ifndef SPANNERS_ENGINE_THREAD_POOL_H_
+#define SPANNERS_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spanners {
+namespace engine {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (min 1). Threads live until destruction.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` on a worker deque (round-robin). Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Thread-safe, but
+  /// tasks themselves must not call WaitIdle.
+  void WaitIdle();
+
+  /// Tasks stolen from another worker's deque (for tests / tuning).
+  uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  static size_t DefaultThreads();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;  // guarded by pool mutex
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from own front, else steals from some victim's back.
+  /// Precondition: mu_ held.
+  bool TryPop(size_t self, std::function<void()>* task);
+
+  std::vector<Worker> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // work available or shutting down
+  std::condition_variable idle_cv_;  // pending_ dropped to zero
+  size_t pending_ = 0;               // queued + running tasks
+  size_t next_worker_ = 0;           // round-robin submit cursor
+  bool shutdown_ = false;
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace engine
+}  // namespace spanners
+
+#endif  // SPANNERS_ENGINE_THREAD_POOL_H_

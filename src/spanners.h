@@ -34,6 +34,7 @@
 #include "automata/state_elim.h"  // IWYU pragma: export
 #include "automata/thompson.h"    // IWYU pragma: export
 #include "automata/va.h"          // IWYU pragma: export
+#include "engine/engine.h"        // IWYU pragma: export
 #include "rules/convert.h"        // IWYU pragma: export
 #include "rules/cycle_elim.h"     // IWYU pragma: export
 #include "rules/graph.h"          // IWYU pragma: export

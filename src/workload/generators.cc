@@ -207,5 +207,29 @@ RgxPtr LogLineRgx() {
   return kRgx;
 }
 
+std::vector<Document> LandRegistryCorpus(const CorpusOptions& options) {
+  std::vector<Document> docs;
+  docs.reserve(options.documents);
+  for (size_t i = 0; i < options.documents; ++i) {
+    LandRegistryOptions o;
+    o.rows = options.rows_per_document;
+    o.seed = options.seed + static_cast<uint32_t>(i);
+    docs.push_back(LandRegistryDocument(o));
+  }
+  return docs;
+}
+
+std::vector<Document> ServerLogCorpus(const CorpusOptions& options) {
+  std::vector<Document> docs;
+  docs.reserve(options.documents);
+  for (size_t i = 0; i < options.documents; ++i) {
+    LogOptions o;
+    o.lines = options.rows_per_document;
+    o.seed = options.seed + static_cast<uint32_t>(i);
+    docs.push_back(ServerLogDocument(o));
+  }
+  return docs;
+}
+
 }  // namespace workload
 }  // namespace spanners

@@ -74,6 +74,23 @@ Document ServerLogDocument(const LogOptions& options);
 /// RGX extracting method + path (+ optional error cause) of one line.
 RgxPtr LogLineRgx();
 
+// ---- multi-document corpora (engine workloads) -------------------------
+
+struct CorpusOptions {
+  size_t documents = 1000;
+  /// Rows (land registry) or lines (server log) per document.
+  size_t rows_per_document = 4;
+  uint32_t seed = 42;
+};
+
+/// `documents` independent Table-1-shaped CSV documents (each a small
+/// batch of rows); document i is generated from seed + i, so the corpus is
+/// reproducible and shards have varied sizes/content.
+std::vector<Document> LandRegistryCorpus(const CorpusOptions& options);
+
+/// `documents` independent server-log documents.
+std::vector<Document> ServerLogCorpus(const CorpusOptions& options);
+
 }  // namespace workload
 }  // namespace spanners
 
