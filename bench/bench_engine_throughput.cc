@@ -1,11 +1,42 @@
 // Engine throughput: documents/sec and mappings/sec of BatchExtractor over
 // generated corpora, swept by thread count. The interesting curves:
 // scaling of the sequential-fragment workloads (land registry, server log)
-// with threads, and the plan-cache hit path vs. fresh compilation.
+// with threads, the allocations/doc trajectory of the arena-backed hot
+// path (near zero in steady state), and the plan-cache hit path vs. fresh
+// compilation. tools/run_bench.sh runs this binary and records the JSON
+// output as BENCH_engine.json.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "engine/engine.h"
 #include "workload/generators.h"
+
+// ---- allocation accounting ----------------------------------------------
+// Process-wide operator new override counting every heap allocation, so
+// the benchmarks can report allocations per document. Only counts; defers
+// to malloc/free for the actual memory.
+
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -17,7 +48,22 @@ ExtractionPlan LandRegistryPlan() {
       Spanner::FromRgx(workload::SellerNameTaxRgx()));
 }
 
-// docs/sec and mappings/sec over the Table 1 CSV corpus, thread sweep.
+void ReportBatchCounters(benchmark::State& state, size_t corpus_size,
+                         uint64_t mappings, uint64_t allocs) {
+  const double docs =
+      static_cast<double>(state.iterations()) * static_cast<double>(corpus_size);
+  state.SetItemsProcessed(static_cast<int64_t>(docs));
+  state.counters["docs/s"] =
+      benchmark::Counter(docs, benchmark::Counter::kIsRate);
+  state.counters["mappings/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * mappings),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs/doc"] =
+      benchmark::Counter(docs == 0 ? 0 : static_cast<double>(allocs) / docs);
+}
+
+// docs/sec, mappings/sec and allocations/doc over the Table 1 CSV corpus,
+// thread sweep.
 void BM_BatchExtract_LandRegistry(benchmark::State& state) {
   workload::CorpusOptions o;
   o.documents = 1000;
@@ -30,19 +76,14 @@ void BM_BatchExtract_LandRegistry(benchmark::State& state) {
   BatchExtractor extractor(bo);
 
   uint64_t mappings = 0;
+  const uint64_t allocs_before = g_heap_allocs.load();
   for (auto _ : state) {
     BatchResult result = extractor.Extract(plan, corpus);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(corpus.size()));
-  state.counters["docs/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * corpus.size()),
-      benchmark::Counter::kIsRate);
-  state.counters["mappings/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * mappings),
-      benchmark::Counter::kIsRate);
+  ReportBatchCounters(state, corpus.size(), mappings,
+                      g_heap_allocs.load() - allocs_before);
   state.counters["threads"] = static_cast<double>(bo.num_threads);
 }
 BENCHMARK(BM_BatchExtract_LandRegistry)
@@ -67,19 +108,14 @@ void BM_BatchExtract_ServerLog(benchmark::State& state) {
   BatchExtractor extractor(bo);
 
   uint64_t mappings = 0;
+  const uint64_t allocs_before = g_heap_allocs.load();
   for (auto _ : state) {
     BatchResult result = extractor.Extract(plan, corpus);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(corpus.size()));
-  state.counters["docs/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * corpus.size()),
-      benchmark::Counter::kIsRate);
-  state.counters["mappings/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * mappings),
-      benchmark::Counter::kIsRate);
+  ReportBatchCounters(state, corpus.size(), mappings,
+                      g_heap_allocs.load() - allocs_before);
 }
 BENCHMARK(BM_BatchExtract_ServerLog)
     ->Arg(1)

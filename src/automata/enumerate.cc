@@ -70,18 +70,24 @@ MappingSet MappingEnumerator::Drain() {
   return out;
 }
 
-MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc) {
+void MappingEnumerator::DrainTo(std::vector<Mapping>* out) {
+  while (std::optional<Mapping> m = Next()) out->push_back(*std::move(m));
+}
+
+MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc,
+                                           Arena* scratch) {
   return MappingEnumerator(
       a.Vars(), doc,
-      [&a, &doc](const ExtendedMapping& mu) {
-        return EvalSequential(a, doc, mu);
+      [&a, &doc, scratch](const ExtendedMapping& mu) {
+        return EvalSequential(a, doc, mu, scratch);
       });
 }
 
-MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc) {
+MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc,
+                                   Arena* scratch) {
   return MappingEnumerator(a.Vars(), doc,
-                           [&a, &doc](const ExtendedMapping& mu) {
-                             return EvalVa(a, doc, mu);
+                           [&a, &doc, scratch](const ExtendedMapping& mu) {
+                             return EvalVa(a, doc, mu, scratch);
                            });
 }
 
@@ -91,6 +97,16 @@ MappingSet EnumerateSequential(const VA& a, const Document& doc) {
 
 MappingSet EnumerateVa(const VA& a, const Document& doc) {
   return MakeVaEnumerator(a, doc).Drain();
+}
+
+void EnumerateSequentialInto(const VA& a, const Document& doc, Arena* scratch,
+                             std::vector<Mapping>* out) {
+  MakeSequentialEnumerator(a, doc, scratch).DrainTo(out);
+}
+
+void EnumerateVaInto(const VA& a, const Document& doc, Arena* scratch,
+                     std::vector<Mapping>* out) {
+  MakeVaEnumerator(a, doc, scratch).DrainTo(out);
 }
 
 }  // namespace spanners

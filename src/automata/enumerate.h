@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "automata/va.h"
+#include "common/arena.h"
 #include "core/document.h"
 #include "core/mapping.h"
 
@@ -35,6 +36,10 @@ class MappingEnumerator {
 
   /// Drains the enumerator into a set.
   MappingSet Drain();
+
+  /// Drains into a vector (each mapping is produced exactly once, so no
+  /// dedup structure is needed).
+  void DrainTo(std::vector<Mapping>* out);
 
  private:
   // One DFS frame: variable index `var_idx` iterating choice `choice_idx`
@@ -62,9 +67,19 @@ MappingSet EnumerateSequential(const VA& a, const Document& doc);
 /// ⟦A⟧_doc for arbitrary VA via the FPT evaluator (Theorem 5.10 + 5.1).
 MappingSet EnumerateVa(const VA& a, const Document& doc);
 
-/// Enumerator objects for delay instrumentation.
-MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc);
-MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc);
+/// Arena-backed variants: `scratch` supplies the oracle's transient memory
+/// (it is Reset() between oracle calls); results are appended to *out.
+void EnumerateSequentialInto(const VA& a, const Document& doc, Arena* scratch,
+                             std::vector<Mapping>* out);
+void EnumerateVaInto(const VA& a, const Document& doc, Arena* scratch,
+                     std::vector<Mapping>* out);
+
+/// Enumerator objects for delay instrumentation. `scratch`, when non-null,
+/// must outlive the enumerator and is reused across oracle calls.
+MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc,
+                                           Arena* scratch = nullptr);
+MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc,
+                                   Arena* scratch = nullptr);
 
 }  // namespace spanners
 

@@ -1,9 +1,9 @@
 #include "automata/fpt.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
+#include <cstring>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace spanners {
@@ -12,29 +12,21 @@ namespace {
 
 enum Phase : uint8_t { kAvail = 0, kOpen = 1, kClosed = 2 };
 
-// Dense encoding of (state, pos, statuses) for the visited set.
-struct ConfigKey {
-  uint64_t state_pos;
-  std::string phases;
+// Key layout inside the FlatKeySet: state (4) + pos (4) + one phase byte
+// per variable. The stored copy doubles as the queue entry's phase vector.
+constexpr size_t kHeaderBytes = 8;
 
-  bool operator==(const ConfigKey& o) const {
-    return state_pos == o.state_pos && phases == o.phases;
-  }
+struct QueueItem {
+  StateId q;
+  Pos pos;
+  const char* phases;  // points into the key bytes stored by `seen`
 };
 
-struct ConfigKeyHash {
-  size_t operator()(const ConfigKey& k) const {
-    return std::hash<std::string>()(k.phases) * 1000003 +
-           std::hash<uint64_t>()(k.state_pos);
-  }
-};
-
-}  // namespace
-
-bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu) {
+bool EvalVaArena(const VA& a, const Document& doc, const ExtendedMapping& mu,
+                 Arena& arena) {
   const Pos n = doc.length();
   const std::vector<VarId> vars = a.Vars().ids();
-  const size_t k = vars.size();
+  const uint32_t k = static_cast<uint32_t>(vars.size());
 
   // A variable assigned by `mu` but absent from A can never be produced.
   VarSet avars = a.Vars();
@@ -49,27 +41,41 @@ bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu) {
         std::lower_bound(vars.begin(), vars.end(), x) - vars.begin());
   };
 
-  std::unordered_set<ConfigKey, ConfigKeyHash> seen;
-  std::deque<std::pair<std::pair<StateId, Pos>, std::string>> queue;
+  FlatKeySet seen(&arena, 256);
+  ArenaVector<QueueItem> queue(&arena);  // BFS: head index advances
+  size_t head = 0;
+  char* keybuf = arena.AllocateArray<char>(kHeaderBytes + k);
 
-  auto push = [&](StateId q, Pos pos, std::string phases) {
-    ConfigKey key{(static_cast<uint64_t>(q) << 32) | pos, phases};
-    if (seen.insert(key).second) queue.push_back({{q, pos}, std::move(phases)});
+  // Pushes `phases`, optionally with one position overwritten (patch_i
+  // >= 0) — the patch is applied in the key buffer, so rejected
+  // successors never materialize a phase vector.
+  auto push = [&](StateId q, Pos pos, const char* phases, int patch_i = -1,
+                  char phase = 0) {
+    std::memcpy(keybuf, &q, 4);
+    std::memcpy(keybuf + 4, &pos, 4);
+    std::memcpy(keybuf + kHeaderBytes, phases, k);
+    if (patch_i >= 0) keybuf[kHeaderBytes + patch_i] = phase;
+    auto [stored, inserted] =
+        seen.Insert(keybuf, static_cast<uint32_t>(kHeaderBytes + k));
+    if (inserted) queue.push_back(QueueItem{q, pos, stored + kHeaderBytes});
   };
 
-  push(a.initial(), 1, std::string(k, static_cast<char>(kAvail)));
+  char* phases0 = arena.AllocateArray<char>(k);
+  std::memset(phases0, kAvail, k);
+  push(a.initial(), 1, phases0);
 
-  while (!queue.empty()) {
-    auto [qp, phases] = queue.front();
-    auto [q, pos] = qp;
-    queue.pop_front();
+  while (head < queue.size()) {
+    QueueItem item = queue[head++];
+    StateId q = item.q;
+    Pos pos = item.pos;
+    const char* phases = item.phases;
 
     if (a.IsFinal(q) && pos == n + 1) {
       // µ' defines exactly the closed variables; check the accept
       // condition: every assigned variable is closed (its span endpoints
       // were enforced at operation time), no ⊥ variable is closed.
       bool ok = true;
-      for (size_t i = 0; i < k && ok; ++i) {
+      for (uint32_t i = 0; i < k && ok; ++i) {
         switch (mu.StateOf(vars[i])) {
           case ExtendedMapping::VarState::kAssigned:
             ok = phases[i] == static_cast<char>(kClosed);
@@ -99,9 +105,8 @@ bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu) {
           if (mu.StateOf(t.var) == ExtendedMapping::VarState::kAssigned &&
               mu.Get(t.var)->begin != pos)
             break;  // assigned spans pin the open position
-          std::string next = phases;
-          next[i] = static_cast<char>(kOpen);
-          push(t.to, pos, std::move(next));
+          push(t.to, pos, phases, static_cast<int>(i),
+               static_cast<char>(kOpen));
           break;
         }
         case TransKind::kClose: {
@@ -112,15 +117,26 @@ bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu) {
           if (mu.StateOf(t.var) == ExtendedMapping::VarState::kAssigned &&
               mu.Get(t.var)->end != pos)
             break;
-          std::string next = phases;
-          next[i] = static_cast<char>(kClosed);
-          push(t.to, pos, std::move(next));
+          push(t.to, pos, phases, static_cast<int>(i),
+               static_cast<char>(kClosed));
           break;
         }
       }
     }
   }
   return false;
+}
+
+}  // namespace
+
+bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu,
+            Arena* scratch) {
+  if (scratch == nullptr) {
+    Arena local;
+    return EvalVaArena(a, doc, mu, local);
+  }
+  scratch->Reset();
+  return EvalVaArena(a, doc, mu, *scratch);
 }
 
 bool MatchesVa(const VA& a, const Document& doc) {

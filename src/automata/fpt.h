@@ -11,14 +11,18 @@
 #define SPANNERS_AUTOMATA_FPT_H_
 
 #include "automata/va.h"
+#include "common/arena.h"
 #include "core/document.h"
 #include "core/mapping.h"
 
 namespace spanners {
 
 /// Eval[VA]: does some µ' ∈ ⟦A⟧_doc extend `mu`? Works for any VA
-/// (sequentiality not required).
-bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu);
+/// (sequentiality not required). `scratch`, when given, is Reset() on
+/// entry and supplies all transient memory — pass a reused arena to make
+/// repeated oracle calls allocation-free.
+bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu,
+            Arena* scratch = nullptr);
 
 /// NonEmp on a document: ⟦A⟧_doc ≠ ∅.
 bool MatchesVa(const VA& a, const Document& doc);

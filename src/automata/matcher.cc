@@ -1,9 +1,10 @@
 #include "automata/matcher.h"
 
 #include <algorithm>
-#include <deque>
+#include <cstring>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace spanners {
@@ -27,10 +28,8 @@ struct PositionOps {
   }
 };
 
-}  // namespace
-
-bool EvalSequential(const VA& a, const Document& doc,
-                    const ExtendedMapping& mu) {
+bool EvalSequentialArena(const VA& a, const Document& doc,
+                         const ExtendedMapping& mu, Arena& arena) {
   const Pos n = doc.length();
   const std::vector<VarId> vars = a.Vars().ids();
 
@@ -72,16 +71,22 @@ bool EvalSequential(const VA& a, const Document& doc,
 
   const size_t num_states = a.NumStates();
 
-  // Fast path for positions with no pinned ops: plain closure under ε and
-  // silently-treated variable operations.
-  auto apply_closure = [&](const std::vector<bool>& in) {
-    std::vector<bool> seen = in;
-    std::deque<StateId> queue;
+  // Run frontiers and the BFS work list live in the arena: two state-set
+  // buffers swapped per position plus one reusable queue.
+  uint8_t* current = arena.AllocateArray<uint8_t>(num_states);
+  uint8_t* next = arena.AllocateArray<uint8_t>(num_states);
+  ArenaVector<StateId> queue(&arena);
+  queue.reserve(num_states);
+
+  // Fast path for positions with no pinned ops: in-place closure under ε
+  // and silently-treated variable operations.
+  auto apply_closure = [&](uint8_t* states) {
+    queue.clear();
+    size_t head = 0;
     for (StateId q = 0; q < num_states; ++q)
-      if (in[q]) queue.push_back(q);
-    while (!queue.empty()) {
-      StateId q = queue.front();
-      queue.pop_front();
+      if (states[q]) queue.push_back(q);
+    while (head < queue.size()) {
+      StateId q = queue[head++];
       for (const VaTransition& t : a.TransitionsFrom(q)) {
         bool eps_like = t.kind == TransKind::kEpsilon;
         if (t.IsVarOp()) {
@@ -90,35 +95,39 @@ bool EvalSequential(const VA& a, const Document& doc,
                      (tr == OpTreatment::kSilentOpen &&
                       t.kind == TransKind::kOpen);
         }
-        if (eps_like && !seen[t.to]) {
-          seen[t.to] = true;
+        if (eps_like && !states[t.to]) {
+          states[t.to] = 1;
           queue.push_back(t.to);
         }
       }
     }
-    return seen;
   };
 
   // Per position p: saturate the state set under ε-like moves and consume
   // the pinned op set T_p exactly once. BFS over (state, consumed-mask).
-  auto apply_position = [&](const std::vector<bool>& in, Pos p) {
+  auto apply_position = [&](uint8_t* states, Pos p) {
     const PositionOps& tp = pos_ops[p];
-    if (tp.ops.empty()) return apply_closure(in);
-    const uint32_t full =
-        tp.ops.empty() ? 0u : ((1u << tp.ops.size()) - 1u);
-    // seen[state][mask]
-    std::vector<std::vector<bool>> seen(
-        num_states, std::vector<bool>(full + 1, false));
-    std::deque<std::pair<StateId, uint32_t>> queue;
+    if (tp.ops.empty()) {
+      apply_closure(states);
+      return;
+    }
+    const uint32_t full = (1u << tp.ops.size()) - 1u;
+    // seen[state * (full+1) + mask], flat in the arena.
+    const size_t width = full + 1;
+    uint8_t* seen = arena.AllocateArray<uint8_t>(num_states * width);
+    std::memset(seen, 0, num_states * width);
+    ArenaVector<uint64_t> bfs(&arena);  // (state << 32) | mask
+    size_t head = 0;
     for (StateId q = 0; q < num_states; ++q) {
-      if (in[q] && !seen[q][0]) {
-        seen[q][0] = true;
-        queue.emplace_back(q, 0u);
+      if (states[q]) {
+        seen[q * width] = 1;
+        bfs.push_back(static_cast<uint64_t>(q) << 32);
       }
     }
-    while (!queue.empty()) {
-      auto [q, mask] = queue.front();
-      queue.pop_front();
+    while (head < bfs.size()) {
+      uint64_t item = bfs[head++];
+      StateId q = static_cast<StateId>(item >> 32);
+      uint32_t mask = static_cast<uint32_t>(item);
       for (const VaTransition& t : a.TransitionsFrom(q)) {
         uint32_t next_mask = mask;
         switch (t.kind) {
@@ -143,36 +152,35 @@ bool EvalSequential(const VA& a, const Document& doc,
             break;
           }
         }
-        if (!seen[t.to][next_mask]) {
-          seen[t.to][next_mask] = true;
-          queue.emplace_back(t.to, next_mask);
+        if (!seen[t.to * width + next_mask]) {
+          seen[t.to * width + next_mask] = 1;
+          bfs.push_back((static_cast<uint64_t>(t.to) << 32) | next_mask);
         }
       }
     }
-    std::vector<bool> out(num_states, false);
-    for (StateId q = 0; q < num_states; ++q) out[q] = seen[q][full];
-    return out;
+    for (StateId q = 0; q < num_states; ++q)
+      states[q] = seen[q * width + full];
   };
 
-  std::vector<bool> current(num_states, false);
-  current[a.initial()] = true;
+  std::memset(current, 0, num_states);
+  current[a.initial()] = 1;
   for (Pos p = 1; p <= n + 1; ++p) {
-    current = apply_position(current, p);
+    apply_position(current, p);
     if (p <= n) {
-      std::vector<bool> next(num_states, false);
+      std::memset(next, 0, num_states);
       bool any = false;
       char c = doc.at(p);
       for (StateId q = 0; q < num_states; ++q) {
         if (!current[q]) continue;
         for (const VaTransition& t : a.TransitionsFrom(q)) {
           if (t.kind == TransKind::kChars && t.chars.Contains(c)) {
-            next[t.to] = true;
+            next[t.to] = 1;
             any = true;
           }
         }
       }
       if (!any) return false;
-      current = std::move(next);
+      std::swap(current, next);
     }
   }
   for (StateId f : a.finals())
@@ -180,8 +188,20 @@ bool EvalSequential(const VA& a, const Document& doc,
   return false;
 }
 
-bool MatchesSequential(const VA& a, const Document& doc) {
-  return EvalSequential(a, doc, ExtendedMapping());
+}  // namespace
+
+bool EvalSequential(const VA& a, const Document& doc,
+                    const ExtendedMapping& mu, Arena* scratch) {
+  if (scratch == nullptr) {
+    Arena local;
+    return EvalSequentialArena(a, doc, mu, local);
+  }
+  scratch->Reset();
+  return EvalSequentialArena(a, doc, mu, *scratch);
+}
+
+bool MatchesSequential(const VA& a, const Document& doc, Arena* scratch) {
+  return EvalSequential(a, doc, ExtendedMapping(), scratch);
 }
 
 }  // namespace spanners

@@ -9,6 +9,7 @@
 #define SPANNERS_AUTOMATA_MATCHER_H_
 
 #include "automata/va.h"
+#include "common/arena.h"
 #include "core/document.h"
 #include "core/mapping.h"
 
@@ -20,11 +21,15 @@ namespace spanners {
 /// input size for any fixed mapping, and genuinely polynomial because each
 /// position's op set is at most 2·|vars| and the subset lattice is walked
 /// breadth-first per position.
+/// `scratch`, when given, is Reset() on entry and supplies the run
+/// frontiers — pass a reused arena to make repeated oracle calls
+/// allocation-free.
 bool EvalSequential(const VA& a, const Document& doc,
-                    const ExtendedMapping& mu);
+                    const ExtendedMapping& mu, Arena* scratch = nullptr);
 
 /// NonEmp on a document: ⟦A⟧_doc ≠ ∅. Precondition: IsSequentialVa(a).
-bool MatchesSequential(const VA& a, const Document& doc);
+bool MatchesSequential(const VA& a, const Document& doc,
+                       Arena* scratch = nullptr);
 
 }  // namespace spanners
 

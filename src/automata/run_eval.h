@@ -5,7 +5,10 @@
 #ifndef SPANNERS_AUTOMATA_RUN_EVAL_H_
 #define SPANNERS_AUTOMATA_RUN_EVAL_H_
 
+#include <vector>
+
 #include "automata/va.h"
+#include "common/arena.h"
 #include "core/document.h"
 #include "core/mapping.h"
 
@@ -18,6 +21,15 @@ MappingSet RunEval(const VA& a, const Document& doc);
 /// ⟦A⟧_d under variable-*stack* semantics (VAstk): only the most recently
 /// opened, still-open variable may be closed.
 MappingSet RunEvalStack(const VA& a, const Document& doc);
+
+/// Arena-backed cores: `arena` is scratch (Reset() on entry — do not keep
+/// live allocations in it across the call); the unique result mappings are
+/// appended to *out in unspecified but deterministic order. Reusing one
+/// arena across documents makes steady-state evaluation allocation-free.
+void RunEvalInto(const VA& a, const Document& doc, Arena* arena,
+                 std::vector<Mapping>* out);
+void RunEvalStackInto(const VA& a, const Document& doc, Arena* arena,
+                      std::vector<Mapping>* out);
 
 /// True iff A produces only hierarchical mappings on `doc`.
 bool IsHierarchicalOn(const VA& a, const Document& doc);

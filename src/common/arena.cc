@@ -1,0 +1,229 @@
+#include "common/arena.h"
+
+namespace spanners {
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Advance through retained chunks until one fits, then bump from it.
+  while (current_ < chunks_.size()) {
+    size_t offset = (offset_ + (align - 1)) & ~(align - 1);
+    if (offset + bytes <= chunks_[current_].capacity) {
+      void* p = chunks_[current_].data.get() + offset;
+      offset_ = offset + bytes;
+      return p;
+    }
+    used_before_current_ += offset_;
+    ++current_;
+    offset_ = 0;
+  }
+  // No retained chunk fits: grow. Oversized requests get a chunk of their
+  // own; regular requests follow the geometric schedule.
+  size_t chunk_bytes = next_chunk_bytes_;
+  if (bytes + align > chunk_bytes) chunk_bytes = bytes + align;
+  if (next_chunk_bytes_ < kMaxChunk) next_chunk_bytes_ *= 2;
+  chunks_.push_back(Chunk{std::make_unique<char[]>(chunk_bytes), chunk_bytes});
+  current_ = chunks_.size() - 1;
+  // operator new[] guarantees max_align_t alignment for the chunk base.
+  size_t offset = 0;
+  uintptr_t base = reinterpret_cast<uintptr_t>(chunks_[current_].data.get());
+  offset = ((base + align - 1) & ~(uintptr_t{align} - 1)) - base;
+  void* p = chunks_[current_].data.get() + offset;
+  offset_ = offset + bytes;
+  return p;
+}
+
+// ---- FlatKeySet ---------------------------------------------------------
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// memcpy/memcmp wrappers tolerating (nullptr, 0) — the empty mapping is a
+// legal key.
+void CopyBytes(void* dst, const void* src, size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
+bool BytesEqual(const void* a, const void* b, size_t n) {
+  return n == 0 || std::memcmp(a, b, n) == 0;
+}
+
+// Robin-Hood placement of a definitely-new slot, starting at `idx` with
+// `incoming.dist` already set to its probe distance there: place into the
+// first empty slot, displacing any richer (smaller-dist) occupant along
+// the way. Shared by the insert fast paths and the rehash loops of both
+// flat sets (SlotT needs `dist` and the swap to preserve `hash`).
+template <typename SlotT>
+void PlaceRobinHood(SlotT* slots, size_t mask, SlotT incoming, size_t idx) {
+  for (;;) {
+    SlotT& s = slots[idx];
+    if (s.dist == 0) {
+      s = incoming;
+      return;
+    }
+    if (s.dist < incoming.dist) std::swap(incoming, s);
+    idx = (idx + 1) & mask;
+    ++incoming.dist;
+  }
+}
+
+}  // namespace
+
+FlatKeySet::FlatKeySet(Arena* arena, size_t initial_capacity)
+    : arena_(arena), capacity_(NextPow2(initial_capacity < 8 ? 8 : initial_capacity)) {
+  slots_ = arena_->AllocateArray<Slot>(capacity_);
+  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+}
+
+std::pair<const char*, bool> FlatKeySet::InsertHashed(uint64_t hash,
+                                                      const char* bytes,
+                                                      uint32_t len) {
+  if ((size_ + 1) * 10 >= capacity_ * 7) Rehash(capacity_ * 2);
+
+  const size_t mask = capacity_ - 1;
+  size_t idx = hash & mask;
+  uint32_t dist = 1;  // stored distance is probe length + 1
+  for (;;) {
+    const Slot& s = slots_[idx];
+    // An empty slot or a richer occupant proves the key is absent (the
+    // Robin-Hood invariant: an equal key would have been met earlier).
+    if (s.dist == 0 || s.dist < dist) break;
+    if (s.hash == hash && s.len == len && BytesEqual(s.bytes, bytes, len))
+      return {s.bytes, false};
+    idx = (idx + 1) & mask;
+    ++dist;
+  }
+  // New key: copy it into the arena, then place from the break point.
+  char* copy = arena_->AllocateArray<char>(len);
+  CopyBytes(copy, bytes, len);
+  PlaceRobinHood(slots_, mask, Slot{hash, copy, len, dist}, idx);
+  ++size_;
+  return {copy, true};
+}
+
+void FlatKeySet::Rehash(size_t new_capacity) {
+  Slot* old = slots_;
+  size_t old_cap = capacity_;
+  capacity_ = new_capacity;
+  slots_ = arena_->AllocateArray<Slot>(capacity_);
+  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  ++rehashes_;
+
+  const size_t mask = capacity_ - 1;
+  for (size_t i = 0; i < old_cap; ++i) {
+    if (old[i].dist == 0) continue;
+    Slot incoming = old[i];
+    incoming.dist = 1;
+    PlaceRobinHood(slots_, mask, incoming, incoming.hash & mask);
+  }
+}
+
+// ---- FlatMappingSet -----------------------------------------------------
+
+FlatMappingSet::FlatMappingSet(Arena* arena, size_t initial_capacity)
+    : arena_(arena), capacity_(NextPow2(initial_capacity < 8 ? 8 : initial_capacity)) {
+  slots_ = arena_->AllocateArray<Slot>(capacity_);
+  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+}
+
+size_t FlatMappingSet::Find(uint64_t hash, const SpanTuple* tuples,
+                            uint32_t n) const {
+  const size_t mask = capacity_ - 1;
+  size_t idx = hash & mask;
+  uint32_t dist = 1;
+  for (size_t probes = 0; probes < capacity_; ++probes) {
+    const Slot& s = slots_[idx];
+    if (s.dist == 0) return SIZE_MAX;  // empty terminates every layout
+    if (s.dist != kTombstone) {
+      if (s.hash == hash && s.len == n &&
+          BytesEqual(s.tuples, tuples, n * sizeof(SpanTuple)))
+        return idx;
+      // Robin-Hood early exit is only sound while no tombstone has
+      // perturbed the invariant.
+      if (tombstones_ == 0 && s.dist < dist) return SIZE_MAX;
+    }
+    idx = (idx + 1) & mask;
+    ++dist;
+  }
+  return SIZE_MAX;
+}
+
+bool FlatMappingSet::Contains(const SpanTuple* tuples, uint32_t n) const {
+  return Find(Hash(tuples, n), tuples, n) != SIZE_MAX;
+}
+
+bool FlatMappingSet::InsertHashed(uint64_t hash, const SpanTuple* tuples,
+                                  uint32_t n) {
+  if ((size_ + tombstones_ + 1) * 10 >= capacity_ * 7) Rehash(capacity_ * 2);
+
+  if (tombstones_ > 0) {
+    // Degraded (post-erase) mode: verify absence with a full probe, then
+    // place at the first empty slot. Tombstone slots are deliberately NOT
+    // reused — only Rehash sweeps them — so tombstones_ cannot reach zero
+    // while irregularly placed slots remain, which is what keeps the
+    // pure-mode Robin-Hood early exit sound.
+    if (Find(hash, tuples, n) != SIZE_MAX) return false;
+    const size_t mask = capacity_ - 1;
+    size_t idx = hash & mask;
+    uint32_t dist = 1;
+    while (slots_[idx].dist != 0) {
+      idx = (idx + 1) & mask;
+      ++dist;
+    }
+    SpanTuple* copy = arena_->AllocateArray<SpanTuple>(n);
+    CopyBytes(copy, tuples, n * sizeof(SpanTuple));
+    slots_[idx] = Slot{hash, copy, n, dist};
+    ++size_;
+    return true;
+  }
+
+  // Pure Robin-Hood fast path (no erase has happened since last rehash).
+  const size_t mask = capacity_ - 1;
+  size_t idx = hash & mask;
+  uint32_t dist = 1;
+  for (;;) {
+    const Slot& s = slots_[idx];
+    if (s.dist == 0 || s.dist < dist) break;  // absent (Robin-Hood bound)
+    if (s.hash == hash && s.len == n &&
+        BytesEqual(s.tuples, tuples, n * sizeof(SpanTuple)))
+      return false;
+    idx = (idx + 1) & mask;
+    ++dist;
+  }
+  SpanTuple* copy = arena_->AllocateArray<SpanTuple>(n);
+  CopyBytes(copy, tuples, n * sizeof(SpanTuple));
+  PlaceRobinHood(slots_, mask, Slot{hash, copy, n, dist}, idx);
+  ++size_;
+  return true;
+}
+
+bool FlatMappingSet::Erase(const SpanTuple* tuples, uint32_t n) {
+  size_t idx = Find(Hash(tuples, n), tuples, n);
+  if (idx == SIZE_MAX) return false;
+  slots_[idx].dist = kTombstone;
+  --size_;
+  ++tombstones_;
+  return true;
+}
+
+void FlatMappingSet::Rehash(size_t new_capacity) {
+  Slot* old = slots_;
+  size_t old_cap = capacity_;
+  capacity_ = new_capacity;
+  slots_ = arena_->AllocateArray<Slot>(capacity_);
+  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  tombstones_ = 0;  // swept: only live slots are reinserted
+  ++rehashes_;
+
+  const size_t mask = capacity_ - 1;
+  for (size_t i = 0; i < old_cap; ++i) {
+    if (old[i].dist == 0 || old[i].dist == kTombstone) continue;
+    Slot incoming = old[i];
+    incoming.dist = 1;
+    PlaceRobinHood(slots_, mask, incoming, incoming.hash & mask);
+  }
+}
+
+}  // namespace spanners

@@ -21,6 +21,15 @@ Mapping Mapping::Single(VarId x, Span s) {
   return m;
 }
 
+Mapping Mapping::FromSortedEntries(std::vector<Entry> entries) {
+  for (size_t i = 1; i < entries.size(); ++i)
+    SPANNERS_CHECK(entries[i - 1].var < entries[i].var)
+        << "FromSortedEntries requires strictly var-sorted entries";
+  Mapping m;
+  m.entries_ = std::move(entries);
+  return m;
+}
+
 std::optional<Span> Mapping::Get(VarId x) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), x,

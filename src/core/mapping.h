@@ -35,6 +35,9 @@ class Mapping {
   static Mapping Empty() { return Mapping(); }
   /// [x → s], defined only on x.
   static Mapping Single(VarId x, Span s);
+  /// Adopts an entry list already sorted by var with unique vars (the
+  /// class invariant). O(1); lets bulk producers skip per-entry Set().
+  static Mapping FromSortedEntries(std::vector<Entry> entries);
 
   bool Defines(VarId x) const { return Get(x).has_value(); }
   std::optional<Span> Get(VarId x) const;

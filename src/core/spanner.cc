@@ -51,18 +51,28 @@ MappingSet Spanner::ExtractAll(const Document& doc) const {
 
 MappingSet Spanner::ExtractAllWith(Evaluator evaluator,
                                    const Document& doc) const {
+  Arena arena;
+  std::vector<Mapping> out;
+  ExtractAllInto(evaluator, doc, &arena, &out);
+  return MappingSet(std::move(out));
+}
+
+void Spanner::ExtractAllInto(Evaluator evaluator, const Document& doc,
+                             Arena* arena, std::vector<Mapping>* out) const {
   switch (evaluator) {
     case Evaluator::kRunEnumeration:
-      return RunEval(va_, doc);
+      RunEvalInto(va_, doc, arena, out);
+      return;
     case Evaluator::kSequentialDelay:
       SPANNERS_CHECK(sequential_)
           << "kSequentialDelay requires a sequential VA";
-      return EnumerateSequential(va_, doc);
+      EnumerateSequentialInto(va_, doc, arena, out);
+      return;
     case Evaluator::kFptDelay:
-      return EnumerateVa(va_, doc);
+      EnumerateVaInto(va_, doc, arena, out);
+      return;
   }
   SPANNERS_CHECK(false) << "unknown evaluator";
-  return MappingSet();
 }
 
 std::string_view EvaluatorToString(Spanner::Evaluator e) {

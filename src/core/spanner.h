@@ -16,8 +16,11 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "automata/enumerate.h"
 #include "automata/va.h"
+#include "common/arena.h"
 #include "common/status.h"
 #include "core/document.h"
 #include "core/mapping.h"
@@ -66,6 +69,13 @@ class Spanner {
   /// is_sequential(). Thread-safe: shares only immutable state, so one
   /// Spanner may serve concurrent extractions.
   MappingSet ExtractAllWith(Evaluator evaluator, const Document& doc) const;
+
+  /// Arena-backed extraction: `arena` supplies every transient structure
+  /// (it is treated as scratch and Reset() inside — one arena per thread,
+  /// reused across documents); the unique result mappings are appended to
+  /// *out in unspecified order. This is the engine's hot path.
+  void ExtractAllInto(Evaluator evaluator, const Document& doc, Arena* arena,
+                      std::vector<Mapping>* out) const;
 
   /// Incremental polynomial-delay enumeration (Theorem 5.1). The returned
   /// enumerator borrows this spanner and the document.

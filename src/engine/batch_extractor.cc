@@ -13,7 +13,11 @@ size_t BatchResult::MatchedDocuments() const {
 }
 
 BatchExtractor::BatchExtractor(BatchOptions options)
-    : options_(options), pool_(options.num_threads) {}
+    : options_(options), pool_(options.num_threads) {
+  worker_scratch_.reserve(pool_.num_threads());
+  for (size_t i = 0; i < pool_.num_threads(); ++i)
+    worker_scratch_.push_back(std::make_unique<PlanScratch>());
+}
 
 BatchResult BatchExtractor::Extract(const ExtractionPlan& plan,
                                     const Corpus& corpus) {
@@ -31,11 +35,16 @@ BatchResult BatchExtractor::Extract(const ExtractionPlan& plan,
   result.shards = shards.size();
 
   // One task per shard; each writes only its own slots of per_doc, so no
-  // synchronization is needed beyond the pool's completion barrier.
+  // synchronization is needed beyond the pool's completion barrier. Every
+  // worker extracts through its own arena-backed scratch, Reset() between
+  // documents; output order is fixed by document slot + Mapping sort, so
+  // results are byte-identical for any thread count.
   for (const Shard& shard : shards) {
-    pool_.Submit([&plan, &corpus, &result, shard] {
+    pool_.Submit([this, &plan, &corpus, &result, shard] {
+      PlanScratch& scratch =
+          *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
       for (size_t i = shard.begin; i < shard.end; ++i)
-        result.per_doc[i] = plan.Extract(corpus[i]).Sorted();
+        plan.ExtractSortedInto(corpus[i], &scratch, &result.per_doc[i]);
     });
   }
   pool_.WaitIdle();

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/mapping.h"
@@ -45,13 +46,20 @@ class BatchExtractor {
   size_t num_threads() const { return pool_.num_threads(); }
 
   /// Extracts every document of `corpus` under `plan`. Blocking; safe to
-  /// call repeatedly (the pool is reused across batches). The plan and
-  /// corpus must outlive the call (they are borrowed, not copied).
+  /// call repeatedly (the pool is reused across batches — each worker's
+  /// extraction arena is Reset() between documents, never freed, so
+  /// steady-state batches perform no evaluator heap allocation). The plan
+  /// and corpus must outlive the call (they are borrowed, not copied).
+  /// Not safe to call concurrently on the same extractor: the per-worker
+  /// scratch is reused across calls.
   BatchResult Extract(const ExtractionPlan& plan, const Corpus& corpus);
 
  private:
   BatchOptions options_;
   ThreadPool pool_;
+  // One scratch (arena + sort buffer) per pool worker, addressed via
+  // ThreadPool::CurrentWorkerIndex(); unique_ptr keeps addresses stable.
+  std::vector<std::unique_ptr<PlanScratch>> worker_scratch_;
 };
 
 }  // namespace engine

@@ -54,12 +54,18 @@ MappingSet ExtractionPlan::Extract(const Document& doc) const {
 
 const std::vector<Mapping>& ExtractionPlan::ExtractSorted(
     const Document& doc, PlanScratch* scratch) const {
-  MappingSet set = Extract(doc);
-  scratch->sorted.clear();
-  scratch->sorted.reserve(set.size());
-  for (const Mapping& m : set) scratch->sorted.push_back(m);
-  std::sort(scratch->sorted.begin(), scratch->sorted.end());
+  ExtractSortedInto(doc, scratch, &scratch->sorted);
   return scratch->sorted;
+}
+
+void ExtractionPlan::ExtractSortedInto(const Document& doc,
+                                       PlanScratch* scratch,
+                                       std::vector<Mapping>* out) const {
+  out->clear();
+  spanner_.ExtractAllInto(info_.evaluator, doc, &scratch->arena, out);
+  std::sort(out->begin(), out->end());
+  counters_->documents.fetch_add(1, std::memory_order_relaxed);
+  counters_->mappings.fetch_add(out->size(), std::memory_order_relaxed);
 }
 
 PlanStats ExtractionPlan::stats() const {

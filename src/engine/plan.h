@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "core/document.h"
 #include "core/mapping.h"
@@ -37,10 +38,12 @@ struct PlanInfo {
   std::string ToString() const;
 };
 
-/// Reusable per-thread scratch for Extract calls: sorting buffers survive
-/// across documents so steady-state extraction does not reallocate.
+/// Reusable per-thread scratch for Extract calls: the arena and sorting
+/// buffer survive across documents (the arena is Reset(), not freed,
+/// between them), so steady-state extraction does not touch malloc.
 struct PlanScratch {
   std::vector<Mapping> sorted;
+  Arena arena;
 };
 
 /// Monotonic extraction counters; safe under concurrent Extract calls.
@@ -73,6 +76,13 @@ class ExtractionPlan {
   /// reference points into `scratch` and is valid until its next use.
   const std::vector<Mapping>& ExtractSorted(const Document& doc,
                                             PlanScratch* scratch) const;
+
+  /// Like ExtractSorted but fills *out directly (cleared first), using
+  /// `scratch`'s arena for all transient evaluator state. The engine's
+  /// per-document hot path: zero evaluator heap traffic once the arena has
+  /// reached its high-water mark.
+  void ExtractSortedInto(const Document& doc, PlanScratch* scratch,
+                         std::vector<Mapping>* out) const;
 
   /// Snapshot of the monotonic counters.
   PlanStats stats() const;

@@ -5,6 +5,14 @@
 namespace spanners {
 namespace engine {
 
+namespace {
+
+thread_local size_t tls_worker_index = SIZE_MAX;
+
+}  // namespace
+
+size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
 size_t ThreadPool::DefaultThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<size_t>(hw);
@@ -66,6 +74,7 @@ bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
 }
 
 void ThreadPool::WorkerLoop(size_t self) {
+  tls_worker_index = self;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     std::function<void()> task;

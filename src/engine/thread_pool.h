@@ -41,6 +41,12 @@ class ThreadPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Index of the pool worker executing the current task, in
+  /// [0, num_threads()), or SIZE_MAX when called off a pool thread. Lets
+  /// tasks address per-worker state (e.g. one extraction arena per worker)
+  /// without locking.
+  static size_t CurrentWorkerIndex();
+
   static size_t DefaultThreads();
 
  private:

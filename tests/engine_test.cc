@@ -278,6 +278,55 @@ TEST(BatchExtractorTest, MatchesPerDocumentExtractionForEveryThreadCount) {
   }
 }
 
+// With per-worker arenas enabled (the default), the fully formatted output
+// must stay byte-identical between 1 and 8 threads: worker-local scratch
+// may never leak into results.
+TEST(BatchExtractorTest, ArenaBackedOutputByteIdenticalAcrossThreadCounts) {
+  workload::CorpusOptions o;
+  o.documents = 96;
+  o.rows_per_document = 2;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+
+  auto formatted = [&](size_t threads) {
+    BatchOptions bo;
+    bo.num_threads = threads;
+    bo.min_docs_per_shard = 4;
+    BatchExtractor extractor(bo);
+    BatchResult result = extractor.Extract(plan, corpus);
+    std::string out;
+    for (size_t i = 0; i < result.per_doc.size(); ++i)
+      for (const Mapping& m : result.per_doc[i])
+        out += ToTsvRow(i, m, plan.spanner().vars(), corpus[i]);
+    return out;
+  };
+
+  std::string one = formatted(1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, formatted(8));
+}
+
+// ExtractSortedInto (the arena path used by the engine) must agree with
+// the allocation-per-call Extract().Sorted() path, with one scratch
+// reused — Reset(), not freed — across documents.
+TEST(ExtractionPlanTest, ExtractSortedIntoMatchesExtractAcrossDocuments) {
+  workload::CorpusOptions o;
+  o.documents = 32;
+  o.rows_per_document = 3;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+
+  PlanScratch scratch;
+  std::vector<Mapping> got;
+  for (const Document& doc : corpus) {
+    plan.ExtractSortedInto(doc, &scratch, &got);
+    EXPECT_EQ(got, plan.Extract(doc).Sorted());
+  }
+  EXPECT_GT(scratch.arena.bytes_reserved(), 0u);
+}
+
 TEST(BatchExtractorTest, EmptyCorpus) {
   ExtractionPlan plan = ExtractionPlan::Compile("x{a*}").ValueOrDie();
   BatchExtractor extractor;

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the engine benchmarks and records the results as BENCH_engine.json,
+# so the performance trajectory is tracked from PR to PR.
+#
+# Usage: tools/run_bench.sh [--quick] [--build-dir DIR] [--out FILE]
+#
+#   --quick      single-thread batch benchmarks only, no repetitions —
+#                the CI smoke configuration (fails on crash, not on
+#                regression; shared runners are too noisy to gate on)
+#   --build-dir  build tree to use / create        (default: build)
+#   --out        output JSON path                  (default: BENCH_engine.json)
+#
+# The full run sweeps thread counts with 3 repetitions and reports
+# medians; docs/s, mappings/s and allocs/doc land in the JSON counters.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="build"
+OUT="BENCH_engine.json"
+QUICK=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+BENCH="$BUILD_DIR/bench_engine_throughput"
+if [[ ! -x "$BENCH" ]]; then
+  echo "== building $BENCH (Release) =="
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+        -DSPANNERS_BUILD_BENCHMARKS=ON \
+        -DSPANNERS_BUILD_TESTS=OFF -DSPANNERS_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_engine_throughput
+fi
+
+ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
+if [[ "$QUICK" == 1 ]]; then
+  ARGS+=(--benchmark_filter='BatchExtract.*/1/')
+else
+  ARGS+=(--benchmark_repetitions=3 --benchmark_report_aggregates_only=true)
+fi
+
+"$BENCH" "${ARGS[@]}"
+
+echo
+echo "== $OUT summary (single-thread batch extraction) =="
+python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+for b in data["benchmarks"]:
+    name = b["name"]
+    if "BatchExtract" not in name or "/1/" not in name:
+        continue
+    if "median" in name or b.get("repetitions", 1) in (0, 1):
+        print(f'{name}: {b.get("mappings/s", 0):,.0f} mappings/s, '
+              f'{b.get("docs/s", 0):,.0f} docs/s, '
+              f'{b.get("allocs/doc", 0):,.1f} allocs/doc')
+EOF
