@@ -12,6 +12,8 @@
 #include <new>
 
 #include "engine/engine.h"
+#include "query/compile.h"
+#include "query/parser.h"
 #include "workload/generators.h"
 
 // ---- allocation accounting ----------------------------------------------
@@ -75,10 +77,14 @@ void BM_BatchExtract_LandRegistry(benchmark::State& state) {
   bo.min_docs_per_shard = 8;
   BatchExtractor extractor(bo);
 
+  // The serving loop refills one BatchResult (ExtractInto), so steady
+  // state recycles every per-doc vector and pooled mapping.
+  BatchResult result;
+  extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
   const uint64_t allocs_before = g_heap_allocs.load();
   for (auto _ : state) {
-    BatchResult result = extractor.Extract(plan, corpus);
+    extractor.ExtractInto(plan, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
@@ -107,10 +113,12 @@ void BM_BatchExtract_ServerLog(benchmark::State& state) {
   bo.min_docs_per_shard = 8;
   BatchExtractor extractor(bo);
 
+  BatchResult result;
+  extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
   const uint64_t allocs_before = g_heap_allocs.load();
   for (auto _ : state) {
-    BatchResult result = extractor.Extract(plan, corpus);
+    extractor.ExtractInto(plan, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
@@ -118,6 +126,52 @@ void BM_BatchExtract_ServerLog(benchmark::State& state) {
                       g_heap_allocs.load() - allocs_before);
 }
 BENCHMARK(BM_BatchExtract_ServerLog)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Algebra-query workload: a union of two extraction views fused into one
+// automaton, joined relationally against a third over the shared method
+// variable, thread sweep. Exercises the whole src/query/ pipeline — VA
+// pushdown, the arena-backed hash join and the pooled mapping path.
+void BM_QueryBatchExtract_ServerLog(benchmark::State& state) {
+  workload::CorpusOptions o;
+  o.documents = 300;
+  o.rows_per_document = 3;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  const char* kQuery =
+      "join("
+      "union("
+      "rgx(\"(.*\\n|\\e)[a-z0-9]+ (m{[A-Z]+}) (p{[^ \\n]*}) [0-9]+"
+      "( err=(c{[a-z]+})|\\e)\\n.*\"), "
+      "rgx(\"(.*\\n|\\e)[a-z0-9]+ (m{GET}) (p{[^ \\n]*}) [0-9]+\\n.*\")), "
+      "rgx(\"(.*\\n|\\e)[a-z0-9]+ (m{[A-Z]+}) [^ \\n]* (s{[0-9]+})"
+      "( err=[a-z]+|\\e)\\n.*\"))";
+  query::CompiledQuery q =
+      query::CompiledQuery::Compile(query::ParseQuery(kQuery).ValueOrDie())
+          .ValueOrDie();
+  BatchOptions bo;
+  bo.num_threads = static_cast<size_t>(state.range(0));
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  BatchResult result;
+  extractor.ExtractInto(q, corpus, &result);  // warm-up, not counted
+  uint64_t mappings = 0;
+  const uint64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) {
+    extractor.ExtractInto(q, corpus, &result);
+    mappings = result.total_mappings;
+    benchmark::DoNotOptimize(result);
+  }
+  ReportBatchCounters(state, corpus.size(), mappings,
+                      g_heap_allocs.load() - allocs_before);
+  state.counters["scans"] = static_cast<double>(q.num_scans());
+}
+BENCHMARK(BM_QueryBatchExtract_ServerLog)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

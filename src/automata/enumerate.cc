@@ -8,7 +8,10 @@ namespace spanners {
 
 MappingEnumerator::MappingEnumerator(VarSet vars, const Document& doc,
                                      EvalOracle oracle)
-    : vars_(vars.ids()), spans_(doc.AllSpans()), oracle_(std::move(oracle)) {}
+    : vars_(vars.ids()),
+      doc_(&doc),
+      num_spans_(doc.NumSpans()),
+      oracle_(std::move(oracle)) {}
 
 bool MappingEnumerator::OracleAccepts() {
   ++oracle_calls_;
@@ -16,6 +19,10 @@ bool MappingEnumerator::OracleAccepts() {
 }
 
 std::optional<Mapping> MappingEnumerator::Next() {
+  return NextPooled(nullptr);
+}
+
+std::optional<Mapping> MappingEnumerator::NextPooled(MappingPool* pool) {
   if (done_) return std::nullopt;
 
   if (!started_) {
@@ -38,15 +45,15 @@ std::optional<Mapping> MappingEnumerator::Next() {
 
   while (!stack_.empty()) {
     Frame& f = stack_.back();
-    const size_t num_choices = spans_.size() + 1;  // spans ∪ {⊥}
+    const size_t num_choices = num_spans_ + 1;  // spans ∪ {⊥}
     if (f.choice_idx >= num_choices) {
       current_.Clear(vars_[f.var_idx]);
       stack_.pop_back();
       if (!stack_.empty()) ++stack_.back().choice_idx;
       continue;
     }
-    if (f.choice_idx < spans_.size()) {
-      current_.Assign(vars_[f.var_idx], spans_[f.choice_idx]);
+    if (f.choice_idx < num_spans_) {
+      current_.Assign(vars_[f.var_idx], doc_->SpanAt(f.choice_idx));
     } else {
       current_.AssignBottom(vars_[f.var_idx]);
     }
@@ -56,7 +63,7 @@ std::optional<Mapping> MappingEnumerator::Next() {
     }
     if (f.var_idx + 1 == vars_.size()) {
       // All variables decided and the oracle accepts: output.
-      return current_.AssignedPart();
+      return current_.AssignedPart(MappingPool::AcquireFrom(pool));
     }
     stack_.push_back({f.var_idx + 1, 0});
   }
@@ -72,6 +79,12 @@ MappingSet MappingEnumerator::Drain() {
 
 void MappingEnumerator::DrainTo(std::vector<Mapping>* out) {
   while (std::optional<Mapping> m = Next()) out->push_back(*std::move(m));
+}
+
+void MappingEnumerator::DrainTo(MappingSink& sink) {
+  MappingPool* pool = sink.pool();
+  while (std::optional<Mapping> m = NextPooled(pool))
+    if (!sink.Push(*std::move(m))) return;
 }
 
 MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc,
@@ -107,6 +120,18 @@ void EnumerateSequentialInto(const VA& a, const Document& doc, Arena* scratch,
 void EnumerateVaInto(const VA& a, const Document& doc, Arena* scratch,
                      std::vector<Mapping>* out) {
   MakeVaEnumerator(a, doc, scratch).DrainTo(out);
+}
+
+void EnumerateSequentialTo(const VA& a, const Document& doc, Arena* scratch,
+                           MappingSink& sink) {
+  MappingEnumerator e = MakeSequentialEnumerator(a, doc, scratch);
+  e.DrainTo(sink);
+}
+
+void EnumerateVaTo(const VA& a, const Document& doc, Arena* scratch,
+                   MappingSink& sink) {
+  MappingEnumerator e = MakeVaEnumerator(a, doc, scratch);
+  e.DrainTo(sink);
 }
 
 }  // namespace spanners

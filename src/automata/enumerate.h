@@ -13,6 +13,7 @@
 #include "common/arena.h"
 #include "core/document.h"
 #include "core/mapping.h"
+#include "core/mapping_sink.h"
 
 namespace spanners {
 
@@ -41,18 +42,26 @@ class MappingEnumerator {
   /// dedup structure is needed).
   void DrainTo(std::vector<Mapping>* out);
 
+  /// Drains into a sink, drawing result storage from the sink's pool and
+  /// stopping early when a Push returns false.
+  void DrainTo(MappingSink& sink);
+
  private:
   // One DFS frame: variable index `var_idx` iterating choice `choice_idx`
-  // over spans_ ∪ {⊥}.
+  // over span(d) ∪ {⊥}. Spans are addressed by their lexicographic rank
+  // via Document::SpanAt — nothing is materialized (span(d) is O(n²)).
   struct Frame {
     size_t var_idx;
     size_t choice_idx;
   };
 
   bool OracleAccepts();
+  /// Next(), drawing the produced mapping's storage from `pool` when set.
+  std::optional<Mapping> NextPooled(MappingPool* pool);
 
   std::vector<VarId> vars_;
-  std::vector<Span> spans_;
+  const Document* doc_;
+  size_t num_spans_;
   EvalOracle oracle_;
   ExtendedMapping current_;
   std::vector<Frame> stack_;
@@ -73,6 +82,12 @@ void EnumerateSequentialInto(const VA& a, const Document& doc, Arena* scratch,
                              std::vector<Mapping>* out);
 void EnumerateVaInto(const VA& a, const Document& doc, Arena* scratch,
                      std::vector<Mapping>* out);
+
+/// Streaming variants of the same: results are pushed into `sink`.
+void EnumerateSequentialTo(const VA& a, const Document& doc, Arena* scratch,
+                           MappingSink& sink);
+void EnumerateVaTo(const VA& a, const Document& doc, Arena* scratch,
+                   MappingSink& sink);
 
 /// Enumerator objects for delay instrumentation. `scratch`, when non-null,
 /// must outlive the enumerator and is reused across oracle calls.

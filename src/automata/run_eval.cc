@@ -69,10 +69,10 @@ uint32_t WriteKey(char* out, StateId state, Pos pos, const VarStatus* st,
 // Shared search over configurations; `stack_discipline` switches between
 // VA and VAstk close rules. All transient state — visited keys, the DFS
 // stack, candidate buffers, result dedup — lives in `arena`; only the
-// final Mappings appended to *out touch the heap.
-void ExploreInto(const VA& a, const Document& doc, bool stack_discipline,
-                 Arena& arena, std::vector<Mapping>* out) {
-  const std::vector<VarId> vars = a.Vars().ids();
+// final Mappings pushed into `sink` touch the heap, and even those reuse
+// pooled entry vectors when the sink exposes a pool.
+void ExploreTo(const VA& a, const Document& doc, bool stack_discipline,
+               Arena& arena, MappingSink& sink, const std::vector<VarId>& vars) {
   const uint32_t k = static_cast<uint32_t>(vars.size());
   auto local_index = [&vars](VarId x) -> uint32_t {
     auto it = std::lower_bound(vars.begin(), vars.end(), x);
@@ -175,27 +175,43 @@ void ExploreInto(const VA& a, const Document& doc, bool stack_discipline,
     }
   }
 
+  MappingPool* pool = sink.pool();
   results.ForEach([&](const SpanTuple* tp, uint32_t n) {
-    std::vector<Mapping::Entry> entries;
+    std::vector<Mapping::Entry> entries = MappingPool::AcquireFrom(pool);
     entries.reserve(n);
     for (uint32_t i = 0; i < n; ++i)
       entries.push_back({tp[i].var, Span(tp[i].begin, tp[i].end)});
-    out->push_back(Mapping::FromSortedEntries(std::move(entries)));
+    sink.Push(Mapping::FromSortedEntries(std::move(entries)));
   });
 }
 
 }  // namespace
 
+void RunEvalTo(const VA& a, const Document& doc, Arena* arena,
+               MappingSink& sink, const VarSet* vars) {
+  arena->Reset();
+  // The a.Vars() temporary outlives the call (end of full expression).
+  ExploreTo(a, doc, /*stack_discipline=*/false, *arena, sink,
+            vars != nullptr ? vars->ids() : a.Vars().ids());
+}
+
+void RunEvalStackTo(const VA& a, const Document& doc, Arena* arena,
+                    MappingSink& sink, const VarSet* vars) {
+  arena->Reset();
+  ExploreTo(a, doc, /*stack_discipline=*/true, *arena, sink,
+            vars != nullptr ? vars->ids() : a.Vars().ids());
+}
+
 void RunEvalInto(const VA& a, const Document& doc, Arena* arena,
                  std::vector<Mapping>* out) {
-  arena->Reset();
-  ExploreInto(a, doc, /*stack_discipline=*/false, *arena, out);
+  VectorSink sink(out);
+  RunEvalTo(a, doc, arena, sink);
 }
 
 void RunEvalStackInto(const VA& a, const Document& doc, Arena* arena,
                       std::vector<Mapping>* out) {
-  arena->Reset();
-  ExploreInto(a, doc, /*stack_discipline=*/true, *arena, out);
+  VectorSink sink(out);
+  RunEvalStackTo(a, doc, arena, sink);
 }
 
 MappingSet RunEval(const VA& a, const Document& doc) {

@@ -11,6 +11,7 @@
 #include "common/arena.h"
 #include "core/document.h"
 #include "core/mapping.h"
+#include "core/mapping_sink.h"
 
 namespace spanners {
 
@@ -30,6 +31,16 @@ void RunEvalInto(const VA& a, const Document& doc, Arena* arena,
                  std::vector<Mapping>* out);
 void RunEvalStackInto(const VA& a, const Document& doc, Arena* arena,
                       std::vector<Mapping>* out);
+
+/// Streaming cores: each unique result mapping is pushed into `sink` (in
+/// unspecified but deterministic order), built from the sink's pool when
+/// one is attached. The Into variants above are VectorSink wrappers.
+/// `vars`, when given, must equal a.Vars(); callers that precompute it
+/// (Spanner) save the per-document recomputation on the hot path.
+void RunEvalTo(const VA& a, const Document& doc, Arena* arena,
+               MappingSink& sink, const VarSet* vars = nullptr);
+void RunEvalStackTo(const VA& a, const Document& doc, Arena* arena,
+                    MappingSink& sink, const VarSet* vars = nullptr);
 
 /// True iff A produces only hierarchical mappings on `doc`.
 bool IsHierarchicalOn(const VA& a, const Document& doc);

@@ -11,4 +11,22 @@ std::vector<Span> Document::AllSpans() const {
   return out;
 }
 
+Span Document::SpanAt(size_t index) const {
+  const size_t n = text_.size();
+  // Spans with begin < i (1-based) number before(i) = (i-1)(n+2) - (i-1)i/2;
+  // binary-search the largest i with before(i) <= index.
+  auto before = [n](size_t i) { return (i - 1) * (n + 2) - (i - 1) * i / 2; };
+  size_t lo = 1, hi = n + 1;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo + 1) / 2;
+    if (before(mid) <= index)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  const size_t i = lo;
+  const size_t j = i + (index - before(i));
+  return Span(static_cast<Pos>(i), static_cast<Pos>(j));
+}
+
 }  // namespace spanners

@@ -40,6 +40,17 @@ class Document {
   /// There are (n+1)(n+2)/2 of them.
   std::vector<Span> AllSpans() const;
 
+  /// |span(d)| = (n+1)(n+2)/2, without materializing the list.
+  size_t NumSpans() const {
+    const size_t n = text_.size();
+    return (n + 1) * (n + 2) / 2;
+  }
+
+  /// The span at 0-based `index` of the AllSpans() lexicographic order,
+  /// computed arithmetically — random access over span(d) in O(log n) with
+  /// no O(n²) materialization. Precondition: index < NumSpans().
+  Span SpanAt(size_t index) const;
+
   /// The span (1, |d|+1) covering the whole document.
   Span Whole() const { return Span(1, length() + 1); }
 

@@ -294,11 +294,13 @@ bool ExtendedMapping::ExtendedBy(const Mapping& m) const {
   return true;
 }
 
-Mapping ExtendedMapping::AssignedPart() const {
-  Mapping out;
+Mapping ExtendedMapping::AssignedPart(
+    std::vector<Mapping::Entry> storage) const {
+  storage.clear();
+  // entries_ is var-sorted, so the assigned subsequence is too.
   for (const Entry& e : entries_)
-    if (e.span.has_value()) out.Set(e.var, *e.span);
-  return out;
+    if (e.span.has_value()) storage.push_back({e.var, *e.span});
+  return Mapping::FromSortedEntries(std::move(storage));
 }
 
 std::string ExtendedMapping::ToString() const {

@@ -49,6 +49,9 @@ class Mapping {
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   const std::vector<Entry>& entries() const { return entries_; }
+  /// Moves the entry storage out, leaving this mapping empty. Lets pools
+  /// (MappingPool) recycle the heap vector of consumed result mappings.
+  std::vector<Entry> TakeEntries() && { return std::move(entries_); }
   VarSet Domain() const;
 
   /// µ1 ~ µ2: agree on the shared domain.
@@ -151,8 +154,10 @@ class ExtendedMapping {
   /// undefined in m.
   bool ExtendedBy(const Mapping& m) const;
 
-  /// The assigned part as a plain mapping (drops ⊥ entries).
-  Mapping AssignedPart() const;
+  /// The assigned part as a plain mapping (drops ⊥ entries). `storage`,
+  /// when given, supplies the entry vector (recycled pool capacity); it is
+  /// cleared and adopted by the result.
+  Mapping AssignedPart(std::vector<Mapping::Entry> storage = {}) const;
 
   std::string ToString() const;
 

@@ -1,0 +1,121 @@
+// Push-based result delivery for extraction and algebra evaluation.
+//
+// A MappingSink receives result mappings one at a time, so algebra
+// operators (src/query/), the batch engine and the formatters can stream
+// mappings through a pipeline instead of materializing a vector between
+// every stage. Sinks optionally expose a MappingPool — a free-list of
+// recycled Mapping entry vectors — so producers on the hot path build
+// result mappings without touching malloc once the pool is warm.
+#ifndef SPANNERS_CORE_MAPPING_SINK_H_
+#define SPANNERS_CORE_MAPPING_SINK_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/mapping.h"
+
+namespace spanners {
+
+/// A free-list of Mapping entry vectors. Result mappings drawn from the
+/// pool and recycled back into it stop allocating once every vector has
+/// reached its high-water capacity — this removes the last per-mapping
+/// heap allocation of the engine's per-document hot path. Not thread-safe;
+/// keep one pool per worker (engine::PlanScratch owns one).
+class MappingPool {
+ public:
+  /// An empty entry vector, reusing recycled capacity when available.
+  std::vector<Mapping::Entry> Acquire() {
+    if (free_.empty()) return {};
+    std::vector<Mapping::Entry> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  /// Returns `m`'s entry storage to the pool. Beyond kMaxFree retained
+  /// vectors the storage is simply freed (bounds pool growth when one
+  /// pathological document produces millions of mappings).
+  void Recycle(Mapping m) {
+    std::vector<Mapping::Entry> v = std::move(m).TakeEntries();
+    if (v.capacity() > 0 && free_.size() < kMaxFree)
+      free_.push_back(std::move(v));
+  }
+
+  /// Recycles every mapping of *ms and clears it.
+  void RecycleAll(std::vector<Mapping>* ms) {
+    for (Mapping& m : *ms) Recycle(std::move(m));
+    ms->clear();
+  }
+
+  size_t free_count() const { return free_.size(); }
+
+  /// Null-tolerant helpers for producers holding a maybe-absent pool
+  /// (MappingSink::pool() may return nullptr).
+  static std::vector<Mapping::Entry> AcquireFrom(MappingPool* pool) {
+    return pool != nullptr ? pool->Acquire() : std::vector<Mapping::Entry>();
+  }
+  static void RecycleInto(MappingPool* pool, Mapping m) {
+    if (pool != nullptr) pool->Recycle(std::move(m));
+  }
+
+ private:
+  static constexpr size_t kMaxFree = 4096;
+  std::vector<std::vector<Mapping::Entry>> free_;
+};
+
+/// Receiver of a stream of result mappings. Producers push each mapping
+/// exactly once; Push takes ownership. Returning false asks the producer
+/// to stop early — best-effort: producers may deliver a few more mappings
+/// before honouring it, but must stay correct if they ignore it entirely.
+class MappingSink {
+ public:
+  virtual ~MappingSink() = default;
+
+  virtual bool Push(Mapping m) = 0;
+
+  /// Recycled entry-vector storage for producers to build mappings from;
+  /// nullptr when this sink does not pool.
+  virtual MappingPool* pool() { return nullptr; }
+};
+
+/// Appends every pushed mapping to a caller-owned vector. The classic
+/// materializing endpoint; with a pool attached, the vector's mappings can
+/// later be recycled back via MappingPool::RecycleAll.
+class VectorSink final : public MappingSink {
+ public:
+  explicit VectorSink(std::vector<Mapping>* out, MappingPool* pool = nullptr)
+      : out_(out), pool_(pool) {}
+
+  bool Push(Mapping m) override {
+    out_->push_back(std::move(m));
+    return true;
+  }
+  MappingPool* pool() override { return pool_; }
+
+ private:
+  std::vector<Mapping>* out_;
+  MappingPool* pool_;
+};
+
+/// Counts pushed mappings and forwards them unchanged. Used by the engine
+/// to keep plan statistics on the streaming path.
+class CountingSink final : public MappingSink {
+ public:
+  explicit CountingSink(MappingSink& next) : next_(next) {}
+
+  bool Push(Mapping m) override {
+    ++count_;
+    return next_.Push(std::move(m));
+  }
+  MappingPool* pool() override { return next_.pool(); }
+  uint64_t count() const { return count_; }
+
+ private:
+  MappingSink& next_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_CORE_MAPPING_SINK_H_

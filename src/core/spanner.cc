@@ -59,17 +59,23 @@ MappingSet Spanner::ExtractAllWith(Evaluator evaluator,
 
 void Spanner::ExtractAllInto(Evaluator evaluator, const Document& doc,
                              Arena* arena, std::vector<Mapping>* out) const {
+  VectorSink sink(out);
+  ExtractTo(evaluator, doc, arena, sink);
+}
+
+void Spanner::ExtractTo(Evaluator evaluator, const Document& doc, Arena* arena,
+                        MappingSink& sink) const {
   switch (evaluator) {
     case Evaluator::kRunEnumeration:
-      RunEvalInto(va_, doc, arena, out);
+      RunEvalTo(va_, doc, arena, sink, &vars_);
       return;
     case Evaluator::kSequentialDelay:
       SPANNERS_CHECK(sequential_)
           << "kSequentialDelay requires a sequential VA";
-      EnumerateSequentialInto(va_, doc, arena, out);
+      EnumerateSequentialTo(va_, doc, arena, sink);
       return;
     case Evaluator::kFptDelay:
-      EnumerateVaInto(va_, doc, arena, out);
+      EnumerateVaTo(va_, doc, arena, sink);
       return;
   }
   SPANNERS_CHECK(false) << "unknown evaluator";

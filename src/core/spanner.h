@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/document.h"
 #include "core/mapping.h"
+#include "core/mapping_sink.h"
 #include "rgx/ast.h"
 
 namespace spanners {
@@ -76,6 +77,13 @@ class Spanner {
   /// *out in unspecified order. This is the engine's hot path.
   void ExtractAllInto(Evaluator evaluator, const Document& doc, Arena* arena,
                       std::vector<Mapping>* out) const;
+
+  /// Push-based extraction: every unique result mapping is streamed into
+  /// `sink`, built from the sink's pool when one is attached. `arena` is
+  /// scratch exactly as in ExtractAllInto. This is the primitive the
+  /// algebra operators (src/query/) and the engine compose.
+  void ExtractTo(Evaluator evaluator, const Document& doc, Arena* arena,
+                 MappingSink& sink) const;
 
   /// Incremental polynomial-delay enumeration (Theorem 5.1). The returned
   /// enumerator borrows this spanner and the document.

@@ -19,11 +19,19 @@ BatchExtractor::BatchExtractor(BatchOptions options)
     worker_scratch_.push_back(std::make_unique<PlanScratch>());
 }
 
-BatchResult BatchExtractor::Extract(const ExtractionPlan& plan,
+BatchResult BatchExtractor::Extract(const DocumentExtractor& extractor,
                                     const Corpus& corpus) {
   BatchResult result;
-  result.per_doc.resize(corpus.size());
-  if (corpus.empty()) return result;
+  ExtractInto(extractor, corpus, &result);
+  return result;
+}
+
+void BatchExtractor::ExtractInto(const DocumentExtractor& extractor,
+                                 const Corpus& corpus, BatchResult* result) {
+  result->per_doc.resize(corpus.size());
+  result->total_mappings = 0;
+  result->shards = 0;
+  if (corpus.empty()) return;
 
   ShardingOptions sharding;
   sharding.max_shards =
@@ -32,25 +40,25 @@ BatchResult BatchExtractor::Extract(const ExtractionPlan& plan,
                                             : options_.shard_oversubscription);
   sharding.min_docs_per_shard = options_.min_docs_per_shard;
   std::vector<Shard> shards = ShardCorpus(corpus, sharding);
-  result.shards = shards.size();
+  result->shards = shards.size();
 
   // One task per shard; each writes only its own slots of per_doc, so no
   // synchronization is needed beyond the pool's completion barrier. Every
   // worker extracts through its own arena-backed scratch, Reset() between
-  // documents; output order is fixed by document slot + Mapping sort, so
-  // results are byte-identical for any thread count.
+  // documents; a reused result's previous mappings are recycled into the
+  // extracting worker's pool. Output order is fixed by document slot +
+  // Mapping sort, so results are byte-identical for any thread count.
   for (const Shard& shard : shards) {
-    pool_.Submit([this, &plan, &corpus, &result, shard] {
+    pool_.Submit([this, &extractor, &corpus, result, shard] {
       PlanScratch& scratch =
           *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
       for (size_t i = shard.begin; i < shard.end; ++i)
-        plan.ExtractSortedInto(corpus[i], &scratch, &result.per_doc[i]);
+        extractor.ExtractSortedInto(corpus[i], &scratch, &result->per_doc[i]);
     });
   }
   pool_.WaitIdle();
 
-  for (const auto& ms : result.per_doc) result.total_mappings += ms.size();
-  return result;
+  for (const auto& ms : result->per_doc) result->total_mappings += ms.size();
 }
 
 }  // namespace engine

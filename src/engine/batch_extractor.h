@@ -1,5 +1,6 @@
-// BatchExtractor: runs one ExtractionPlan over a whole Corpus on a fixed
-// work-stealing thread pool. The corpus is cut into byte-balanced shards
+// BatchExtractor: runs one DocumentExtractor — a compiled pattern plan or
+// a whole algebra query — over a Corpus on a fixed work-stealing thread
+// pool. The corpus is cut into byte-balanced shards
 // (≈ oversubscription × threads of them, so stealing can rebalance skew);
 // each worker extracts its shard's documents into slots indexed by
 // document position. Output is therefore deterministic and independent of
@@ -45,14 +46,26 @@ class BatchExtractor {
 
   size_t num_threads() const { return pool_.num_threads(); }
 
-  /// Extracts every document of `corpus` under `plan`. Blocking; safe to
-  /// call repeatedly (the pool is reused across batches — each worker's
-  /// extraction arena is Reset() between documents, never freed, so
-  /// steady-state batches perform no evaluator heap allocation). The plan
-  /// and corpus must outlive the call (they are borrowed, not copied).
-  /// Not safe to call concurrently on the same extractor: the per-worker
-  /// scratch is reused across calls.
-  BatchResult Extract(const ExtractionPlan& plan, const Corpus& corpus);
+  /// Extracts every document of `corpus` under `extractor` — an
+  /// ExtractionPlan or a query::CompiledQuery. Blocking; safe to call
+  /// repeatedly (the pool is reused across batches — each worker's
+  /// extraction arenas and mapping pool are Reset()/recycled between
+  /// documents, never freed, so steady-state batches perform no evaluator
+  /// heap allocation). The extractor and corpus must outlive the call
+  /// (they are borrowed, not copied). Not safe to call concurrently on the
+  /// same BatchExtractor: the per-worker scratch is reused across calls.
+  BatchResult Extract(const DocumentExtractor& extractor,
+                      const Corpus& corpus);
+
+  /// Like Extract but refills a caller-owned result, recycling the
+  /// previous batch's per-document vectors and pooled mapping storage
+  /// through the worker scratch. Under repeated batches (the serving
+  /// loop), steady-state pattern plans allocate nothing at all — arenas,
+  /// result slots and mapping entry vectors have all reached their
+  /// high-water marks — and algebra queries keep only small per-document
+  /// operator state (e.g. the join's build-side vector).
+  void ExtractInto(const DocumentExtractor& extractor, const Corpus& corpus,
+                   BatchResult* result);
 
  private:
   BatchOptions options_;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "rgx/analysis.h"
+#include "rules/convert.h"
 
 namespace spanners {
 namespace engine {
@@ -45,6 +46,22 @@ ExtractionPlan ExtractionPlan::FromSpanner(Spanner spanner,
   return ExtractionPlan(std::move(spanner), std::move(pattern));
 }
 
+Result<ExtractionPlan> ExtractionPlan::FromRuleProgram(
+    const std::vector<ExtractionRule>& rules, std::string key) {
+  if (rules.empty())
+    return Status::InvalidArgument("empty rule program");
+  // Lemma B.1 rule-by-rule, then one disjunction for the §4.3 union
+  // semantics — the program compiles like any other formula from here on.
+  std::vector<RgxPtr> members;
+  members.reserve(rules.size());
+  for (const ExtractionRule& rule : rules) {
+    SPANNERS_ASSIGN_OR_RETURN(RgxPtr rgx, TreeRuleToRgx(rule));
+    members.push_back(std::move(rgx));
+  }
+  return ExtractionPlan(Spanner::FromRgx(RgxNode::Disj(std::move(members))),
+                        std::move(key));
+}
+
 MappingSet ExtractionPlan::Extract(const Document& doc) const {
   MappingSet out = spanner_.ExtractAllWith(info_.evaluator, doc);
   counters_->documents.fetch_add(1, std::memory_order_relaxed);
@@ -61,11 +78,20 @@ const std::vector<Mapping>& ExtractionPlan::ExtractSorted(
 void ExtractionPlan::ExtractSortedInto(const Document& doc,
                                        PlanScratch* scratch,
                                        std::vector<Mapping>* out) const {
-  out->clear();
-  spanner_.ExtractAllInto(info_.evaluator, doc, &scratch->arena, out);
+  scratch->pool.RecycleAll(out);  // previous results refill the pool
+  VectorSink sink(out, &scratch->pool);
+  spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
   std::sort(out->begin(), out->end());
   counters_->documents.fetch_add(1, std::memory_order_relaxed);
   counters_->mappings.fetch_add(out->size(), std::memory_order_relaxed);
+}
+
+void ExtractionPlan::ExtractTo(const Document& doc, PlanScratch* scratch,
+                               MappingSink& sink) const {
+  CountingSink counting(sink);
+  spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, counting);
+  counters_->documents.fetch_add(1, std::memory_order_relaxed);
+  counters_->mappings.fetch_add(counting.count(), std::memory_order_relaxed);
 }
 
 PlanStats ExtractionPlan::stats() const {

@@ -19,7 +19,9 @@
 #include "common/status.h"
 #include "core/document.h"
 #include "core/mapping.h"
+#include "core/mapping_sink.h"
 #include "core/spanner.h"
+#include "rules/rule.h"
 
 namespace spanners {
 namespace engine {
@@ -38,12 +40,20 @@ struct PlanInfo {
   std::string ToString() const;
 };
 
-/// Reusable per-thread scratch for Extract calls: the arena and sorting
-/// buffer survive across documents (the arena is Reset(), not freed,
-/// between them), so steady-state extraction does not touch malloc.
+/// Reusable per-thread scratch for Extract calls: arenas, the sorting
+/// buffer and the pooled result storage survive across documents (the
+/// arenas are Reset(), not freed, between them), so steady-state
+/// extraction does not touch malloc.
 struct PlanScratch {
   std::vector<Mapping> sorted;
+  /// Evaluator scratch; Reset() by the leaf evaluators per extraction.
   Arena arena;
+  /// Relational-operator scratch (join tables, dedup sets) for compiled
+  /// queries; Reset() once per document by query::CompiledQuery, never by
+  /// the leaf evaluators — build-side state survives leaf extractions.
+  Arena query_arena;
+  /// Recycled result-Mapping entry vectors; refilled from consumed output.
+  MappingPool pool;
 };
 
 /// Monotonic extraction counters; safe under concurrent Extract calls.
@@ -52,7 +62,26 @@ struct PlanStats {
   uint64_t mappings = 0;
 };
 
-class ExtractionPlan {
+/// The engine's unit of per-document work: anything that can produce the
+/// deterministically sorted mapping set of one document. Implemented by
+/// ExtractionPlan (one compiled pattern) and query::CompiledQuery (a whole
+/// algebra expression); BatchExtractor parallelizes over this interface,
+/// so every representation shares the same corpus machinery.
+class DocumentExtractor {
+ public:
+  virtual ~DocumentExtractor() = default;
+
+  /// The output variables (the column set of formatted rows).
+  virtual const VarSet& vars() const = 0;
+
+  /// Fills *out (cleared first) with the document's unique mappings in
+  /// Mapping::operator< order. `scratch` supplies arenas, pooled mapping
+  /// storage and sort buffers; one scratch per worker thread.
+  virtual void ExtractSortedInto(const Document& doc, PlanScratch* scratch,
+                                 std::vector<Mapping>* out) const = 0;
+};
+
+class ExtractionPlan : public DocumentExtractor {
  public:
   /// Parses, compiles and analyses `pattern`.
   static Result<ExtractionPlan> Compile(std::string_view pattern);
@@ -62,12 +91,21 @@ class ExtractionPlan {
   /// spanner's own pattern text.
   static ExtractionPlan FromSpanner(Spanner spanner, std::string pattern = "");
 
+  /// Plans a rule program — the union-of-rules semantics of §4.3. Every
+  /// rule must be tree-like (Lemma B.1 turns each into an RGX; the program
+  /// becomes one disjunction), so rule programs flow through the exact
+  /// plan/cache/evaluator machinery patterns use. NotSupported when a rule
+  /// is not tree-like after normalisation. `key` is the cache/display key.
+  static Result<ExtractionPlan> FromRuleProgram(
+      const std::vector<ExtractionRule>& rules, std::string key);
+
   ExtractionPlan(ExtractionPlan&&) = default;
   ExtractionPlan& operator=(ExtractionPlan&&) = default;
 
   const Spanner& spanner() const { return spanner_; }
   const std::string& pattern() const { return pattern_; }
   const PlanInfo& info() const { return info_; }
+  const VarSet& vars() const override { return spanner_.vars(); }
 
   /// ⟦γ⟧_doc with the plan's chosen evaluator. Thread-safe.
   MappingSet Extract(const Document& doc) const;
@@ -78,11 +116,18 @@ class ExtractionPlan {
                                             PlanScratch* scratch) const;
 
   /// Like ExtractSorted but fills *out directly (cleared first), using
-  /// `scratch`'s arena for all transient evaluator state. The engine's
-  /// per-document hot path: zero evaluator heap traffic once the arena has
-  /// reached its high-water mark.
+  /// `scratch`'s arena for all transient evaluator state and recycling
+  /// *out's previous mappings through the scratch pool. The engine's
+  /// per-document hot path: zero heap traffic once arena and pool have
+  /// reached their high-water marks.
   void ExtractSortedInto(const Document& doc, PlanScratch* scratch,
-                         std::vector<Mapping>* out) const;
+                         std::vector<Mapping>* out) const override;
+
+  /// Streams ⟦γ⟧_doc into `sink` in the evaluator's (unsorted) order —
+  /// the composable primitive used by algebra scan nodes. Counters are
+  /// still maintained.
+  void ExtractTo(const Document& doc, PlanScratch* scratch,
+                 MappingSink& sink) const;
 
   /// Snapshot of the monotonic counters.
   PlanStats stats() const;

@@ -11,7 +11,23 @@ PlanCache::PlanCache(PlanCacheOptions options)
 
 Result<std::shared_ptr<const ExtractionPlan>> PlanCache::GetOrCompile(
     std::string_view pattern) {
-  std::string key(pattern);
+  // Keys beginning with ')' are reserved for non-pattern entries
+  // (query::QueryPlanCacheKey relies on no valid RGX starting with an
+  // unmatched close). Bypass the cache entirely for such input so a
+  // malformed pattern can never be served a query-keyed plan.
+  if (!pattern.empty() && pattern.front() == ')') {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Result<ExtractionPlan> compiled = ExtractionPlan::Compile(pattern);
+    if (!compiled.ok()) return compiled.status();
+    return std::make_shared<const ExtractionPlan>(std::move(compiled).value());
+  }
+  return GetOrInsert(pattern,
+                     [pattern] { return ExtractionPlan::Compile(pattern); });
+}
+
+Result<std::shared_ptr<const ExtractionPlan>> PlanCache::GetOrInsert(
+    std::string_view key_view, const PlanFactory& factory) {
+  std::string key(key_view);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -25,7 +41,7 @@ Result<std::shared_ptr<const ExtractionPlan>> PlanCache::GetOrCompile(
 
   // Compile outside any lock: compilation can be expensive and must not
   // serialize readers of other patterns.
-  Result<ExtractionPlan> compiled = ExtractionPlan::Compile(pattern);
+  Result<ExtractionPlan> compiled = factory();
   if (!compiled.ok()) return compiled.status();
   auto plan = std::make_shared<const ExtractionPlan>(
       std::move(compiled).value());
@@ -46,9 +62,9 @@ Result<std::shared_ptr<const ExtractionPlan>> PlanCache::GetOrCompile(
 }
 
 std::shared_ptr<const ExtractionPlan> PlanCache::Peek(
-    std::string_view pattern) const {
+    std::string_view key) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = entries_.find(std::string(pattern));
+  auto it = entries_.find(std::string(key));
   return it == entries_.end() ? nullptr : it->second.plan;
 }
 

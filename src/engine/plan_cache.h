@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -37,15 +38,28 @@ class PlanCache {
  public:
   explicit PlanCache(PlanCacheOptions options = {});
 
+  /// Builds the plan for a cache key on miss. Runs outside the cache lock.
+  using PlanFactory = std::function<Result<ExtractionPlan>()>;
+
   /// The cached plan for `pattern`, compiling and inserting on miss.
   /// Compile errors are returned and NOT cached (a later identical query
   /// re-attempts; error paths are rare and cheap to retry).
   Result<std::shared_ptr<const ExtractionPlan>> GetOrCompile(
       std::string_view pattern);
 
+  /// The cached plan for an arbitrary `key`, calling `factory` on miss.
+  /// This is how non-pattern representations (rule programs, compiled
+  /// algebra subtrees — src/query/) share the cache: each canonical
+  /// expression text is one key, so a query seen twice compiles once.
+  Result<std::shared_ptr<const ExtractionPlan>> GetOrInsert(
+      std::string_view key, const PlanFactory& factory);
+
   /// Lookup without compiling; nullptr on miss. Does not count toward
-  /// hit/miss statistics.
-  std::shared_ptr<const ExtractionPlan> Peek(std::string_view pattern) const;
+  /// hit/miss statistics. `key` is the raw cache key, whichever namespace
+  /// it lives in — a pattern as passed to GetOrCompile, or a reserved
+  /// (')'-prefixed) key as passed to GetOrInsert by the query layer —
+  /// unlike GetOrCompile, Peek performs no namespace guarding.
+  std::shared_ptr<const ExtractionPlan> Peek(std::string_view key) const;
 
   PlanCacheStats stats() const;
 

@@ -1,0 +1,145 @@
+#include "query/expr.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "rgx/analysis.h"
+#include "rgx/parser.h"
+
+namespace spanners {
+namespace query {
+
+namespace {
+
+// Re-escapes a string for the query syntax's double-quoted literals: the
+// parser unescapes exactly \" and \\ and passes every other byte through.
+void AppendQuoted(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Variable names in deterministic (name) order — VarIds are interning
+// order, which depends on process history, so canonical text sorts names.
+std::vector<std::string> SortedNames(const VarSet& vars) {
+  std::vector<std::string> names;
+  names.reserve(vars.size());
+  for (VarId v : vars) names.push_back(Variable::Name(v));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+Result<ExprPtr> SpannerExpr::Pattern(std::string_view pattern) {
+  SPANNERS_ASSIGN_OR_RETURN(RgxPtr rgx, ParseRgx(pattern));
+  auto e = std::shared_ptr<SpannerExpr>(
+      new SpannerExpr(Kind::kPattern, RgxVars(rgx)));
+  e->pattern_ = std::string(pattern);
+  e->rgx_ = std::move(rgx);
+  return ExprPtr(std::move(e));
+}
+
+Result<ExprPtr> SpannerExpr::RuleProgram(std::vector<std::string> rule_texts) {
+  if (rule_texts.empty())
+    return Status::InvalidArgument("rule program needs at least one rule");
+  std::vector<ExtractionRule> rules;
+  VarSet vars;
+  for (const std::string& text : rule_texts) {
+    SPANNERS_ASSIGN_OR_RETURN(ExtractionRule rule, ExtractionRule::Parse(text));
+    vars = vars.Union(rule.AllVars());
+    rules.push_back(std::move(rule));
+  }
+  auto e = std::shared_ptr<SpannerExpr>(
+      new SpannerExpr(Kind::kRules, std::move(vars)));
+  e->rule_texts_ = std::move(rule_texts);
+  e->rules_ = std::move(rules);
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr SpannerExpr::Union(ExprPtr a, ExprPtr b) {
+  SPANNERS_CHECK(a != nullptr && b != nullptr);
+  auto e = std::shared_ptr<SpannerExpr>(
+      new SpannerExpr(Kind::kUnion, a->vars().Union(b->vars())));
+  e->children_ = {std::move(a), std::move(b)};
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr SpannerExpr::Project(ExprPtr input, VarSet keep) {
+  SPANNERS_CHECK(input != nullptr);
+  VarSet kept = keep.Intersect(input->vars());
+  auto e = std::shared_ptr<SpannerExpr>(new SpannerExpr(Kind::kProject, kept));
+  e->children_ = {std::move(input)};
+  e->keep_ = std::move(kept);
+  return ExprPtr(std::move(e));
+}
+
+ExprPtr SpannerExpr::NaturalJoin(ExprPtr a, ExprPtr b) {
+  SPANNERS_CHECK(a != nullptr && b != nullptr);
+  auto e = std::shared_ptr<SpannerExpr>(
+      new SpannerExpr(Kind::kNaturalJoin, a->vars().Union(b->vars())));
+  e->children_ = {std::move(a), std::move(b)};
+  return ExprPtr(std::move(e));
+}
+
+Result<ExprPtr> SpannerExpr::SelectEq(ExprPtr input, VarId x, VarId y) {
+  SPANNERS_CHECK(input != nullptr);
+  if (!input->vars().Contains(x) || !input->vars().Contains(y))
+    return Status::InvalidArgument(
+        "eq(" + Variable::Name(x) + ", " + Variable::Name(y) +
+        ") selects on variables outside the input's set " +
+        input->vars().ToString());
+  if (Variable::Name(y) < Variable::Name(x)) std::swap(x, y);  // ς= symmetric
+  auto e = std::shared_ptr<SpannerExpr>(
+      new SpannerExpr(Kind::kSelectEq, input->vars()));
+  e->children_ = {std::move(input)};
+  e->eq_x_ = x;
+  e->eq_y_ = y;
+  return ExprPtr(std::move(e));
+}
+
+std::string SpannerExpr::ToString() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kPattern:
+      out = "rgx(";
+      AppendQuoted(&out, pattern_);
+      out += ")";
+      return out;
+    case Kind::kRules: {
+      out = "rule(";
+      bool first = true;
+      for (const std::string& text : rule_texts_) {
+        if (!first) out += ", ";
+        first = false;
+        AppendQuoted(&out, text);
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kUnion:
+      return "union(" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ")";
+    case Kind::kProject: {
+      out = "project(" + children_[0]->ToString();
+      for (const std::string& name : SortedNames(keep_)) out += ", " + name;
+      out += ")";
+      return out;
+    }
+    case Kind::kNaturalJoin:
+      return "join(" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ")";
+    case Kind::kSelectEq:
+      return "eq(" + children_[0]->ToString() + ", " + Variable::Name(eq_x_) +
+             ", " + Variable::Name(eq_y_) + ")";
+  }
+  SPANNERS_CHECK(false) << "unknown expr kind";
+  return out;
+}
+
+}  // namespace query
+}  // namespace spanners

@@ -1,0 +1,113 @@
+// SpannerExpr: the composable query algebra of core spanners (paper
+// Theorem 4.5 and [Fagin et al. 2015]) as a public API. Leaves are regex
+// formulas (RGX patterns) or extraction-rule programs (§3.3/§4.3); inner
+// nodes are union, projection, natural join and string-equality selection.
+// Expressions are immutable shared trees with a canonical text form that
+// doubles as the plan-cache key; query/compile.h lowers them onto the
+// engine (VA pushdown for ∪/π, arena-backed relational operators for
+// ⋈/ς=), so every representation flows through one plan pipeline.
+#ifndef SPANNERS_QUERY_EXPR_H_
+#define SPANNERS_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/variable.h"
+#include "rgx/ast.h"
+#include "rules/rule.h"
+
+namespace spanners {
+namespace query {
+
+class SpannerExpr;
+/// Immutable shared expression tree; subtrees may be shared freely.
+using ExprPtr = std::shared_ptr<const SpannerExpr>;
+
+class SpannerExpr {
+ public:
+  enum class Kind : uint8_t {
+    kPattern,      // RGX formula leaf
+    kRules,        // extraction-rule program leaf (union-of-rules, §4.3)
+    kUnion,        // ⟦e1 ∪ e2⟧_d = ⟦e1⟧_d ∪ ⟦e2⟧_d
+    kProject,      // ⟦π_V e⟧_d = { µ|_V : µ ∈ ⟦e⟧_d }
+    kNaturalJoin,  // ⟦e1 ⋈ e2⟧_d = compatible unions (MappingSet::Join)
+    kSelectEq,     // ⟦ς=_{x,y} e⟧_d = { µ : x,y ∈ dom(µ), d(µ(x)) = d(µ(y)) }
+  };
+
+  // ---- Factories ----
+
+  /// A compiled-on-construction RGX leaf (rgx/parser.h syntax).
+  static Result<ExprPtr> Pattern(std::string_view pattern);
+
+  /// A rule-program leaf: each element is one extraction rule in the
+  /// rules/rule.h `&&` syntax; the program denotes their union (§4.3).
+  static Result<ExprPtr> RuleProgram(std::vector<std::string> rule_texts);
+
+  /// e1 ∪ e2. The paper's spanners return partial mappings, so operands
+  /// need not share variables.
+  static ExprPtr Union(ExprPtr a, ExprPtr b);
+
+  /// π_keep(e): restriction of every output mapping to `keep` (variables
+  /// outside e's own set are ignored).
+  static ExprPtr Project(ExprPtr input, VarSet keep);
+
+  /// e1 ⋈ e2: unions of compatible output pairs.
+  static ExprPtr NaturalJoin(ExprPtr a, ExprPtr b);
+
+  /// ς=_{x,y}(e): keeps mappings that assign both x and y spans with equal
+  /// document content. InvalidArgument unless x and y are variables of e.
+  static Result<ExprPtr> SelectEq(ExprPtr input, VarId x, VarId y);
+
+  // ---- Structure ----
+
+  Kind kind() const { return kind_; }
+  /// The output variables of this (sub)expression.
+  const VarSet& vars() const { return vars_; }
+
+  /// The pattern text / parsed formula; kind() == kPattern.
+  const std::string& pattern() const { return pattern_; }
+  const RgxPtr& rgx() const { return rgx_; }
+
+  /// The rule texts / parsed rules; kind() == kRules.
+  const std::vector<std::string>& rule_texts() const { return rule_texts_; }
+  const std::vector<ExtractionRule>& rules() const { return rules_; }
+
+  /// Children: [a, b] for kUnion/kNaturalJoin, [input] for
+  /// kProject/kSelectEq, empty for leaves.
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+
+  /// The projection variable set; kind() == kProject.
+  const VarSet& keep() const { return keep_; }
+
+  /// The selection operands; kind() == kSelectEq. Normalised so that
+  /// Variable::Name(eq_x()) <= Variable::Name(eq_y()).
+  VarId eq_x() const { return eq_x_; }
+  VarId eq_y() const { return eq_y_; }
+
+  /// Canonical text form in the query/parser.h syntax, e.g.
+  /// `join(rgx("a x{.*} b"), eq(rule("..."), x, y))`. Stable under
+  /// parse/print round trips; used as the plan-cache key.
+  std::string ToString() const;
+
+ private:
+  SpannerExpr(Kind kind, VarSet vars) : kind_(kind), vars_(std::move(vars)) {}
+
+  Kind kind_;
+  VarSet vars_;
+  std::string pattern_;                  // kPattern
+  RgxPtr rgx_;                           // kPattern
+  std::vector<std::string> rule_texts_;  // kRules
+  std::vector<ExtractionRule> rules_;    // kRules
+  std::vector<ExprPtr> children_;
+  VarSet keep_;                          // kProject
+  VarId eq_x_ = 0, eq_y_ = 0;            // kSelectEq
+};
+
+}  // namespace query
+}  // namespace spanners
+
+#endif  // SPANNERS_QUERY_EXPR_H_

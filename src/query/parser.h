@@ -1,0 +1,32 @@
+// Text syntax for SpannerExpr, the `spanex --query` front-end:
+//
+//   expr    := 'rgx' '(' STRING ')'
+//            | 'rule' '(' STRING (',' STRING)* ')'
+//            | 'union' '(' expr (',' expr)+ ')'
+//            | 'join'  '(' expr (',' expr)+ ')'
+//            | 'project' '(' expr (',' IDENT)* ')'
+//            | 'eq' '(' expr ',' IDENT ',' IDENT ')'
+//
+// STRING is double-quoted; `\"` and `\\` are unescaped, every other byte
+// (including RGX escapes like \e or \n) passes through verbatim. IDENT is
+// a variable name ([A-Za-z_][A-Za-z0-9_]*). n-ary union/join fold left.
+// Whitespace between tokens is ignored. SpannerExpr::ToString() prints
+// this same syntax canonically, so parse/print round-trips are stable.
+#ifndef SPANNERS_QUERY_PARSER_H_
+#define SPANNERS_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/expr.h"
+
+namespace spanners {
+namespace query {
+
+/// Parses `text` into a SpannerExpr. Errors carry a position and reason.
+Result<ExprPtr> ParseQuery(std::string_view text);
+
+}  // namespace query
+}  // namespace spanners
+
+#endif  // SPANNERS_QUERY_PARSER_H_

@@ -34,7 +34,11 @@
 #include "automata/state_elim.h"  // IWYU pragma: export
 #include "automata/thompson.h"    // IWYU pragma: export
 #include "automata/va.h"          // IWYU pragma: export
+#include "core/mapping_sink.h"    // IWYU pragma: export
 #include "engine/engine.h"        // IWYU pragma: export
+#include "query/compile.h"        // IWYU pragma: export
+#include "query/expr.h"           // IWYU pragma: export
+#include "query/parser.h"         // IWYU pragma: export
 #include "rules/convert.h"        // IWYU pragma: export
 #include "rules/cycle_elim.h"     // IWYU pragma: export
 #include "rules/graph.h"          // IWYU pragma: export

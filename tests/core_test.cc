@@ -33,6 +33,18 @@ TEST(SpanTest, AllSpansCount) {
   EXPECT_EQ(d.AllSpans().size(), 10u);
 }
 
+TEST(SpanTest, SpanAtMatchesAllSpansOrder) {
+  // SpanAt is the arithmetic (non-materializing) view of AllSpans: same
+  // count, same lexicographic order, for every document length incl. 0.
+  for (size_t n : {0u, 1u, 2u, 3u, 7u, 19u}) {
+    Document d(std::string(n, 'a'));
+    std::vector<Span> all = d.AllSpans();
+    ASSERT_EQ(d.NumSpans(), all.size()) << "n=" << n;
+    for (size_t i = 0; i < all.size(); ++i)
+      EXPECT_EQ(d.SpanAt(i), all[i]) << "n=" << n << " i=" << i;
+  }
+}
+
 TEST(SpanTest, Concat) {
   Span a(1, 4), b(4, 7), c(5, 7);
   ASSERT_TRUE(a.Concat(b).has_value());

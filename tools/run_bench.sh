@@ -4,9 +4,10 @@
 #
 # Usage: tools/run_bench.sh [--quick] [--build-dir DIR] [--out FILE]
 #
-#   --quick      single-thread batch benchmarks only, no repetitions —
-#                the CI smoke configuration (fails on crash, not on
-#                regression; shared runners are too noisy to gate on)
+#   --quick      single-thread batch benchmarks only (pattern and
+#                algebra-query workloads), no repetitions — the CI smoke
+#                configuration (fails on crash, not on regression;
+#                shared runners are too noisy to gate on)
 #   --build-dir  build tree to use / create        (default: build)
 #   --out        output JSON path                  (default: BENCH_engine.json)
 #

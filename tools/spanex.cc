@@ -1,19 +1,25 @@
 // spanex — batch document-spanner extraction from the shell.
 //
 // Reads a corpus of documents (newline-delimited by default, NUL-delimited
-// with -0) from files or stdin, compiles an RGX pattern once into an
-// ExtractionPlan, extracts every document in parallel on a work-stealing
-// thread pool, and emits one TSV or JSONL row per mapping in deterministic
-// (document, mapping) order regardless of thread count.
+// with -0) from files or stdin, compiles an RGX pattern — or a composable
+// algebra query (union / join / projection / string-equality selection
+// over rgx and rule leaves) — once, extracts every document in parallel on
+// a work-stealing thread pool, and emits one TSV or JSONL row per mapping
+// in deterministic (document, mapping) order regardless of thread count.
 //
 //   spanex -p 'x{[A-Z]+} p{[^ ]*}' corpus.txt
 //   generate_logs | spanex -p "$(cat pattern.rgx)" --format json -j 8
-//   spanex --pattern-file pattern.rgx -0 corpus.bin
+//   spanex -q 'join(rgx("x{a*}b.*"), rgx("x{a*}b y{b*}"))' corpus.txt
+//   spanex --query-file query.sq -0 corpus.bin
 //
 // Options:
 //   -p, --pattern TEXT       the RGX pattern (rgx/parser.h syntax)
 //   -f, --pattern-file FILE  read the pattern from FILE (trailing newline
 //                            stripped)
+//   -q, --query TEXT         an algebra query (query/parser.h syntax:
+//                            rgx("..."), rule("..."), union(e, e...),
+//                            join(e, e...), project(e, x...), eq(e, x, y))
+//   --query-file FILE        read the query from FILE
 //   -F, --format tsv|json    output format (default tsv; tsv prints a
 //                            header row)
 //   -j, --threads N          worker threads (default: hardware concurrency)
@@ -29,10 +35,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "query/compile.h"
+#include "query/parser.h"
 #include "workload/generators.h"
 
 namespace {
@@ -43,10 +52,13 @@ using namespace spanners::engine;
 int Usage(const char* argv0, int code) {
   std::ostream& out = code == 0 ? std::cout : std::cerr;
   out << "usage: " << argv0
-      << " (-p PATTERN | -f FILE) [-F tsv|json] [-j N] [-0]\n"
-         "              [--no-header] [--stats] [CORPUS_FILE...]\n"
-         "Extracts a document spanner over a delimited corpus (stdin when\n"
-         "no file is given); one output row per (document, mapping).\n";
+      << " (-p PATTERN | -f FILE | -q QUERY | --query-file FILE)\n"
+         "              [-F tsv|json] [-j N] [-0] [--no-header] [--stats]\n"
+         "              [CORPUS_FILE...]\n"
+         "Extracts a document spanner — an RGX pattern or an algebra query\n"
+         "(union/join/project/eq over rgx and rule leaves) — over a\n"
+         "delimited corpus (stdin when no file is given); one output row\n"
+         "per (document, mapping).\n";
   return code;
 }
 
@@ -55,6 +67,8 @@ int Usage(const char* argv0, int code) {
 int main(int argc, char** argv) {
   std::string pattern;
   bool have_pattern = false;
+  std::string query;
+  bool have_query = false;
   OutputFormat format = OutputFormat::kTsv;
   size_t threads = 0;
   char delimiter = '\n';
@@ -88,6 +102,18 @@ int main(int argc, char** argv) {
              (pattern.back() == '\n' || pattern.back() == '\r'))
         pattern.pop_back();
       have_pattern = true;
+    } else if (arg == "-q" || arg == "--query") {
+      query = need_value("--query");
+      have_query = true;
+    } else if (arg == "--query-file") {
+      std::string path = need_value("--query-file");
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "spanex: cannot open query file: " << path << "\n";
+        return 2;
+      }
+      query.assign(std::istreambuf_iterator<char>(in), {});
+      have_query = true;
     } else if (arg == "-F" || arg == "--format") {
       std::string value = need_value("--format");
       if (!ParseOutputFormat(value, &format)) {
@@ -121,15 +147,46 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (!have_pattern) {
-    std::cerr << "spanex: missing -p/--pattern or -f/--pattern-file\n";
+  if (have_pattern == have_query) {
+    std::cerr << (have_pattern
+                      ? "spanex: -p/--pattern and -q/--query are mutually "
+                        "exclusive\n"
+                      : "spanex: missing -p/--pattern, -f/--pattern-file, "
+                        "-q/--query or --query-file\n");
     return Usage(argv[0], 2);
   }
 
-  Result<ExtractionPlan> plan = ExtractionPlan::Compile(pattern);
-  if (!plan.ok()) {
-    std::cerr << "spanex: bad pattern: " << plan.status().ToString() << "\n";
-    return 2;
+  // Exactly one of the two is populated; `extractor` is the common handle
+  // the batch engine runs.
+  PlanCache cache;
+  std::optional<ExtractionPlan> plan;
+  std::optional<query::CompiledQuery> compiled;
+  const DocumentExtractor* extractor = nullptr;
+  if (have_pattern) {
+    Result<ExtractionPlan> p = ExtractionPlan::Compile(pattern);
+    if (!p.ok()) {
+      std::cerr << "spanex: bad pattern: " << p.status().ToString() << "\n";
+      return 2;
+    }
+    plan = std::move(p).value();
+    extractor = &*plan;
+  } else {
+    Result<query::ExprPtr> expr = query::ParseQuery(query);
+    if (!expr.ok()) {
+      std::cerr << "spanex: bad query: " << expr.status().ToString() << "\n";
+      return 2;
+    }
+    query::QueryCompileOptions qopts;
+    qopts.cache = &cache;
+    Result<query::CompiledQuery> q =
+        query::CompiledQuery::Compile(expr.value(), qopts);
+    if (!q.ok()) {
+      std::cerr << "spanex: query compilation failed: "
+                << q.status().ToString() << "\n";
+      return 2;
+    }
+    compiled = std::move(q).value();
+    extractor = &*compiled;
   }
 
   // Corpus: synthesized, or all inputs concatenated ("-" means stdin).
@@ -180,10 +237,10 @@ int main(int argc, char** argv) {
 
   BatchOptions batch_options;
   batch_options.num_threads = threads;
-  BatchExtractor extractor(batch_options);
-  BatchResult result = extractor.Extract(*plan, corpus);
+  BatchExtractor batch(batch_options);
+  BatchResult result = batch.Extract(*extractor, corpus);
 
-  const VarSet& vars = plan->spanner().vars();
+  const VarSet& vars = extractor->vars();
   std::string out;
   if (format == OutputFormat::kTsv && header) {
     out += TsvHeader(vars);
@@ -204,11 +261,18 @@ int main(int argc, char** argv) {
   std::cout << out;
 
   if (stats) {
-    std::cerr << "spanex: plan [" << plan->info().ToString() << "]\n"
-              << "spanex: " << corpus.size() << " docs, "
+    if (plan.has_value()) {
+      std::cerr << "spanex: plan [" << plan->info().ToString() << "]\n";
+    } else {
+      PlanCacheStats cs = cache.stats();
+      std::cerr << "spanex: query plan [" << compiled->PlanString() << "]\n"
+                << "spanex: plan cache: " << cs.size << " plans, "
+                << cs.hits << " hits, " << cs.misses << " misses\n";
+    }
+    std::cerr << "spanex: " << corpus.size() << " docs, "
               << result.total_mappings << " mappings, "
               << result.MatchedDocuments() << " matched docs, "
-              << result.shards << " shards, " << extractor.num_threads()
+              << result.shards << " shards, " << batch.num_threads()
               << " threads\n";
   }
   return 0;
