@@ -108,6 +108,69 @@ void BM_UnorderedStringSet_Insert(benchmark::State& state) {
 }
 BENCHMARK(BM_UnorderedStringSet_Insert);
 
+// Probe throughput of the word-at-a-time (SSE2 / SWAR) control-byte
+// matching: repeated lookups against a warm set — hits (duplicate Insert
+// is a pure probe) and misses — vs. std::unordered_set.
+void BM_FlatKeySet_ProbeHit(benchmark::State& state) {
+  const std::vector<std::string> keys = ConfigKeys(kBlocks);
+  Arena arena;
+  FlatKeySet set(&arena, kBlocks * 2);
+  for (const std::string& k : keys)
+    set.Insert(k.data(), static_cast<uint32_t>(k.size()));
+  for (auto _ : state) {
+    for (const std::string& k : keys)
+      benchmark::DoNotOptimize(
+          set.Insert(k.data(), static_cast<uint32_t>(k.size())).second);
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks);
+}
+BENCHMARK(BM_FlatKeySet_ProbeHit);
+
+void BM_UnorderedStringSet_ProbeHit(benchmark::State& state) {
+  const std::vector<std::string> keys = ConfigKeys(kBlocks);
+  std::unordered_set<std::string> set(keys.begin(), keys.end());
+  for (auto _ : state) {
+    for (const std::string& k : keys)
+      benchmark::DoNotOptimize(set.find(k) != set.end());
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks);
+}
+BENCHMARK(BM_UnorderedStringSet_ProbeHit);
+
+void BM_FlatMappingSet_ProbeHit(benchmark::State& state) {
+  Arena arena;
+  FlatMappingSet set(&arena, kBlocks * 2);
+  std::vector<std::vector<SpanTuple>> rows;
+  for (uint32_t i = 0; i < kBlocks; ++i)
+    rows.push_back({SpanTuple{1, i + 1, i + 3}, SpanTuple{2, i + 4, i + 9}});
+  for (auto& r : rows) set.Insert(r.data(), 2);
+  for (auto _ : state) {
+    for (const auto& r : rows)
+      benchmark::DoNotOptimize(set.Contains(r.data(), 2));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks);
+}
+BENCHMARK(BM_FlatMappingSet_ProbeHit);
+
+void BM_FlatMappingSet_ProbeMiss(benchmark::State& state) {
+  Arena arena;
+  FlatMappingSet set(&arena, kBlocks * 2);
+  std::vector<std::vector<SpanTuple>> rows;
+  for (uint32_t i = 0; i < kBlocks; ++i)
+    rows.push_back({SpanTuple{1, i + 1, i + 3}, SpanTuple{2, i + 4, i + 9}});
+  for (auto& r : rows) set.Insert(r.data(), 2);
+  std::vector<std::vector<SpanTuple>> absent;  // same shape, different spans
+  for (uint32_t i = 0; i < kBlocks; ++i)
+    absent.push_back(
+        {SpanTuple{1, i + 1, i + 2}, SpanTuple{2, i + 5, i + 9}});
+  for (auto _ : state) {
+    for (const auto& r : absent)
+      benchmark::DoNotOptimize(set.Contains(r.data(), 2));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks);
+}
+BENCHMARK(BM_FlatMappingSet_ProbeMiss);
+
 // Mapping dedup: 3-variable span tuples, as produced by run enumeration.
 std::vector<std::vector<SpanTuple>> TupleRows(size_t n) {
   std::vector<std::vector<SpanTuple>> rows;

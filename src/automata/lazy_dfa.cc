@@ -1,0 +1,148 @@
+#include "automata/lazy_dfa.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "automata/determinize.h"
+#include "common/logging.h"
+
+namespace spanners {
+
+LazyDfa::LazyDfa(const VA& a, LazyDfaOptions options)
+    : va_(a), options_(options) {
+  // Atom-compress the alphabet: every letter CharSet of the VA behaves
+  // uniformly on each atom, so one representative byte per atom decides
+  // charset membership for all 256 bytes mapped to it.
+  std::vector<CharSet> charsets;
+  for (StateId q = 0; q < a.NumStates(); ++q)
+    for (const VaTransition& t : a.TransitionsFrom(q))
+      if (t.kind == TransKind::kChars) charsets.push_back(t.chars);
+  atoms_ = PartitionAtoms(charsets);
+
+  for (int b = 0; b < 256; ++b) byte_to_atom_[b] = 0;
+  for (size_t i = 0; i < atoms_.size(); ++i)
+    for (int b = 0; b < 256; ++b)
+      if (atoms_[i].Contains(static_cast<char>(b)))
+        byte_to_atom_[b] = static_cast<uint16_t>(i + 1);
+
+  // State 0 is the dead state (empty subset, self-loop on every atom).
+  states_.push_back(State{{},
+                          std::vector<uint32_t>(atoms_.size() + 1, kDeadState),
+                          false});
+  interned_.emplace(std::vector<StateId>{}, kDeadState);
+  table_bytes_ = states_[0].row.size() * sizeof(uint32_t);
+
+  start_state_ = Intern(Closure({a.initial()}));
+  SPANNERS_CHECK(start_state_ != kUnknownState)
+      << "lazy-DFA bounds too small for even the start state";
+}
+
+std::vector<StateId> LazyDfa::Closure(std::vector<StateId> subset) const {
+  // BFS under ε and relaxed variable operations. `in` doubles as the
+  // visited set; `subset` is the work list.
+  std::vector<uint8_t> in(va_.NumStates(), 0);
+  for (StateId q : subset) in[q] = 1;
+  for (size_t head = 0; head < subset.size(); ++head) {
+    StateId q = subset[head];
+    for (const VaTransition& t : va_.TransitionsFrom(q)) {
+      if (t.kind == TransKind::kChars) continue;
+      if (!in[t.to]) {
+        in[t.to] = 1;
+        subset.push_back(t.to);
+      }
+    }
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+uint32_t LazyDfa::Intern(std::vector<StateId> subset) const {
+  auto it = interned_.find(subset);
+  if (it != interned_.end()) return it->second;
+
+  const size_t state_bytes = (atoms_.size() + 1) * sizeof(uint32_t) +
+                             subset.size() * sizeof(StateId);
+  if (states_.size() >= options_.max_states ||
+      table_bytes_ + state_bytes > options_.max_table_bytes)
+    return kUnknownState;
+
+  bool accepting = false;
+  for (StateId q : subset)
+    if (va_.IsFinal(q)) {
+      accepting = true;
+      break;
+    }
+
+  const uint32_t id = static_cast<uint32_t>(states_.size());
+  interned_.emplace(subset, id);
+  states_.push_back(State{std::move(subset),
+                          std::vector<uint32_t>(atoms_.size() + 1,
+                                                kUnknownState),
+                          accepting});
+  states_.back().row[0] = kDeadState;
+  table_bytes_ += state_bytes;
+  return id;
+}
+
+uint32_t LazyDfa::ComputeTransition(uint32_t from, uint32_t atom) const {
+  SPANNERS_DCHECK(atom > 0 && atom <= atoms_.size());
+  ++misses_;
+  // Atoms refine every letter CharSet, so one representative byte decides
+  // whether the whole atom is inside a transition's class.
+  const char rep = atoms_[atom - 1].AnyMember();
+  std::vector<StateId> next;
+  for (StateId q : states_[from].subset)
+    for (const VaTransition& t : va_.TransitionsFrom(q))
+      if (t.kind == TransKind::kChars && t.chars.Contains(rep))
+        next.push_back(t.to);
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+
+  const uint32_t to = Intern(Closure(std::move(next)));
+  if (to != kUnknownState) states_[from].row[atom] = to;
+  return to;
+}
+
+std::optional<bool> LazyDfa::Matches(std::string_view text) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (overflowed_) return std::nullopt;
+  uint32_t cur = start_state_;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (cur == kDeadState) return false;
+    const uint16_t atom =
+        byte_to_atom_[static_cast<unsigned char>(text[i])];
+    uint32_t next = states_[cur].row[atom];
+    if (next == kUnknownState) {
+      // Cache miss: upgrade to the exclusive lock, compute (or observe a
+      // racing computation), then drop back to shared mode. Interned
+      // states are never removed, so resuming from `cur` stays valid.
+      lock.unlock();
+      {
+        std::unique_lock<std::shared_mutex> wlock(mu_);
+        if (overflowed_) return std::nullopt;
+        next = states_[cur].row[atom];
+        if (next == kUnknownState) next = ComputeTransition(cur, atom);
+        if (next == kUnknownState) {
+          overflowed_ = true;
+          return std::nullopt;
+        }
+      }
+      lock.lock();
+    }
+    cur = next;
+  }
+  return states_[cur].accepting;
+}
+
+LazyDfaStats LazyDfa::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  LazyDfaStats s;
+  s.num_atoms = atoms_.size();
+  s.num_states = states_.size();
+  s.misses = misses_;
+  s.overflowed = overflowed_;
+  return s;
+}
+
+}  // namespace spanners

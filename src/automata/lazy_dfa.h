@@ -1,0 +1,118 @@
+// Lazy determinization of VA letter behaviour (the engine's membership
+// fast path). The VA's variable operations are relaxed to ε, which leaves
+// a classical NFA over the letter transitions; its subset construction is
+// materialized on the fly, one transition at a time, over an
+// atom-compressed alphabet (PartitionAtoms refines every letter CharSet
+// into disjoint atoms; a 256-entry byte→atom table classifies input
+// bytes). The resulting DFA decides in one table lookup per byte whether
+// ⟦A⟧_doc can be non-empty:
+//
+//  - for a *sequential* VA the relaxation is exact: runs are structurally
+//    op-consistent, so DFA acceptance ⟺ NonEmp (the Theorem 5.7 state-set
+//    simulation collapses to cached table lookups);
+//  - for an arbitrary VA it is a sound over-approximation: every real run
+//    is a run of the relaxed NFA, so "no DFA match" still proves
+//    ⟦A⟧_doc = ∅. The engine only acts on the negative answer when the
+//    VA is not sequential.
+//
+// The transition cache is shared across documents and threads: readers
+// walk the tables under a shared lock; a missing transition is computed
+// once under the exclusive lock. Memory is bounded (max states / bytes);
+// past the bound the automaton is marked overflowed and every call reports
+// "unknown", letting callers fall back to NFA state-set simulation.
+#ifndef SPANNERS_AUTOMATA_LAZY_DFA_H_
+#define SPANNERS_AUTOMATA_LAZY_DFA_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string_view>
+#include <vector>
+
+#include "automata/va.h"
+
+namespace spanners {
+
+struct LazyDfaOptions {
+  /// Upper bound on interned DFA states before the cache gives up.
+  size_t max_states = 4096;
+  /// Upper bound on transition-table bytes before the cache gives up.
+  size_t max_table_bytes = size_t{16} << 20;
+};
+
+struct LazyDfaStats {
+  size_t num_atoms = 0;    // alphabet atoms (excluding the dead class)
+  size_t num_states = 0;   // interned DFA states so far
+  uint64_t misses = 0;     // transitions computed (cache extensions)
+  bool overflowed = false; // bound hit; callers fall back to NFA simulation
+};
+
+class LazyDfa {
+ public:
+  explicit LazyDfa(const VA& a, LazyDfaOptions options = {});
+
+  LazyDfa(const LazyDfa&) = delete;
+  LazyDfa& operator=(const LazyDfa&) = delete;
+
+  /// Whether the relaxed NFA accepts `text` — amortized one byte→atom
+  /// classification plus one table lookup per byte. Thread-safe; the
+  /// per-plan transition cache grows across calls and is shared by every
+  /// calling thread. nullopt when the cache overflowed its memory bound
+  /// (now or previously): the caller must decide by NFA simulation.
+  std::optional<bool> Matches(std::string_view text) const;
+
+  size_t num_atoms() const { return atoms_.size(); }
+  LazyDfaStats stats() const;
+
+ private:
+  // One interned DFA state: an ε/op-closed, sorted subset of VA states
+  // plus its (lazily filled) successor row, indexed by atom id. Row slot 0
+  // is the dead class (bytes outside every letter CharSet) and always
+  // holds kDeadState. kUnknownState marks a not-yet-computed transition.
+  struct State {
+    std::vector<StateId> subset;
+    std::vector<uint32_t> row;  // size atoms_.size() + 1
+    bool accepting = false;
+  };
+
+  static constexpr uint32_t kDeadState = 0;
+  static constexpr uint32_t kUnknownState = UINT32_MAX;
+
+  /// Closure of `subset` under ε and (relaxed) variable-op transitions;
+  /// returns the sorted, deduplicated result.
+  std::vector<StateId> Closure(std::vector<StateId> subset) const;
+
+  /// Interns `subset` (must be closed+sorted), creating a new state when
+  /// unseen. Returns kUnknownState when creating it would exceed the
+  /// bounds (the caller then marks the DFA overflowed).
+  /// Precondition: exclusive lock held (const: cache members are mutable).
+  uint32_t Intern(std::vector<StateId> subset) const;
+
+  /// Computes states_[from].row[atom]. Precondition: exclusive lock held.
+  /// Returns kUnknownState on overflow.
+  uint32_t ComputeTransition(uint32_t from, uint32_t atom) const;
+
+  // Owned copy: plans embedding a LazyDfa stay movable (a reference into
+  // the embedding object would dangle after a move).
+  const VA va_;
+  const LazyDfaOptions options_;
+  std::vector<CharSet> atoms_;     // disjoint; atom id = index + 1
+  uint16_t byte_to_atom_[256];     // 0 = dead class
+  uint32_t start_state_;
+
+  mutable std::shared_mutex mu_;
+  // deque: stable addresses across growth (readers hold references while
+  // the writer appends).
+  mutable std::deque<State> states_;
+  mutable std::map<std::vector<StateId>, uint32_t> interned_;
+  mutable size_t table_bytes_ = 0;
+  mutable uint64_t misses_ = 0;
+  mutable bool overflowed_ = false;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_AUTOMATA_LAZY_DFA_H_

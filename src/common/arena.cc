@@ -1,5 +1,9 @@
 #include "common/arena.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace spanners {
 
 void* Arena::AllocateSlow(size_t bytes, size_t align) {
@@ -31,7 +35,13 @@ void* Arena::AllocateSlow(size_t bytes, size_t align) {
   return p;
 }
 
-// ---- FlatKeySet ---------------------------------------------------------
+// ---- group probing ------------------------------------------------------
+// The control bytes are matched a group at a time: 16 with one SSE2
+// compare, 8 with a SWAR trick on a uint64. Candidate bits may include
+// false positives (the SWAR zero-byte trick can flag a byte right after a
+// true match) but never miss a real one — every candidate is verified
+// against the full hash and key bytes anyway, and the insertion slot is
+// re-found with an exact scalar scan.
 
 namespace {
 
@@ -50,104 +60,186 @@ bool BytesEqual(const void* a, const void* b, size_t n) {
   return n == 0 || std::memcmp(a, b, n) == 0;
 }
 
-// Robin-Hood placement of a definitely-new slot, starting at `idx` with
-// `incoming.dist` already set to its probe distance there: place into the
-// first empty slot, displacing any richer (smaller-dist) occupant along
-// the way. Shared by the insert fast paths and the rehash loops of both
-// flat sets (SlotT needs `dist` and the swap to preserve `hash`).
-template <typename SlotT>
-void PlaceRobinHood(SlotT* slots, size_t mask, SlotT incoming, size_t idx) {
-  for (;;) {
-    SlotT& s = slots[idx];
-    if (s.dist == 0) {
-      s = incoming;
-      return;
-    }
-    if (s.dist < incoming.dist) std::swap(incoming, s);
-    idx = (idx + 1) & mask;
-    ++incoming.dist;
+inline size_t H1(uint64_t hash) { return static_cast<size_t>(hash >> 7); }
+inline uint8_t H2(uint64_t hash) { return static_cast<uint8_t>(hash & 0x7f); }
+
+#if defined(__SSE2__)
+
+constexpr size_t kGroupWidth = 16;
+
+// A 16-byte window of control bytes; Match* return one bit per byte.
+struct Group {
+  __m128i ctrl;
+
+  static Group Load(const uint8_t* p) {
+    return Group{_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
   }
+  uint32_t Match(uint8_t byte) const {
+    return static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(ctrl, _mm_set1_epi8(static_cast<char>(byte)))));
+  }
+  // Empty and deleted are the only control values with the high bit set.
+  uint32_t MatchEmptyOrDeleted() const {
+    return static_cast<uint32_t>(_mm_movemask_epi8(ctrl));
+  }
+  bool HasEmpty() const { return Match(kCtrlEmpty) != 0; }
+};
+
+inline uint32_t LowestBitIndex(uint32_t mask) {
+  return static_cast<uint32_t>(__builtin_ctz(mask));
+}
+inline uint32_t ClearLowestBit(uint32_t mask) { return mask & (mask - 1); }
+
+#else  // SWAR fallback
+
+constexpr size_t kGroupWidth = 8;
+constexpr uint64_t kLsbs = 0x0101010101010101ULL;
+constexpr uint64_t kMsbs = 0x8080808080808080ULL;
+
+struct Group {
+  uint64_t ctrl;
+
+  static Group Load(const uint8_t* p) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    v = __builtin_bswap64(v);  // keep bit-index → byte-index mapping
+#endif
+    return Group{v};
+  }
+  // Zero-byte SWAR: a true match always sets its byte's high bit; a byte
+  // directly above a match may be flagged spuriously (callers verify).
+  uint64_t Match(uint8_t byte) const {
+    uint64_t x = ctrl ^ (kLsbs * byte);
+    return (x - kLsbs) & ~x & kMsbs;
+  }
+  uint64_t MatchEmptyOrDeleted() const { return ctrl & kMsbs; }
+  bool HasEmpty() const { return Match(kCtrlEmpty) != 0; }
+};
+
+inline uint32_t LowestBitIndex(uint64_t mask) {
+  return static_cast<uint32_t>(__builtin_ctzll(mask)) / 8;
+}
+inline uint64_t ClearLowestBit(uint64_t mask) { return mask & (mask - 1); }
+
+#endif
+
+// First slot of `group` whose control byte is empty or deleted (exact
+// scalar scan; used only to pick insertion slots).
+inline size_t FirstFreeInGroup(const uint8_t* ctrl, size_t group_base) {
+  for (size_t i = 0; i < kGroupWidth; ++i)
+    if (ctrl[group_base + i] >= kCtrlEmpty) return group_base + i;
+  return SIZE_MAX;
+}
+
+inline size_t TableCapacity(size_t requested) {
+  return NextPow2(requested < kGroupWidth ? kGroupWidth : requested);
+}
+
+inline uint8_t* NewCtrl(Arena* arena, size_t capacity) {
+  uint8_t* ctrl = arena->AllocateArray<uint8_t>(capacity);
+  std::memset(ctrl, kCtrlEmpty, capacity);
+  return ctrl;
 }
 
 }  // namespace
 
+// ---- FlatKeySet ---------------------------------------------------------
+
 FlatKeySet::FlatKeySet(Arena* arena, size_t initial_capacity)
-    : arena_(arena), capacity_(NextPow2(initial_capacity < 8 ? 8 : initial_capacity)) {
+    : arena_(arena), capacity_(TableCapacity(initial_capacity)) {
   slots_ = arena_->AllocateArray<Slot>(capacity_);
-  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  ctrl_ = NewCtrl(arena_, capacity_);
 }
 
 std::pair<const char*, bool> FlatKeySet::InsertHashed(uint64_t hash,
                                                       const char* bytes,
                                                       uint32_t len) {
-  if ((size_ + 1) * 10 >= capacity_ * 7) Rehash(capacity_ * 2);
+  if ((size_ + 1) * 8 >= capacity_ * 7) Rehash(capacity_ * 2);
 
-  const size_t mask = capacity_ - 1;
-  size_t idx = hash & mask;
-  uint32_t dist = 1;  // stored distance is probe length + 1
+  const uint8_t h2 = H2(hash);
+  const size_t group_mask = capacity_ / kGroupWidth - 1;
+  size_t g = H1(hash) & group_mask;
   for (;;) {
-    const Slot& s = slots_[idx];
-    // An empty slot or a richer occupant proves the key is absent (the
-    // Robin-Hood invariant: an equal key would have been met earlier).
-    if (s.dist == 0 || s.dist < dist) break;
-    if (s.hash == hash && s.len == len && BytesEqual(s.bytes, bytes, len))
-      return {s.bytes, false};
-    idx = (idx + 1) & mask;
-    ++dist;
+    const size_t base = g * kGroupWidth;
+    Group group = Group::Load(ctrl_ + base);
+    for (auto m = group.Match(h2); m != 0; m = ClearLowestBit(m)) {
+      const size_t idx = base + LowestBitIndex(m);
+      const Slot& s = slots_[idx];
+      if (ctrl_[idx] == h2 && s.hash == hash && s.len == len &&
+          BytesEqual(s.bytes, bytes, len))
+        return {s.bytes, false};
+    }
+    if (group.HasEmpty()) {
+      // This is the first group with an empty slot on the probe path, so
+      // the key is absent and belongs here (the set never deletes).
+      const size_t idx = FirstFreeInGroup(ctrl_, base);
+      char* copy = arena_->AllocateArray<char>(len);
+      CopyBytes(copy, bytes, len);
+      slots_[idx] = Slot{hash, copy, len};
+      ctrl_[idx] = h2;
+      ++size_;
+      return {copy, true};
+    }
+    g = (g + 1) & group_mask;
   }
-  // New key: copy it into the arena, then place from the break point.
-  char* copy = arena_->AllocateArray<char>(len);
-  CopyBytes(copy, bytes, len);
-  PlaceRobinHood(slots_, mask, Slot{hash, copy, len, dist}, idx);
-  ++size_;
-  return {copy, true};
 }
 
 void FlatKeySet::Rehash(size_t new_capacity) {
-  Slot* old = slots_;
-  size_t old_cap = capacity_;
+  Slot* old_slots = slots_;
+  uint8_t* old_ctrl = ctrl_;
+  const size_t old_cap = capacity_;
   capacity_ = new_capacity;
   slots_ = arena_->AllocateArray<Slot>(capacity_);
-  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  ctrl_ = NewCtrl(arena_, capacity_);
   ++rehashes_;
 
-  const size_t mask = capacity_ - 1;
+  const size_t group_mask = capacity_ / kGroupWidth - 1;
   for (size_t i = 0; i < old_cap; ++i) {
-    if (old[i].dist == 0) continue;
-    Slot incoming = old[i];
-    incoming.dist = 1;
-    PlaceRobinHood(slots_, mask, incoming, incoming.hash & mask);
+    if (old_ctrl[i] >= kCtrlEmpty) continue;
+    const Slot& s = old_slots[i];
+    size_t g = H1(s.hash) & group_mask;
+    for (;;) {
+      const size_t base = g * kGroupWidth;
+      if (Group::Load(ctrl_ + base).HasEmpty()) {
+        const size_t idx = FirstFreeInGroup(ctrl_, base);
+        slots_[idx] = s;
+        ctrl_[idx] = H2(s.hash);
+        break;
+      }
+      g = (g + 1) & group_mask;
+    }
   }
 }
 
 // ---- FlatMappingSet -----------------------------------------------------
 
 FlatMappingSet::FlatMappingSet(Arena* arena, size_t initial_capacity)
-    : arena_(arena), capacity_(NextPow2(initial_capacity < 8 ? 8 : initial_capacity)) {
+    : arena_(arena), capacity_(TableCapacity(initial_capacity)) {
   slots_ = arena_->AllocateArray<Slot>(capacity_);
-  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  ctrl_ = NewCtrl(arena_, capacity_);
 }
 
 size_t FlatMappingSet::Find(uint64_t hash, const SpanTuple* tuples,
                             uint32_t n) const {
-  const size_t mask = capacity_ - 1;
-  size_t idx = hash & mask;
-  uint32_t dist = 1;
-  for (size_t probes = 0; probes < capacity_; ++probes) {
-    const Slot& s = slots_[idx];
-    if (s.dist == 0) return SIZE_MAX;  // empty terminates every layout
-    if (s.dist != kTombstone) {
-      if (s.hash == hash && s.len == n &&
+  const uint8_t h2 = H2(hash);
+  const size_t group_mask = capacity_ / kGroupWidth - 1;
+  size_t g = H1(hash) & group_mask;
+  for (;;) {
+    const size_t base = g * kGroupWidth;
+    Group group = Group::Load(ctrl_ + base);
+    for (auto m = group.Match(h2); m != 0; m = ClearLowestBit(m)) {
+      const size_t idx = base + LowestBitIndex(m);
+      const Slot& s = slots_[idx];
+      if (ctrl_[idx] == h2 && s.hash == hash && s.len == n &&
           BytesEqual(s.tuples, tuples, n * sizeof(SpanTuple)))
         return idx;
-      // Robin-Hood early exit is only sound while no tombstone has
-      // perturbed the invariant.
-      if (tombstones_ == 0 && s.dist < dist) return SIZE_MAX;
     }
-    idx = (idx + 1) & mask;
-    ++dist;
+    // An empty control byte terminates the probe sequence in every
+    // layout; tombstones do not (the key may live beyond them).
+    if (group.HasEmpty()) return SIZE_MAX;
+    g = (g + 1) & group_mask;
   }
-  return SIZE_MAX;
 }
 
 bool FlatMappingSet::Contains(const SpanTuple* tuples, uint32_t n) const {
@@ -156,73 +248,78 @@ bool FlatMappingSet::Contains(const SpanTuple* tuples, uint32_t n) const {
 
 bool FlatMappingSet::InsertHashed(uint64_t hash, const SpanTuple* tuples,
                                   uint32_t n) {
-  if ((size_ + tombstones_ + 1) * 10 >= capacity_ * 7) Rehash(capacity_ * 2);
+  if ((size_ + tombstones_ + 1) * 8 >= capacity_ * 7) Rehash(capacity_ * 2);
 
-  if (tombstones_ > 0) {
-    // Degraded (post-erase) mode: verify absence with a full probe, then
-    // place at the first empty slot. Tombstone slots are deliberately NOT
-    // reused — only Rehash sweeps them — so tombstones_ cannot reach zero
-    // while irregularly placed slots remain, which is what keeps the
-    // pure-mode Robin-Hood early exit sound.
-    if (Find(hash, tuples, n) != SIZE_MAX) return false;
-    const size_t mask = capacity_ - 1;
-    size_t idx = hash & mask;
-    uint32_t dist = 1;
-    while (slots_[idx].dist != 0) {
-      idx = (idx + 1) & mask;
-      ++dist;
-    }
-    SpanTuple* copy = arena_->AllocateArray<SpanTuple>(n);
-    CopyBytes(copy, tuples, n * sizeof(SpanTuple));
-    slots_[idx] = Slot{hash, copy, n, dist};
-    ++size_;
-    return true;
-  }
-
-  // Pure Robin-Hood fast path (no erase has happened since last rehash).
-  const size_t mask = capacity_ - 1;
-  size_t idx = hash & mask;
-  uint32_t dist = 1;
+  const uint8_t h2 = H2(hash);
+  const size_t group_mask = capacity_ / kGroupWidth - 1;
+  size_t g = H1(hash) & group_mask;
+  size_t insert_idx = SIZE_MAX;  // first tombstone seen on the probe path
   for (;;) {
-    const Slot& s = slots_[idx];
-    if (s.dist == 0 || s.dist < dist) break;  // absent (Robin-Hood bound)
-    if (s.hash == hash && s.len == n &&
-        BytesEqual(s.tuples, tuples, n * sizeof(SpanTuple)))
-      return false;
-    idx = (idx + 1) & mask;
-    ++dist;
+    const size_t base = g * kGroupWidth;
+    Group group = Group::Load(ctrl_ + base);
+    for (auto m = group.Match(h2); m != 0; m = ClearLowestBit(m)) {
+      const size_t idx = base + LowestBitIndex(m);
+      const Slot& s = slots_[idx];
+      if (ctrl_[idx] == h2 && s.hash == hash && s.len == n &&
+          BytesEqual(s.tuples, tuples, n * sizeof(SpanTuple)))
+        return false;
+    }
+    if (insert_idx == SIZE_MAX && group.MatchEmptyOrDeleted() != 0) {
+      for (size_t i = 0; i < kGroupWidth; ++i) {
+        if (ctrl_[base + i] == kCtrlDeleted) {
+          insert_idx = base + i;
+          break;
+        }
+      }
+    }
+    if (group.HasEmpty()) {
+      if (insert_idx == SIZE_MAX) insert_idx = FirstFreeInGroup(ctrl_, base);
+      if (ctrl_[insert_idx] == kCtrlDeleted) --tombstones_;
+      SpanTuple* copy = arena_->AllocateArray<SpanTuple>(n);
+      CopyBytes(copy, tuples, n * sizeof(SpanTuple));
+      slots_[insert_idx] = Slot{hash, copy, n};
+      ctrl_[insert_idx] = h2;
+      ++size_;
+      return true;
+    }
+    g = (g + 1) & group_mask;
   }
-  SpanTuple* copy = arena_->AllocateArray<SpanTuple>(n);
-  CopyBytes(copy, tuples, n * sizeof(SpanTuple));
-  PlaceRobinHood(slots_, mask, Slot{hash, copy, n, dist}, idx);
-  ++size_;
-  return true;
 }
 
 bool FlatMappingSet::Erase(const SpanTuple* tuples, uint32_t n) {
   size_t idx = Find(Hash(tuples, n), tuples, n);
   if (idx == SIZE_MAX) return false;
-  slots_[idx].dist = kTombstone;
+  ctrl_[idx] = kCtrlDeleted;
   --size_;
   ++tombstones_;
   return true;
 }
 
 void FlatMappingSet::Rehash(size_t new_capacity) {
-  Slot* old = slots_;
-  size_t old_cap = capacity_;
+  Slot* old_slots = slots_;
+  uint8_t* old_ctrl = ctrl_;
+  const size_t old_cap = capacity_;
   capacity_ = new_capacity;
   slots_ = arena_->AllocateArray<Slot>(capacity_);
-  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  ctrl_ = NewCtrl(arena_, capacity_);
   tombstones_ = 0;  // swept: only live slots are reinserted
   ++rehashes_;
 
-  const size_t mask = capacity_ - 1;
+  const size_t group_mask = capacity_ / kGroupWidth - 1;
   for (size_t i = 0; i < old_cap; ++i) {
-    if (old[i].dist == 0 || old[i].dist == kTombstone) continue;
-    Slot incoming = old[i];
-    incoming.dist = 1;
-    PlaceRobinHood(slots_, mask, incoming, incoming.hash & mask);
+    if (old_ctrl[i] >= kCtrlEmpty) continue;
+    const Slot& s = old_slots[i];
+    size_t g = H1(s.hash) & group_mask;
+    for (;;) {
+      const size_t base = g * kGroupWidth;
+      if (Group::Load(ctrl_ + base).HasEmpty()) {
+        const size_t idx = FirstFreeInGroup(ctrl_, base);
+        slots_[idx] = s;
+        ctrl_[idx] = H2(s.hash);
+        break;
+      }
+      g = (g + 1) & group_mask;
+    }
   }
 }
 

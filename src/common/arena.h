@@ -158,22 +158,48 @@ class ArenaVector {
   size_t capacity_ = 0;
 };
 
-/// 64-bit FNV-1a, the shared hash of the flat sets.
+/// The shared hash of the flat sets: a Murmur-inspired word-at-a-time
+/// mix (8 input bytes per multiply instead of FNV's one — evaluator keys
+/// are tens of bytes, so hashing is a visible part of probe cost).
 inline uint64_t HashBytes64(const void* data, size_t n) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
+  const uint64_t mul = 0x9ddfea08eb382d69ULL;
+  uint64_t h = 0xcbf29ce484222325ULL ^ (static_cast<uint64_t>(n) * mul);
+  while (n >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= mul;
+    k ^= k >> 47;
+    h = (h ^ k) * mul;
+    p += 8;
+    n -= 8;
   }
-  // Finalize so low bits (used for slot masking) depend on every byte.
+  uint64_t tail = 0;  // endianness-independent partial-word load
+  for (size_t i = 0; i < n; ++i)
+    tail |= static_cast<uint64_t>(p[i]) << (8 * i);
+  if (n > 0) h = (h ^ (tail * mul)) * mul;
+  // Finalize so low bits (slot masks) and bits 0-6 (H2 tags) depend on
+  // every input byte.
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
   return h;
 }
 
-/// An insert-only set of byte strings with Robin-Hood open addressing.
+// ---- group-probed flat sets (SwissTable-style) --------------------------
+// Both flat sets keep a control byte per slot in a separate dense array:
+// 0x80 = empty, 0xFE = deleted (tombstone), otherwise the low 7 bits of
+// the key's hash ("H2"). Probing inspects the control bytes a *group* at
+// a time — 16 bytes with one SSE2 compare, 8 bytes with a SWAR trick on
+// a uint64 load — so a lookup touches the wide Slot array only for the
+// rare control-byte candidates, instead of walking Slot-sized strides.
+
+/// Control byte marking an empty slot (high bit set, never equals an H2).
+inline constexpr uint8_t kCtrlEmpty = 0x80;
+/// Control byte marking a tombstone.
+inline constexpr uint8_t kCtrlDeleted = 0xFE;
+
+/// An insert-only set of byte strings with group-probed open addressing.
 /// Key bytes are copied once into the arena; Insert returns a pointer to
 /// the stored copy, which stays valid across rehashes (only the slot table
 /// moves). Replaces std::unordered_set<std::string> for visited-config
@@ -197,16 +223,16 @@ class FlatKeySet {
  private:
   struct Slot {
     uint64_t hash;
-    const char* bytes;  // null == empty slot
+    const char* bytes;
     uint32_t len;
-    uint32_t dist;  // probe distance + 1 (Robin-Hood invariant)
   };
 
   void Rehash(size_t new_capacity);
 
   Arena* arena_;
   Slot* slots_;
-  size_t capacity_;  // power of two
+  uint8_t* ctrl_;    // capacity_ control bytes
+  size_t capacity_;  // power of two, ≥ the probe group width
   size_t size_ = 0;
   size_t rehashes_ = 0;
 };
@@ -223,13 +249,12 @@ struct SpanTuple {
   }
 };
 
-/// A deduplicating set of span-tuple lists (flat mappings): open
-/// addressing with Robin-Hood probing on insert, precomputed tuple
-/// hashing, and tombstone-based erase. Tuple storage and the slot table
-/// both live in the arena. Erasing plants a tombstone; tombstones are
-/// swept out at the next rehash, and their presence disables the
-/// Robin-Hood early-exit (lookups then probe to the first empty slot,
-/// which stays correct for any open-addressing layout).
+/// A deduplicating set of span-tuple lists (flat mappings): group-probed
+/// open addressing with precomputed tuple hashing and tombstone-based
+/// erase. Tuple storage, the slot table and the control bytes all live in
+/// the arena. Erasing plants a tombstone (kCtrlDeleted); inserts reuse
+/// the first tombstone on their probe path and rehashes sweep the rest,
+/// so lookups stay one group-compare per probe step in every layout.
 class FlatMappingSet {
  public:
   explicit FlatMappingSet(Arena* arena, size_t initial_capacity = 32);
@@ -254,7 +279,7 @@ class FlatMappingSet {
   template <typename F>
   void ForEach(F&& f) const {
     for (size_t i = 0; i < capacity_; ++i)
-      if (slots_[i].dist > 0 && slots_[i].dist != kTombstone)
+      if (ctrl_[i] < kCtrlEmpty)  // live slots carry an H2 in [0, 0x7F]
         f(slots_[i].tuples, slots_[i].len);
   }
 
@@ -263,13 +288,10 @@ class FlatMappingSet {
   }
 
  private:
-  static constexpr uint32_t kTombstone = 0xffffffffu;
-
   struct Slot {
     uint64_t hash;
     const SpanTuple* tuples;
     uint32_t len;
-    uint32_t dist;  // 0 == empty, kTombstone == erased, else distance + 1
   };
 
   // Probe index of an existing element, or SIZE_MAX.
@@ -278,7 +300,8 @@ class FlatMappingSet {
 
   Arena* arena_;
   Slot* slots_;
-  size_t capacity_;  // power of two
+  uint8_t* ctrl_;    // capacity_ control bytes
+  size_t capacity_;  // power of two, ≥ the probe group width
   size_t size_ = 0;
   size_t tombstones_ = 0;
   size_t rehashes_ = 0;

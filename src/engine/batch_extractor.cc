@@ -1,5 +1,8 @@
 #include "engine/batch_extractor.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <utility>
 
 namespace spanners {
@@ -26,6 +29,16 @@ BatchResult BatchExtractor::Extract(const DocumentExtractor& extractor,
   return result;
 }
 
+ShardingOptions BatchExtractor::MakeShardingOptions() const {
+  ShardingOptions sharding;
+  sharding.max_shards =
+      pool_.num_threads() *
+      (options_.shard_oversubscription == 0 ? 1
+                                            : options_.shard_oversubscription);
+  sharding.min_docs_per_shard = options_.min_docs_per_shard;
+  return sharding;
+}
+
 void BatchExtractor::ExtractInto(const DocumentExtractor& extractor,
                                  const Corpus& corpus, BatchResult* result) {
   result->per_doc.resize(corpus.size());
@@ -33,13 +46,7 @@ void BatchExtractor::ExtractInto(const DocumentExtractor& extractor,
   result->shards = 0;
   if (corpus.empty()) return;
 
-  ShardingOptions sharding;
-  sharding.max_shards =
-      pool_.num_threads() *
-      (options_.shard_oversubscription == 0 ? 1
-                                            : options_.shard_oversubscription);
-  sharding.min_docs_per_shard = options_.min_docs_per_shard;
-  std::vector<Shard> shards = ShardCorpus(corpus, sharding);
+  std::vector<Shard> shards = ShardCorpus(corpus, MakeShardingOptions());
   result->shards = shards.size();
 
   // One task per shard; each writes only its own slots of per_doc, so no
@@ -59,6 +66,79 @@ void BatchExtractor::ExtractInto(const DocumentExtractor& extractor,
   pool_.WaitIdle();
 
   for (const auto& ms : result->per_doc) result->total_mappings += ms.size();
+}
+
+BatchExtractor::StreamStats BatchExtractor::ExtractStream(
+    const DocumentExtractor& extractor, const Corpus& corpus,
+    const ShardConsumer& consumer) {
+  StreamStats stats;
+  if (corpus.empty()) return stats;
+
+  const ShardingOptions sharding = MakeShardingOptions();
+  const std::vector<Shard> shards = ShardCorpus(corpus, sharding);
+  stats.shards = shards.size();
+
+  // Workers fill per-shard slices and flag completion; the calling thread
+  // drains completed shards strictly in corpus order, so the emitted
+  // stream is deterministic for any thread count. Submission lags
+  // consumption by a bounded window, which caps in-flight result memory.
+  struct ShardState {
+    std::vector<std::vector<Mapping>> per_doc;
+    bool done = false;  // guarded by mu
+  };
+  std::vector<ShardState> state(shards.size());
+  std::mutex mu;
+  std::condition_variable cv;
+  // In-flight bound: enough shards to keep every worker busy while the
+  // consumer drains, but strictly fewer than ShardCorpus can produce
+  // (max_shards = threads × oversubscription), so a slow consumer
+  // genuinely caps materialized results instead of admitting them all.
+  const size_t window = std::max<size_t>(1, pool_.num_threads() * 2);
+
+  auto submit = [&](size_t s) {
+    pool_.Submit([this, &extractor, &corpus, &shards, &state, &mu, &cv, s] {
+      PlanScratch& scratch =
+          *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      const Shard& shard = shards[s];
+      ShardState& st = state[s];
+      st.per_doc.resize(shard.size());
+      for (size_t i = shard.begin; i < shard.end; ++i)
+        extractor.ExtractSortedInto(corpus[i], &scratch,
+                                    &st.per_doc[i - shard.begin]);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        st.done = true;
+      }
+      cv.notify_all();
+    });
+  };
+
+  // Submitted tasks reference the locals above; if the consumer throws,
+  // they must all finish before this frame unwinds.
+  struct DrainGuard {
+    ThreadPool& pool;
+    ~DrainGuard() { pool.WaitIdle(); }
+  } drain{pool_};
+
+  size_t next_submit = 0;
+  for (size_t consumed = 0; consumed < shards.size(); ++consumed) {
+    while (next_submit < shards.size() && next_submit < consumed + window)
+      submit(next_submit++);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return state[consumed].done; });
+    }
+    ShardState& st = state[consumed];
+    for (const auto& ms : st.per_doc) {
+      stats.total_mappings += ms.size();
+      if (!ms.empty()) ++stats.matched_documents;
+    }
+    consumer(shards[consumed].begin, shards[consumed].end, st.per_doc);
+    // Release the slice eagerly: streamed memory stays bounded even when
+    // one shard produced a huge result.
+    std::vector<std::vector<Mapping>>().swap(st.per_doc);
+  }
+  return stats;
 }
 
 }  // namespace engine

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -67,7 +68,37 @@ class BatchExtractor {
   void ExtractInto(const DocumentExtractor& extractor, const Corpus& corpus,
                    BatchResult* result);
 
+  /// Aggregate of a streamed extraction (ExtractStream's return value).
+  struct StreamStats {
+    uint64_t total_mappings = 0;
+    size_t matched_documents = 0;
+    size_t shards = 0;
+  };
+
+  /// Receives one completed shard: the sorted mappings of corpus documents
+  /// [doc_begin, doc_end), with per_doc[i] belonging to document
+  /// doc_begin + i. The slice may be consumed destructively (moved from);
+  /// its storage is released after the call returns.
+  using ShardConsumer = std::function<void(
+      size_t doc_begin, size_t doc_end,
+      std::vector<std::vector<Mapping>>& per_doc)>;
+
+  /// Streamed variant of Extract: `consumer` is invoked once per shard,
+  /// in corpus order, on the calling thread, while later shards are still
+  /// extracting — output never materializes the whole BatchResult, so peak
+  /// memory is bounded by the in-flight window (≈ threads ×
+  /// oversubscription shards) instead of the corpus. The emitted stream
+  /// is byte-identical for every thread count: shard boundaries and
+  /// per-document mapping order do not depend on scheduling. Same
+  /// borrowing and non-reentrancy rules as Extract.
+  StreamStats ExtractStream(const DocumentExtractor& extractor,
+                            const Corpus& corpus,
+                            const ShardConsumer& consumer);
+
  private:
+  /// Shard sizing shared by Extract and ExtractStream.
+  ShardingOptions MakeShardingOptions() const;
+
   BatchOptions options_;
   ThreadPool pool_;
   // One scratch (arena + sort buffer) per pool worker, addressed via

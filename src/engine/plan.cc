@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
+#include "automata/fpt.h"
+#include "automata/matcher.h"
 #include "rgx/analysis.h"
 #include "rules/convert.h"
 
@@ -17,12 +20,17 @@ std::string PlanInfo::ToString() const {
   out += "; " + std::to_string(num_vars) + " vars, " +
          std::to_string(num_states) + " states; ";
   out += std::string(EvaluatorToString(evaluator));
+  if (!prefilter.empty()) out += "; prefilter " + prefilter;
+  if (dfa_atoms > 0)
+    out += "; lazy-dfa " + std::to_string(dfa_atoms) + " atoms";
   return out;
 }
 
 ExtractionPlan::ExtractionPlan(Spanner spanner, std::string pattern)
     : spanner_(std::move(spanner)),
       pattern_(std::move(pattern)),
+      prefilter_(Prefilter::FromRgx(spanner_.rgx())),
+      dfa_(std::make_unique<LazyDfa>(spanner_.va())),
       counters_(std::make_unique<Counters>()) {
   info_.sequential_va = spanner_.is_sequential();
   if (spanner_.rgx() != nullptr) {
@@ -33,6 +41,8 @@ ExtractionPlan::ExtractionPlan(Spanner spanner, std::string pattern)
   info_.num_states = spanner_.va().NumStates();
   info_.num_transitions = spanner_.va().NumTransitions();
   info_.evaluator = spanner_.RecommendedEvaluator();
+  if (prefilter_.CanPrune()) info_.prefilter = prefilter_.ToString();
+  info_.dfa_atoms = dfa_->num_atoms();
 }
 
 Result<ExtractionPlan> ExtractionPlan::Compile(std::string_view pattern) {
@@ -62,7 +72,44 @@ Result<ExtractionPlan> ExtractionPlan::FromRuleProgram(
                         std::move(key));
 }
 
+bool ExtractionPlan::GateRejects(const Document& doc) const {
+  if (!gating_enabled_) return false;
+  if (prefilter_.CanPrune() && !prefilter_.Matches(doc.text())) {
+    counters_->prefilter_skipped.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // The lazy DFA over-approximates ⟦A⟧ for any VA (ops relaxed to ε), so
+  // its negative answer is always authoritative; nullopt = cache overflow,
+  // decide by the full evaluator instead.
+  std::optional<bool> verdict = dfa_->Matches(doc.text());
+  if (verdict.has_value() && !*verdict) {
+    counters_->dfa_skipped.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ExtractionPlan::Matches(const Document& doc, PlanScratch* scratch) const {
+  if (prefilter_.CanPrune() && !prefilter_.Matches(doc.text())) return false;
+  std::optional<bool> verdict = dfa_->Matches(doc.text());
+  if (verdict.has_value()) {
+    if (!*verdict) return false;
+    // Positive answers are only exact when op-consistency is structural.
+    if (info_.sequential_va) return true;
+  }
+  // Fall back to NFA state-set simulation, on the caller's arena when
+  // one is provided.
+  Arena* arena = scratch != nullptr ? &scratch->arena : nullptr;
+  return info_.sequential_va
+             ? MatchesSequential(spanner_.va(), doc, arena)
+             : EvalVa(spanner_.va(), doc, ExtendedMapping(), arena);
+}
+
 MappingSet ExtractionPlan::Extract(const Document& doc) const {
+  if (GateRejects(doc)) {
+    counters_->documents.fetch_add(1, std::memory_order_relaxed);
+    return MappingSet();
+  }
   MappingSet out = spanner_.ExtractAllWith(info_.evaluator, doc);
   counters_->documents.fetch_add(1, std::memory_order_relaxed);
   counters_->mappings.fetch_add(out.size(), std::memory_order_relaxed);
@@ -79,6 +126,10 @@ void ExtractionPlan::ExtractSortedInto(const Document& doc,
                                        PlanScratch* scratch,
                                        std::vector<Mapping>* out) const {
   scratch->pool.RecycleAll(out);  // previous results refill the pool
+  if (GateRejects(doc)) {
+    counters_->documents.fetch_add(1, std::memory_order_relaxed);
+    return;  // *out is already the (empty) result
+  }
   VectorSink sink(out, &scratch->pool);
   spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
   std::sort(out->begin(), out->end());
@@ -88,6 +139,10 @@ void ExtractionPlan::ExtractSortedInto(const Document& doc,
 
 void ExtractionPlan::ExtractTo(const Document& doc, PlanScratch* scratch,
                                MappingSink& sink) const {
+  if (GateRejects(doc)) {
+    counters_->documents.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   CountingSink counting(sink);
   spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, counting);
   counters_->documents.fetch_add(1, std::memory_order_relaxed);
@@ -98,6 +153,9 @@ PlanStats ExtractionPlan::stats() const {
   PlanStats s;
   s.documents = counters_->documents.load(std::memory_order_relaxed);
   s.mappings = counters_->mappings.load(std::memory_order_relaxed);
+  s.prefilter_skipped =
+      counters_->prefilter_skipped.load(std::memory_order_relaxed);
+  s.dfa_skipped = counters_->dfa_skipped.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -15,12 +15,14 @@
 #include <string_view>
 #include <vector>
 
+#include "automata/lazy_dfa.h"
 #include "common/arena.h"
 #include "common/status.h"
 #include "core/document.h"
 #include "core/mapping.h"
 #include "core/mapping_sink.h"
 #include "core/spanner.h"
+#include "engine/prefilter.h"
 #include "rules/rule.h"
 
 namespace spanners {
@@ -35,8 +37,13 @@ struct PlanInfo {
   size_t num_states = 0;
   size_t num_transitions = 0;
   Spanner::Evaluator evaluator = Spanner::Evaluator::kRunEnumeration;
+  /// Literal requirement gating this plan ("" when it cannot prune).
+  std::string prefilter;
+  /// Alphabet atoms of the lazy-DFA membership gate (0 = no gate built).
+  size_t dfa_atoms = 0;
 
-  /// e.g. "sequential, functional; 2 vars, 14 states; run-enumeration".
+  /// e.g. "sequential, functional; 2 vars, 14 states; run-enumeration;
+  /// prefilter lit("Seller: "); lazy-dfa 7 atoms".
   std::string ToString() const;
 };
 
@@ -60,6 +67,10 @@ struct PlanScratch {
 struct PlanStats {
   uint64_t documents = 0;
   uint64_t mappings = 0;
+  /// Documents rejected by the literal prefilter (no automaton touched).
+  uint64_t prefilter_skipped = 0;
+  /// Documents rejected by the lazy-DFA membership gate.
+  uint64_t dfa_skipped = 0;
 };
 
 /// The engine's unit of per-document work: anything that can produce the
@@ -107,6 +118,25 @@ class ExtractionPlan : public DocumentExtractor {
   const PlanInfo& info() const { return info_; }
   const VarSet& vars() const override { return spanner_.vars(); }
 
+  /// The literal requirement gating this plan (match-all when it cannot
+  /// prune) and the lazy-DFA membership gate (never null).
+  const Prefilter& prefilter() const { return prefilter_; }
+  const LazyDfa& lazy_dfa() const { return *dfa_; }
+
+  /// Turns the prefilter + lazy-DFA document gate off (on by default).
+  /// For benchmarks and differential tests; set before sharing the plan
+  /// across threads.
+  void set_gating_enabled(bool on) { gating_enabled_ = on; }
+  bool gating_enabled() const { return gating_enabled_; }
+
+  /// NonEmp on one document: ⟦γ⟧_doc ≠ ∅, deciding via the cheapest
+  /// sufficient tier — literal prefilter, then the cached lazy DFA (exact
+  /// for sequential VAs), then NFA state-set simulation. Thread-safe.
+  /// `scratch`, when given, supplies the simulation tier's arena (its
+  /// extraction arena is Reset() by that tier), making repeated oracle
+  /// calls allocation-free.
+  bool Matches(const Document& doc, PlanScratch* scratch = nullptr) const;
+
   /// ⟦γ⟧_doc with the plan's chosen evaluator. Thread-safe.
   MappingSet Extract(const Document& doc) const;
 
@@ -135,13 +165,23 @@ class ExtractionPlan : public DocumentExtractor {
  private:
   ExtractionPlan(Spanner spanner, std::string pattern);
 
+  /// True when the document provably has no mappings (literal prefilter
+  /// or lazy-DFA gate rejected it); bumps the matching skip counter.
+  bool GateRejects(const Document& doc) const;
+
   Spanner spanner_;
   std::string pattern_;
   PlanInfo info_;
+  Prefilter prefilter_;
+  // unique_ptr: the DFA owns a mutex (unmovable) and the plan must move.
+  std::unique_ptr<LazyDfa> dfa_;
+  bool gating_enabled_ = true;
   // unique_ptr keeps the plan movable despite the atomics.
   struct Counters {
     std::atomic<uint64_t> documents{0};
     std::atomic<uint64_t> mappings{0};
+    std::atomic<uint64_t> prefilter_skipped{0};
+    std::atomic<uint64_t> dfa_skipped{0};
   };
   std::unique_ptr<Counters> counters_;
 };

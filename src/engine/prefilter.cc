@@ -1,0 +1,287 @@
+#include "engine/prefilter.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+namespace spanners {
+namespace engine {
+
+namespace {
+
+// Bounds on the analysis, not on correctness: anything exceeding them is
+// soundly demoted toward "no requirement".
+constexpr size_t kMaxExactSet = 16;       // strings an exact set may hold
+constexpr size_t kMaxLiteralLen = 64;     // bytes per literal
+constexpr size_t kMaxClauseLiterals = 16; // literals per any-of clause
+constexpr size_t kMaxClauses = 4;         // clauses kept per prefilter
+constexpr size_t kMaxExactClass = 8;      // charset size still treated exactly
+
+using Clause = Prefilter::Clause;
+
+// Per-node analysis result. Either the node's language is known exactly
+// as a small string set (`exact`), or we keep a conjunction of substring
+// requirement clauses (possibly empty = no requirement).
+struct Info {
+  bool exact = false;
+  std::vector<std::string> lits;  // meaningful when exact
+  std::vector<Clause> clauses;    // meaningful when !exact
+};
+
+Info Top() { return Info{}; }
+
+Info MakeExact(std::vector<std::string> lits) {
+  Info i;
+  i.exact = true;
+  i.lits = std::move(lits);
+  return i;
+}
+
+void SortUnique(std::vector<std::string>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// The requirement clause carried by an exact set: every word of the set
+// contains itself, so a matching document contains one of the members.
+// Vacuous (nullopt) when the set is empty/oversized or contains ε.
+std::optional<Clause> ClauseFromExact(std::vector<std::string> lits) {
+  SortUnique(&lits);
+  if (lits.empty() || lits.size() > kMaxClauseLiterals) return std::nullopt;
+  for (const std::string& s : lits)
+    if (s.empty()) return std::nullopt;
+  return Clause{std::move(lits)};
+}
+
+std::vector<Clause> RequiredOf(const Info& info) {
+  if (!info.exact) return info.clauses;
+  std::vector<Clause> out;
+  if (std::optional<Clause> c = ClauseFromExact(info.lits))
+    out.push_back(std::move(*c));
+  return out;
+}
+
+size_t MinLiteralLen(const Clause& c) {
+  size_t m = kMaxLiteralLen + 1;
+  for (const std::string& s : c.literals) m = std::min(m, s.size());
+  return m;
+}
+
+// The most selective clause of a requirement (longest minimum literal),
+// or nullopt when the requirement is empty.
+std::optional<Clause> BestClause(const std::vector<Clause>& clauses) {
+  const Clause* best = nullptr;
+  for (const Clause& c : clauses)
+    if (best == nullptr || MinLiteralLen(c) > MinLiteralLen(*best)) best = &c;
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+// acc × lits within the exact-set bounds; nullopt on blow-up.
+std::optional<std::vector<std::string>> CrossProduct(
+    const std::vector<std::string>& acc, const std::vector<std::string>& lits) {
+  if (acc.size() * lits.size() > kMaxExactSet) return std::nullopt;
+  std::vector<std::string> out;
+  out.reserve(acc.size() * lits.size());
+  for (const std::string& a : acc)
+    for (const std::string& b : lits) {
+      if (a.size() + b.size() > kMaxLiteralLen) return std::nullopt;
+      out.push_back(a + b);
+    }
+  SortUnique(&out);
+  return out;
+}
+
+Info Analyze(const RgxNode& node);
+
+Info AnalyzeConcat(const RgxNode& node) {
+  // Fold children left to right, growing an exact accumulator as long as
+  // children stay exact (this is what turns `S·e·l·l·e·r·:·␣` into the
+  // literal "Seller: "); whenever exactness breaks, the accumulated set
+  // becomes a mandatory clause and the accumulator restarts.
+  std::vector<Clause> clauses;
+  std::vector<std::string> acc{""};
+  bool pure = true;  // no child has broken exactness yet
+
+  auto flush = [&]() {
+    if (std::optional<Clause> c = ClauseFromExact(acc))
+      clauses.push_back(std::move(*c));
+    acc.assign(1, "");
+  };
+
+  for (const RgxPtr& child : node.children()) {
+    Info ci = Analyze(*child);
+    if (ci.exact) {
+      if (std::optional<std::vector<std::string>> prod =
+              CrossProduct(acc, ci.lits)) {
+        acc = std::move(*prod);
+        continue;
+      }
+      pure = false;
+      flush();
+      acc = std::move(ci.lits);
+      SortUnique(&acc);
+      continue;
+    }
+    pure = false;
+    flush();
+    for (Clause& c : ci.clauses) clauses.push_back(std::move(c));
+  }
+  if (pure) return MakeExact(std::move(acc));
+  flush();
+  Info out;
+  out.clauses = std::move(clauses);
+  return out;
+}
+
+Info AnalyzeDisj(const RgxNode& node) {
+  // Exact when every branch is exact and the union stays small.
+  std::vector<std::string> unioned;
+  bool all_exact = true;
+  std::vector<Info> infos;
+  infos.reserve(node.children().size());
+  for (const RgxPtr& child : node.children()) infos.push_back(Analyze(*child));
+  for (const Info& i : infos) {
+    if (!i.exact || unioned.size() + i.lits.size() > kMaxExactSet) {
+      all_exact = false;
+      break;
+    }
+    unioned.insert(unioned.end(), i.lits.begin(), i.lits.end());
+  }
+  if (all_exact) {
+    SortUnique(&unioned);
+    return MakeExact(std::move(unioned));
+  }
+
+  // Otherwise a word matches *some* branch, so it satisfies the OR of one
+  // clause per branch. A branch with no requirement makes the whole
+  // disjunction unrestricted.
+  Clause merged;
+  for (const Info& i : infos) {
+    std::optional<Clause> c = BestClause(RequiredOf(i));
+    if (!c.has_value()) return Top();
+    merged.literals.insert(merged.literals.end(), c->literals.begin(),
+                           c->literals.end());
+  }
+  SortUnique(&merged.literals);
+  if (merged.literals.empty() || merged.literals.size() > kMaxClauseLiterals)
+    return Top();
+  Info out;
+  out.clauses.push_back(std::move(merged));
+  return out;
+}
+
+Info Analyze(const RgxNode& node) {
+  switch (node.kind()) {
+    case RgxKind::kEpsilon:
+      return MakeExact({""});
+    case RgxKind::kChars: {
+      const CharSet& cs = node.chars();
+      if (cs.empty() || cs.size() > kMaxExactClass) return Top();
+      std::vector<std::string> lits;
+      for (int b = 0; b < 256; ++b)
+        if (cs.Contains(static_cast<char>(b)))
+          lits.emplace_back(1, static_cast<char>(b));
+      return MakeExact(std::move(lits));
+    }
+    case RgxKind::kVar:
+      // x{γ} matches exactly the words of γ; capture does not change the
+      // derived string.
+      return Analyze(*node.child(0));
+    case RgxKind::kStar:
+      return Top();  // may match ε: no requirement
+    case RgxKind::kConcat:
+      return AnalyzeConcat(node);
+    case RgxKind::kDisj:
+      return AnalyzeDisj(node);
+  }
+  return Top();
+}
+
+}  // namespace
+
+Prefilter Prefilter::FromRgx(const RgxPtr& rgx) {
+  if (rgx == nullptr) return Prefilter();
+  std::vector<Clause> clauses = RequiredOf(Analyze(*rgx));
+  // Keep the most selective clauses (longest minimum literal first); ties
+  // resolved lexicographically so the result is deterministic.
+  std::sort(clauses.begin(), clauses.end(),
+            [](const Clause& a, const Clause& b) {
+              size_t la = MinLiteralLen(a), lb = MinLiteralLen(b);
+              if (la != lb) return la > lb;
+              return a.literals < b.literals;
+            });
+  clauses.erase(std::unique(clauses.begin(), clauses.end(),
+                            [](const Clause& a, const Clause& b) {
+                              return a.literals == b.literals;
+                            }),
+                clauses.end());
+  if (clauses.size() > kMaxClauses) clauses.resize(kMaxClauses);
+  return Prefilter(std::move(clauses));
+}
+
+bool Prefilter::Matches(std::string_view text) const {
+  // Clause literals are non-empty, so the empty document satisfies a
+  // clause set only when there are no clauses (also keeps memchr away
+  // from a null data pointer).
+  if (text.empty()) return clauses_.empty();
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (const std::string& lit : clause.literals) {
+      if (lit.size() == 1
+              ? std::memchr(text.data(), lit[0], text.size()) != nullptr
+              : text.find(lit) != std::string_view::npos) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string Prefilter::ToString() const {
+  if (clauses_.empty()) return "match-all";
+  auto quote = [](const std::string& s) {
+    std::string out = "lit(\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (c == '\t') {
+        out += "\\t";
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        static const char* kHex = "0123456789abcdef";
+        out += "\\x";
+        out += kHex[(c >> 4) & 0xf];
+        out += kHex[c & 0xf];
+      } else {
+        out += c;
+      }
+    }
+    out += "\")";
+    return out;
+  };
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i > 0) out += " & ";
+    const Clause& c = clauses_[i];
+    if (c.literals.size() == 1) {
+      out += quote(c.literals[0]);
+      continue;
+    }
+    out += '(';
+    for (size_t j = 0; j < c.literals.size(); ++j) {
+      if (j > 0) out += '|';
+      out += quote(c.literals[j]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace spanners

@@ -1,0 +1,64 @@
+// Literal prefiltering for batch extraction: a one-time analysis of an RGX
+// formula that yields substring requirements every matching document must
+// satisfy. Because RGX semantics match the whole document, any word of
+// L(γ) derived by the formula is the document itself — so a literal that
+// occurs in every word of L(γ) must occur in every document with
+// ⟦γ⟧_doc ≠ ∅. The engine scans for those literals (memchr / memmem)
+// before touching any automaton and skips non-matching documents
+// entirely, which is where low-selectivity corpora spend their time.
+//
+// The requirement is a conjunction of clauses; each clause is a
+// disjunction of literals ("the document contains 'Seller: '" ∧ "the
+// document contains 'GET' or 'POST'"). Prefilter::Matches == false proves
+// ⟦γ⟧_doc = ∅; true means "cannot rule the document out".
+#ifndef SPANNERS_ENGINE_PREFILTER_H_
+#define SPANNERS_ENGINE_PREFILTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rgx/ast.h"
+
+namespace spanners {
+namespace engine {
+
+class Prefilter {
+ public:
+  /// One any-of requirement: a matching document contains at least one of
+  /// these literals. Literals are non-empty and deduplicated.
+  struct Clause {
+    std::vector<std::string> literals;
+  };
+
+  /// Derives the strongest (bounded-size) requirement from `rgx`;
+  /// a null formula or one with no extractable literals yields the
+  /// match-all prefilter (CanPrune() == false).
+  static Prefilter FromRgx(const RgxPtr& rgx);
+
+  /// The match-all prefilter.
+  Prefilter() = default;
+
+  /// Whether this prefilter can reject any document at all.
+  bool CanPrune() const { return !clauses_.empty(); }
+
+  /// False proves the document cannot match (some clause has none of its
+  /// literals in `text`); true is inconclusive.
+  bool Matches(std::string_view text) const;
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// e.g. `lit("Seller: ") & (lit("GET")|lit("POST"))`, or "match-all".
+  std::string ToString() const;
+
+ private:
+  explicit Prefilter(std::vector<Clause> clauses)
+      : clauses_(std::move(clauses)) {}
+
+  std::vector<Clause> clauses_;  // conjunction; empty = match-all
+};
+
+}  // namespace engine
+}  // namespace spanners
+
+#endif  // SPANNERS_ENGINE_PREFILTER_H_

@@ -207,6 +207,50 @@ RgxPtr LogLineRgx() {
   return kRgx;
 }
 
+std::vector<Document> NeedleCorpus(const NeedleOptions& options) {
+  std::vector<Document> docs;
+  docs.reserve(options.documents);
+  static const char* kCodes[] = {"OOM", "TIMEOUT", "REFUSED", "EIO"};
+  for (size_t d = 0; d < options.documents; ++d) {
+    std::mt19937 rng(options.seed + static_cast<uint32_t>(d));
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<int> line_len(30, 60);
+    std::uniform_int_distribution<int> letter(0, 25);
+    const bool has_needle = coin(rng) < options.match_rate;
+
+    std::vector<std::string> lines;
+    size_t bytes = 0;
+    while (bytes < options.doc_bytes) {
+      std::string line;
+      const int len = line_len(rng);
+      for (int j = 0; j < len; ++j)
+        line += j % 8 == 7 ? ' ' : static_cast<char>('a' + letter(rng));
+      line += '\n';
+      bytes += line.size();
+      lines.push_back(std::move(line));
+    }
+    if (has_needle) {
+      std::uniform_int_distribution<int> id_pick(1, 999);
+      std::uniform_int_distribution<size_t> code_pick(0, 3);
+      std::uniform_int_distribution<size_t> pos_pick(0, lines.size());
+      std::string needle = "ALERT id=" + std::to_string(id_pick(rng)) +
+                           " code=" + kCodes[code_pick(rng)] + "\n";
+      lines.insert(lines.begin() + pos_pick(rng), std::move(needle));
+    }
+    std::string text;
+    text.reserve(bytes + 24);
+    for (const std::string& line : lines) text += line;
+    docs.push_back(Document(std::move(text)));
+  }
+  return docs;
+}
+
+RgxPtr NeedleRgx() {
+  static const RgxPtr kRgx =
+      ParseRgx(".*ALERT id=(x{[0-9]+}) code=(y{[A-Z]+})\\n.*").ValueOrDie();
+  return kRgx;
+}
+
 std::vector<Document> LandRegistryCorpus(const CorpusOptions& options) {
   std::vector<Document> docs;
   docs.reserve(options.documents);

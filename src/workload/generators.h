@@ -91,6 +91,30 @@ std::vector<Document> LandRegistryCorpus(const CorpusOptions& options);
 /// `documents` independent server-log documents.
 std::vector<Document> ServerLogCorpus(const CorpusOptions& options);
 
+// ---- low-selectivity needle-in-haystack corpus --------------------------
+
+struct NeedleOptions {
+  size_t documents = 2000;
+  /// Approximate filler bytes per document.
+  size_t doc_bytes = 512;
+  /// Fraction of documents carrying a needle line (the batch-extraction
+  /// common case: most documents match nothing).
+  double match_rate = 0.01;
+  uint32_t seed = 99;
+};
+
+/// Documents of lowercase filler lines; with probability `match_rate` a
+/// document additionally carries one needle line
+/// "ALERT id=<digits> code=<CAPS>\n" at a random position. The filler
+/// alphabet (a-z, space) cannot spell the needle literal, so the number
+/// of matched documents equals the number of needle documents exactly.
+/// Document i is generated from seed + i (reproducible, shard-varied).
+std::vector<Document> NeedleCorpus(const NeedleOptions& options);
+
+/// RGX extracting id + code from the needle line:
+///   .*ALERT id=(x{[0-9]+}) code=(y{[A-Z]+})\n.*
+RgxPtr NeedleRgx();
+
 }  // namespace workload
 }  // namespace spanners
 

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <random>
 #include <sstream>
+#include <utility>
 
 #include "engine/engine.h"
 #include "rgx/parser.h"
@@ -396,6 +398,157 @@ TEST(FormatTest, JsonRowPinsWireFormat) {
   EXPECT_EQ(ToJsonRow(3, m, vars, doc),
             "{\"doc\":3,\"x\":{\"span\":[5,9],\"text\":\"\\\"hi\\\"\"},"
             "\"y\":null}");
+}
+
+// ---- prefilter + lazy-DFA gate ------------------------------------------
+
+// The gate may only skip provably-empty documents: gated and ungated
+// plans must produce byte-identical batch results for every thread count,
+// on random formulas over random corpora.
+TEST(GateTest, GatedAndUngatedResultsIdenticalAcrossThreadCounts) {
+  std::mt19937 rng(41);
+  workload::RandomRgxOptions o;
+  o.num_vars = 2;
+  o.letters = "ab";
+  std::uniform_int_distribution<size_t> len_pick(0, 10);
+  for (int round = 0; round < 12; ++round) {
+    RgxPtr rgx = workload::RandomRgx(o, &rng);
+    std::vector<Document> docs;
+    for (int i = 0; i < 48; ++i)
+      docs.push_back(workload::RandomDocument("ab", len_pick(rng), &rng));
+    Corpus corpus(std::move(docs));
+
+    ExtractionPlan gated = ExtractionPlan::FromSpanner(Spanner::FromRgx(rgx));
+    ExtractionPlan plain = ExtractionPlan::FromSpanner(Spanner::FromRgx(rgx));
+    plain.set_gating_enabled(false);
+
+    for (size_t threads : {1u, 2u, 8u}) {
+      BatchOptions bo;
+      bo.num_threads = threads;
+      bo.min_docs_per_shard = 4;
+      BatchExtractor extractor(bo);
+      BatchResult got = extractor.Extract(gated, corpus);
+      BatchResult want = extractor.Extract(plain, corpus);
+      ASSERT_EQ(got.per_doc, want.per_doc)
+          << "round " << round << " threads " << threads;
+    }
+  }
+}
+
+// On the low-selectivity needle corpus the gate must (a) change nothing
+// about the output and (b) actually skip the non-matching majority.
+TEST(GateTest, NeedleCorpusIsGateSkippedButResultIdentical) {
+  workload::NeedleOptions o;
+  o.documents = 300;
+  o.doc_bytes = 256;
+  o.match_rate = 0.05;
+  Corpus corpus(workload::NeedleCorpus(o));
+
+  ExtractionPlan gated =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::NeedleRgx()));
+  ExtractionPlan plain =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::NeedleRgx()));
+  plain.set_gating_enabled(false);
+
+  BatchOptions bo;
+  bo.num_threads = 2;
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+  BatchResult got = extractor.Extract(gated, corpus);
+  BatchResult want = extractor.Extract(plain, corpus);
+  EXPECT_EQ(got.per_doc, want.per_doc);
+  EXPECT_GT(got.MatchedDocuments(), 0u);
+
+  PlanStats stats = gated.stats();
+  EXPECT_EQ(stats.documents, corpus.size());
+  EXPECT_EQ(stats.prefilter_skipped + got.MatchedDocuments(), corpus.size())
+      << "every non-matching document should fall to the literal scan";
+  EXPECT_EQ(plain.stats().prefilter_skipped, 0u);
+}
+
+TEST(GateTest, PlanMatchesAgreesWithSpannerMatches) {
+  std::mt19937 rng(43);
+  workload::RandomRgxOptions o;
+  o.num_vars = 2;
+  o.letters = "ab";
+  std::uniform_int_distribution<size_t> len_pick(0, 9);
+  for (int round = 0; round < 25; ++round) {
+    RgxPtr rgx = workload::RandomRgx(o, &rng);
+    ExtractionPlan plan = ExtractionPlan::FromSpanner(Spanner::FromRgx(rgx));
+    PlanScratch scratch;  // reused: the fallback tier must Reset() it
+    for (int d = 0; d < 15; ++d) {
+      Document doc = workload::RandomDocument("ab", len_pick(rng), &rng);
+      bool want = plan.spanner().Matches(doc);
+      EXPECT_EQ(plan.Matches(doc), want)
+          << "round " << round << " doc '" << doc.text() << "'";
+      EXPECT_EQ(plan.Matches(doc, &scratch), want)
+          << "round " << round << " doc '" << doc.text() << "' (scratch)";
+    }
+  }
+}
+
+TEST(GateTest, PlanInfoReportsGateTiers) {
+  ExtractionPlan plan =
+      ExtractionPlan::Compile(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
+  std::string info = plan.info().ToString();
+  EXPECT_NE(info.find("prefilter"), std::string::npos) << info;
+  EXPECT_NE(info.find("Seller: "), std::string::npos) << info;
+  EXPECT_NE(info.find("lazy-dfa"), std::string::npos) << info;
+  EXPECT_GT(plan.lazy_dfa().num_atoms(), 0u);
+}
+
+// ---- streamed per-shard extraction --------------------------------------
+
+// ExtractStream must deliver exactly Extract's result, shard by shard, in
+// corpus order, for every thread count.
+TEST(BatchExtractorTest, ExtractStreamMatchesExtractAndIsInOrder) {
+  workload::CorpusOptions o;
+  o.documents = 120;
+  o.rows_per_document = 2;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+
+  BatchOptions ro;
+  ro.num_threads = 1;
+  BatchResult want = BatchExtractor(ro).Extract(plan, corpus);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    BatchOptions bo;
+    bo.num_threads = threads;
+    bo.min_docs_per_shard = 4;
+    BatchExtractor extractor(bo);
+
+    std::vector<std::vector<Mapping>> streamed;
+    size_t calls = 0;
+    BatchExtractor::StreamStats stats = extractor.ExtractStream(
+        plan, corpus,
+        [&](size_t doc_begin, size_t doc_end,
+            std::vector<std::vector<Mapping>>& per_doc) {
+          ASSERT_EQ(doc_begin, streamed.size()) << "shards out of order";
+          ASSERT_EQ(doc_end - doc_begin, per_doc.size());
+          for (auto& ms : per_doc) streamed.push_back(std::move(ms));
+          ++calls;
+        });
+    ASSERT_EQ(streamed.size(), corpus.size());
+    EXPECT_EQ(streamed, want.per_doc) << "threads=" << threads;
+    EXPECT_EQ(calls, stats.shards);
+    EXPECT_EQ(stats.total_mappings, want.total_mappings);
+    EXPECT_EQ(stats.matched_documents, want.MatchedDocuments());
+  }
+}
+
+TEST(BatchExtractorTest, ExtractStreamEmptyCorpus) {
+  ExtractionPlan plan = ExtractionPlan::Compile("a*").ValueOrDie();
+  Corpus corpus;
+  BatchExtractor extractor;
+  size_t calls = 0;
+  BatchExtractor::StreamStats stats = extractor.ExtractStream(
+      plan, corpus,
+      [&](size_t, size_t, std::vector<std::vector<Mapping>>&) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(stats.shards, 0u);
+  EXPECT_EQ(stats.total_mappings, 0u);
 }
 
 TEST(FormatTest, ParseOutputFormat) {

@@ -1,0 +1,163 @@
+// Tests for the lazy-DFA membership tier: atom partitioning, agreement
+// with the Theorem 5.7 state-set simulation on sequential VAs, soundness
+// of the negative answer on arbitrary VAs, the bounded-cache overflow
+// path, and cross-thread sharing of the transition cache.
+#include "automata/lazy_dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/matcher.h"
+#include "automata/run_eval.h"
+#include "automata/sequential.h"
+#include "core/spanner.h"
+#include "workload/generators.h"
+
+namespace spanners {
+namespace {
+
+// ---- PartitionAtoms -----------------------------------------------------
+
+TEST(PartitionAtomsTest, AtomsAreDisjointAndRefineEveryInput) {
+  std::vector<CharSet> sets = {
+      CharSet::Range('a', 'm'), CharSet::Range('h', 'z'),
+      CharSet::OfString("aeiou"), CharSet::Of('q')};
+  std::vector<CharSet> atoms = PartitionAtoms(sets);
+  ASSERT_FALSE(atoms.empty());
+
+  // Pairwise disjoint.
+  for (size_t i = 0; i < atoms.size(); ++i)
+    for (size_t j = i + 1; j < atoms.size(); ++j)
+      EXPECT_TRUE(atoms[i].Intersect(atoms[j]).empty()) << i << "," << j;
+
+  // The atoms cover exactly the union of the inputs.
+  CharSet covered = CharSet::None();
+  for (const CharSet& a : atoms) covered = covered.Union(a);
+  CharSet want = CharSet::None();
+  for (const CharSet& s : sets) want = want.Union(s);
+  EXPECT_EQ(covered, want);
+
+  // Each atom behaves uniformly wrt every input set (all-in or all-out).
+  for (const CharSet& a : atoms)
+    for (const CharSet& s : sets) {
+      CharSet in = a.Intersect(s);
+      EXPECT_TRUE(in.empty() || in == a);
+    }
+}
+
+TEST(PartitionAtomsTest, EmptyInputYieldsNoAtoms) {
+  EXPECT_TRUE(PartitionAtoms({}).empty());
+}
+
+// ---- LazyDfa ------------------------------------------------------------
+
+Document RandomDoc(std::string_view letters, size_t max_len,
+                   std::mt19937* rng) {
+  std::uniform_int_distribution<size_t> len_pick(0, max_len);
+  return workload::RandomDocument(letters, len_pick(*rng), rng);
+}
+
+TEST(LazyDfaTest, AgreesWithStateSetSimulationOnSequentialPatterns) {
+  std::mt19937 rng(17);
+  workload::RandomRgxOptions o;
+  o.sequential_only = true;
+  o.num_vars = 2;
+  o.letters = "ab";
+  for (int round = 0; round < 40; ++round) {
+    Spanner s = Spanner::FromRgx(workload::RandomRgx(o, &rng));
+    ASSERT_TRUE(s.is_sequential());
+    LazyDfa dfa(s.va());
+    for (int d = 0; d < 25; ++d) {
+      Document doc = RandomDoc("ab", 12, &rng);
+      std::optional<bool> got = dfa.Matches(doc.text());
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, MatchesSequential(s.va(), doc))
+          << "round " << round << " doc '" << doc.text() << "'";
+    }
+  }
+}
+
+TEST(LazyDfaTest, NegativeAnswerIsSoundOnArbitraryVas) {
+  std::mt19937 rng(23);
+  for (int round = 0; round < 30; ++round) {
+    VA a = workload::RandomVa(6, 2, "ab", &rng);
+    if (a.NumStates() < 2) continue;
+    LazyDfa dfa(a);
+    for (int d = 0; d < 20; ++d) {
+      Document doc = RandomDoc("ab", 8, &rng);
+      std::optional<bool> got = dfa.Matches(doc.text());
+      ASSERT_TRUE(got.has_value());
+      if (!*got)
+        EXPECT_TRUE(RunEval(a, doc).empty())
+            << "round " << round << " doc '" << doc.text() << "'";
+    }
+  }
+}
+
+TEST(LazyDfaTest, EmptyDocumentDecidedByStartState) {
+  Spanner star = Spanner::FromPattern("a*").ValueOrDie();
+  EXPECT_EQ(LazyDfa(star.va()).Matches(""), std::optional<bool>(true));
+  Spanner one = Spanner::FromPattern("a").ValueOrDie();
+  EXPECT_EQ(LazyDfa(one.va()).Matches(""), std::optional<bool>(false));
+  EXPECT_EQ(LazyDfa(one.va()).Matches("a"), std::optional<bool>(true));
+  EXPECT_EQ(LazyDfa(one.va()).Matches("b"), std::optional<bool>(false));
+}
+
+TEST(LazyDfaTest, CacheOverflowReportsUnknownNeverWrong) {
+  Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
+  LazyDfaOptions tight;
+  tight.max_states = 2;  // dead + start only: first extension overflows
+  LazyDfa dfa(s.va(), tight);
+  EXPECT_EQ(dfa.Matches("Seller: Ann,"), std::nullopt);
+  EXPECT_TRUE(dfa.stats().overflowed);
+  // Once overflowed, every later call short-circuits to unknown.
+  EXPECT_EQ(dfa.Matches(""), std::nullopt);
+  EXPECT_EQ(dfa.Matches("zzz"), std::nullopt);
+}
+
+TEST(LazyDfaTest, TableByteBoundTriggersOverflowToo) {
+  Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
+  LazyDfaOptions tight;
+  tight.max_table_bytes = 256;
+  LazyDfa dfa(s.va(), tight);
+  std::optional<bool> verdict = dfa.Matches("xyz Seller: Bob, rest");
+  // Either the scan finished within the bound or it overflowed — but an
+  // answered verdict must be correct.
+  if (verdict.has_value()) EXPECT_TRUE(*verdict);
+  Document miss("no needle here");
+  verdict = dfa.Matches(miss.text());
+  if (verdict.has_value()) EXPECT_FALSE(*verdict);
+}
+
+TEST(LazyDfaTest, TransitionCacheIsSharedAcrossThreads) {
+  Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
+  LazyDfa dfa(s.va());
+  std::vector<Document> docs;
+  std::mt19937 rng(3);
+  for (int i = 0; i < 50; ++i)
+    docs.push_back(RandomDoc("Selr: abc,\n", 40, &rng));
+  docs.emplace_back("Seller: Ann, rest");
+
+  std::vector<std::vector<bool>> got(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (const Document& d : docs) {
+        std::optional<bool> v = dfa.Matches(d.text());
+        ASSERT_TRUE(v.has_value());
+        got[t].push_back(*v);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(got[t], got[0]);
+  for (size_t i = 0; i < docs.size(); ++i)
+    EXPECT_EQ(got[0][i], MatchesSequential(s.va(), docs[i])) << i;
+}
+
+}  // namespace
+}  // namespace spanners

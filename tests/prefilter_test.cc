@@ -1,0 +1,118 @@
+// Tests for the literal prefilter: extraction of anchored literals and
+// any-of clauses from RGX formulas, bound/demotion behaviour, and the
+// randomized soundness property (a rejected document provably has no
+// mappings).
+#include "engine/prefilter.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "core/spanner.h"
+#include "rgx/parser.h"
+#include "workload/generators.h"
+
+namespace spanners {
+namespace engine {
+namespace {
+
+RgxPtr MustParse(std::string_view pattern) {
+  return ParseRgx(pattern).ValueOrDie();
+}
+
+bool HasClauseWithLiteral(const Prefilter& p, const std::string& lit) {
+  for (const Prefilter::Clause& c : p.clauses())
+    for (const std::string& s : c.literals)
+      if (s == lit) return true;
+  return false;
+}
+
+TEST(PrefilterTest, ExtractsAnchoredLiteralFromConcat) {
+  Prefilter p = Prefilter::FromRgx(MustParse(".*Seller: (x{[^,\\n]*}),.*"));
+  ASSERT_TRUE(p.CanPrune());
+  EXPECT_TRUE(HasClauseWithLiteral(p, "Seller: "));
+  EXPECT_TRUE(p.Matches("xx Seller: Ann, yy"));
+  EXPECT_FALSE(p.Matches("Buyer: Bob, P7"));
+  EXPECT_FALSE(p.Matches(""));
+}
+
+TEST(PrefilterTest, DisjunctionBecomesAnyOfClause) {
+  Prefilter p = Prefilter::FromRgx(MustParse(".*(GET|POST) .*"));
+  ASSERT_TRUE(p.CanPrune());
+  EXPECT_TRUE(p.Matches("x GET /a"));
+  EXPECT_TRUE(p.Matches("x POST /b"));
+  EXPECT_FALSE(p.Matches("x PUT /c"));
+}
+
+TEST(PrefilterTest, UnboundedFormulasYieldMatchAll) {
+  EXPECT_FALSE(Prefilter::FromRgx(MustParse(".*")).CanPrune());
+  EXPECT_FALSE(Prefilter::FromRgx(MustParse("a*")).CanPrune());
+  EXPECT_FALSE(Prefilter::FromRgx(MustParse("(x{.*})")).CanPrune());
+  EXPECT_FALSE(Prefilter::FromRgx(nullptr).CanPrune());
+  // Optional parts contribute nothing; the mandatory literal survives.
+  Prefilter p = Prefilter::FromRgx(MustParse("(ab|\\e)cd.*"));
+  ASSERT_TRUE(p.CanPrune());
+  EXPECT_TRUE(HasClauseWithLiteral(p, "cd"));
+  EXPECT_FALSE(HasClauseWithLiteral(p, "ab"));
+}
+
+TEST(PrefilterTest, CrossProductBuildsWholeWordAlternatives) {
+  Prefilter p = Prefilter::FromRgx(MustParse("ab(c|d)e"));
+  ASSERT_TRUE(p.CanPrune());
+  EXPECT_TRUE(HasClauseWithLiteral(p, "abce"));
+  EXPECT_TRUE(HasClauseWithLiteral(p, "abde"));
+  EXPECT_TRUE(p.Matches("zzabcezz"));
+  EXPECT_FALSE(p.Matches("zzabxezz"));
+}
+
+TEST(PrefilterTest, VariableWrapperIsTransparent) {
+  // x{γ} matches the same words as γ, so literals pass through.
+  Prefilter p = Prefilter::FromRgx(MustParse(".*(x{abc}).*"));
+  ASSERT_TRUE(p.CanPrune());
+  EXPECT_TRUE(HasClauseWithLiteral(p, "abc"));
+}
+
+TEST(PrefilterTest, MatchAllAcceptsEverythingIncludingEmpty) {
+  Prefilter p;
+  EXPECT_FALSE(p.CanPrune());
+  EXPECT_TRUE(p.Matches(""));
+  EXPECT_TRUE(p.Matches("anything"));
+}
+
+TEST(PrefilterTest, ToStringShapes) {
+  EXPECT_EQ(Prefilter::FromRgx(MustParse(".*")).ToString(), "match-all");
+  std::string s =
+      Prefilter::FromRgx(MustParse(".*Seller: (x{[^,\\n]*}),.*")).ToString();
+  EXPECT_NE(s.find("lit(\"Seller: \")"), std::string::npos) << s;
+  std::string d = Prefilter::FromRgx(MustParse(".*(GET|POST) .*")).ToString();
+  EXPECT_NE(d.find("|"), std::string::npos) << d;
+}
+
+TEST(PrefilterTest, RandomizedSoundnessAgainstRunSemantics) {
+  std::mt19937 rng(29);
+  workload::RandomRgxOptions o;
+  o.num_vars = 2;
+  o.letters = "ab";
+  size_t rejected = 0;
+  for (int round = 0; round < 150; ++round) {
+    RgxPtr rgx = workload::RandomRgx(o, &rng);
+    Prefilter p = Prefilter::FromRgx(rgx);
+    Spanner s = Spanner::FromRgx(rgx);
+    std::uniform_int_distribution<size_t> len_pick(0, 10);
+    for (int d = 0; d < 20; ++d) {
+      Document doc = workload::RandomDocument("ab", len_pick(rng), &rng);
+      if (!p.Matches(doc.text())) {
+        ++rejected;
+        EXPECT_TRUE(s.ExtractAll(doc).empty())
+            << "round " << round << " doc '" << doc.text() << "'";
+      }
+    }
+  }
+  // The property is vacuous if the filter never fires; make sure it did.
+  EXPECT_GT(rejected, 0u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace spanners

@@ -5,6 +5,7 @@
 #include "automata/run_eval.h"
 #include "automata/sequential.h"
 #include "automata/thompson.h"
+#include "core/spanner.h"
 #include "rgx/analysis.h"
 #include "rgx/reference_eval.h"
 #include "workload/generators.h"
@@ -117,6 +118,32 @@ TEST(ServerLogTest, LogRgxExtractsOptionalCause) {
   }
   EXPECT_TRUE(saw_cause);
   EXPECT_TRUE(saw_no_cause);
+}
+
+TEST(NeedleTest, CorpusIsReproducibleAndRespectsMatchRate) {
+  workload::NeedleOptions o;
+  o.documents = 400;
+  o.doc_bytes = 200;
+  o.match_rate = 0.05;
+  std::vector<Document> a = workload::NeedleCorpus(o);
+  std::vector<Document> b = workload::NeedleCorpus(o);
+  ASSERT_EQ(a.size(), o.documents);
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].text(), b[i].text()) << i;
+
+  // The filler alphabet cannot spell the needle marker, so needle count
+  // == matched count; with 400 docs at 5% expect a loose [1, 60] band.
+  size_t with_needle = 0;
+  for (const Document& d : a)
+    if (d.text().find("ALERT id=") != std::string::npos) ++with_needle;
+  EXPECT_GE(with_needle, 1u);
+  EXPECT_LE(with_needle, 60u);
+
+  Spanner s = Spanner::FromRgx(workload::NeedleRgx());
+  size_t matched = 0;
+  for (const Document& d : a)
+    if (!s.ExtractAll(d).empty()) ++matched;
+  EXPECT_EQ(matched, with_needle);
 }
 
 TEST(ReductionTest, HamiltonianPathViaRelationalVa) {

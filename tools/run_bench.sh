@@ -52,6 +52,7 @@ echo "== $OUT summary (single-thread batch extraction) =="
 python3 - "$OUT" <<'EOF'
 import json, sys
 data = json.load(open(sys.argv[1]))
+rate = {}
 for b in data["benchmarks"]:
     name = b["name"]
     if "BatchExtract" not in name or "/1/" not in name:
@@ -60,4 +61,16 @@ for b in data["benchmarks"]:
         print(f'{name}: {b.get("mappings/s", 0):,.0f} mappings/s, '
               f'{b.get("docs/s", 0):,.0f} docs/s, '
               f'{b.get("allocs/doc", 0):,.1f} allocs/doc')
+        if "LowSelectivity" in name:
+            rate["plain" if "NoGate" in name else "gated"] = b.get("docs/s", 0)
+
+# Prefilter/lazy-DFA gate check: on the low-selectivity workload the gated
+# path must never be slower than running the evaluator on every document.
+if "gated" in rate and "plain" in rate:
+    speedup = rate["gated"] / rate["plain"] if rate["plain"] else float("inf")
+    print(f'low-selectivity gate speedup: {speedup:.1f}x '
+          f'({rate["gated"]:,.0f} vs {rate["plain"]:,.0f} docs/s)')
+    if rate["gated"] < rate["plain"]:
+        sys.exit("FAIL: prefilter-gated throughput regressed below the "
+                 "plain path")
 EOF

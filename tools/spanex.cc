@@ -29,8 +29,9 @@
 //   --generate KIND[:DOCS[:ROWS]]
 //                            instead of reading files, synthesize a corpus
 //                            with the workload generators; KIND is
-//                            land-registry or server-log (e.g.
-//                            --generate server-log:10000:4)
+//                            land-registry, server-log or needle (e.g.
+//                            --generate server-log:10000:4; needle is the
+//                            low-selectivity 1%-match corpus)
 //   -h, --help               this text
 #include <cstring>
 #include <fstream>
@@ -213,9 +214,16 @@ int main(int argc, char** argv) {
       corpus = Corpus(workload::LandRegistryCorpus(o));
     } else if (kind == "server-log") {
       corpus = Corpus(workload::ServerLogCorpus(o));
+    } else if (kind == "needle") {
+      // Low-selectivity corpus: ROWS filler lines (~45 bytes each), 1% of
+      // documents carry the needle line NeedleRgx() extracts.
+      workload::NeedleOptions no;
+      no.documents = o.documents;
+      no.doc_bytes = o.rows_per_document * 45;
+      corpus = Corpus(workload::NeedleCorpus(no));
     } else {
       std::cerr << "spanex: unknown --generate kind '" << kind
-                << "' (expected land-registry or server-log)\n";
+                << "' (expected land-registry, server-log or needle)\n";
       return 2;
     }
   }
@@ -238,31 +246,48 @@ int main(int argc, char** argv) {
   BatchOptions batch_options;
   batch_options.num_threads = threads;
   BatchExtractor batch(batch_options);
-  BatchResult result = batch.Extract(*extractor, corpus);
 
+  // Output streams shard by shard in deterministic corpus order: rows for
+  // shard k print while shards k+1… are still extracting, and the full
+  // result set is never materialized at once.
   const VarSet& vars = extractor->vars();
   std::string out;
   if (format == OutputFormat::kTsv && header) {
     out += TsvHeader(vars);
     out += '\n';
   }
-  for (size_t i = 0; i < result.per_doc.size(); ++i) {
-    for (const Mapping& m : result.per_doc[i]) {
-      out += format == OutputFormat::kTsv
-                 ? ToTsvRow(i, m, vars, corpus[i])
-                 : ToJsonRow(i, m, vars, corpus[i]);
-      out += '\n';
-      if (out.size() >= 1 << 20) {
+  BatchExtractor::StreamStats result = batch.ExtractStream(
+      *extractor, corpus,
+      [&](size_t doc_begin, size_t doc_end,
+          std::vector<std::vector<Mapping>>& per_doc) {
+        for (size_t i = doc_begin; i < doc_end; ++i) {
+          for (const Mapping& m : per_doc[i - doc_begin]) {
+            out += format == OutputFormat::kTsv
+                       ? ToTsvRow(i, m, vars, corpus[i])
+                       : ToJsonRow(i, m, vars, corpus[i]);
+            out += '\n';
+            if (out.size() >= 1 << 20) {
+              std::cout << out;
+              out.clear();
+            }
+          }
+        }
         std::cout << out;
         out.clear();
-      }
-    }
-  }
+      });
   std::cout << out;
 
   if (stats) {
     if (plan.has_value()) {
       std::cerr << "spanex: plan [" << plan->info().ToString() << "]\n";
+      PlanStats ps = plan->stats();
+      std::cerr << "spanex: gate: " << ps.prefilter_skipped
+                << " docs skipped by prefilter, " << ps.dfa_skipped
+                << " by lazy-dfa";
+      LazyDfaStats ds = plan->lazy_dfa().stats();
+      std::cerr << " (" << ds.num_states << " dfa states, " << ds.num_atoms
+                << " atoms" << (ds.overflowed ? ", overflowed" : "")
+                << ")\n";
     } else {
       PlanCacheStats cs = cache.stats();
       std::cerr << "spanex: query plan [" << compiled->PlanString() << "]\n"
@@ -271,9 +296,9 @@ int main(int argc, char** argv) {
     }
     std::cerr << "spanex: " << corpus.size() << " docs, "
               << result.total_mappings << " mappings, "
-              << result.MatchedDocuments() << " matched docs, "
+              << result.matched_documents << " matched docs, "
               << result.shards << " shards, " << batch.num_threads()
-              << " threads\n";
+              << " threads (streamed per shard)\n";
   }
   return 0;
 }
