@@ -9,6 +9,15 @@
 
 namespace spanners {
 
+namespace {
+
+// Table + subset footprint of one state (mirrored by eviction accounting).
+size_t StateBytes(size_t num_atoms, size_t subset_size) {
+  return (num_atoms + 1) * sizeof(uint32_t) + subset_size * sizeof(StateId);
+}
+
+}  // namespace
+
 LazyDfa::LazyDfa(const VA& a, LazyDfaOptions options)
     : va_(a), options_(options) {
   // Atom-compress the alphabet: every letter CharSet of the VA behaves
@@ -29,11 +38,12 @@ LazyDfa::LazyDfa(const VA& a, LazyDfaOptions options)
   // State 0 is the dead state (empty subset, self-loop on every atom).
   states_.push_back(State{{},
                           std::vector<uint32_t>(atoms_.size() + 1, kDeadState),
-                          false});
+                          false,
+                          0});
   interned_.emplace(std::vector<StateId>{}, kDeadState);
   table_bytes_ = states_[0].row.size() * sizeof(uint32_t);
 
-  start_state_ = Intern(Closure({a.initial()}));
+  start_state_ = Intern(Closure({a.initial()}), kDeadState);
   SPANNERS_CHECK(start_state_ != kUnknownState)
       << "lazy-DFA bounds too small for even the start state";
 }
@@ -57,14 +67,72 @@ std::vector<StateId> LazyDfa::Closure(std::vector<StateId> subset) const {
   return subset;
 }
 
-uint32_t LazyDfa::Intern(std::vector<StateId> subset) const {
-  auto it = interned_.find(subset);
-  if (it != interned_.end()) return it->second;
+size_t LazyDfa::EvictColdStates(uint32_t pinned) const {
+  // Candidates: every resident state except the two structural anchors
+  // and the state the caller is mid-extension on.
+  std::vector<uint32_t> candidates;
+  candidates.reserve(states_.size());
+  std::vector<uint8_t> is_free(states_.size(), 0);
+  for (uint32_t id : free_slots_) is_free[id] = 1;
+  for (uint32_t id = 0; id < states_.size(); ++id) {
+    if (id == kDeadState || id == start_state_ || id == pinned ||
+        is_free[id])
+      continue;
+    candidates.push_back(id);
+  }
+  if (candidates.empty()) return 0;
 
-  const size_t state_bytes = (atoms_.size() + 1) * sizeof(uint32_t) +
-                             subset.size() * sizeof(StateId);
-  if (states_.size() >= options_.max_states ||
-      table_bytes_ + state_bytes > options_.max_table_bytes)
+  // Evict the coldest quarter (at least one): enough room that the next
+  // misses do not immediately re-evict, small enough to keep the hot set.
+  const size_t count = std::max<size_t>(1, candidates.size() / 4);
+  std::nth_element(candidates.begin(), candidates.begin() + (count - 1),
+                   candidates.end(), [this](uint32_t a, uint32_t b) {
+                     return states_[a].last_used < states_[b].last_used;
+                   });
+  candidates.resize(count);
+
+  std::vector<uint8_t> evicted(states_.size(), 0);
+  for (uint32_t id : candidates) {
+    State& s = states_[id];
+    table_bytes_ -= StateBytes(atoms_.size(), s.subset.size());
+    interned_.erase(s.subset);
+    std::vector<StateId>().swap(s.subset);
+    std::vector<uint32_t>().swap(s.row);
+    evicted[id] = 1;
+    free_slots_.push_back(id);
+  }
+  // Surviving rows must not point at recycled ids: reset those entries to
+  // "not yet computed". One pass over the table; eviction is rare and
+  // batched, so the cost amortizes across many misses.
+  for (uint32_t id = 0; id < states_.size(); ++id) {
+    State& s = states_[id];
+    if (s.row.empty()) continue;  // dead slot
+    for (uint32_t& to : s.row)
+      if (to != kUnknownState && evicted[to]) to = kUnknownState;
+  }
+  ++generation_;
+  evictions_ += count;
+  return count;
+}
+
+uint32_t LazyDfa::Intern(std::vector<StateId> subset, uint32_t pinned) const {
+  auto it = interned_.find(subset);
+  if (it != interned_.end()) {
+    states_[it->second].last_used = ++use_clock_;
+    return it->second;
+  }
+
+  // At a bound: shed the cold tail and retry. When nothing is evictable
+  // (bounds below even a handful of states) the caller falls back to NFA
+  // simulation for this transition's documents.
+  const size_t state_bytes = StateBytes(atoms_.size(), subset.size());
+  if (free_slots_.empty() &&
+      states_.size() - free_slots_.size() >= options_.max_states &&
+      EvictColdStates(pinned) == 0)
+    return kUnknownState;
+  if (table_bytes_ + state_bytes > options_.max_table_bytes &&
+      (EvictColdStates(pinned) == 0 ||
+       table_bytes_ + state_bytes > options_.max_table_bytes))
     return kUnknownState;
 
   bool accepting = false;
@@ -74,13 +142,21 @@ uint32_t LazyDfa::Intern(std::vector<StateId> subset) const {
       break;
     }
 
-  const uint32_t id = static_cast<uint32_t>(states_.size());
+  uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(states_.size());
+    states_.emplace_back();
+  }
   interned_.emplace(subset, id);
-  states_.push_back(State{std::move(subset),
-                          std::vector<uint32_t>(atoms_.size() + 1,
-                                                kUnknownState),
-                          accepting});
-  states_.back().row[0] = kDeadState;
+  State& s = states_[id];
+  s.subset = std::move(subset);
+  s.row.assign(atoms_.size() + 1, kUnknownState);
+  s.row[0] = kDeadState;
+  s.accepting = accepting;
+  s.last_used = ++use_clock_;
   table_bytes_ += state_bytes;
   return id;
 }
@@ -88,6 +164,7 @@ uint32_t LazyDfa::Intern(std::vector<StateId> subset) const {
 uint32_t LazyDfa::ComputeTransition(uint32_t from, uint32_t atom) const {
   SPANNERS_DCHECK(atom > 0 && atom <= atoms_.size());
   ++misses_;
+  states_[from].last_used = ++use_clock_;
   // Atoms refine every letter CharSet, so one representative byte decides
   // whether the whole atom is inside a transition's class.
   const char rep = atoms_[atom - 1].AnyMember();
@@ -99,49 +176,71 @@ uint32_t LazyDfa::ComputeTransition(uint32_t from, uint32_t atom) const {
   std::sort(next.begin(), next.end());
   next.erase(std::unique(next.begin(), next.end()), next.end());
 
-  const uint32_t to = Intern(Closure(std::move(next)));
+  const uint32_t to = Intern(Closure(std::move(next)), from);
   if (to != kUnknownState) states_[from].row[atom] = to;
   return to;
 }
 
 std::optional<bool> LazyDfa::Matches(std::string_view text) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  if (overflowed_) return std::nullopt;
-  uint32_t cur = start_state_;
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (cur == kDeadState) return false;
-    const uint16_t atom =
-        byte_to_atom_[static_cast<unsigned char>(text[i])];
-    uint32_t next = states_[cur].row[atom];
-    if (next == kUnknownState) {
-      // Cache miss: upgrade to the exclusive lock, compute (or observe a
-      // racing computation), then drop back to shared mode. Interned
-      // states are never removed, so resuming from `cur` stays valid.
-      lock.unlock();
-      {
-        std::unique_lock<std::shared_mutex> wlock(mu_);
-        if (overflowed_) return std::nullopt;
-        next = states_[cur].row[atom];
-        if (next == kUnknownState) next = ComputeTransition(cur, atom);
-        if (next == kUnknownState) {
-          overflowed_ = true;
-          return std::nullopt;
+  for (size_t attempt = 0; attempt <= options_.max_restarts; ++attempt) {
+    // The scan is valid as long as no eviction recycles a state it is
+    // standing on; generation_ changes exactly when that may have
+    // happened, and the scan restarts from the top of the document.
+    uint64_t gen = generation_;
+    uint32_t cur = start_state_;
+    bool restart = false;
+    for (size_t i = 0; i < text.size() && !restart; ++i) {
+      if (cur == kDeadState) return false;
+      const uint16_t atom =
+          byte_to_atom_[static_cast<unsigned char>(text[i])];
+      uint32_t next = states_[cur].row[atom];
+      if (next == kUnknownState) {
+        // Cache miss: upgrade to the exclusive lock, compute (or observe
+        // a racing computation), then drop back to shared mode.
+        lock.unlock();
+        {
+          std::unique_lock<std::shared_mutex> wlock(mu_);
+          if (generation_ != gen) {
+            // An eviction ran while unlocked; `cur` may be recycled.
+            restart = true;
+          } else {
+            next = states_[cur].row[atom];
+            if (next == kUnknownState) next = ComputeTransition(cur, atom);
+            if (next == kUnknownState) {
+              // No room even after eviction: this call gives up (the
+              // caller simulates); later calls start over.
+              fallbacks_.fetch_add(1, std::memory_order_relaxed);
+              return std::nullopt;
+            }
+            // ComputeTransition may itself have evicted (never `cur` or
+            // `next`, which are pinned/fresh): adopt the new generation
+            // and continue — earlier path states no longer matter.
+            gen = generation_;
+          }
         }
+        lock.lock();
+        if (!restart && generation_ != gen) restart = true;  // raced again
       }
-      lock.lock();
+      if (!restart) cur = next;
     }
-    cur = next;
+    if (!restart) return states_[cur].accepting;
   }
-  return states_[cur].accepting;
+  // Concurrent evictions kept invalidating the scan: thrashing working
+  // set. Give up on the DFA for this call only.
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 LazyDfaStats LazyDfa::stats() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   LazyDfaStats s;
   s.num_atoms = atoms_.size();
-  s.num_states = states_.size();
+  s.num_states = states_.size() - free_slots_.size();
   s.misses = misses_;
-  s.overflowed = overflowed_;
+  s.evictions = evictions_;
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.overflowed = s.fallbacks > 0;
   return s;
 }
 

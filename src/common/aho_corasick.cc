@@ -1,0 +1,131 @@
+#include "common/aho_corasick.h"
+
+#include <algorithm>
+
+#include "common/arena.h"
+
+namespace spanners {
+
+namespace {
+constexpr uint32_t kNone = UINT32_MAX;  // trie slot: no edge yet
+}  // namespace
+
+AhoCorasick::AhoCorasick(const std::vector<std::string>& patterns) {
+  num_patterns_ = patterns.size();
+
+  // Compress the alphabet to the bytes some pattern actually contains;
+  // every other byte shares class 0 and sends any state back to the root.
+  bool used[256] = {};
+  for (const std::string& p : patterns)
+    for (char c : p) used[static_cast<uint8_t>(c)] = true;
+  for (int b = 0; b < 256; ++b)
+    byte_to_class_[b] =
+        used[b] ? static_cast<uint16_t>(++num_classes_) : uint16_t{0};
+  row_size_ = static_cast<uint32_t>(num_classes_) + 1;
+
+  // Trie built directly into the flat table: one row per state, kNone for
+  // a missing edge (rewritten to the failure target's edge below, which
+  // completes the table into a full DFA). Own output hits are prepended
+  // per state, so each state's own nodes form an exclusively owned list
+  // prefix whose tail can later link to the failure target's shared list.
+  table_.assign(row_size_, kNone);
+  out_head_.assign(1, kNoOutput);
+  for (size_t pid = 0; pid < patterns.size(); ++pid) {
+    const std::string& p = patterns[pid];
+    if (p.empty()) continue;  // occurs everywhere; carries no information
+    uint32_t state = kRoot;
+    for (char c : p) {
+      const uint16_t cls = byte_to_class_[static_cast<uint8_t>(c)];
+      uint32_t next = table_[state * row_size_ + cls];
+      if (next == kNone) {
+        next = static_cast<uint32_t>(num_states_++);
+        table_[state * row_size_ + cls] = next;
+        table_.resize(table_.size() + row_size_, kNone);
+        out_head_.push_back(kNoOutput);
+      }
+      state = next;
+    }
+    out_nodes_.push_back(OutNode{static_cast<uint32_t>(pid),
+                                 out_head_[state]});
+    out_head_[state] = static_cast<uint32_t>(out_nodes_.size() - 1);
+  }
+
+  // BFS over the trie: compute failure links, splice output lists, and
+  // rewrite missing edges in place. Rows are visited in BFS order, so a
+  // failure target's row is always already completed when it is read.
+  // The failure array and queue are construction-only scratch — they live
+  // in an arena dropped wholesale when this constructor returns.
+  Arena scratch(num_states_ * sizeof(uint32_t) * 2 + 64);
+  ArenaVector<uint32_t> fail(&scratch);
+  fail.assign(num_states_, kRoot);
+  ArenaVector<uint32_t> queue(&scratch);
+  queue.reserve(num_states_);
+
+  // Root row: the dead class and every missing edge self-loop at the root.
+  for (uint32_t cls = 0; cls < row_size_; ++cls) {
+    uint32_t& slot = table_[cls];
+    if (slot == kNone) {
+      slot = kRoot;
+    } else {
+      queue.push_back(slot);  // depth-1 states fail to the root
+    }
+  }
+
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const uint32_t u = queue[head];
+    const uint32_t f = fail[u];
+    // Splice this state's outputs onto the failure target's: a hit ending
+    // here also ends every pattern that is a proper suffix, and those are
+    // exactly the failure target's outputs.
+    if (out_head_[u] == kNoOutput) {
+      out_head_[u] = out_head_[f];
+    } else {
+      uint32_t tail = out_head_[u];
+      while (out_nodes_[tail].next != kNoOutput) tail = out_nodes_[tail].next;
+      out_nodes_[tail].next = out_head_[f];
+    }
+    uint32_t* row = &table_[u * row_size_];
+    const uint32_t* fail_row = &table_[f * row_size_];
+    row[0] = kRoot;  // dead class: restart
+    for (uint32_t cls = 1; cls < row_size_; ++cls) {
+      if (row[cls] == kNone) {
+        row[cls] = fail_row[cls];
+      } else {
+        fail[row[cls]] = fail_row[cls];
+        queue.push_back(row[cls]);
+      }
+    }
+  }
+
+  ComputeRootSkip();
+}
+
+void AhoCorasick::ComputeRootSkip() {
+  int exit_count = 0;
+  int only = -1;
+  for (int b = 0; b < 256; ++b) {
+    root_exit_[b] = table_[byte_to_class_[b]] != kRoot;
+    if (root_exit_[b]) {
+      ++exit_count;
+      only = b;
+    }
+  }
+  root_skip_byte_ = exit_count == 1 ? only : -1;
+}
+
+bool AhoCorasick::AnyMatch(std::string_view text) const {
+  bool found = false;
+  Scan(text, [&found](uint32_t, size_t) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::string AhoCorasick::ToString() const {
+  return "aho-corasick: " + std::to_string(num_patterns_) + " patterns, " +
+         std::to_string(num_states_) + " states, " +
+         std::to_string(num_classes_) + " classes";
+}
+
+}  // namespace spanners

@@ -1,0 +1,127 @@
+// Multi-pattern substring matching (Aho–Corasick) for the engine's gating
+// tiers. One automaton over N literal patterns finds every occurrence of
+// every pattern in a single left-to-right pass — one table lookup per
+// input byte — which is how a document scan is amortized across all the
+// literals of one plan's prefilter clauses, or across the required
+// literals of every plan resident in a PlanCache.
+//
+// Layout choices, in the spirit of the lazy-DFA tier:
+//  - the alphabet is compressed to the byte classes that actually occur in
+//    some pattern (a 256-entry byte→class table; class 0 is every byte no
+//    pattern contains, and always transitions back to the root);
+//  - the goto function is a flat row-per-state table over those classes,
+//    completed into a full DFA along the failure links during the BFS, so
+//    Scan never chases a failure chain;
+//  - output sets are shared suffix lists: each state stores the head of a
+//    linked list of pattern ids whose own hits are prepended to the
+//    failure target's list, so nested patterns ("a", "aa", "aaa") cost one
+//    node each instead of a copy per state;
+//  - the root state is left by SIMD, not by table walk: stretches of text
+//    containing no pattern's starting byte are skipped with memchr (one
+//    starting byte) or a one-load-per-byte membership test (several), so
+//    a scan over text that rarely touches any pattern runs at memchr
+//    speed instead of a table lookup per byte — this is what lets one
+//    shared pass compete with N separate memmem probes;
+//  - construction scratch (the per-state edge workspace) is arena-backed
+//    and freed wholesale when Build returns.
+//
+// The automaton is immutable after construction and safe to share across
+// threads without locking.
+#ifndef SPANNERS_COMMON_AHO_CORASICK_H_
+#define SPANNERS_COMMON_AHO_CORASICK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spanners {
+
+class AhoCorasick {
+ public:
+  /// Builds the automaton for `patterns`. Pattern ids are the input
+  /// indices. Empty patterns are accepted but never reported (they occur
+  /// everywhere and carry no gating information); duplicate patterns each
+  /// keep their own id and are all reported at a shared state.
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  size_t num_patterns() const { return num_patterns_; }
+  /// Interned states, including the root.
+  size_t num_states() const { return num_states_; }
+  /// Byte classes some pattern uses (excluding the dead class 0).
+  size_t num_classes() const { return num_classes_; }
+  /// Flat goto-table footprint, for stats output.
+  size_t table_bytes() const { return table_.size() * sizeof(uint32_t); }
+
+  /// Whether any pattern occurs in `text` at all.
+  bool AnyMatch(std::string_view text) const;
+
+  /// Scans `text` once, invoking `fn(pattern_id, end_offset)` for every
+  /// occurrence of every pattern (the occurrence is
+  /// text.substr(end_offset - len(pattern), len(pattern))). `fn` returns
+  /// false to stop the scan early — the gating tiers stop as soon as every
+  /// clause they track is satisfied. Occurrences at one position are
+  /// reported longest pattern first (own hit before inherited suffixes).
+  template <typename Fn>
+  void Scan(std::string_view text, Fn&& fn) const {
+    uint32_t state = kRoot;
+    const uint32_t row = row_size_;
+    const size_t n = text.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (state == kRoot) {
+        // Fast-forward over bytes that cannot start any pattern.
+        if (root_skip_byte_ >= 0) {
+          const void* hit = std::memchr(text.data() + i,
+                                        root_skip_byte_, n - i);
+          if (hit == nullptr) return;
+          i = static_cast<size_t>(static_cast<const char*>(hit) -
+                                  text.data());
+        } else {
+          while (i < n &&
+                 !root_exit_[static_cast<uint8_t>(text[i])])
+            ++i;
+          if (i == n) return;
+        }
+      }
+      state =
+          table_[state * row + byte_to_class_[static_cast<uint8_t>(text[i])]];
+      for (uint32_t o = out_head_[state]; o != kNoOutput;
+           o = out_nodes_[o].next)
+        if (!fn(out_nodes_[o].pattern, i + 1)) return;
+    }
+  }
+
+  /// e.g. "aho-corasick: 12 patterns, 54 states, 9 classes".
+  std::string ToString() const;
+
+ private:
+  static constexpr uint32_t kRoot = 0;
+  static constexpr uint32_t kNoOutput = UINT32_MAX;
+
+  struct OutNode {
+    uint32_t pattern;
+    uint32_t next;  // kNoOutput terminates; tails are shared across states
+  };
+
+  /// Fills root_exit_ / root_skip_byte_ from the completed root row.
+  void ComputeRootSkip();
+
+  size_t num_patterns_ = 0;
+  size_t num_states_ = 1;
+  size_t num_classes_ = 0;
+  uint32_t row_size_ = 1;          // num_classes_ + 1 (dead class slot 0)
+  uint16_t byte_to_class_[256];
+  std::vector<uint32_t> table_;    // full DFA: state × class → state
+  std::vector<uint32_t> out_head_; // per state: head into out_nodes_
+  std::vector<OutNode> out_nodes_;
+  // Root fast-forwarding: bytes with a root edge; when there is exactly
+  // one such byte it is memchr'd directly.
+  bool root_exit_[256] = {};
+  int root_skip_byte_ = -1;        // -1: several exit bytes, use the table
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_COMMON_AHO_CORASICK_H_

@@ -68,6 +68,129 @@ void BatchExtractor::ExtractInto(const DocumentExtractor& extractor,
   for (const auto& ms : result->per_doc) result->total_mappings += ms.size();
 }
 
+MultiBatchResult BatchExtractor::ExtractMulti(
+    const MultiQueryExtractor& fleet, const Corpus& corpus) {
+  MultiBatchResult result;
+  ExtractMultiInto(fleet, corpus, &result);
+  return result;
+}
+
+void BatchExtractor::ExtractMultiInto(const MultiQueryExtractor& fleet,
+                                      const Corpus& corpus,
+                                      MultiBatchResult* result) {
+  const size_t num_plans = fleet.num_plans();
+  result->per_plan.resize(num_plans);
+  result->total_mappings = 0;
+  result->shards = 0;
+  for (BatchResult& br : result->per_plan) {
+    br.per_doc.resize(corpus.size());
+    br.total_mappings = 0;
+    br.shards = 0;
+  }
+  if (corpus.empty() || num_plans == 0) return;
+
+  std::vector<Shard> shards = ShardCorpus(corpus, MakeShardingOptions());
+  result->shards = shards.size();
+  for (BatchResult& br : result->per_plan) br.shards = shards.size();
+
+  // Exactly the Extract layout — one task per shard, each writing only
+  // its own per-document slots — except that a task extracts every plan
+  // of the fleet from a document while its text is hot: one shared AC
+  // scan, then the surviving plans' evaluators, all through this worker's
+  // scratch.
+  for (const Shard& shard : shards) {
+    pool_.Submit([this, &fleet, &corpus, result, num_plans, shard] {
+      PlanScratch& scratch =
+          *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      std::vector<std::vector<Mapping>*> slots(num_plans);
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        for (size_t p = 0; p < num_plans; ++p)
+          slots[p] = &result->per_plan[p].per_doc[i];
+        fleet.ExtractAllSortedInto(corpus[i], &scratch, slots.data());
+      }
+    });
+  }
+  pool_.WaitIdle();
+
+  for (BatchResult& br : result->per_plan) {
+    for (const auto& ms : br.per_doc) br.total_mappings += ms.size();
+    result->total_mappings += br.total_mappings;
+  }
+}
+
+BatchExtractor::StreamStats BatchExtractor::ExtractMultiStream(
+    const MultiQueryExtractor& fleet, const Corpus& corpus,
+    const MultiShardConsumer& consumer) {
+  StreamStats stats;
+  const size_t num_plans = fleet.num_plans();
+  if (corpus.empty() || num_plans == 0) return stats;
+
+  const std::vector<Shard> shards =
+      ShardCorpus(corpus, MakeShardingOptions());
+  stats.shards = shards.size();
+
+  // Same ordered-drain machinery as ExtractStream, with a per-plan slice
+  // per shard.
+  struct ShardState {
+    std::vector<std::vector<std::vector<Mapping>>> per_plan;
+    bool done = false;  // guarded by mu
+  };
+  std::vector<ShardState> state(shards.size());
+  std::mutex mu;
+  std::condition_variable cv;
+  const size_t window = std::max<size_t>(1, pool_.num_threads() * 2);
+
+  auto submit = [&](size_t s) {
+    pool_.Submit([this, &fleet, &corpus, &shards, &state, &mu, &cv,
+                  num_plans, s] {
+      PlanScratch& scratch =
+          *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      const Shard& shard = shards[s];
+      ShardState& st = state[s];
+      st.per_plan.assign(num_plans,
+                         std::vector<std::vector<Mapping>>(shard.size()));
+      std::vector<std::vector<Mapping>*> slots(num_plans);
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        for (size_t p = 0; p < num_plans; ++p)
+          slots[p] = &st.per_plan[p][i - shard.begin];
+        fleet.ExtractAllSortedInto(corpus[i], &scratch, slots.data());
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        st.done = true;
+      }
+      cv.notify_all();
+    });
+  };
+
+  struct DrainGuard {
+    ThreadPool& pool;
+    ~DrainGuard() { pool.WaitIdle(); }
+  } drain{pool_};
+
+  size_t next_submit = 0;
+  for (size_t consumed = 0; consumed < shards.size(); ++consumed) {
+    while (next_submit < shards.size() && next_submit < consumed + window)
+      submit(next_submit++);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return state[consumed].done; });
+    }
+    ShardState& st = state[consumed];
+    for (size_t d = 0; d < shards[consumed].size(); ++d) {
+      bool matched = false;
+      for (size_t p = 0; p < num_plans; ++p) {
+        stats.total_mappings += st.per_plan[p][d].size();
+        matched = matched || !st.per_plan[p][d].empty();
+      }
+      if (matched) ++stats.matched_documents;
+    }
+    consumer(shards[consumed].begin, shards[consumed].end, st.per_plan);
+    std::vector<std::vector<std::vector<Mapping>>>().swap(st.per_plan);
+  }
+  return stats;
+}
+
 BatchExtractor::StreamStats BatchExtractor::ExtractStream(
     const DocumentExtractor& extractor, const Corpus& corpus,
     const ShardConsumer& consumer) {

@@ -16,6 +16,7 @@
 
 #include "core/mapping.h"
 #include "engine/corpus.h"
+#include "engine/multi_query.h"
 #include "engine/plan.h"
 #include "engine/thread_pool.h"
 
@@ -39,6 +40,14 @@ struct BatchResult {
 
   /// Documents with at least one mapping.
   size_t MatchedDocuments() const;
+};
+
+/// One ExtractMulti call's output: per_plan[p] is byte-identical to the
+/// BatchResult of running plan p alone over the same corpus.
+struct MultiBatchResult {
+  std::vector<BatchResult> per_plan;
+  uint64_t total_mappings = 0;  // across every plan
+  size_t shards = 0;
 };
 
 class BatchExtractor {
@@ -94,6 +103,37 @@ class BatchExtractor {
   StreamStats ExtractStream(const DocumentExtractor& extractor,
                             const Corpus& corpus,
                             const ShardConsumer& consumer);
+
+  /// Runs a whole plan fleet over the corpus in a single pass: each
+  /// document is scanned once by the fleet's shared Aho–Corasick gate and
+  /// extracted under every surviving plan, instead of one full corpus
+  /// sweep per plan. Output per_plan[p] is byte-identical — for every
+  /// thread count — to Extract(fleet.plan(p), corpus). Same borrowing and
+  /// non-reentrancy rules as Extract.
+  MultiBatchResult ExtractMulti(const MultiQueryExtractor& fleet,
+                                const Corpus& corpus);
+
+  /// Like ExtractMulti but refills a caller-owned result, recycling the
+  /// previous batch's vectors (the serving-loop steady state allocates
+  /// nothing).
+  void ExtractMultiInto(const MultiQueryExtractor& fleet,
+                        const Corpus& corpus, MultiBatchResult* result);
+
+  /// Receives one completed multi-query shard: per_plan[p][i - doc_begin]
+  /// is the sorted mapping set of corpus document i under plan p. The
+  /// slice may be consumed destructively; storage is released after the
+  /// call returns.
+  using MultiShardConsumer = std::function<void(
+      size_t doc_begin, size_t doc_end,
+      std::vector<std::vector<std::vector<Mapping>>>& per_plan)>;
+
+  /// Streamed ExtractMulti: shards arrive in corpus order on the calling
+  /// thread while later shards still extract; StreamStats aggregates over
+  /// every plan (matched_documents counts documents matched by at least
+  /// one plan). Byte-identical for every thread count.
+  StreamStats ExtractMultiStream(const MultiQueryExtractor& fleet,
+                                 const Corpus& corpus,
+                                 const MultiShardConsumer& consumer);
 
  private:
   /// Shard sizing shared by Extract and ExtractStream.

@@ -17,6 +17,7 @@
 #include "engine/batch_extractor.h"  // IWYU pragma: export
 #include "engine/corpus.h"           // IWYU pragma: export
 #include "engine/format.h"           // IWYU pragma: export
+#include "engine/multi_query.h"      // IWYU pragma: export
 #include "engine/plan.h"             // IWYU pragma: export
 #include "engine/plan_cache.h"       // IWYU pragma: export
 #include "engine/thread_pool.h"      // IWYU pragma: export

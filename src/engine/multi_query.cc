@@ -1,0 +1,159 @@
+#include "engine/multi_query.h"
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace spanners {
+namespace engine {
+
+MultiQueryExtractor::MultiQueryExtractor(
+    std::vector<std::shared_ptr<const ExtractionPlan>> plans)
+    : plans_(std::move(plans)) {
+  // The shared pass tracks ONE clause per plan — its strongest
+  // (clauses()[0], longest minimum literal). Selective literals are rare
+  // literals, so the combined automaton stays in its memchr-accelerated
+  // root state for almost every byte; the plan's weaker clauses are
+  // re-checked per surviving document by its own prefilter, where they
+  // cost a memmem over the rare candidate instead of automaton states on
+  // every byte of the corpus. Each distinct literal becomes one pattern
+  // feeding every plan that shares it (common in a fleet of similar
+  // queries).
+  plan_gated_.resize(plans_.size(), 0);
+  plan_has_more_clauses_.resize(plans_.size(), 0);
+  std::vector<std::string> patterns;
+  std::vector<std::vector<uint32_t>> plans_of_pattern;
+  std::unordered_map<std::string, size_t> pattern_index;
+  for (size_t p = 0; p < plans_.size(); ++p) {
+    const std::vector<Prefilter::Clause>& clauses =
+        plans_[p]->prefilter().clauses();
+    if (clauses.empty()) continue;
+    plan_gated_[p] = 1;
+    plan_has_more_clauses_[p] = clauses.size() > 1;
+    ++gated_plans_;
+    for (const std::string& lit : clauses[0].literals) {
+      auto [it, inserted] = pattern_index.emplace(lit, patterns.size());
+      if (inserted) {
+        patterns.push_back(lit);
+        plans_of_pattern.emplace_back();
+      }
+      plans_of_pattern[it->second].push_back(static_cast<uint32_t>(p));
+    }
+  }
+
+  gate_literals_ = patterns.size();
+  if (!patterns.empty()) {
+    ac_ = std::make_unique<const AhoCorasick>(patterns);
+    pattern_plan_offsets_.reserve(patterns.size() + 1);
+    pattern_plan_offsets_.push_back(0);
+    for (const std::vector<uint32_t>& ids : plans_of_pattern) {
+      pattern_plan_ids_.insert(pattern_plan_ids_.end(), ids.begin(),
+                               ids.end());
+      pattern_plan_offsets_.push_back(
+          static_cast<uint32_t>(pattern_plan_ids_.size()));
+    }
+  }
+  counters_ = std::make_unique<PlanCounters[]>(plans_.size());
+}
+
+MultiQueryExtractor MultiQueryExtractor::FromCache(const PlanCache& cache) {
+  std::vector<std::shared_ptr<const ExtractionPlan>> plans;
+  for (auto& [key, plan] : cache.ResidentPlans())
+    plans.push_back(std::move(plan));
+  return MultiQueryExtractor(std::move(plans));
+}
+
+void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
+                                               PlanScratch* scratch,
+                                               std::vector<Mapping>** out)
+    const {
+  const std::string_view text = doc.text();
+  const size_t num_plans = plans_.size();
+  std::vector<uint64_t>& bits = scratch->multi_clause_bits;
+
+  // Tier 1, once per document: the combined pass over every plan's
+  // strongest clause. Bit p records exactly what plan p's own prefilter
+  // would compute for that clause, so gating decisions — and therefore
+  // results — match the plans run alone. The scan stops early once every
+  // gated plan is satisfied.
+  if (gating_enabled_ && ac_ != nullptr) {
+    bits.assign((num_plans + 63) / 64, 0);
+    size_t remaining = gated_plans_;
+    if (!text.empty()) {
+      ac_->Scan(text, [&](uint32_t pattern, size_t) {
+        for (uint32_t k = pattern_plan_offsets_[pattern];
+             k < pattern_plan_offsets_[pattern + 1]; ++k) {
+          const uint32_t p = pattern_plan_ids_[k];
+          uint64_t& word = bits[p >> 6];
+          const uint64_t bit = uint64_t{1} << (p & 63);
+          if ((word & bit) == 0) {
+            word |= bit;
+            if (--remaining == 0) return false;
+          }
+        }
+        return true;
+      });
+    }
+  }
+
+  // The skip paths below are the fleet's hottest loop (plans × documents,
+  // ~all of them skipped on a low-selectivity corpus): one relaxed
+  // atomic per skipped (plan, doc) — `documents` is derived in
+  // plan_stats() — and the pool recycle is elided for a slot that is
+  // already the empty result (the steady state under result reuse).
+  for (size_t p = 0; p < num_plans; ++p) {
+    std::vector<Mapping>* slot = out[p];
+    PlanCounters& counters = counters_[p];
+    if (gating_enabled_) {
+      if (plan_gated_[p] && (bits[p >> 6] >> (p & 63) & 1) == 0) {
+        if (!slot->empty()) scratch->pool.RecycleAll(slot);
+        counters.ac_gate_skipped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Tier 2, per surviving plan: its remaining prefilter clauses
+      // (memmem over the rare candidate document).
+      if (plan_has_more_clauses_[p] &&
+          !plans_[p]->prefilter().Matches(text)) {
+        if (!slot->empty()) scratch->pool.RecycleAll(slot);
+        counters.prefilter_skipped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Tier 3: the plan's own cached lazy DFA (its negative answer is
+      // sound for any VA).
+      std::optional<bool> verdict = plans_[p]->lazy_dfa().Matches(text);
+      if (verdict.has_value() && !*verdict) {
+        if (!slot->empty()) scratch->pool.RecycleAll(slot);
+        counters.dfa_skipped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    plans_[p]->ExtractSortedPregatedInto(doc, scratch, slot);
+    counters.extracted.fetch_add(1, std::memory_order_relaxed);
+    counters.mappings.fetch_add(slot->size(), std::memory_order_relaxed);
+  }
+}
+
+PlanStats MultiQueryExtractor::plan_stats(size_t i) const {
+  const PlanCounters& c = counters_[i];
+  PlanStats s;
+  s.mappings = c.mappings.load(std::memory_order_relaxed);
+  s.ac_gate_skipped = c.ac_gate_skipped.load(std::memory_order_relaxed);
+  s.prefilter_skipped = c.prefilter_skipped.load(std::memory_order_relaxed);
+  s.dfa_skipped = c.dfa_skipped.load(std::memory_order_relaxed);
+  s.documents = c.extracted.load(std::memory_order_relaxed) +
+                s.ac_gate_skipped + s.prefilter_skipped + s.dfa_skipped;
+  return s;
+}
+
+std::string MultiQueryExtractor::ToString() const {
+  std::string out = "multi-query: " + std::to_string(plans_.size()) +
+                    " plans (" + std::to_string(gated_plans_) +
+                    " literal-gated, " + std::to_string(gate_literals_) +
+                    " gate literals)";
+  if (ac_ != nullptr) out += ", " + ac_->ToString();
+  return out;
+}
+
+}  // namespace engine
+}  // namespace spanners

@@ -12,6 +12,13 @@
 namespace spanners {
 namespace engine {
 
+std::string PlanStats::ToString() const {
+  return std::to_string(documents) + " docs, " + std::to_string(mappings) +
+         " mappings; skipped " + std::to_string(ac_gate_skipped) + " ac, " +
+         std::to_string(prefilter_skipped) + " prefilter, " +
+         std::to_string(dfa_skipped) + " dfa";
+}
+
 std::string PlanInfo::ToString() const {
   std::string out;
   out += sequential_va ? "sequential" : "non-sequential";
@@ -41,7 +48,12 @@ ExtractionPlan::ExtractionPlan(Spanner spanner, std::string pattern)
   info_.num_states = spanner_.va().NumStates();
   info_.num_transitions = spanner_.va().NumTransitions();
   info_.evaluator = spanner_.RecommendedEvaluator();
-  if (prefilter_.CanPrune()) info_.prefilter = prefilter_.ToString();
+  if (prefilter_.CanPrune()) {
+    info_.prefilter = prefilter_.ToString();
+    // Many-literal requirements evaluate as one automaton pass, not
+    // per-literal memmem probes; worth surfacing in --stats.
+    if (prefilter_.uses_aho_corasick()) info_.prefilter += " [aho-corasick]";
+  }
   info_.dfa_atoms = dfa_->num_atoms();
 }
 
@@ -130,6 +142,17 @@ void ExtractionPlan::ExtractSortedInto(const Document& doc,
     counters_->documents.fetch_add(1, std::memory_order_relaxed);
     return;  // *out is already the (empty) result
   }
+  VectorSink sink(out, &scratch->pool);
+  spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
+  std::sort(out->begin(), out->end());
+  counters_->documents.fetch_add(1, std::memory_order_relaxed);
+  counters_->mappings.fetch_add(out->size(), std::memory_order_relaxed);
+}
+
+void ExtractionPlan::ExtractSortedPregatedInto(const Document& doc,
+                                               PlanScratch* scratch,
+                                               std::vector<Mapping>* out) const {
+  scratch->pool.RecycleAll(out);
   VectorSink sink(out, &scratch->pool);
   spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
   std::sort(out->begin(), out->end());

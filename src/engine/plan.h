@@ -61,9 +61,15 @@ struct PlanScratch {
   Arena query_arena;
   /// Recycled result-Mapping entry vectors; refilled from consumed output.
   MappingPool pool;
+  /// Satisfied-clause bitset of the multi-query shared Aho–Corasick pass
+  /// (engine::MultiQueryExtractor); sized on first use, reused across
+  /// documents.
+  std::vector<uint64_t> multi_clause_bits;
 };
 
 /// Monotonic extraction counters; safe under concurrent Extract calls.
+/// Also the per-plan stats unit of multi-query runs (MultiQueryExtractor
+/// aggregates one PlanStats per resident plan).
 struct PlanStats {
   uint64_t documents = 0;
   uint64_t mappings = 0;
@@ -71,6 +77,14 @@ struct PlanStats {
   uint64_t prefilter_skipped = 0;
   /// Documents rejected by the lazy-DFA membership gate.
   uint64_t dfa_skipped = 0;
+  /// Documents rejected for this plan by the *shared* multi-query
+  /// Aho–Corasick pass (one corpus scan gating every resident plan).
+  /// Only MultiQueryExtractor bumps this; a plan run alone counts its
+  /// literal rejections under prefilter_skipped.
+  uint64_t ac_gate_skipped = 0;
+
+  /// e.g. "1000 docs, 37 mappings; skipped 950 ac, 0 prefilter, 13 dfa".
+  std::string ToString() const;
 };
 
 /// The engine's unit of per-document work: anything that can produce the
@@ -152,6 +166,13 @@ class ExtractionPlan : public DocumentExtractor {
   /// reached their high-water marks.
   void ExtractSortedInto(const Document& doc, PlanScratch* scratch,
                          std::vector<Mapping>* out) const override;
+
+  /// ExtractSortedInto for a document an outer tier has already gated:
+  /// skips this plan's own prefilter + lazy-DFA scan (the multi-query
+  /// extractor decides both from its shared corpus pass) and goes straight
+  /// to the evaluator. Counters for documents/mappings are still bumped.
+  void ExtractSortedPregatedInto(const Document& doc, PlanScratch* scratch,
+                                 std::vector<Mapping>* out) const;
 
   /// Streams ⟦γ⟧_doc into `sink` in the evaluator's (unsorted) order —
   /// the composable primitive used by algebra scan nodes. Counters are

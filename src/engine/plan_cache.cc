@@ -1,5 +1,6 @@
 #include "engine/plan_cache.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -66,6 +67,20 @@ std::shared_ptr<const ExtractionPlan> PlanCache::Peek(
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(std::string(key));
   return it == entries_.end() ? nullptr : it->second.plan;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const ExtractionPlan>>>
+PlanCache::ResidentPlans() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const ExtractionPlan>>>
+      out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) out.emplace_back(key, entry.plan);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void PlanCache::EvictIfOverCapacity() {

@@ -15,6 +15,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/plan.h"
@@ -60,6 +62,14 @@ class PlanCache {
   /// (')'-prefixed) key as passed to GetOrInsert by the query layer —
   /// unlike GetOrCompile, Peek performs no namespace guarding.
   std::shared_ptr<const ExtractionPlan> Peek(std::string_view key) const;
+
+  /// Snapshot of every resident plan with its cache key, sorted by key so
+  /// the order is deterministic regardless of hash layout. This is how
+  /// the multi-query tier (engine::MultiQueryExtractor::FromCache) gathers
+  /// the resident fleet to build one shared gate over. Does not touch
+  /// recency or hit/miss statistics.
+  std::vector<std::pair<std::string, std::shared_ptr<const ExtractionPlan>>>
+  ResidentPlans() const;
 
   PlanCacheStats stats() const;
 

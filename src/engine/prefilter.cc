@@ -1,6 +1,7 @@
 #include "engine/prefilter.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <optional>
 #include <utility>
@@ -204,6 +205,17 @@ Info Analyze(const RgxNode& node) {
 Prefilter Prefilter::FromRgx(const RgxPtr& rgx) {
   if (rgx == nullptr) return Prefilter();
   std::vector<Clause> clauses = RequiredOf(Analyze(*rgx));
+  // Demote clauses that cannot pay for their scan: a clause is only as
+  // selective as its *shortest* literal (any member satisfies it), so when
+  // that literal is under kMinLiteralLen the whole clause is dropped.
+  // Never drop individual literals — a clause stripped of all its members
+  // would be unsatisfiable and reject documents the formula matches.
+  clauses.erase(std::remove_if(clauses.begin(), clauses.end(),
+                               [](const Clause& c) {
+                                 return MinLiteralLen(c) <
+                                        Prefilter::kMinLiteralLen;
+                               }),
+                clauses.end());
   // Keep the most selective clauses (longest minimum literal first); ties
   // resolved lexicographically so the result is deterministic.
   std::sort(clauses.begin(), clauses.end(),
@@ -221,11 +233,52 @@ Prefilter Prefilter::FromRgx(const RgxPtr& rgx) {
   return Prefilter(std::move(clauses));
 }
 
+Prefilter::Prefilter(std::vector<Clause> clauses)
+    : clauses_(std::move(clauses)) {
+  static_assert(kMaxClauses <= 8, "clause masks are a uint8_t");
+  size_t total_literals = 0;
+  for (const Clause& c : clauses_) total_literals += c.literals.size();
+  if (total_literals < kAcLiteralThreshold) return;
+
+  // Enough literals that restarting a memmem probe per literal loses to
+  // one shared pass: compile every clause's literals into one automaton.
+  // A literal occurring in several clauses becomes one pattern whose mask
+  // carries all of them (clauses are deduplicated, but literals may still
+  // repeat across distinct clauses).
+  std::vector<std::string> patterns;
+  std::vector<uint8_t> masks;
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    for (const std::string& lit : clauses_[ci].literals) {
+      size_t at = std::find(patterns.begin(), patterns.end(), lit) -
+                  patterns.begin();
+      if (at == patterns.size()) {
+        patterns.push_back(lit);
+        masks.push_back(0);
+      }
+      masks[at] |= static_cast<uint8_t>(1u << ci);
+    }
+  }
+  ac_ = std::make_shared<const AhoCorasick>(patterns);
+  ac_clause_masks_ = std::move(masks);
+}
+
 bool Prefilter::Matches(std::string_view text) const {
   // Clause literals are non-empty, so the empty document satisfies a
   // clause set only when there are no clauses (also keeps memchr away
   // from a null data pointer).
   if (text.empty()) return clauses_.empty();
+  if (ac_ != nullptr) {
+    // One left-to-right pass satisfies all clauses at once; the scan stops
+    // the moment the last outstanding clause is hit.
+    const uint8_t all =
+        static_cast<uint8_t>((1u << clauses_.size()) - 1);
+    uint8_t satisfied = 0;
+    ac_->Scan(text, [&](uint32_t pattern, size_t) {
+      satisfied |= ac_clause_masks_[pattern];
+      return satisfied != all;
+    });
+    return satisfied == all;
+  }
   for (const Clause& clause : clauses_) {
     bool satisfied = false;
     for (const std::string& lit : clause.literals) {

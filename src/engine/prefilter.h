@@ -11,13 +11,23 @@
 // disjunction of literals ("the document contains 'Seller: '" ∧ "the
 // document contains 'GET' or 'POST'"). Prefilter::Matches == false proves
 // ⟦γ⟧_doc = ∅; true means "cannot rule the document out".
+//
+// Evaluation picks between two engines: a handful of literals stay on
+// memchr/memmem probes (SIMD-accelerated in libc, unbeatable for one or
+// two needles), while kAcLiteralThreshold or more literals compile into a
+// single Aho–Corasick automaton so one left-to-right pass over the
+// document satisfies every clause at once instead of restarting a memmem
+// scan per literal.
 #ifndef SPANNERS_ENGINE_PREFILTER_H_
 #define SPANNERS_ENGINE_PREFILTER_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/aho_corasick.h"
 #include "rgx/ast.h"
 
 namespace spanners {
@@ -30,6 +40,19 @@ class Prefilter {
   struct Clause {
     std::vector<std::string> literals;
   };
+
+  /// Clauses whose shortest literal is below this many bytes are dropped
+  /// whole (demoted to "no requirement"): a 1–2 byte probe matches almost
+  /// any realistic document, so the scan costs more than the pruning it
+  /// buys. Dropping a whole conjunct is sound (the filter only gets
+  /// weaker); dropping individual short literals out of a clause would
+  /// not be — in the extreme it leaves an empty, always-unsatisfiable
+  /// clause that wrongly rejects every document.
+  static constexpr size_t kMinLiteralLen = 3;
+
+  /// From this many literals across all clauses upward, Matches runs one
+  /// combined Aho–Corasick pass instead of per-literal memmem probes.
+  static constexpr size_t kAcLiteralThreshold = 4;
 
   /// Derives the strongest (bounded-size) requirement from `rgx`;
   /// a null formula or one with no extractable literals yields the
@@ -46,16 +69,32 @@ class Prefilter {
   /// literals in `text`); true is inconclusive.
   bool Matches(std::string_view text) const;
 
+  /// The clause conjunction, ordered most selective first (longest
+  /// minimum literal; deterministic tie-break). Outer gating tiers rely
+  /// on clauses()[0] being the strongest single requirement — the
+  /// multi-query extractor gates every plan on exactly that clause in one
+  /// shared scan.
   const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// Whether clause evaluation runs the single-pass Aho–Corasick engine
+  /// (kAcLiteralThreshold or more literals) instead of memmem probes.
+  bool uses_aho_corasick() const { return ac_ != nullptr; }
+  /// The combined automaton, or nullptr on the memmem path.
+  const AhoCorasick* aho_corasick() const { return ac_.get(); }
 
   /// e.g. `lit("Seller: ") & (lit("GET")|lit("POST"))`, or "match-all".
   std::string ToString() const;
 
  private:
-  explicit Prefilter(std::vector<Clause> clauses)
-      : clauses_(std::move(clauses)) {}
+  explicit Prefilter(std::vector<Clause> clauses);
 
   std::vector<Clause> clauses_;  // conjunction; empty = match-all
+  // Single-pass clause engine: one automaton over every clause's
+  // literals; ac_clause_masks_[pattern id] = bitmask of the clauses that
+  // pattern satisfies (clauses_.size() ≤ kMaxClauses = 4 bits). Shared so
+  // Prefilter stays copyable; the automaton itself is immutable.
+  std::shared_ptr<const AhoCorasick> ac_;
+  std::vector<uint8_t> ac_clause_masks_;
 };
 
 }  // namespace engine

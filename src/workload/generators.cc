@@ -251,6 +251,64 @@ RgxPtr NeedleRgx() {
   return kRgx;
 }
 
+namespace {
+
+// "EVT00".."EVT99" (wider past 100): uppercase + digits, unspellable by
+// the lowercase filler alphabet.
+std::string FleetTag(size_t p) {
+  std::string n = std::to_string(p);
+  if (n.size() < 2) n.insert(n.begin(), '0');
+  return "EVT" + n;
+}
+
+}  // namespace
+
+PatternFleet MakePatternFleet(const FleetOptions& options) {
+  PatternFleet fleet;
+  fleet.patterns.reserve(options.num_patterns);
+  for (size_t p = 0; p < options.num_patterns; ++p)
+    fleet.patterns.push_back(".*" + FleetTag(p) +
+                             " id=(x{[0-9]+}) code=(y{[A-Z]+})\\n.*");
+
+  static const char* kCodes[] = {"OOM", "TIMEOUT", "REFUSED", "EIO"};
+  fleet.documents.reserve(options.documents);
+  for (size_t d = 0; d < options.documents; ++d) {
+    std::mt19937 rng(options.seed + static_cast<uint32_t>(d));
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<int> line_len(30, 60);
+    std::uniform_int_distribution<int> letter(0, 25);
+
+    std::vector<std::string> lines;
+    size_t bytes = 0;
+    while (bytes < options.doc_bytes) {
+      std::string line;
+      const int len = line_len(rng);
+      for (int j = 0; j < len; ++j)
+        line += j % 8 == 7 ? ' ' : static_cast<char>('a' + letter(rng));
+      line += '\n';
+      bytes += line.size();
+      lines.push_back(std::move(line));
+    }
+    // Each fleet member rolls independently, in pattern order, so the
+    // corpus is identical however many of the patterns a run compiles.
+    std::uniform_int_distribution<int> id_pick(1, 999);
+    std::uniform_int_distribution<size_t> code_pick(0, 3);
+    for (size_t p = 0; p < options.num_patterns; ++p) {
+      if (coin(rng) >= options.match_rate) continue;
+      std::uniform_int_distribution<size_t> pos_pick(0, lines.size());
+      std::string needle = FleetTag(p) + " id=" +
+                           std::to_string(id_pick(rng)) +
+                           " code=" + kCodes[code_pick(rng)] + "\n";
+      lines.insert(lines.begin() + pos_pick(rng), std::move(needle));
+    }
+    std::string text;
+    text.reserve(bytes + 24);
+    for (const std::string& line : lines) text += line;
+    fleet.documents.push_back(Document(std::move(text)));
+  }
+  return fleet;
+}
+
 std::vector<Document> LandRegistryCorpus(const CorpusOptions& options) {
   std::vector<Document> docs;
   docs.reserve(options.documents);

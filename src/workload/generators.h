@@ -115,6 +115,35 @@ std::vector<Document> NeedleCorpus(const NeedleOptions& options);
 ///   .*ALERT id=(x{[0-9]+}) code=(y{[A-Z]+})\n.*
 RgxPtr NeedleRgx();
 
+// ---- multi-query pattern fleet ------------------------------------------
+
+struct FleetOptions {
+  /// Resident queries in the fleet; each gets a distinct needle tag.
+  size_t num_patterns = 32;
+  size_t documents = 2000;
+  /// Approximate filler bytes per document.
+  size_t doc_bytes = 512;
+  /// Per pattern, per document: probability of carrying that pattern's
+  /// needle line.
+  double match_rate = 0.01;
+  uint32_t seed = 131;
+};
+
+/// The multi-query amortization workload: many low-selectivity needle
+/// queries over ONE shared corpus. Pattern p extracts id + code from its
+/// own tagged line "EVT<p> id=<digits> code=<CAPS>\n"; each document
+/// independently carries each pattern's line with probability match_rate
+/// (so a 32-pattern fleet at 1% sees ~0.3 needle lines per document and
+/// every plan individually matches ~1% of the corpus). The lowercase
+/// filler cannot spell a tag, so per-plan matched-document counts equal
+/// needle counts exactly. Document i derives from seed + i
+/// (reproducible, shard-varied).
+struct PatternFleet {
+  std::vector<std::string> patterns;  // RGX texts, one per fleet member
+  std::vector<Document> documents;
+};
+PatternFleet MakePatternFleet(const FleetOptions& options);
+
 }  // namespace workload
 }  // namespace spanners
 

@@ -1,0 +1,135 @@
+// Tests for the Aho–Corasick multi-pattern matcher: exact hit sets on
+// crafted overlapping/nested pattern families, early-exit scanning, and a
+// randomized cross-check of every reported occurrence against naive
+// memmem-style search over fuzzed documents and pattern sets.
+#include "common/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace spanners {
+namespace {
+
+// (pattern id, end offset) of every occurrence, sorted.
+using Hits = std::set<std::pair<uint32_t, size_t>>;
+
+Hits ScanAll(const AhoCorasick& ac, std::string_view text) {
+  Hits hits;
+  ac.Scan(text, [&](uint32_t pattern, size_t end) {
+    hits.emplace(pattern, end);
+    return true;
+  });
+  return hits;
+}
+
+// Ground truth: every occurrence of every pattern by direct search.
+Hits NaiveAll(const std::vector<std::string>& patterns,
+              std::string_view text) {
+  Hits hits;
+  for (uint32_t pid = 0; pid < patterns.size(); ++pid) {
+    const std::string& p = patterns[pid];
+    if (p.empty()) continue;
+    for (size_t at = text.find(p); at != std::string_view::npos;
+         at = text.find(p, at + 1))
+      hits.emplace(pid, at + p.size());
+  }
+  return hits;
+}
+
+TEST(AhoCorasickTest, FindsEveryOccurrenceOfOverlappingPatterns) {
+  std::vector<std::string> patterns = {"ab", "abab", "bab"};
+  AhoCorasick ac(patterns);
+  EXPECT_EQ(ac.num_patterns(), 3u);
+  const std::string text = "xababab";
+  // ab at 1..3, 3..5, 5..7; abab at 1..5, 3..7; bab at 2..5, 4..7.
+  Hits want = {{0, 3}, {0, 5}, {0, 7}, {1, 5}, {1, 7}, {2, 5}, {2, 7}};
+  EXPECT_EQ(ScanAll(ac, text), want);
+  EXPECT_EQ(ScanAll(ac, text), NaiveAll(patterns, text));
+}
+
+TEST(AhoCorasickTest, NestedPatternsAllReportedAtOnePosition) {
+  // Nested suffixes share output-list tails instead of copies.
+  std::vector<std::string> patterns = {"a", "aa", "aaa"};
+  AhoCorasick ac(patterns);
+  EXPECT_EQ(ScanAll(ac, "aaa"), NaiveAll(patterns, "aaa"));
+  EXPECT_EQ(ScanAll(ac, "aaa").size(), 6u);  // 3×a + 2×aa + 1×aaa
+}
+
+TEST(AhoCorasickTest, DuplicatePatternsKeepTheirOwnIds) {
+  std::vector<std::string> patterns = {"ab", "ab"};
+  AhoCorasick ac(patterns);
+  Hits want = {{0, 2}, {1, 2}};
+  EXPECT_EQ(ScanAll(ac, "ab"), want);
+}
+
+TEST(AhoCorasickTest, EmptyAndUnmatchablePatterns) {
+  AhoCorasick none({});
+  EXPECT_FALSE(none.AnyMatch("anything"));
+  AhoCorasick empties({"", "x"});
+  // The empty pattern is never reported; "x" still is.
+  Hits want = {{1, 2}};
+  EXPECT_EQ(ScanAll(empties, "yxz"), want);
+  EXPECT_TRUE(empties.AnyMatch("yxz"));
+  EXPECT_FALSE(empties.AnyMatch("yz"));
+  EXPECT_FALSE(empties.AnyMatch(""));
+}
+
+TEST(AhoCorasickTest, EarlyExitStopsTheScan) {
+  AhoCorasick ac({"aa"});
+  size_t calls = 0;
+  ac.Scan("aaaaaa", [&](uint32_t, size_t) {
+    ++calls;
+    return false;  // stop after the first hit
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(AhoCorasickTest, BytesOutsideEveryPatternResetToRoot) {
+  AhoCorasick ac({"abc"});
+  EXPECT_TRUE(ac.AnyMatch("zzabczz"));
+  EXPECT_FALSE(ac.AnyMatch("ab!c"));  // '!' is the dead class
+  EXPECT_TRUE(ac.AnyMatch("ab!abc"));
+}
+
+TEST(AhoCorasickTest, RandomizedAgreesWithNaiveSearch) {
+  std::mt19937 rng(67);
+  std::uniform_int_distribution<size_t> num_patterns(1, 8);
+  std::uniform_int_distribution<size_t> pattern_len(1, 6);
+  std::uniform_int_distribution<size_t> text_len(0, 80);
+  std::uniform_int_distribution<int> letter(0, 2);  // tiny alphabet: lots
+                                                    // of overlap + nesting
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::string> patterns(num_patterns(rng));
+    for (std::string& p : patterns) {
+      const size_t len = pattern_len(rng);
+      for (size_t i = 0; i < len; ++i)
+        p += static_cast<char>('a' + letter(rng));
+    }
+    AhoCorasick ac(patterns);
+    for (int d = 0; d < 10; ++d) {
+      std::string text;
+      const size_t len = text_len(rng);
+      for (size_t i = 0; i < len; ++i)
+        text += static_cast<char>('a' + letter(rng));
+      ASSERT_EQ(ScanAll(ac, text), NaiveAll(patterns, text))
+          << "round " << round << " text '" << text << "'";
+    }
+  }
+}
+
+TEST(AhoCorasickTest, ToStringAndSizes) {
+  AhoCorasick ac({"GET", "POST"});
+  EXPECT_EQ(ac.num_classes(), 6u);  // G E T P O S (T shared)
+  EXPECT_GT(ac.num_states(), 1u);
+  EXPECT_GT(ac.table_bytes(), 0u);
+  EXPECT_NE(ac.ToString().find("2 patterns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spanners

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 #include <thread>
 #include <vector>
@@ -107,30 +108,86 @@ TEST(LazyDfaTest, EmptyDocumentDecidedByStartState) {
   EXPECT_EQ(LazyDfa(one.va()).Matches("b"), std::optional<bool>(false));
 }
 
-TEST(LazyDfaTest, CacheOverflowReportsUnknownNeverWrong) {
+TEST(LazyDfaTest, NoEvictableStateReportsUnknownNeverWrong) {
   Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
   LazyDfaOptions tight;
-  tight.max_states = 2;  // dead + start only: first extension overflows
+  tight.max_states = 2;  // dead + start are pinned: nothing can be evicted
   LazyDfa dfa(s.va(), tight);
   EXPECT_EQ(dfa.Matches("Seller: Ann,"), std::nullopt);
-  EXPECT_TRUE(dfa.stats().overflowed);
-  // Once overflowed, every later call short-circuits to unknown.
-  EXPECT_EQ(dfa.Matches(""), std::nullopt);
-  EXPECT_EQ(dfa.Matches("zzz"), std::nullopt);
+  LazyDfaStats stats = dfa.stats();
+  EXPECT_TRUE(stats.overflowed);
+  EXPECT_GT(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  // Unknown is per-call, never sticky: the empty document never leaves
+  // the (resident) start state and is still answered exactly.
+  EXPECT_EQ(dfa.Matches(""), std::optional<bool>(false));
+  EXPECT_EQ(dfa.Matches("zzz"), std::nullopt);  // needs a third state again
 }
 
-TEST(LazyDfaTest, TableByteBoundTriggersOverflowToo) {
+TEST(LazyDfaTest, TableByteBoundFallsBackNeverWrong) {
   Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
   LazyDfaOptions tight;
   tight.max_table_bytes = 256;
   LazyDfa dfa(s.va(), tight);
   std::optional<bool> verdict = dfa.Matches("xyz Seller: Bob, rest");
-  // Either the scan finished within the bound or it overflowed — but an
+  // Either the scan finished within the bound or it fell back — but an
   // answered verdict must be correct.
   if (verdict.has_value()) EXPECT_TRUE(*verdict);
   Document miss("no needle here");
   verdict = dfa.Matches(miss.text());
   if (verdict.has_value()) EXPECT_FALSE(*verdict);
+}
+
+// A working set larger than the state bound must not disable the tier:
+// cold states are evicted, hot ones rebuilt on demand, and every answer
+// stays exactly the Theorem 5.7 verdict.
+TEST(LazyDfaTest, EvictionKeepsAnsweringExactlyUnderCacheThrash) {
+  Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
+  LazyDfaOptions tight;
+  tight.max_states = 5;  // well below the pattern's full subset automaton
+  LazyDfa dfa(s.va(), tight);
+  std::mt19937 rng(11);
+  size_t answered = 0;
+  for (int round = 0; round < 200; ++round) {
+    Document doc = RandomDoc("Selr: abc,\n", 48, &rng);
+    std::optional<bool> got = dfa.Matches(doc.text());
+    if (!got.has_value()) continue;
+    ++answered;
+    EXPECT_EQ(*got, MatchesSequential(s.va(), doc))
+        << "round " << round << " doc '" << doc.text() << "'";
+  }
+  LazyDfaStats stats = dfa.stats();
+  EXPECT_GT(stats.evictions, 0u) << "bound never reached: test is vacuous";
+  EXPECT_GT(answered, 0u);
+  EXPECT_LE(stats.num_states, 5u);
+}
+
+TEST(LazyDfaTest, ThrashingSharedCacheStaysExactAcrossThreads) {
+  Spanner s = Spanner::FromPattern(".*Seller: (x{[^,\\n]*}),.*").ValueOrDie();
+  LazyDfaOptions tight;
+  tight.max_states = 5;
+  LazyDfa dfa(s.va(), tight);
+  std::vector<Document> docs;
+  std::mt19937 rng(5);
+  for (int i = 0; i < 60; ++i)
+    docs.push_back(RandomDoc("Selr: abc,\n", 40, &rng));
+  docs.emplace_back("Seller: Ann, rest");
+
+  std::vector<std::thread> threads;
+  std::atomic<size_t> wrong{0}, answered{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (const Document& d : docs) {
+        std::optional<bool> v = dfa.Matches(d.text());
+        if (!v.has_value()) continue;  // concurrent-eviction fallback
+        answered.fetch_add(1);
+        if (*v != MatchesSequential(s.va(), d)) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
 }
 
 TEST(LazyDfaTest, TransitionCacheIsSharedAcrossThreads) {

@@ -51,10 +51,91 @@ TEST(PrefilterTest, UnboundedFormulasYieldMatchAll) {
   EXPECT_FALSE(Prefilter::FromRgx(MustParse("(x{.*})")).CanPrune());
   EXPECT_FALSE(Prefilter::FromRgx(nullptr).CanPrune());
   // Optional parts contribute nothing; the mandatory literal survives.
-  Prefilter p = Prefilter::FromRgx(MustParse("(ab|\\e)cd.*"));
+  Prefilter p = Prefilter::FromRgx(MustParse("(abc|\\e)cde.*"));
   ASSERT_TRUE(p.CanPrune());
-  EXPECT_TRUE(HasClauseWithLiteral(p, "cd"));
-  EXPECT_FALSE(HasClauseWithLiteral(p, "ab"));
+  EXPECT_TRUE(HasClauseWithLiteral(p, "cde"));
+  EXPECT_FALSE(HasClauseWithLiteral(p, "abc"));
+}
+
+// A clause whose literals are all under kMinLiteralLen is dropped whole —
+// demoted to "no requirement", NEVER emitted as an empty (always-false)
+// clause that would wrongly reject matching documents.
+TEST(PrefilterTest, ShortLiteralClausesAreDroppedWholeNeverUnsatisfiable) {
+  // All literals short (1–2 bytes): the whole prefilter demotes to
+  // match-all, and in particular documents that DO match the formula are
+  // not rejected.
+  for (const char* pattern : {".*a.*", ".*ab.*", ".*(a|bc)e.*"}) {
+    Prefilter p = Prefilter::FromRgx(MustParse(pattern));
+    EXPECT_FALSE(p.CanPrune()) << pattern << " -> " << p.ToString();
+    EXPECT_TRUE(p.Matches("zzz abe zzz")) << pattern;
+    EXPECT_TRUE(p.Matches("")) << pattern;
+  }
+  // Mixed lengths in ONE clause: the short alternative cannot be dropped
+  // individually (that would strengthen the filter unsoundly), so the
+  // clause min length governs and the clause goes as a whole.
+  Prefilter mixed = Prefilter::FromRgx(MustParse(".*(a|WXYZ)Q.*"));
+  EXPECT_FALSE(mixed.CanPrune()) << mixed.ToString();
+  // Short and long *clauses* side by side: only the short one is dropped.
+  Prefilter both = Prefilter::FromRgx(MustParse("ab.*WXYZ.*"));
+  ASSERT_TRUE(both.CanPrune());
+  EXPECT_TRUE(HasClauseWithLiteral(both, "WXYZ"));
+  EXPECT_FALSE(HasClauseWithLiteral(both, "ab"));
+  EXPECT_TRUE(both.Matches("ab then WXYZ"));
+  EXPECT_FALSE(both.Matches("ab alone"));
+}
+
+// From kAcLiteralThreshold literals upward the clause engine switches to
+// one Aho–Corasick pass; semantics must not change.
+TEST(PrefilterTest, ManyLiteralClausesUseOneAhoCorasickPass) {
+  Prefilter p = Prefilter::FromRgx(
+      MustParse(".*(alpha|beta|gamma|delta|epsilon) .*"));
+  ASSERT_TRUE(p.CanPrune());
+  EXPECT_TRUE(p.uses_aho_corasick());
+  ASSERT_NE(p.aho_corasick(), nullptr);
+  EXPECT_EQ(p.aho_corasick()->num_patterns(), 5u);
+  for (const char* hit : {"x alpha y", "x epsilon y", "gamma delta"})
+    EXPECT_TRUE(p.Matches(hit)) << hit;
+  for (const char* miss : {"", "alphabet-free", "zeta eta"})
+    EXPECT_FALSE(p.Matches(miss)) << miss;
+
+  // Two clauses through one shared pass: both must be satisfied.
+  Prefilter conj = Prefilter::FromRgx(
+      MustParse("(GET|POST|PUT|HEAD) .*HTTP.*"));
+  ASSERT_TRUE(conj.CanPrune());
+  ASSERT_EQ(conj.clauses().size(), 2u);
+  EXPECT_TRUE(conj.uses_aho_corasick());
+  EXPECT_TRUE(conj.Matches("GET /x HTTP/1.1"));
+  EXPECT_FALSE(conj.Matches("GET /x only"));
+  EXPECT_FALSE(conj.Matches("HTTP without a method"));
+
+  // Below the threshold the memmem path stays in place.
+  Prefilter small = Prefilter::FromRgx(MustParse(".*Seller: .*"));
+  ASSERT_TRUE(small.CanPrune());
+  EXPECT_FALSE(small.uses_aho_corasick());
+}
+
+// The two clause engines must agree exactly; randomized cross-check on
+// fuzzed documents against a force-built filter of the same clauses.
+TEST(PrefilterTest, AcAndMemmemClauseEnginesAgree) {
+  std::mt19937 rng(31);
+  // 6 literals ≥ threshold → AC engine; the naive evaluation below is the
+  // memmem semantics spelled out.
+  Prefilter p = Prefilter::FromRgx(
+      MustParse(".*(aba|bab|aab|bba|abb|baa)z.*"));
+  ASSERT_TRUE(p.uses_aho_corasick());
+  ASSERT_EQ(p.clauses().size(), 1u);
+  std::uniform_int_distribution<size_t> len_pick(0, 16);
+  std::uniform_int_distribution<int> letter(0, 2);
+  for (int round = 0; round < 500; ++round) {
+    std::string text;
+    const size_t len = len_pick(rng);
+    for (size_t i = 0; i < len; ++i)
+      text += static_cast<char>('a' + letter(rng));  // a, b, c
+    bool naive = false;
+    for (const std::string& lit : p.clauses()[0].literals)
+      naive = naive || text.find(lit) != std::string::npos;
+    EXPECT_EQ(p.Matches(text), naive) << "text '" << text << "'";
+  }
 }
 
 TEST(PrefilterTest, CrossProductBuildsWholeWordAlternatives) {

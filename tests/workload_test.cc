@@ -1,6 +1,9 @@
 // Sanity tests for the workload generators and reductions.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "automata/enumerate.h"
 #include "automata/run_eval.h"
 #include "automata/sequential.h"
@@ -144,6 +147,50 @@ TEST(NeedleTest, CorpusIsReproducibleAndRespectsMatchRate) {
   for (const Document& d : a)
     if (!s.ExtractAll(d).empty()) ++matched;
   EXPECT_EQ(matched, with_needle);
+}
+
+TEST(FleetTest, PatternsCompileAndTagsAreDistinct) {
+  workload::FleetOptions o;
+  o.num_patterns = 10;
+  o.documents = 0;
+  workload::PatternFleet fleet = workload::MakePatternFleet(o);
+  ASSERT_EQ(fleet.patterns.size(), 10u);
+  std::set<std::string> distinct(fleet.patterns.begin(),
+                                 fleet.patterns.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (const std::string& p : fleet.patterns) {
+    Spanner s = Spanner::FromPattern(p).ValueOrDie();
+    EXPECT_TRUE(s.is_sequential()) << p;
+    EXPECT_EQ(s.vars().size(), 2u) << p;
+  }
+}
+
+TEST(FleetTest, CorpusIsReproducibleAndPerPatternSelective) {
+  workload::FleetOptions o;
+  o.num_patterns = 8;
+  o.documents = 300;
+  o.doc_bytes = 200;
+  o.match_rate = 0.05;
+  workload::PatternFleet a = workload::MakePatternFleet(o);
+  workload::PatternFleet b = workload::MakePatternFleet(o);
+  ASSERT_EQ(a.documents.size(), o.documents);
+  for (size_t i = 0; i < a.documents.size(); ++i)
+    EXPECT_EQ(a.documents[i].text(), b.documents[i].text()) << i;
+
+  // Per pattern: the filler cannot spell a tag, so matched docs == docs
+  // carrying that tag's needle line; each is individually low-selectivity.
+  for (size_t p = 0; p < a.patterns.size(); ++p) {
+    size_t with_needle = 0;
+    std::string tag = "EVT0" + std::to_string(p) + " id=";
+    for (const Document& d : a.documents)
+      if (d.text().find(tag) != std::string::npos) ++with_needle;
+    Spanner s = Spanner::FromPattern(a.patterns[p]).ValueOrDie();
+    size_t matched = 0;
+    for (const Document& d : a.documents)
+      if (!s.ExtractAll(d).empty()) ++matched;
+    EXPECT_EQ(matched, with_needle) << p;
+    EXPECT_LE(matched, 45u) << p;  // loose band around 5% of 300
+  }
 }
 
 TEST(ReductionTest, HamiltonianPathViaRelationalVa) {

@@ -1,21 +1,35 @@
 // spanex — batch document-spanner extraction from the shell.
 //
 // Reads a corpus of documents (newline-delimited by default, NUL-delimited
-// with -0) from files or stdin, compiles an RGX pattern — or a composable
-// algebra query (union / join / projection / string-equality selection
-// over rgx and rule leaves) — once, extracts every document in parallel on
-// a work-stealing thread pool, and emits one TSV or JSONL row per mapping
-// in deterministic (document, mapping) order regardless of thread count.
+// with -0) from files or stdin, compiles one or more RGX patterns — or a
+// composable algebra query (union / join / projection / string-equality
+// selection over rgx and rule leaves) — once, extracts every document in
+// parallel on a work-stealing thread pool, and emits one TSV or JSONL row
+// per mapping in deterministic (document, mapping) order regardless of
+// thread count.
+//
+// With several patterns (repeated -p/-e, or --patterns-file) the whole
+// fleet runs in ONE corpus pass: a combined Aho–Corasick automaton over
+// every plan's required literals gates all plans per document, surviving
+// plans run their lazy-DFA tier and only then an evaluator
+// (engine::MultiQueryExtractor). Rows gain a leading `query` column; the
+// per-plan output is byte-identical to running each pattern alone.
 //
 //   spanex -p 'x{[A-Z]+} p{[^ ]*}' corpus.txt
 //   generate_logs | spanex -p "$(cat pattern.rgx)" --format json -j 8
+//   spanex -e '.*ERR x{[0-9]+}.*' -e '.*WARN y{[a-z]+}.*' corpus.txt
+//   spanex --patterns-file fleet.rgx --stats corpus.txt
+//   spanex --generate fleet:2000:10:32 --stats          # 32-plan demo
 //   spanex -q 'join(rgx("x{a*}b.*"), rgx("x{a*}b y{b*}"))' corpus.txt
-//   spanex --query-file query.sq -0 corpus.bin
 //
 // Options:
-//   -p, --pattern TEXT       the RGX pattern (rgx/parser.h syntax)
-//   -f, --pattern-file FILE  read the pattern from FILE (trailing newline
+//   -p, -e, --pattern TEXT   an RGX pattern (rgx/parser.h syntax); may be
+//                            repeated — two or more patterns extract as a
+//                            single-pass multi-query fleet
+//   -f, --pattern-file FILE  read one pattern from FILE (trailing newline
 //                            stripped)
+//   --patterns-file FILE     read one pattern per line (empty lines
+//                            skipped); implies the multi-query path
 //   -q, --query TEXT         an algebra query (query/parser.h syntax:
 //                            rgx("..."), rule("..."), union(e, e...),
 //                            join(e, e...), project(e, x...), eq(e, x, y))
@@ -25,13 +39,16 @@
 //   -j, --threads N          worker threads (default: hardware concurrency)
 //   -0, --null               documents are NUL-delimited, not newline
 //   --no-header              suppress the TSV header row
-//   --stats                  print plan/batch statistics to stderr
-//   --generate KIND[:DOCS[:ROWS]]
+//   --stats                  print plan/batch statistics to stderr (per
+//                            plan for multi-query runs)
+//   --generate KIND[:DOCS[:ROWS[:PATTERNS]]]
 //                            instead of reading files, synthesize a corpus
 //                            with the workload generators; KIND is
-//                            land-registry, server-log or needle (e.g.
-//                            --generate server-log:10000:4; needle is the
-//                            low-selectivity 1%-match corpus)
+//                            land-registry, server-log, needle (the
+//                            low-selectivity 1%-match corpus) or fleet
+//                            (PATTERNS needle queries over one corpus;
+//                            with no -p/-q given, the generated fleet's
+//                            own patterns are used)
 //   -h, --help               this text
 #include <cstring>
 #include <fstream>
@@ -53,21 +70,30 @@ using namespace spanners::engine;
 int Usage(const char* argv0, int code) {
   std::ostream& out = code == 0 ? std::cout : std::cerr;
   out << "usage: " << argv0
-      << " (-p PATTERN | -f FILE | -q QUERY | --query-file FILE)\n"
+      << " (-p PATTERN... | -f FILE | --patterns-file FILE |\n"
+         "               -q QUERY | --query-file FILE)\n"
          "              [-F tsv|json] [-j N] [-0] [--no-header] [--stats]\n"
          "              [CORPUS_FILE...]\n"
-         "Extracts a document spanner — an RGX pattern or an algebra query\n"
-         "(union/join/project/eq over rgx and rule leaves) — over a\n"
-         "delimited corpus (stdin when no file is given); one output row\n"
-         "per (document, mapping).\n";
+         "Extracts document spanners — one or more RGX patterns (several\n"
+         "run as a single-pass multi-query fleet) or an algebra query —\n"
+         "over a delimited corpus (stdin when no file is given); one\n"
+         "output row per (document[, query], mapping).\n";
   return code;
+}
+
+void PrintLazyDfaStats(const LazyDfaStats& ds) {
+  std::cerr << " (" << ds.num_states << " dfa states, " << ds.num_atoms
+            << " atoms";
+  if (ds.evictions > 0) std::cerr << ", " << ds.evictions << " evicted";
+  if (ds.fallbacks > 0)
+    std::cerr << ", " << ds.fallbacks << " simulation fallbacks";
+  std::cerr << ")\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string pattern;
-  bool have_pattern = false;
+  std::vector<std::string> patterns;
   std::string query;
   bool have_query = false;
   OutputFormat format = OutputFormat::kTsv;
@@ -88,9 +114,8 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "-h" || arg == "--help") return Usage(argv[0], 0);
-    if (arg == "-p" || arg == "--pattern") {
-      pattern = need_value("--pattern");
-      have_pattern = true;
+    if (arg == "-p" || arg == "-e" || arg == "--pattern") {
+      patterns.push_back(need_value("--pattern"));
     } else if (arg == "-f" || arg == "--pattern-file") {
       std::string path = need_value("--pattern-file");
       std::ifstream in(path, std::ios::binary);
@@ -98,11 +123,24 @@ int main(int argc, char** argv) {
         std::cerr << "spanex: cannot open pattern file: " << path << "\n";
         return 2;
       }
+      std::string pattern;
       pattern.assign(std::istreambuf_iterator<char>(in), {});
       while (!pattern.empty() &&
              (pattern.back() == '\n' || pattern.back() == '\r'))
         pattern.pop_back();
-      have_pattern = true;
+      patterns.push_back(std::move(pattern));
+    } else if (arg == "--patterns-file") {
+      std::string path = need_value("--patterns-file");
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "spanex: cannot open patterns file: " << path << "\n";
+        return 2;
+      }
+      std::string line;
+      while (std::getline(in, line)) {
+        while (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) patterns.push_back(line);
+      }
     } else if (arg == "-q" || arg == "--query") {
       query = need_value("--query");
       have_query = true;
@@ -148,46 +186,10 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (have_pattern == have_query) {
-    std::cerr << (have_pattern
-                      ? "spanex: -p/--pattern and -q/--query are mutually "
-                        "exclusive\n"
-                      : "spanex: missing -p/--pattern, -f/--pattern-file, "
-                        "-q/--query or --query-file\n");
+  if (have_query && !patterns.empty()) {
+    std::cerr << "spanex: -p/--pattern and -q/--query are mutually "
+                 "exclusive\n";
     return Usage(argv[0], 2);
-  }
-
-  // Exactly one of the two is populated; `extractor` is the common handle
-  // the batch engine runs.
-  PlanCache cache;
-  std::optional<ExtractionPlan> plan;
-  std::optional<query::CompiledQuery> compiled;
-  const DocumentExtractor* extractor = nullptr;
-  if (have_pattern) {
-    Result<ExtractionPlan> p = ExtractionPlan::Compile(pattern);
-    if (!p.ok()) {
-      std::cerr << "spanex: bad pattern: " << p.status().ToString() << "\n";
-      return 2;
-    }
-    plan = std::move(p).value();
-    extractor = &*plan;
-  } else {
-    Result<query::ExprPtr> expr = query::ParseQuery(query);
-    if (!expr.ok()) {
-      std::cerr << "spanex: bad query: " << expr.status().ToString() << "\n";
-      return 2;
-    }
-    query::QueryCompileOptions qopts;
-    qopts.cache = &cache;
-    Result<query::CompiledQuery> q =
-        query::CompiledQuery::Compile(expr.value(), qopts);
-    if (!q.ok()) {
-      std::cerr << "spanex: query compilation failed: "
-                << q.status().ToString() << "\n";
-      return 2;
-    }
-    compiled = std::move(q).value();
-    extractor = &*compiled;
   }
 
   // Corpus: synthesized, or all inputs concatenated ("-" means stdin).
@@ -200,15 +202,21 @@ int main(int argc, char** argv) {
   if (!generate.empty()) {
     workload::CorpusOptions o;
     std::string kind = generate;
+    size_t fleet_patterns = 32;
     size_t colon = kind.find(':');
     if (colon != std::string::npos) {
       std::string rest = kind.substr(colon + 1);
       kind = kind.substr(0, colon);
       size_t colon2 = rest.find(':');
       o.documents = std::strtoul(rest.c_str(), nullptr, 10);
-      if (colon2 != std::string::npos)
+      if (colon2 != std::string::npos) {
         o.rows_per_document =
             std::strtoul(rest.c_str() + colon2 + 1, nullptr, 10);
+        size_t colon3 = rest.find(':', colon2 + 1);
+        if (colon3 != std::string::npos)
+          fleet_patterns = std::strtoul(rest.c_str() + colon3 + 1, nullptr,
+                                        10);
+      }
     }
     if (kind == "land-registry") {
       corpus = Corpus(workload::LandRegistryCorpus(o));
@@ -221,11 +229,29 @@ int main(int argc, char** argv) {
       no.documents = o.documents;
       no.doc_bytes = o.rows_per_document * 45;
       corpus = Corpus(workload::NeedleCorpus(no));
+    } else if (kind == "fleet") {
+      // PATTERNS independent 1%-selectivity needle queries over one
+      // shared corpus — the multi-query workload. Without explicit
+      // patterns/query, the fleet's own patterns are extracted.
+      workload::FleetOptions fo;
+      fo.documents = o.documents;
+      fo.doc_bytes = o.rows_per_document * 45;
+      fo.num_patterns = fleet_patterns == 0 ? 1 : fleet_patterns;
+      workload::PatternFleet fleet = workload::MakePatternFleet(fo);
+      corpus = Corpus(std::move(fleet.documents));
+      if (patterns.empty() && !have_query)
+        patterns = std::move(fleet.patterns);
     } else {
       std::cerr << "spanex: unknown --generate kind '" << kind
-                << "' (expected land-registry, server-log or needle)\n";
+                << "' (expected land-registry, server-log, needle or "
+                   "fleet)\n";
       return 2;
     }
+  }
+  if (patterns.empty() && !have_query) {
+    std::cerr << "spanex: missing -p/--pattern, -f/--pattern-file, "
+                 "--patterns-file, -q/--query or --query-file\n";
+    return Usage(argv[0], 2);
   }
   if (generate.empty() && files.empty()) files.push_back("-");
   for (const std::string& path : files) {
@@ -243,6 +269,40 @@ int main(int argc, char** argv) {
     corpus.Append(std::move(part));
   }
 
+  // Compile. Multiple patterns share the plan cache (a repeated pattern
+  // compiles once) and run as one multi-query fleet.
+  PlanCache cache;
+  std::optional<query::CompiledQuery> compiled;
+  std::vector<std::shared_ptr<const ExtractionPlan>> plans;
+  if (have_query) {
+    Result<query::ExprPtr> expr = query::ParseQuery(query);
+    if (!expr.ok()) {
+      std::cerr << "spanex: bad query: " << expr.status().ToString() << "\n";
+      return 2;
+    }
+    query::QueryCompileOptions qopts;
+    qopts.cache = &cache;
+    Result<query::CompiledQuery> q =
+        query::CompiledQuery::Compile(expr.value(), qopts);
+    if (!q.ok()) {
+      std::cerr << "spanex: query compilation failed: "
+                << q.status().ToString() << "\n";
+      return 2;
+    }
+    compiled = std::move(q).value();
+  } else {
+    for (const std::string& pattern : patterns) {
+      Result<std::shared_ptr<const ExtractionPlan>> p =
+          cache.GetOrCompile(pattern);
+      if (!p.ok()) {
+        std::cerr << "spanex: bad pattern '" << pattern
+                  << "': " << p.status().ToString() << "\n";
+        return 2;
+      }
+      plans.push_back(std::move(p).value());
+    }
+  }
+
   BatchOptions batch_options;
   batch_options.num_threads = threads;
   BatchExtractor batch(batch_options);
@@ -250,25 +310,98 @@ int main(int argc, char** argv) {
   // Output streams shard by shard in deterministic corpus order: rows for
   // shard k print while shards k+1… are still extracting, and the full
   // result set is never materialized at once.
-  const VarSet& vars = extractor->vars();
   std::string out;
-  if (format == OutputFormat::kTsv && header) {
-    out += TsvHeader(vars);
-    out += '\n';
+  auto flush_if_large = [&out] {
+    if (out.size() >= 1 << 20) {
+      std::cout << out;
+      out.clear();
+    }
+  };
+
+  if (compiled.has_value() || plans.size() == 1) {
+    const DocumentExtractor* extractor =
+        compiled.has_value()
+            ? static_cast<const DocumentExtractor*>(&*compiled)
+            : plans[0].get();
+    const VarSet& vars = extractor->vars();
+    if (format == OutputFormat::kTsv && header) {
+      out += TsvHeader(vars);
+      out += '\n';
+    }
+    BatchExtractor::StreamStats result = batch.ExtractStream(
+        *extractor, corpus,
+        [&](size_t doc_begin, size_t doc_end,
+            std::vector<std::vector<Mapping>>& per_doc) {
+          for (size_t i = doc_begin; i < doc_end; ++i) {
+            for (const Mapping& m : per_doc[i - doc_begin]) {
+              out += format == OutputFormat::kTsv
+                         ? ToTsvRow(i, m, vars, corpus[i])
+                         : ToJsonRow(i, m, vars, corpus[i]);
+              out += '\n';
+              flush_if_large();
+            }
+          }
+          std::cout << out;
+          out.clear();
+        });
+    std::cout << out;
+
+    if (stats) {
+      if (!compiled.has_value()) {
+        const ExtractionPlan& plan = *plans[0];
+        std::cerr << "spanex: plan [" << plan.info().ToString() << "]\n";
+        PlanStats ps = plan.stats();
+        std::cerr << "spanex: gate: " << ps.prefilter_skipped
+                  << " docs skipped by prefilter, " << ps.dfa_skipped
+                  << " by lazy-dfa";
+        PrintLazyDfaStats(plan.lazy_dfa().stats());
+      } else {
+        PlanCacheStats cs = cache.stats();
+        std::cerr << "spanex: query plan [" << compiled->PlanString()
+                  << "]\n"
+                  << "spanex: plan cache: " << cs.size << " plans, "
+                  << cs.hits << " hits, " << cs.misses << " misses\n";
+      }
+      std::cerr << "spanex: " << corpus.size() << " docs, "
+                << result.total_mappings << " mappings, "
+                << result.matched_documents << " matched docs, "
+                << result.shards << " shards, " << batch.num_threads()
+                << " threads (streamed per shard)\n";
+    }
+    return 0;
   }
-  BatchExtractor::StreamStats result = batch.ExtractStream(
-      *extractor, corpus,
+
+  // Multi-query fleet: one corpus pass for every plan. Rows carry a
+  // leading `query` column (the 0-based position of the pattern on the
+  // command line / in the patterns file), doc-major then query-minor.
+  MultiQueryExtractor fleet(plans);
+  if (format == OutputFormat::kTsv && header) {
+    for (size_t p = 0; p < fleet.num_plans(); ++p) {
+      out += "# q" + std::to_string(p) + ": query\t" +
+             TsvHeader(fleet.plan(p).vars());
+      out += '\n';
+    }
+  }
+  BatchExtractor::StreamStats result = batch.ExtractMultiStream(
+      fleet, corpus,
       [&](size_t doc_begin, size_t doc_end,
-          std::vector<std::vector<Mapping>>& per_doc) {
+          std::vector<std::vector<std::vector<Mapping>>>& per_plan) {
         for (size_t i = doc_begin; i < doc_end; ++i) {
-          for (const Mapping& m : per_doc[i - doc_begin]) {
-            out += format == OutputFormat::kTsv
-                       ? ToTsvRow(i, m, vars, corpus[i])
-                       : ToJsonRow(i, m, vars, corpus[i]);
-            out += '\n';
-            if (out.size() >= 1 << 20) {
-              std::cout << out;
-              out.clear();
+          for (size_t p = 0; p < per_plan.size(); ++p) {
+            const VarSet& vars = fleet.plan(p).vars();
+            for (const Mapping& m : per_plan[p][i - doc_begin]) {
+              if (format == OutputFormat::kTsv) {
+                out += std::to_string(p);
+                out += '\t';
+                out += ToTsvRow(i, m, vars, corpus[i]);
+              } else {
+                // {"doc":…} → {"query":p,"doc":…}
+                std::string row = ToJsonRow(i, m, vars, corpus[i]);
+                out += "{\"query\":" + std::to_string(p) + ",";
+                out.append(row, 1, row.size() - 1);
+              }
+              out += '\n';
+              flush_if_large();
             }
           }
         }
@@ -278,27 +411,22 @@ int main(int argc, char** argv) {
   std::cout << out;
 
   if (stats) {
-    if (plan.has_value()) {
-      std::cerr << "spanex: plan [" << plan->info().ToString() << "]\n";
-      PlanStats ps = plan->stats();
-      std::cerr << "spanex: gate: " << ps.prefilter_skipped
-                << " docs skipped by prefilter, " << ps.dfa_skipped
-                << " by lazy-dfa";
-      LazyDfaStats ds = plan->lazy_dfa().stats();
-      std::cerr << " (" << ds.num_states << " dfa states, " << ds.num_atoms
-                << " atoms" << (ds.overflowed ? ", overflowed" : "")
-                << ")\n";
-    } else {
-      PlanCacheStats cs = cache.stats();
-      std::cerr << "spanex: query plan [" << compiled->PlanString() << "]\n"
-                << "spanex: plan cache: " << cs.size << " plans, "
-                << cs.hits << " hits, " << cs.misses << " misses\n";
+    std::cerr << "spanex: " << fleet.ToString() << "\n";
+    for (size_t p = 0; p < fleet.num_plans(); ++p) {
+      const ExtractionPlan& plan = fleet.plan(p);
+      std::cerr << "spanex: q" << p << " [" << plan.info().ToString()
+                << "]\n"
+                << "spanex: q" << p << " " << fleet.plan_stats(p).ToString();
+      PrintLazyDfaStats(plan.lazy_dfa().stats());
     }
+    PlanCacheStats cs = cache.stats();
+    std::cerr << "spanex: plan cache: " << cs.size << " plans, " << cs.hits
+              << " hits, " << cs.misses << " misses\n";
     std::cerr << "spanex: " << corpus.size() << " docs, "
               << result.total_mappings << " mappings, "
               << result.matched_documents << " matched docs, "
               << result.shards << " shards, " << batch.num_threads()
-              << " threads (streamed per shard)\n";
+              << " threads (streamed per shard, single corpus pass)\n";
   }
   return 0;
 }
