@@ -2,37 +2,38 @@
 // generated corpora, swept by thread count. The interesting curves:
 // scaling of the sequential-fragment workloads (land registry, server log)
 // with threads, the allocations/doc trajectory of the arena-backed hot
-// path (near zero in steady state), and the plan-cache hit path vs. fresh
-// compilation. tools/run_bench.sh runs this binary and records the JSON
-// output as BENCH_engine.json.
+// path (near zero in steady state), hardware cycles/byte of the serving
+// loop (where perf counters are available), the telemetry on/off overhead
+// the CI gate enforces, and the plan-cache hit path vs. fresh compilation.
+// tools/run_bench.sh runs this binary and records the JSON output as
+// BENCH_engine.json.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <new>
 
 #include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "query/compile.h"
 #include "query/parser.h"
 #include "workload/generators.h"
 
 // ---- allocation accounting ----------------------------------------------
-// Process-wide operator new override counting every heap allocation, so
-// the benchmarks can report allocations per document. Only counts; defers
-// to malloc/free for the actual memory.
-
-namespace {
-std::atomic<uint64_t> g_heap_allocs{0};
-}  // namespace
+// Process-wide operator new override reporting every heap allocation into
+// the telemetry registry's allocation counter (obs::HeapAllocCount, the
+// "mem.heap_allocs" snapshot metric), so the benchmarks' allocs/doc column
+// and a --metrics snapshot agree on what they count. Defers to malloc/free
+// for the actual memory.
 
 void* operator new(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  spanners::obs::CountHeapAlloc();
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  spanners::obs::CountHeapAlloc();
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
@@ -83,14 +84,14 @@ void BM_BatchExtract_LandRegistry(benchmark::State& state) {
   BatchResult result;
   extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractInto(plan, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["threads"] = static_cast<double>(bo.num_threads);
 }
 BENCHMARK(BM_BatchExtract_LandRegistry)
@@ -117,14 +118,14 @@ void BM_BatchExtract_ServerLog(benchmark::State& state) {
   BatchResult result;
   extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractInto(plan, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
 }
 BENCHMARK(BM_BatchExtract_ServerLog)
     ->Arg(1)
@@ -153,14 +154,14 @@ void BM_BatchExtract_LowSelectivity(benchmark::State& state) {
   BatchResult result;
   extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractInto(plan, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["matched_docs"] =
       static_cast<double>(result.MatchedDocuments());
 }
@@ -185,14 +186,14 @@ void BM_BatchExtract_LowSelectivity_NoGate(benchmark::State& state) {
   BatchResult result;
   extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractInto(plan, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
 }
 BENCHMARK(BM_BatchExtract_LowSelectivity_NoGate)
     ->Arg(1)
@@ -230,14 +231,14 @@ void BM_MultiQueryExtract_Fleet(benchmark::State& state) {
   MultiBatchResult result;
   extractor.ExtractMultiInto(fleet, corpus, &result);  // warm-up
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractMultiInto(fleet, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["plans"] = static_cast<double>(fleet.num_plans());
 }
 BENCHMARK(BM_MultiQueryExtract_Fleet)
@@ -262,7 +263,7 @@ void BM_SequentialPlans_Fleet(benchmark::State& state) {
   for (size_t p = 0; p < plans.size(); ++p)
     extractor.ExtractInto(*plans[p], corpus, &results[p]);  // warm-up
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     mappings = 0;
     for (size_t p = 0; p < plans.size(); ++p) {
@@ -272,7 +273,7 @@ void BM_SequentialPlans_Fleet(benchmark::State& state) {
     benchmark::DoNotOptimize(results);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["plans"] = static_cast<double>(plans.size());
 }
 BENCHMARK(BM_SequentialPlans_Fleet)
@@ -350,13 +351,13 @@ void BM_MultiQueryGate_Fleet(benchmark::State& state) {
 
   MultiBatchResult result;
   extractor.ExtractMultiInto(fleet, corpus, &result);  // warm-up
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractMultiInto(fleet, corpus, &result);
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), 0,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["plans"] = static_cast<double>(fleet.num_plans());
 }
 BENCHMARK(BM_MultiQueryGate_Fleet)
@@ -379,14 +380,14 @@ void BM_SequentialGate_Fleet(benchmark::State& state) {
   std::vector<BatchResult> results(plans.size());
   for (size_t p = 0; p < plans.size(); ++p)
     extractor.ExtractInto(*plans[p], corpus, &results[p]);  // warm-up
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     for (size_t p = 0; p < plans.size(); ++p)
       extractor.ExtractInto(*plans[p], corpus, &results[p]);
     benchmark::DoNotOptimize(results);
   }
   ReportBatchCounters(state, corpus.size(), 0,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["plans"] = static_cast<double>(plans.size());
 }
 BENCHMARK(BM_SequentialGate_Fleet)
@@ -422,14 +423,14 @@ void BM_QueryBatchExtract_ServerLog(benchmark::State& state) {
   BatchResult result;
   extractor.ExtractInto(q, corpus, &result);  // warm-up, not counted
   uint64_t mappings = 0;
-  const uint64_t allocs_before = g_heap_allocs.load();
+  const uint64_t allocs_before = obs::HeapAllocCount();
   for (auto _ : state) {
     extractor.ExtractInto(q, corpus, &result);
     mappings = result.total_mappings;
     benchmark::DoNotOptimize(result);
   }
   ReportBatchCounters(state, corpus.size(), mappings,
-                      g_heap_allocs.load() - allocs_before);
+                      obs::HeapAllocCount() - allocs_before);
   state.counters["scans"] = static_cast<double>(q.num_scans());
 }
 BENCHMARK(BM_QueryBatchExtract_ServerLog)
@@ -437,6 +438,100 @@ BENCHMARK(BM_QueryBatchExtract_ServerLog)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Hardware cost of the serving loop: cycles/byte, instructions/byte and
+// branch-miss rate of single-threaded extraction over the server-log
+// corpus, via a perf_event group on the extracting thread (the loop runs
+// inline, not on the pool, so the counters see all the work). Reported
+// only where perf_event_open is usable; containers/CI that mask the
+// syscall still run the bench and simply omit the columns.
+void BM_CyclesPerByte_ServerLog(benchmark::State& state) {
+  workload::CorpusOptions o;
+  o.documents = 200;
+  o.rows_per_document = 3;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+  PlanScratch scratch;
+  std::vector<Mapping> out;
+  for (size_t i = 0; i < corpus.size(); ++i)
+    plan.ExtractSortedInto(corpus[i], &scratch, &out);  // warm-up
+
+  obs::PerfCounterGroup perf;
+  perf.Start();
+  for (auto _ : state) {
+    for (size_t i = 0; i < corpus.size(); ++i)
+      plan.ExtractSortedInto(corpus[i], &scratch, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  perf.Stop();
+
+  const double bytes = static_cast<double>(state.iterations()) *
+                       static_cast<double>(corpus.TotalBytes());
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.counters["perf_available"] = perf.available() ? 1 : 0;
+  const obs::PerfCounterGroup::Values v = perf.Read();
+  if (v.valid && bytes > 0) {
+    state.counters["cycles/byte"] =
+        benchmark::Counter(static_cast<double>(v.cycles) / bytes);
+    state.counters["instr/byte"] =
+        benchmark::Counter(static_cast<double>(v.instructions) / bytes);
+    state.counters["branch_miss_rate"] =
+        v.instructions > 0 ? static_cast<double>(v.branch_misses) /
+                                 static_cast<double>(v.instructions)
+                           : 0;
+  }
+}
+BENCHMARK(BM_CyclesPerByte_ServerLog)->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead, paired within the iteration (immune to machine
+// drift, like BM_FleetSinglePassVsSequential): each iteration extracts
+// the server-log corpus once with metrics recording off and once with it
+// on, accumulating each side's time. The overhead_pct counter is what
+// tools/run_bench.sh gates at ≤2% — the documented cost of shipping the
+// instrumentation enabled.
+void BM_MetricsOverhead_ServerLog(benchmark::State& state) {
+  workload::CorpusOptions o;
+  o.documents = 500;
+  o.rows_per_document = 3;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+  BatchOptions bo;
+  bo.num_threads = 1;
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  BatchResult result;
+  extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
+  obs::SetEnabled(true);
+  extractor.ExtractInto(plan, corpus, &result);  // warm the metric cells
+  obs::SetEnabled(false);
+
+  using Clock = std::chrono::steady_clock;
+  double off_s = 0, on_s = 0;
+  for (auto _ : state) {
+    auto t0 = Clock::now();
+    extractor.ExtractInto(plan, corpus, &result);
+    auto t1 = Clock::now();
+    obs::SetEnabled(true);
+    extractor.ExtractInto(plan, corpus, &result);
+    obs::SetEnabled(false);
+    auto t2 = Clock::now();
+    off_s += std::chrono::duration<double>(t1 - t0).count();
+    on_s += std::chrono::duration<double>(t2 - t1).count();
+    benchmark::DoNotOptimize(result);
+  }
+  const double docs =
+      static_cast<double>(state.iterations()) * corpus.size();
+  state.counters["disabled_docs/s"] = off_s > 0 ? docs / off_s : 0;
+  state.counters["enabled_docs/s"] = on_s > 0 ? docs / on_s : 0;
+  state.counters["overhead_pct"] =
+      off_s > 0 ? (on_s / off_s - 1.0) * 100.0 : 0;
+}
+BENCHMARK(BM_MetricsOverhead_ServerLog)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -6,6 +6,7 @@
 
 #include "automata/determinize.h"
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace spanners {
 
@@ -14,6 +15,33 @@ namespace {
 // Table + subset footprint of one state (mirrored by eviction accounting).
 size_t StateBytes(size_t num_atoms, size_t subset_size) {
   return (num_atoms + 1) * sizeof(uint32_t) + subset_size * sizeof(StateId);
+}
+
+/// Shared gate-health metrics of every lazy DFA in the process. Misses,
+/// evictions and fallbacks mirror the per-instance LazyDfaStats fields so
+/// a --metrics snapshot shows cache behaviour without walking plans; the
+/// lock-wait histogram has no per-instance equivalent and is the one place
+/// writer contention on the transition cache becomes visible.
+struct DfaMetrics {
+  obs::Histogram* lock_wait_ns;
+  obs::Histogram* evict_ns;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* fallbacks;
+};
+
+const DfaMetrics& Metrics() {
+  static const DfaMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    DfaMetrics m;
+    m.lock_wait_ns = r.GetHistogram("lazy_dfa.lock_wait_ns");
+    m.evict_ns = r.GetHistogram("lazy_dfa.evict_ns");
+    m.misses = r.GetCounter("lazy_dfa.misses");
+    m.evictions = r.GetCounter("lazy_dfa.evictions");
+    m.fallbacks = r.GetCounter("lazy_dfa.fallbacks");
+    return m;
+  }();
+  return m;
 }
 
 }  // namespace
@@ -68,6 +96,7 @@ std::vector<StateId> LazyDfa::Closure(std::vector<StateId> subset) const {
 }
 
 size_t LazyDfa::EvictColdStates(uint32_t pinned) const {
+  obs::ObsSpan span(Metrics().evict_ns, "dfa_evict");
   // Candidates: every resident state except the two structural anchors
   // and the state the caller is mid-extension on.
   std::vector<uint32_t> candidates;
@@ -112,6 +141,7 @@ size_t LazyDfa::EvictColdStates(uint32_t pinned) const {
   }
   ++generation_;
   evictions_ += count;
+  if (obs::Enabled()) Metrics().evictions->Add(count);
   return count;
 }
 
@@ -164,6 +194,7 @@ uint32_t LazyDfa::Intern(std::vector<StateId> subset, uint32_t pinned) const {
 uint32_t LazyDfa::ComputeTransition(uint32_t from, uint32_t atom) const {
   SPANNERS_DCHECK(atom > 0 && atom <= atoms_.size());
   ++misses_;
+  if (obs::Enabled()) Metrics().misses->Add(1);
   states_[from].last_used = ++use_clock_;
   // Atoms refine every letter CharSet, so one representative byte decides
   // whether the whole atom is inside a transition's class.
@@ -200,7 +231,11 @@ std::optional<bool> LazyDfa::Matches(std::string_view text) const {
         // a racing computation), then drop back to shared mode.
         lock.unlock();
         {
+          const uint64_t wait_start =
+              obs::Enabled() ? obs::NowNanos() : 0;
           std::unique_lock<std::shared_mutex> wlock(mu_);
+          if (wait_start != 0)
+            Metrics().lock_wait_ns->Record(obs::NowNanos() - wait_start);
           if (generation_ != gen) {
             // An eviction ran while unlocked; `cur` may be recycled.
             restart = true;
@@ -211,6 +246,7 @@ std::optional<bool> LazyDfa::Matches(std::string_view text) const {
               // No room even after eviction: this call gives up (the
               // caller simulates); later calls start over.
               fallbacks_.fetch_add(1, std::memory_order_relaxed);
+              if (obs::Enabled()) Metrics().fallbacks->Add(1);
               return std::nullopt;
             }
             // ComputeTransition may itself have evicted (never `cur` or
@@ -229,6 +265,7 @@ std::optional<bool> LazyDfa::Matches(std::string_view text) const {
   // Concurrent evictions kept invalidating the scan: thrashing working
   // set. Give up on the DFA for this call only.
   fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) Metrics().fallbacks->Add(1);
   return std::nullopt;
 }
 

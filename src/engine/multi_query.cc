@@ -5,8 +5,44 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace spanners {
 namespace engine {
+
+namespace {
+
+// The fleet runs tiers 2 and 3 itself (the plans are pre-gated), so it
+// records into the same tier.prefilter_ns / tier.dfa_gate_ns histograms
+// and engine.* skip counters ExtractionPlan::GateRejects feeds — one
+// tier breakdown regardless of which layer did the gating.
+struct FleetMetrics {
+  obs::Histogram* ac_scan_ns;
+  obs::Histogram* prefilter_ns;
+  obs::Histogram* dfa_gate_ns;
+  obs::Counter* documents;
+  obs::Counter* ac_gate_skipped;
+  obs::Counter* prefilter_skipped;
+  obs::Counter* dfa_skipped;
+};
+
+const FleetMetrics& Metrics() {
+  static const FleetMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    FleetMetrics m;
+    m.ac_scan_ns = r.GetHistogram("tier.ac_scan_ns");
+    m.prefilter_ns = r.GetHistogram("tier.prefilter_ns");
+    m.dfa_gate_ns = r.GetHistogram("tier.dfa_gate_ns");
+    m.documents = r.GetCounter("engine.documents");
+    m.ac_gate_skipped = r.GetCounter("engine.ac_gate_skipped");
+    m.prefilter_skipped = r.GetCounter("engine.prefilter_skipped");
+    m.dfa_skipped = r.GetCounter("engine.dfa_skipped");
+    return m;
+  }();
+  return m;
+}
+
+}  // namespace
 
 MultiQueryExtractor::MultiQueryExtractor(
     std::vector<std::shared_ptr<const ExtractionPlan>> plans)
@@ -78,6 +114,7 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
   // results — match the plans run alone. The scan stops early once every
   // gated plan is satisfied.
   if (gating_enabled_ && ac_ != nullptr) {
+    obs::ObsSpan span(Metrics().ac_scan_ns, "ac_scan");
     bits.assign((num_plans + 63) / 64, 0);
     size_t remaining = gated_plans_;
     if (!text.empty()) {
@@ -109,22 +146,44 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
       if (plan_gated_[p] && (bits[p >> 6] >> (p & 63) & 1) == 0) {
         if (!slot->empty()) scratch->pool.RecycleAll(slot);
         counters.ac_gate_skipped.fetch_add(1, std::memory_order_relaxed);
+        if (obs::Enabled()) {
+          Metrics().documents->Add(1);
+          Metrics().ac_gate_skipped->Add(1);
+        }
         continue;
       }
       // Tier 2, per surviving plan: its remaining prefilter clauses
       // (memmem over the rare candidate document).
-      if (plan_has_more_clauses_[p] &&
-          !plans_[p]->prefilter().Matches(text)) {
-        if (!slot->empty()) scratch->pool.RecycleAll(slot);
-        counters.prefilter_skipped.fetch_add(1, std::memory_order_relaxed);
-        continue;
+      if (plan_has_more_clauses_[p]) {
+        bool pass;
+        {
+          obs::ObsSpan span(Metrics().prefilter_ns, "prefilter");
+          pass = plans_[p]->prefilter().Matches(text);
+        }
+        if (!pass) {
+          if (!slot->empty()) scratch->pool.RecycleAll(slot);
+          counters.prefilter_skipped.fetch_add(1, std::memory_order_relaxed);
+          if (obs::Enabled()) {
+            Metrics().documents->Add(1);
+            Metrics().prefilter_skipped->Add(1);
+          }
+          continue;
+        }
       }
       // Tier 3: the plan's own cached lazy DFA (its negative answer is
       // sound for any VA).
-      std::optional<bool> verdict = plans_[p]->lazy_dfa().Matches(text);
+      std::optional<bool> verdict;
+      {
+        obs::ObsSpan span(Metrics().dfa_gate_ns, "dfa_gate");
+        verdict = plans_[p]->lazy_dfa().Matches(text);
+      }
       if (verdict.has_value() && !*verdict) {
         if (!slot->empty()) scratch->pool.RecycleAll(slot);
         counters.dfa_skipped.fetch_add(1, std::memory_order_relaxed);
+        if (obs::Enabled()) {
+          Metrics().documents->Add(1);
+          Metrics().dfa_skipped->Add(1);
+        }
         continue;
       }
     }

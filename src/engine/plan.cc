@@ -1,22 +1,92 @@
 #include "engine/plan.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <optional>
 
 #include "automata/fpt.h"
 #include "automata/matcher.h"
+#include "obs/span.h"
 #include "rgx/analysis.h"
 #include "rules/convert.h"
 
 namespace spanners {
 namespace engine {
 
+namespace {
+
+/// Registry handles of the engine's per-tier metrics, resolved once.
+/// Histogram counts double as per-tier document counts: every document
+/// that ENTERS a tier records one observation in that tier's histogram,
+/// and the engine.* counters record where documents LANDED.
+struct EngineMetrics {
+  obs::Histogram* prefilter_ns;
+  obs::Histogram* dfa_gate_ns;
+  obs::Histogram* nfa_sim_ns;
+  obs::Histogram* eval_ns[3];  // indexed by Spanner::Evaluator
+  obs::Counter* documents;
+  obs::Counter* mappings;
+  obs::Counter* prefilter_skipped;
+  obs::Counter* dfa_skipped;
+  obs::Counter* evaluated;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    EngineMetrics m;
+    m.prefilter_ns = r.GetHistogram("tier.prefilter_ns");
+    m.dfa_gate_ns = r.GetHistogram("tier.dfa_gate_ns");
+    m.nfa_sim_ns = r.GetHistogram("tier.nfa_sim_ns");
+    m.eval_ns[0] = r.GetHistogram("tier.eval_run_enum_ns");
+    m.eval_ns[1] = r.GetHistogram("tier.eval_sequential_ns");
+    m.eval_ns[2] = r.GetHistogram("tier.eval_fpt_ns");
+    m.documents = r.GetCounter("engine.documents");
+    m.mappings = r.GetCounter("engine.mappings");
+    m.prefilter_skipped = r.GetCounter("engine.prefilter_skipped");
+    m.dfa_skipped = r.GetCounter("engine.dfa_skipped");
+    m.evaluated = r.GetCounter("engine.evaluated");
+    return m;
+  }();
+  return m;
+}
+
+// Static trace labels per evaluator family (trace events keep pointers).
+constexpr const char* kEvalSpanName[3] = {"eval.run_enum", "eval.sequential",
+                                          "eval.fpt"};
+
+std::string Percent(uint64_t part, uint64_t whole) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                whole == 0 ? 0.0 : 100.0 * double(part) / double(whole));
+  return buf;
+}
+
+}  // namespace
+
+PlanStats& PlanStats::operator+=(const PlanStats& o) {
+  documents += o.documents;
+  mappings += o.mappings;
+  prefilter_skipped += o.prefilter_skipped;
+  dfa_skipped += o.dfa_skipped;
+  ac_gate_skipped += o.ac_gate_skipped;
+  return *this;
+}
+
 std::string PlanStats::ToString() const {
-  return std::to_string(documents) + " docs, " + std::to_string(mappings) +
-         " mappings; skipped " + std::to_string(ac_gate_skipped) + " ac, " +
-         std::to_string(prefilter_skipped) + " prefilter, " +
-         std::to_string(dfa_skipped) + " dfa";
+  const uint64_t skipped =
+      ac_gate_skipped + prefilter_skipped + dfa_skipped;
+  std::string out = std::to_string(documents) + " docs: " +
+                    std::to_string(skipped) + " skipped (" +
+                    Percent(skipped, documents) + " — " +
+                    std::to_string(ac_gate_skipped) + " ac, " +
+                    std::to_string(prefilter_skipped) + " prefilter, " +
+                    std::to_string(dfa_skipped) + " dfa), " +
+                    std::to_string(evaluated()) + " evaluated (" +
+                    Percent(evaluated(), documents) + "), " +
+                    std::to_string(mappings) + " mappings";
+  return out;
 }
 
 std::string PlanInfo::ToString() const {
@@ -86,24 +156,44 @@ Result<ExtractionPlan> ExtractionPlan::FromRuleProgram(
 
 bool ExtractionPlan::GateRejects(const Document& doc) const {
   if (!gating_enabled_) return false;
-  if (prefilter_.CanPrune() && !prefilter_.Matches(doc.text())) {
-    counters_->prefilter_skipped.fetch_add(1, std::memory_order_relaxed);
-    return true;
+  if (prefilter_.CanPrune()) {
+    bool pass;
+    {
+      obs::ObsSpan span(Metrics().prefilter_ns, "prefilter");
+      pass = prefilter_.Matches(doc.text());
+    }
+    if (!pass) {
+      counters_->prefilter_skipped.Add(1);
+      if (obs::Enabled()) Metrics().prefilter_skipped->Add(1);
+      return true;
+    }
   }
   // The lazy DFA over-approximates ⟦A⟧ for any VA (ops relaxed to ε), so
   // its negative answer is always authoritative; nullopt = cache overflow,
   // decide by the full evaluator instead.
-  std::optional<bool> verdict = dfa_->Matches(doc.text());
+  std::optional<bool> verdict;
+  {
+    obs::ObsSpan span(Metrics().dfa_gate_ns, "dfa_gate");
+    verdict = dfa_->Matches(doc.text());
+  }
   if (verdict.has_value() && !*verdict) {
-    counters_->dfa_skipped.fetch_add(1, std::memory_order_relaxed);
+    counters_->dfa_skipped.Add(1);
+    if (obs::Enabled()) Metrics().dfa_skipped->Add(1);
     return true;
   }
   return false;
 }
 
 bool ExtractionPlan::Matches(const Document& doc, PlanScratch* scratch) const {
-  if (prefilter_.CanPrune() && !prefilter_.Matches(doc.text())) return false;
-  std::optional<bool> verdict = dfa_->Matches(doc.text());
+  if (prefilter_.CanPrune()) {
+    obs::ObsSpan span(Metrics().prefilter_ns, "prefilter");
+    if (!prefilter_.Matches(doc.text())) return false;
+  }
+  std::optional<bool> verdict;
+  {
+    obs::ObsSpan span(Metrics().dfa_gate_ns, "dfa_gate");
+    verdict = dfa_->Matches(doc.text());
+  }
   if (verdict.has_value()) {
     if (!*verdict) return false;
     // Positive answers are only exact when op-consistency is structural.
@@ -111,6 +201,7 @@ bool ExtractionPlan::Matches(const Document& doc, PlanScratch* scratch) const {
   }
   // Fall back to NFA state-set simulation, on the caller's arena when
   // one is provided.
+  obs::ObsSpan span(Metrics().nfa_sim_ns, "nfa_sim");
   Arena* arena = scratch != nullptr ? &scratch->arena : nullptr;
   return info_.sequential_va
              ? MatchesSequential(spanner_.va(), doc, arena)
@@ -119,12 +210,23 @@ bool ExtractionPlan::Matches(const Document& doc, PlanScratch* scratch) const {
 
 MappingSet ExtractionPlan::Extract(const Document& doc) const {
   if (GateRejects(doc)) {
-    counters_->documents.fetch_add(1, std::memory_order_relaxed);
+    counters_->documents.Add(1);
+    if (obs::Enabled()) Metrics().documents->Add(1);
     return MappingSet();
   }
-  MappingSet out = spanner_.ExtractAllWith(info_.evaluator, doc);
-  counters_->documents.fetch_add(1, std::memory_order_relaxed);
-  counters_->mappings.fetch_add(out.size(), std::memory_order_relaxed);
+  MappingSet out;
+  {
+    obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
+                      kEvalSpanName[size_t(info_.evaluator)]);
+    out = spanner_.ExtractAllWith(info_.evaluator, doc);
+  }
+  counters_->documents.Add(1);
+  counters_->mappings.Add(out.size());
+  if (obs::Enabled()) {
+    Metrics().documents->Add(1);
+    Metrics().evaluated->Add(1);
+    Metrics().mappings->Add(out.size());
+  }
   return out;
 }
 
@@ -139,46 +241,74 @@ void ExtractionPlan::ExtractSortedInto(const Document& doc,
                                        std::vector<Mapping>* out) const {
   scratch->pool.RecycleAll(out);  // previous results refill the pool
   if (GateRejects(doc)) {
-    counters_->documents.fetch_add(1, std::memory_order_relaxed);
+    counters_->documents.Add(1);
+    if (obs::Enabled()) Metrics().documents->Add(1);
     return;  // *out is already the (empty) result
   }
-  VectorSink sink(out, &scratch->pool);
-  spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
-  std::sort(out->begin(), out->end());
-  counters_->documents.fetch_add(1, std::memory_order_relaxed);
-  counters_->mappings.fetch_add(out->size(), std::memory_order_relaxed);
+  {
+    obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
+                      kEvalSpanName[size_t(info_.evaluator)]);
+    VectorSink sink(out, &scratch->pool);
+    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
+    std::sort(out->begin(), out->end());
+  }
+  counters_->documents.Add(1);
+  counters_->mappings.Add(out->size());
+  if (obs::Enabled()) {
+    Metrics().documents->Add(1);
+    Metrics().evaluated->Add(1);
+    Metrics().mappings->Add(out->size());
+  }
 }
 
 void ExtractionPlan::ExtractSortedPregatedInto(const Document& doc,
                                                PlanScratch* scratch,
                                                std::vector<Mapping>* out) const {
   scratch->pool.RecycleAll(out);
-  VectorSink sink(out, &scratch->pool);
-  spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
-  std::sort(out->begin(), out->end());
-  counters_->documents.fetch_add(1, std::memory_order_relaxed);
-  counters_->mappings.fetch_add(out->size(), std::memory_order_relaxed);
+  {
+    obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
+                      kEvalSpanName[size_t(info_.evaluator)]);
+    VectorSink sink(out, &scratch->pool);
+    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
+    std::sort(out->begin(), out->end());
+  }
+  counters_->documents.Add(1);
+  counters_->mappings.Add(out->size());
+  if (obs::Enabled()) {
+    Metrics().documents->Add(1);
+    Metrics().evaluated->Add(1);
+    Metrics().mappings->Add(out->size());
+  }
 }
 
 void ExtractionPlan::ExtractTo(const Document& doc, PlanScratch* scratch,
                                MappingSink& sink) const {
   if (GateRejects(doc)) {
-    counters_->documents.fetch_add(1, std::memory_order_relaxed);
+    counters_->documents.Add(1);
+    if (obs::Enabled()) Metrics().documents->Add(1);
     return;
   }
   CountingSink counting(sink);
-  spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, counting);
-  counters_->documents.fetch_add(1, std::memory_order_relaxed);
-  counters_->mappings.fetch_add(counting.count(), std::memory_order_relaxed);
+  {
+    obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
+                      kEvalSpanName[size_t(info_.evaluator)]);
+    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, counting);
+  }
+  counters_->documents.Add(1);
+  counters_->mappings.Add(counting.count());
+  if (obs::Enabled()) {
+    Metrics().documents->Add(1);
+    Metrics().evaluated->Add(1);
+    Metrics().mappings->Add(counting.count());
+  }
 }
 
 PlanStats ExtractionPlan::stats() const {
   PlanStats s;
-  s.documents = counters_->documents.load(std::memory_order_relaxed);
-  s.mappings = counters_->mappings.load(std::memory_order_relaxed);
-  s.prefilter_skipped =
-      counters_->prefilter_skipped.load(std::memory_order_relaxed);
-  s.dfa_skipped = counters_->dfa_skipped.load(std::memory_order_relaxed);
+  s.documents = counters_->documents.Load();
+  s.mappings = counters_->mappings.Load();
+  s.prefilter_skipped = counters_->prefilter_skipped.Load();
+  s.dfa_skipped = counters_->dfa_skipped.Load();
   return s;
 }
 

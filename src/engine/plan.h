@@ -23,6 +23,7 @@
 #include "core/mapping_sink.h"
 #include "core/spanner.h"
 #include "engine/prefilter.h"
+#include "obs/metrics.h"
 #include "rules/rule.h"
 
 namespace spanners {
@@ -70,6 +71,17 @@ struct PlanScratch {
 /// Monotonic extraction counters; safe under concurrent Extract calls.
 /// Also the per-plan stats unit of multi-query runs (MultiQueryExtractor
 /// aggregates one PlanStats per resident plan).
+///
+/// Counter semantics. `documents` counts every document OFFERED to the
+/// plan (skipped or not); each offered document lands in exactly one of
+/// the four disjoint outcomes {ac_gate_skipped, prefilter_skipped,
+/// dfa_skipped, evaluated()}, so
+///     documents == ac_gate_skipped + prefilter_skipped + dfa_skipped
+///                  + evaluated().
+/// The skip counters record which tier REJECTED the document (cheapest
+/// tier first — a document the AC pass rejects is never offered to the
+/// prefilter, and so on); `mappings` accumulates only over evaluated
+/// documents. With gating disabled every document is evaluated.
 struct PlanStats {
   uint64_t documents = 0;
   uint64_t mappings = 0;
@@ -83,7 +95,20 @@ struct PlanStats {
   /// literal rejections under prefilter_skipped.
   uint64_t ac_gate_skipped = 0;
 
-  /// e.g. "1000 docs, 37 mappings; skipped 950 ac, 0 prefilter, 13 dfa".
+  /// Documents that survived every gate and reached an evaluator
+  /// (derived: documents minus the three tier-skip counters).
+  uint64_t evaluated() const {
+    const uint64_t skipped =
+        ac_gate_skipped + prefilter_skipped + dfa_skipped;
+    return documents >= skipped ? documents - skipped : 0;
+  }
+
+  /// Element-wise accumulation (fleet-level aggregation over plans).
+  PlanStats& operator+=(const PlanStats& o);
+
+  /// Derived view with tier-skip percentages, e.g. "1000 docs: 950
+  /// skipped (95.0% — 900 ac, 30 prefilter, 20 dfa), 50 evaluated
+  /// (5.0%), 37 mappings".
   std::string ToString() const;
 };
 
@@ -197,12 +222,15 @@ class ExtractionPlan : public DocumentExtractor {
   // unique_ptr: the DFA owns a mutex (unmovable) and the plan must move.
   std::unique_ptr<LazyDfa> dfa_;
   bool gating_enabled_ = true;
-  // unique_ptr keeps the plan movable despite the atomics.
+  // Per-plan stats on the telemetry subsystem's sharded-counter primitive
+  // (obs::Counter): always-on — PlanStats works without enabling obs —
+  // and contention-free across worker threads. unique_ptr keeps the plan
+  // movable despite the embedded atomics.
   struct Counters {
-    std::atomic<uint64_t> documents{0};
-    std::atomic<uint64_t> mappings{0};
-    std::atomic<uint64_t> prefilter_skipped{0};
-    std::atomic<uint64_t> dfa_skipped{0};
+    obs::Counter documents;
+    obs::Counter mappings;
+    obs::Counter prefilter_skipped;
+    obs::Counter dfa_skipped;
   };
   std::unique_ptr<Counters> counters_;
 };

@@ -1,0 +1,131 @@
+#include "engine/report.h"
+
+#include <cstdio>
+
+namespace spanners {
+namespace engine {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDfaText(std::string* out, const LazyDfaStats& ds) {
+  *out += " (" + std::to_string(ds.num_states) + " dfa states, " +
+          std::to_string(ds.num_atoms) + " atoms";
+  if (ds.evictions > 0)
+    *out += ", " + std::to_string(ds.evictions) + " evicted";
+  if (ds.fallbacks > 0)
+    *out += ", " + std::to_string(ds.fallbacks) + " simulation fallbacks";
+  *out += ")\n";
+}
+
+void AppendPlanJson(std::string* out, const PlanReport& p) {
+  const PlanStats& s = p.stats;
+  *out += "{\"label\":\"" + JsonEscape(p.label) + "\",\"info\":\"" +
+          JsonEscape(p.info) + "\",\"stats\":{\"documents\":" +
+          std::to_string(s.documents) +
+          ",\"mappings\":" + std::to_string(s.mappings) +
+          ",\"ac_gate_skipped\":" + std::to_string(s.ac_gate_skipped) +
+          ",\"prefilter_skipped\":" + std::to_string(s.prefilter_skipped) +
+          ",\"dfa_skipped\":" + std::to_string(s.dfa_skipped) +
+          ",\"evaluated\":" + std::to_string(s.evaluated()) +
+          "},\"lazy_dfa\":{\"states\":" + std::to_string(p.dfa.num_states) +
+          ",\"atoms\":" + std::to_string(p.dfa.num_atoms) +
+          ",\"misses\":" + std::to_string(p.dfa.misses) +
+          ",\"evictions\":" + std::to_string(p.dfa.evictions) +
+          ",\"fallbacks\":" + std::to_string(p.dfa.fallbacks) + "}}";
+}
+
+}  // namespace
+
+std::string EngineReport::ToText(const std::string& prefix) const {
+  std::string out;
+  if (!fleet.empty()) out += prefix + fleet + "\n";
+  if (!query_plan.empty())
+    out += prefix + "query plan [" + query_plan + "]\n";
+  for (const PlanReport& p : plans) {
+    const std::string tag = p.label.empty() ? "" : p.label + " ";
+    out += prefix + tag + "[" + p.info + "]\n";
+    out += prefix + tag + p.stats.ToString();
+    AppendDfaText(&out, p.dfa);
+  }
+  if (have_cache) {
+    out += prefix + "plan cache: " + std::to_string(cache.size) +
+           " plans, " + std::to_string(cache.hits) + " hits, " +
+           std::to_string(cache.misses) + " misses";
+    if (cache.evictions > 0)
+      out += ", " + std::to_string(cache.evictions) + " evictions";
+    out += "\n";
+  }
+  out += prefix + std::to_string(documents) + " docs, " +
+         std::to_string(total_mappings) + " mappings, " +
+         std::to_string(matched_documents) + " matched docs, " +
+         std::to_string(shards) + " shards, " + std::to_string(threads) +
+         " threads";
+  if (wall_ns > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f ms", double(wall_ns) / 1e6);
+    out += ", ";
+    out += buf;
+  }
+  out += " (streamed per shard)\n";
+  if (have_metrics) out += metrics.ToString();
+  return out;
+}
+
+std::string EngineReport::ToJson() const {
+  std::string out = "{\"plans\":[";
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendPlanJson(&out, plans[i]);
+  }
+  out += "]";
+  if (!fleet.empty()) out += ",\"fleet\":\"" + JsonEscape(fleet) + "\"";
+  if (!query_plan.empty())
+    out += ",\"query_plan\":\"" + JsonEscape(query_plan) + "\"";
+  if (have_cache)
+    out += ",\"plan_cache\":{\"size\":" + std::to_string(cache.size) +
+           ",\"hits\":" + std::to_string(cache.hits) +
+           ",\"misses\":" + std::to_string(cache.misses) +
+           ",\"evictions\":" + std::to_string(cache.evictions) + "}";
+  out += ",\"corpus\":{\"documents\":" + std::to_string(documents) +
+         ",\"total_mappings\":" + std::to_string(total_mappings) +
+         ",\"matched_documents\":" + std::to_string(matched_documents) +
+         ",\"shards\":" + std::to_string(shards) +
+         ",\"threads\":" + std::to_string(threads) + "}";
+  out += ",\"wall_ns\":" + std::to_string(wall_ns);
+  if (have_metrics) out += ",\"metrics\":" + metrics.ToJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace engine
+}  // namespace spanners

@@ -1,0 +1,67 @@
+// EngineReport: the one formatter for end-of-run engine statistics.
+//
+// Callers (tools/spanex, the future spanexd stats endpoint) collect the
+// relevant snapshots — per-plan PlanStats + lazy-DFA stats, plan-cache
+// stats, batch totals, wall time, and optionally the full telemetry
+// MetricsSnapshot — into this struct and render it exactly once, as
+// either the human-readable text block --stats always printed or a
+// machine-readable JSON object (--stats=json / --metrics=json). The
+// struct is plain data built from snapshots, so rendering never races
+// live counters and both formats always agree.
+#ifndef SPANNERS_ENGINE_REPORT_H_
+#define SPANNERS_ENGINE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/lazy_dfa.h"
+#include "engine/plan.h"
+#include "engine/plan_cache.h"
+#include "obs/metrics.h"
+
+namespace spanners {
+namespace engine {
+
+/// One plan's stats snapshot. `label` is "" for a single-plan run and
+/// "q<i>" (command-line position) for fleet members.
+struct PlanReport {
+  std::string label;
+  std::string info;  // PlanInfo::ToString()
+  PlanStats stats;
+  LazyDfaStats dfa;
+};
+
+struct EngineReport {
+  std::vector<PlanReport> plans;
+  /// MultiQueryExtractor::ToString() ("" outside fleet runs).
+  std::string fleet;
+  /// Compiled algebra plan string ("" outside query runs).
+  std::string query_plan;
+  bool have_cache = false;
+  PlanCacheStats cache;
+
+  size_t documents = 0;
+  uint64_t total_mappings = 0;
+  size_t matched_documents = 0;
+  size_t shards = 0;
+  size_t threads = 0;
+  uint64_t wall_ns = 0;
+
+  /// Telemetry snapshot; meaningful only when recording was enabled for
+  /// the run (have_metrics tracks that, not whether metrics exist).
+  bool have_metrics = false;
+  obs::MetricsSnapshot metrics;
+
+  /// The --stats text block, one `<prefix>...` line per fact.
+  std::string ToText(const std::string& prefix) const;
+  /// Everything above as one JSON object (single line, trailing newline
+  /// excluded): {"plans":[...],"corpus":{...},"cache":{...},
+  /// "wall_ns":...,"metrics":{...}}.
+  std::string ToJson() const;
+};
+
+}  // namespace engine
+}  // namespace spanners
+
+#endif  // SPANNERS_ENGINE_REPORT_H_

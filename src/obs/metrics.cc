@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+namespace spanners {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_heap_allocs{0};
+
+uint32_t ThreadCellIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return index;
+}
+
+}  // namespace internal
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the percentile observation, 1-based; walk the cumulative
+  // bucket counts until it is covered.
+  const uint64_t rank = static_cast<uint64_t>(p * (count - 1)) + 1;
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets) {
+    seen += n;
+    if (seen >= rank)
+      return bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
+  }
+  return buckets.empty() ? 0 : (uint64_t{1} << buckets.back().first) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  uint64_t merged[kBuckets] = {};
+  for (const Cell& c : cells_) {
+    for (size_t b = 0; b < kBuckets; ++b)
+      merged[b] += c.buckets[b].load(std::memory_order_relaxed);
+    s.sum += c.sum.load(std::memory_order_relaxed);
+  }
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    if (merged[b] == 0) continue;
+    s.count += merged[b];
+    s.buckets.emplace_back(b, merged[b]);
+  }
+  return s;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t count = 0;
+  for (const Cell& c : cells_)
+    for (size_t b = 0; b < kBuckets; ++b)
+      count += c.buckets[b].load(std::memory_order_relaxed);
+  return count;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t sum = 0;
+  for (const Cell& c : cells_) sum += c.sum.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::Reset() {
+  for (Cell& c : cells_) {
+    for (size_t b = 0; b < kBuckets; ++b)
+      c.buckets[b].store(0, std::memory_order_relaxed);
+    c.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters)
+    out += name + " = " + std::to_string(value) + "\n";
+  for (const HistogramSnapshot& h : histograms) {
+    out += h.name + " (" + h.unit + "): count=" + std::to_string(h.count) +
+           " sum=" + std::to_string(h.sum);
+    if (h.count > 0) {
+      out += " mean=" + std::to_string(static_cast<uint64_t>(h.Mean())) +
+             " p50=" + std::to_string(h.Percentile(0.5)) +
+             " p99=" + std::to_string(h.Percentile(0.99));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + h.name + "\":{\"unit\":\"" + h.unit +
+           "\",\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"p50\":" + std::to_string(h.Percentile(0.5)) +
+           ",\"p99\":" + std::to_string(h.Percentile(0.99)) + ",\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "[" + std::to_string(h.buckets[i].first) + "," +
+             std::to_string(h.buckets[i].second) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instrumentation sites cache metric pointers for
+  // the process lifetime, so the registry must never run destructors.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramEntry entry;
+    entry.histogram = std::make_unique<Histogram>();
+    entry.unit = std::string(unit);
+    it = histograms_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size() + 1);
+  for (const auto& [name, counter] : counters_)
+    s.counters.emplace_back(name, counter->Load());
+  if (this == &Global()) {
+    // Keep the name-sorted order: "mem.*" sorts after the engine/tier
+    // groups but before nothing registered so far — insert sorted.
+    const std::pair<std::string, uint64_t> heap{"mem.heap_allocs",
+                                                HeapAllocCount()};
+    auto pos = s.counters.begin();
+    while (pos != s.counters.end() && pos->first < heap.first) ++pos;
+    s.counters.insert(pos, heap);
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    HistogramSnapshot h = entry.histogram->Snapshot();
+    h.name = name;
+    h.unit = entry.unit;
+    s.histograms.push_back(std::move(h));
+  }
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, entry] : histograms_) entry.histogram->Reset();
+  if (this == &Global())
+    internal::g_heap_allocs.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace spanners

@@ -1,0 +1,114 @@
+#include "obs/perf_counters.h"
+
+#ifdef __linux__
+
+#include <linux/perf_event.h>
+#include <string.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace spanners {
+namespace obs {
+
+namespace {
+
+int PerfEventOpen(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // the leader starts the group
+  attr.exclude_kernel = 1;               // unprivileged-friendly
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  fd_leader_ = PerfEventOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+                             -1);
+  if (fd_leader_ < 0) return;  // masked syscall / no PMU: stay no-op
+  static constexpr uint64_t kSiblings[3] = {
+      PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_BRANCH_MISSES,
+      PERF_COUNT_HW_CACHE_MISSES};
+  for (int i = 0; i < 3; ++i) {
+    fd_sibling_[i] =
+        PerfEventOpen(PERF_TYPE_HARDWARE, kSiblings[i], fd_leader_);
+    if (fd_sibling_[i] < 0) {
+      // All-or-nothing: partial groups would skew the derived ratios.
+      for (int j = 0; j < i; ++j) {
+        close(fd_sibling_[j]);
+        fd_sibling_[j] = -1;
+      }
+      close(fd_leader_);
+      fd_leader_ = -1;
+      return;
+    }
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  if (fd_leader_ < 0) return;
+  for (int fd : fd_sibling_) close(fd);
+  close(fd_leader_);
+}
+
+void PerfCounterGroup::Start() {
+  if (fd_leader_ < 0) return;
+  ioctl(fd_leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterGroup::Stop() {
+  if (fd_leader_ < 0) return;
+  ioctl(fd_leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterGroup::Values PerfCounterGroup::Read() const {
+  Values v;
+  if (fd_leader_ < 0) return v;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  uint64_t buf[3 + 4];
+  const ssize_t want = sizeof(buf);
+  if (read(fd_leader_, buf, want) != want || buf[0] != 4) return v;
+  // Scale for PMU multiplexing (time_running < time_enabled when the
+  // kernel rotated other events onto the PMU).
+  const double scale =
+      buf[2] > 0 && buf[1] > buf[2]
+          ? static_cast<double>(buf[1]) / static_cast<double>(buf[2])
+          : 1.0;
+  auto scaled = [scale](uint64_t raw) {
+    return static_cast<uint64_t>(static_cast<double>(raw) * scale);
+  };
+  v.valid = true;
+  v.cycles = scaled(buf[3]);
+  v.instructions = scaled(buf[4]);
+  v.branch_misses = scaled(buf[5]);
+  v.cache_misses = scaled(buf[6]);
+  return v;
+}
+
+}  // namespace obs
+}  // namespace spanners
+
+#else  // !__linux__
+
+namespace spanners {
+namespace obs {
+
+PerfCounterGroup::PerfCounterGroup() {}
+PerfCounterGroup::~PerfCounterGroup() {}
+void PerfCounterGroup::Start() {}
+void PerfCounterGroup::Stop() {}
+PerfCounterGroup::Values PerfCounterGroup::Read() const { return Values(); }
+
+}  // namespace obs
+}  // namespace spanners
+
+#endif  // __linux__

@@ -1,0 +1,58 @@
+// Hardware performance counters via Linux perf_event_open: cycles,
+// instructions, branch misses and cache misses for the calling thread,
+// read as one atomic group so the ratios (IPC, miss rates, cycles/byte)
+// are internally consistent.
+//
+// Availability is probed at construction and failure is a supported
+// state, not an error: containers and CI runners commonly mask the
+// syscall (seccomp, perf_event_paranoid, missing PMU), and non-Linux
+// builds have no syscall at all. Callers branch on available() and report
+// counter-derived columns only when it holds — everything else (timing
+// spans, registry metrics) keeps working.
+#ifndef SPANNERS_OBS_PERF_COUNTERS_H_
+#define SPANNERS_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace spanners {
+namespace obs {
+
+class PerfCounterGroup {
+ public:
+  struct Values {
+    bool valid = false;  // false: counters unavailable on this system
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t branch_misses = 0;
+    uint64_t cache_misses = 0;
+  };
+
+  /// Opens the event group for the calling thread. available() reports
+  /// whether that worked; a failed open leaves a permanent no-op group.
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool available() const { return fd_leader_ >= 0; }
+
+  /// Zeroes and starts the group. No-op when unavailable.
+  void Start();
+  /// Stops counting (values freeze until the next Start).
+  void Stop();
+  /// The counts accumulated since Start. valid == false when unavailable
+  /// or the read failed; multiplexing scaling (time_enabled/time_running)
+  /// is applied when the kernel had to share the PMU.
+  Values Read() const;
+
+ private:
+  // Leader (cycles) + 3 siblings, read with PERF_FORMAT_GROUP.
+  int fd_leader_ = -1;
+  int fd_sibling_[3] = {-1, -1, -1};
+};
+
+}  // namespace obs
+}  // namespace spanners
+
+#endif  // SPANNERS_OBS_PERF_COUNTERS_H_

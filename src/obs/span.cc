@@ -1,0 +1,53 @@
+#include "obs/span.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace spanners {
+namespace obs {
+
+namespace internal {
+
+uint64_t SteadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#ifdef SPANNERS_OBS_HAS_TSC
+double NsPerTscTick() {
+  // Calibrate once: spin ~200 µs and divide the steady_clock delta by the
+  // TSC delta. Modern x86-64 has an invariant, cross-core-synchronized
+  // TSC, so one ratio serves every thread; residual calibration error is
+  // well under 0.1%.
+  static const double ns_per_tick = [] {
+    const uint64_t t0 = SteadyNanos();
+    const uint64_t c0 = __rdtsc();
+    while (SteadyNanos() - t0 < 200'000) {
+    }
+    const uint64_t t1 = SteadyNanos();
+    const uint64_t c1 = __rdtsc();
+    return c1 > c0 ? static_cast<double>(t1 - t0) /
+                         static_cast<double>(c1 - c0)
+                   : 1.0;
+  }();
+  return ns_per_tick;
+}
+#else
+double NsPerTscTick() { return 1.0; }
+#endif
+
+}  // namespace internal
+
+ObsSpan::~ObsSpan() {
+  if (hist_ == nullptr) return;
+  const uint64_t dur = NowNanos() - start_;
+  hist_->Record(dur);
+  if (name_ != nullptr && Trace::enabled())
+    Trace::Emit(name_, start_, dur, arg_);
+}
+
+}  // namespace obs
+}  // namespace spanners

@@ -1,0 +1,80 @@
+// ObsSpan: RAII timing of one pipeline-tier execution. Construction reads
+// the clock, destruction records the elapsed nanoseconds into a Histogram
+// and — when tracing is on — appends a trace event to this thread's ring
+// (obs/trace.h). When telemetry is disabled (obs::Enabled() == false, the
+// default) the constructor is a single relaxed load and the destructor a
+// null check: tiers can be instrumented unconditionally.
+//
+// Clock: on x86-64 the span reads the TSC directly (__rdtsc, ~8ns) and
+// converts to nanoseconds through a once-per-process calibration against
+// steady_clock; elsewhere it falls back to steady_clock (itself a vdso
+// TSC read on Linux, ~20ns). Timestamps share one epoch with the trace
+// ring, so span events nest correctly in a trace viewer.
+#ifndef SPANNERS_OBS_SPAN_H_
+#define SPANNERS_OBS_SPAN_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define SPANNERS_OBS_HAS_TSC 1
+#endif
+
+namespace spanners {
+namespace obs {
+
+namespace internal {
+/// Nanoseconds per TSC tick, calibrated against steady_clock on first use
+/// (~200 µs once per process).
+double NsPerTscTick();
+/// steady_clock nanoseconds (the non-TSC path and the calibration anchor).
+uint64_t SteadyNanos();
+}  // namespace internal
+
+/// Monotonic nanoseconds since an arbitrary process-constant epoch.
+inline uint64_t NowNanos() {
+#ifdef SPANNERS_OBS_HAS_TSC
+  return static_cast<uint64_t>(static_cast<double>(__rdtsc()) *
+                               internal::NsPerTscTick());
+#else
+  return internal::SteadyNanos();
+#endif
+}
+
+class ObsSpan {
+ public:
+  /// `hist` receives the elapsed ns; `name` (a static string) additionally
+  /// emits a trace event when tracing is enabled, with `arg` attached
+  /// (e.g. a document index). Passing nullptr for `name` keeps the span
+  /// histogram-only.
+  explicit ObsSpan(Histogram* hist, const char* name = nullptr,
+                   uint64_t arg = 0) {
+    if (!Enabled()) return;
+    hist_ = hist;
+    name_ = name;
+    arg_ = arg;
+    start_ = NowNanos();
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  ~ObsSpan();
+
+  /// The construction timestamp (0 when disabled). For callers that pair
+  /// a span with their own bookkeeping.
+  uint64_t start_ns() const { return start_; }
+
+ private:
+  Histogram* hist_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t arg_ = 0;
+  uint64_t start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spanners
+
+#endif  // SPANNERS_OBS_SPAN_H_

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/span.h"
+
+namespace spanners {
+namespace obs {
+
+namespace {
+
+struct Ring {
+  std::vector<TraceEvent> events;  // fixed capacity (power of two)
+  uint64_t head = 0;               // total emitted; slot = head & mask
+  uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  size_t capacity = 1 << 14;
+  uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: rings outlive threads
+  return *r;
+}
+
+// Shared ownership: the registry keeps the ring alive after thread exit
+// so a drain at the end of the run still sees early-worker events.
+thread_local std::shared_ptr<Ring> t_ring;
+
+Ring& ThreadRing() {
+  if (t_ring == nullptr) {
+    auto ring = std::make_shared<Ring>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    ring->events.resize(reg.capacity);
+    ring->tid = reg.next_tid++;
+    reg.rings.push_back(ring);
+    t_ring = std::move(ring);
+  }
+  return *t_ring;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::g_enabled{false};
+
+void Trace::Enable(size_t events_per_thread) {
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.capacity = RoundUpPow2(events_per_thread);
+    for (auto& ring : reg.rings) ring->head = 0;  // fresh window
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Trace::Emit(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                 uint64_t arg) {
+  if (!enabled()) return;
+  Ring& ring = ThreadRing();
+  const size_t mask = ring.events.size() - 1;
+  ring.events[ring.head & mask] = TraceEvent{name, ring.tid, start_ns,
+                                             dur_ns, arg};
+  ++ring.head;
+}
+
+uint64_t Trace::Drain(std::vector<TraceEvent>* out) {
+  out->clear();
+  uint64_t dropped = 0;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    const size_t capacity = ring->events.size();
+    const uint64_t emitted = ring->head;
+    const uint64_t retained = std::min<uint64_t>(emitted, capacity);
+    dropped += emitted - retained;
+    // Oldest-first: when the ring wrapped, the slot at head & mask is the
+    // oldest surviving event.
+    for (uint64_t i = 0; i < retained; ++i) {
+      const uint64_t seq = emitted - retained + i;
+      out->push_back(ring->events[seq & (capacity - 1)]);
+    }
+    ring->head = 0;
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return dropped;
+}
+
+void Trace::WriteChromeJson(std::ostream& os) {
+  std::vector<TraceEvent> events;
+  Drain(&events);
+  // Rebase to the earliest event so timestamps are small and positive.
+  const uint64_t epoch = events.empty() ? 0 : events.front().start_ns;
+  os << "[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // Chrome expects microseconds; keep sub-µs precision as decimals.
+    const double ts = static_cast<double>(e.start_ns - epoch) / 1000.0;
+    const double dur = static_cast<double>(e.dur_ns) / 1000.0;
+    os << "{\"name\":\"" << (e.name != nullptr ? e.name : "span")
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << ts
+       << ",\"dur\":" << dur << ",\"args\":{\"arg\":" << e.arg << "}}"
+       << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace obs
+}  // namespace spanners

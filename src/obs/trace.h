@@ -1,0 +1,69 @@
+// Bounded per-thread trace rings for flamegraph-style inspection of the
+// extraction pipeline. Each recording thread owns one fixed-capacity ring
+// of complete-span events; when the ring wraps, the oldest events are
+// overwritten, so tracing a long run keeps the most recent window instead
+// of growing without bound. Rings outlive their threads (shared ownership
+// with a process-wide registry), and Drain/WriteChromeJson merge every
+// ring into one start-time-ordered stream.
+//
+// The dump is Chrome trace_event compatible — one complete ("ph":"X")
+// event per line inside a JSON array — so `spanex --trace out.json`
+// loads directly into chrome://tracing / Perfetto, and the
+// one-event-per-line layout greps like JSONL.
+//
+// Emission is wait-free (no lock on the hot path; the per-thread ring is
+// single-writer). Draining while other threads are still emitting is not
+// supported — dump after the batch completes.
+#ifndef SPANNERS_OBS_TRACE_H_
+#define SPANNERS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace spanners {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string (tier / operator label)
+  uint32_t tid = 0;            // recording-thread index (dense, from 0)
+  uint64_t start_ns = 0;       // obs::NowNanos() timebase
+  uint64_t dur_ns = 0;
+  uint64_t arg = 0;            // site-defined (e.g. corpus document index)
+};
+
+class Trace {
+ public:
+  /// Turns tracing on. `events_per_thread` bounds every ring created from
+  /// here on (rounded up to a power of two, min 16); rings created by an
+  /// earlier Enable keep their size. Also clears previously drained state.
+  static void Enable(size_t events_per_thread = 1 << 14);
+  static void Disable();
+
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one complete-span event to this thread's ring (creating and
+  /// registering the ring on first use). No-op when tracing is off.
+  static void Emit(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                   uint64_t arg = 0);
+
+  /// Merges every ring, ordered by start_ns, into *out (cleared first).
+  /// Returns the number of events that were overwritten (emitted minus
+  /// retained). Do not call while other threads are emitting.
+  static uint64_t Drain(std::vector<TraceEvent>* out);
+
+  /// Chrome trace_event dump: a JSON array of complete events, one per
+  /// line. Consumes the rings like Drain.
+  static void WriteChromeJson(std::ostream& os);
+
+ private:
+  static std::atomic<bool> g_enabled;
+};
+
+}  // namespace obs
+}  // namespace spanners
+
+#endif  // SPANNERS_OBS_TRACE_H_

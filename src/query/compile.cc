@@ -8,9 +8,38 @@
 #include "automata/thompson.h"
 #include "common/arena.h"
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace spanners {
 namespace query {
+
+namespace {
+
+/// Per-operator inclusive time (a node's span covers its children — join
+/// time includes the build/probe scans it drives), so query.join_ns on a
+/// join-rooted tree reads as whole-document algebra time and the inner
+/// operators show where it went.
+struct QueryMetrics {
+  obs::Histogram* union_ns;
+  obs::Histogram* project_ns;
+  obs::Histogram* select_ns;
+  obs::Histogram* join_ns;
+};
+
+const QueryMetrics& Metrics() {
+  static const QueryMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    QueryMetrics m;
+    m.union_ns = r.GetHistogram("query.union_ns");
+    m.project_ns = r.GetHistogram("query.project_ns");
+    m.select_ns = r.GetHistogram("query.select_ns");
+    m.join_ns = r.GetHistogram("query.join_ns");
+    return m;
+  }();
+  return m;
+}
+
+}  // namespace
 
 // ---- physical operator tree ---------------------------------------------
 
@@ -129,6 +158,7 @@ class UnionNode final : public PhysicalNode {
 
   void Evaluate(const Document& doc, PlanScratch* scratch,
                 MappingSink& sink) const override {
+    obs::ObsSpan span(Metrics().union_ns, "query.union");
     DedupSink dedup(&scratch->query_arena, vars().size(), sink);
     left_->Evaluate(doc, scratch, dedup);
     right_->Evaluate(doc, scratch, dedup);
@@ -159,6 +189,7 @@ class ProjectNode final : public PhysicalNode {
 
   void Evaluate(const Document& doc, PlanScratch* scratch,
                 MappingSink& sink) const override {
+    obs::ObsSpan span(Metrics().project_ns, "query.project");
     DedupSink dedup(&scratch->query_arena, vars().size(), sink);
     struct Projector final : MappingSink {
       const VarSet& keep;
@@ -197,6 +228,7 @@ class SelectEqNode final : public PhysicalNode {
 
   void Evaluate(const Document& doc, PlanScratch* scratch,
                 MappingSink& sink) const override {
+    obs::ObsSpan span(Metrics().select_ns, "query.select");
     struct Filter final : MappingSink {
       const Document& doc;
       VarId x, y;
@@ -247,6 +279,7 @@ class JoinNode final : public PhysicalNode {
 
   void Evaluate(const Document& doc, PlanScratch* scratch,
                 MappingSink& sink) const override {
+    obs::ObsSpan span(Metrics().join_ns, "query.join");
     Arena* arena = &scratch->query_arena;
     MappingPool* pool = sink.pool();
 

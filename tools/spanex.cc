@@ -39,8 +39,16 @@
 //   -j, --threads N          worker threads (default: hardware concurrency)
 //   -0, --null               documents are NUL-delimited, not newline
 //   --no-header              suppress the TSV header row
-//   --stats                  print plan/batch statistics to stderr (per
-//                            plan for multi-query runs)
+//   --stats[=json]           print plan/batch statistics to stderr (per
+//                            plan for multi-query runs); =json emits one
+//                            machine-readable JSON object instead
+//   --metrics[=json]         --stats plus the full telemetry snapshot
+//                            (per-tier time histograms, cache counters);
+//                            enables metric recording for the run
+//   --trace FILE             record per-document/per-tier timing spans
+//                            into a bounded ring and write them to FILE
+//                            as a Chrome trace_event JSON array
+//                            (chrome://tracing, Perfetto)
 //   --generate KIND[:DOCS[:ROWS[:PATTERNS]]]
 //                            instead of reading files, synthesize a corpus
 //                            with the workload generators; KIND is
@@ -50,6 +58,7 @@
 //                            with no -p/-q given, the generated fleet's
 //                            own patterns are used)
 //   -h, --help               this text
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,6 +67,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/compile.h"
 #include "query/parser.h"
 #include "workload/generators.h"
@@ -72,7 +84,8 @@ int Usage(const char* argv0, int code) {
   out << "usage: " << argv0
       << " (-p PATTERN... | -f FILE | --patterns-file FILE |\n"
          "               -q QUERY | --query-file FILE)\n"
-         "              [-F tsv|json] [-j N] [-0] [--no-header] [--stats]\n"
+         "              [-F tsv|json] [-j N] [-0] [--no-header]\n"
+         "              [--stats[=json]] [--metrics[=json]] [--trace FILE]\n"
          "              [CORPUS_FILE...]\n"
          "Extracts document spanners — one or more RGX patterns (several\n"
          "run as a single-pass multi-query fleet) or an algebra query —\n"
@@ -81,13 +94,11 @@ int Usage(const char* argv0, int code) {
   return code;
 }
 
-void PrintLazyDfaStats(const LazyDfaStats& ds) {
-  std::cerr << " (" << ds.num_states << " dfa states, " << ds.num_atoms
-            << " atoms";
-  if (ds.evictions > 0) std::cerr << ", " << ds.evictions << " evicted";
-  if (ds.fallbacks > 0)
-    std::cerr << ", " << ds.fallbacks << " simulation fallbacks";
-  std::cerr << ")\n";
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -101,6 +112,9 @@ int main(int argc, char** argv) {
   char delimiter = '\n';
   bool header = true;
   bool stats = false;
+  bool metrics = false;
+  bool json_report = false;
+  std::string trace_path;
   std::string generate;
   std::vector<std::string> files;
 
@@ -177,6 +191,18 @@ int main(int argc, char** argv) {
       header = false;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--stats=json") {
+      stats = true;
+      json_report = true;
+    } else if (arg == "--metrics") {
+      stats = true;
+      metrics = true;
+    } else if (arg == "--metrics=json") {
+      stats = true;
+      metrics = true;
+      json_report = true;
+    } else if (arg == "--trace") {
+      trace_path = need_value("--trace");
     } else if (arg == "--generate") {
       generate = need_value("--generate");
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -303,9 +329,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry ships off; --metrics/--trace turn recording on for this run.
+  if (metrics || !trace_path.empty()) obs::SetEnabled(true);
+  if (!trace_path.empty()) obs::Trace::Enable();
+
   BatchOptions batch_options;
   batch_options.num_threads = threads;
   BatchExtractor batch(batch_options);
+
+  // End-of-run reporting shared by both execution paths: fill in the
+  // run-shape fields, render once, dump the trace ring.
+  const uint64_t run_start_ns = NowNs();
+  auto finish = [&](EngineReport report,
+                    const BatchExtractor::StreamStats& result) {
+    if (!trace_path.empty()) {
+      std::ofstream trace_out(trace_path, std::ios::binary);
+      if (!trace_out) {
+        std::cerr << "spanex: cannot open trace file: " << trace_path
+                  << "\n";
+      } else {
+        obs::Trace::WriteChromeJson(trace_out);
+      }
+      obs::Trace::Disable();
+    }
+    if (!stats) return;
+    report.documents = corpus.size();
+    report.total_mappings = result.total_mappings;
+    report.matched_documents = result.matched_documents;
+    report.shards = result.shards;
+    report.threads = batch.num_threads();
+    report.wall_ns = NowNs() - run_start_ns;
+    if (metrics) {
+      report.have_metrics = true;
+      report.metrics = obs::MetricsRegistry::Global().Snapshot();
+    }
+    if (json_report) {
+      std::cerr << report.ToJson() << "\n";
+    } else {
+      std::cerr << report.ToText("spanex: ");
+    }
+  };
 
   // Output streams shard by shard in deterministic corpus order: rows for
   // shard k print while shards k+1… are still extracting, and the full
@@ -346,28 +409,18 @@ int main(int argc, char** argv) {
         });
     std::cout << out;
 
-    if (stats) {
-      if (!compiled.has_value()) {
-        const ExtractionPlan& plan = *plans[0];
-        std::cerr << "spanex: plan [" << plan.info().ToString() << "]\n";
-        PlanStats ps = plan.stats();
-        std::cerr << "spanex: gate: " << ps.prefilter_skipped
-                  << " docs skipped by prefilter, " << ps.dfa_skipped
-                  << " by lazy-dfa";
-        PrintLazyDfaStats(plan.lazy_dfa().stats());
-      } else {
-        PlanCacheStats cs = cache.stats();
-        std::cerr << "spanex: query plan [" << compiled->PlanString()
-                  << "]\n"
-                  << "spanex: plan cache: " << cs.size << " plans, "
-                  << cs.hits << " hits, " << cs.misses << " misses\n";
-      }
-      std::cerr << "spanex: " << corpus.size() << " docs, "
-                << result.total_mappings << " mappings, "
-                << result.matched_documents << " matched docs, "
-                << result.shards << " shards, " << batch.num_threads()
-                << " threads (streamed per shard)\n";
+    EngineReport report;
+    if (!compiled.has_value()) {
+      const ExtractionPlan& plan = *plans[0];
+      report.plans.push_back(PlanReport{"", plan.info().ToString(),
+                                        plan.stats(),
+                                        plan.lazy_dfa().stats()});
+    } else {
+      report.query_plan = compiled->PlanString();
+      report.have_cache = true;
+      report.cache = cache.stats();
     }
+    finish(std::move(report), result);
     return 0;
   }
 
@@ -410,23 +463,17 @@ int main(int argc, char** argv) {
       });
   std::cout << out;
 
-  if (stats) {
-    std::cerr << "spanex: " << fleet.ToString() << "\n";
-    for (size_t p = 0; p < fleet.num_plans(); ++p) {
-      const ExtractionPlan& plan = fleet.plan(p);
-      std::cerr << "spanex: q" << p << " [" << plan.info().ToString()
-                << "]\n"
-                << "spanex: q" << p << " " << fleet.plan_stats(p).ToString();
-      PrintLazyDfaStats(plan.lazy_dfa().stats());
-    }
-    PlanCacheStats cs = cache.stats();
-    std::cerr << "spanex: plan cache: " << cs.size << " plans, " << cs.hits
-              << " hits, " << cs.misses << " misses\n";
-    std::cerr << "spanex: " << corpus.size() << " docs, "
-              << result.total_mappings << " mappings, "
-              << result.matched_documents << " matched docs, "
-              << result.shards << " shards, " << batch.num_threads()
-              << " threads (streamed per shard, single corpus pass)\n";
+  EngineReport report;
+  report.fleet = fleet.ToString();
+  for (size_t p = 0; p < fleet.num_plans(); ++p) {
+    const ExtractionPlan& plan = fleet.plan(p);
+    report.plans.push_back(PlanReport{"q" + std::to_string(p),
+                                      plan.info().ToString(),
+                                      fleet.plan_stats(p),
+                                      plan.lazy_dfa().stats()});
   }
+  report.have_cache = true;
+  report.cache = cache.stats();
+  finish(std::move(report), result);
   return 0;
 }
