@@ -9,6 +9,8 @@
 // BENCH_engine.json.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <new>
@@ -18,6 +20,8 @@
 #include "obs/perf_counters.h"
 #include "query/compile.h"
 #include "query/parser.h"
+#include "storage/ngram_index.h"
+#include "storage/segment.h"
 #include "workload/generators.h"
 
 // ---- allocation accounting ----------------------------------------------
@@ -331,6 +335,114 @@ BENCHMARK(BM_FleetSinglePassVsSequential)
     ->Arg(1)  // single-thread; also keeps the name in the /1/ quick filter
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Posting-list-gated extraction over a persisted segment vs. the full
+// in-memory scan, paired within the iteration like the fleet comparison
+// above: each iteration runs one ExtractIndexed over the mmap'd segment
+// (trigram index narrows 2000 docs to the ~1% candidates, only those are
+// materialized) and one ExtractInto full sweep back to back. The speedup
+// counter is what tools/run_bench.sh gates — on a needle corpus the index
+// must never make extraction slower than scanning. Setup writes the
+// segment to a temp file so the bench exercises the real mmap read path.
+void BM_IndexedExtract_Needle(benchmark::State& state) {
+  workload::NeedleOptions o;  // 2000 docs × ~512B, 1% match rate
+  Corpus corpus(workload::NeedleCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::NeedleRgx()));
+  BatchOptions bo;
+  bo.num_threads = 1;
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  char path[] = "/tmp/spanners_bench_segment_XXXXXX";
+  const int fd = mkstemp(path);
+  if (fd < 0) {
+    state.SkipWithError("mkstemp failed");
+    return;
+  }
+  close(fd);
+  const Status written = storage::SegmentStore::Write(corpus, path);
+  Result<storage::SegmentStore> opened = storage::SegmentStore::Open(path);
+  if (!written.ok() || !opened.ok()) {
+    unlink(path);
+    state.SkipWithError("segment write/open failed");
+    return;
+  }
+  const storage::SegmentStore store = std::move(opened).value();
+  const storage::NgramIndex index = storage::NgramIndex::Build(store);
+
+  BatchResult indexed_result, scan_result;
+  IndexedStats istats;
+  extractor.ExtractIndexed(plan, store, &index, &istats);  // warm-up
+  extractor.ExtractInto(plan, corpus, &scan_result);
+
+  using Clock = std::chrono::steady_clock;
+  double indexed_s = 0, scan_s = 0;
+  uint64_t mappings = 0;
+  for (auto _ : state) {
+    auto t0 = Clock::now();
+    indexed_result = extractor.ExtractIndexed(plan, store, &index);
+    auto t1 = Clock::now();
+    extractor.ExtractInto(plan, corpus, &scan_result);
+    auto t2 = Clock::now();
+    indexed_s += std::chrono::duration<double>(t1 - t0).count();
+    scan_s += std::chrono::duration<double>(t2 - t1).count();
+    mappings = indexed_result.total_mappings;
+    benchmark::DoNotOptimize(indexed_result);
+    benchmark::DoNotOptimize(scan_result);
+  }
+  unlink(path);
+
+  const double docs =
+      static_cast<double>(state.iterations()) * corpus.size();
+  state.counters["indexed_docs/s"] = indexed_s > 0 ? docs / indexed_s : 0;
+  state.counters["scan_docs/s"] = scan_s > 0 ? docs / scan_s : 0;
+  state.counters["speedup"] = indexed_s > 0 ? scan_s / indexed_s : 0;
+  state.counters["candidate_ratio"] = istats.CandidateRatio();
+  state.counters["mappings"] = static_cast<double>(mappings);
+}
+BENCHMARK(BM_IndexedExtract_Needle)
+    ->Arg(1)  // single-thread; also keeps the name in the /1/ quick filter
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Index construction throughput: trigram extraction + merge + varint
+// encode over the needle segment, reported as corpus MB/s. Tracks the
+// "index build MB/s" obs counter pair (index.build_bytes /
+// index.build_ns) from the other side.
+void BM_IndexBuild_Needle(benchmark::State& state) {
+  workload::NeedleOptions o;
+  Corpus corpus(workload::NeedleCorpus(o));
+
+  char path[] = "/tmp/spanners_bench_segment_XXXXXX";
+  const int fd = mkstemp(path);
+  if (fd < 0) {
+    state.SkipWithError("mkstemp failed");
+    return;
+  }
+  close(fd);
+  const Status written = storage::SegmentStore::Write(corpus, path);
+  Result<storage::SegmentStore> opened = storage::SegmentStore::Open(path);
+  if (!written.ok() || !opened.ok()) {
+    unlink(path);
+    state.SkipWithError("segment write/open failed");
+    return;
+  }
+  const storage::SegmentStore store = std::move(opened).value();
+
+  size_t num_terms = 0;
+  for (auto _ : state) {
+    storage::NgramIndex index = storage::NgramIndex::Build(store);
+    num_terms = index.num_terms();
+    benchmark::DoNotOptimize(index);
+  }
+  unlink(path);
+
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(store.data_bytes()));
+  state.counters["terms"] = static_cast<double>(num_terms);
+}
+BENCHMARK(BM_IndexBuild_Needle)->Unit(benchmark::kMillisecond);
 
 // The same fleet with a match-free corpus: every document is rejected by
 // the gates, so this pair isolates exactly what the single-pass tier

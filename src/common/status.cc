@@ -16,6 +16,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Out of range";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

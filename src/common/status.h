@@ -21,6 +21,7 @@ enum class StatusCode : uint8_t {
   kUnsatisfiable,     // the object provably has empty semantics
   kOutOfRange,        // index / position out of bounds
   kInternal,          // invariant violation (a bug in this library)
+  kCorruption,        // persisted data failed a checksum / structural check
 };
 
 /// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -49,6 +50,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

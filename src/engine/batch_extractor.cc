@@ -1,6 +1,9 @@
 #include "engine/batch_extractor.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -21,6 +24,63 @@ obs::Histogram* DocHistogram() {
   static obs::Histogram* h =
       obs::MetricsRegistry::Global().GetHistogram("engine.doc_ns");
   return h;
+}
+
+/// Byte-balanced contiguous shards over an arbitrary per-item size list —
+/// the candidate-docid analogue of ShardCorpus (which needs a Corpus, and
+/// indexed extraction deliberately has none until documents materialize).
+std::vector<Shard> ShardSizes(const std::vector<uint64_t>& sizes,
+                              const ShardingOptions& options) {
+  std::vector<Shard> shards;
+  if (sizes.empty()) return shards;
+  uint64_t total = 0;
+  for (uint64_t s : sizes) total += s;
+  const size_t max_shards = std::max<size_t>(1, options.max_shards);
+  const uint64_t target = std::max<uint64_t>(1, total / max_shards);
+
+  Shard cur{0, 0};
+  uint64_t acc = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    cur.end = i + 1;
+    acc += sizes[i];
+    if (acc >= target && cur.size() >= options.min_docs_per_shard &&
+        shards.size() + 1 < max_shards) {
+      shards.push_back(cur);
+      cur = Shard{i + 1, i + 1};
+      acc = 0;
+    }
+  }
+  if (cur.size() > 0) shards.push_back(cur);
+  return shards;
+}
+
+/// Snapshot of this process's page-fault counters (minor, major).
+std::pair<uint64_t, uint64_t> PageFaults() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return {0, 0};
+  return {static_cast<uint64_t>(ru.ru_minflt),
+          static_cast<uint64_t>(ru.ru_majflt)};
+}
+
+/// Mirrors one indexed call's accounting into the obs index.* metrics.
+void RecordIndexedStats(const IndexedStats& stats) {
+  if (!obs::Enabled()) return;
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* corpus_docs = reg.GetCounter("index.corpus_docs");
+  static obs::Counter* candidate_docs =
+      reg.GetCounter("index.candidate_docs");
+  static obs::Counter* postings = reg.GetCounter("index.postings_touched");
+  static obs::Counter* terms = reg.GetCounter("index.terms_probed");
+  static obs::Counter* minflt = reg.GetCounter("index.minor_faults");
+  static obs::Counter* majflt = reg.GetCounter("index.major_faults");
+  static obs::Histogram* lookup_ns = reg.GetHistogram("index.lookup_ns");
+  corpus_docs->Add(stats.corpus_docs);
+  candidate_docs->Add(stats.candidate_docs);
+  postings->Add(stats.postings_touched);
+  terms->Add(stats.terms_probed);
+  minflt->Add(stats.minor_faults);
+  majflt->Add(stats.major_faults);
+  lookup_ns->Record(stats.lookup_ns);
 }
 
 }  // namespace
@@ -136,6 +196,156 @@ void BatchExtractor::ExtractMultiInto(const MultiQueryExtractor& fleet,
     for (const auto& ms : br.per_doc) br.total_mappings += ms.size();
     result->total_mappings += br.total_mappings;
   }
+}
+
+BatchResult BatchExtractor::ExtractIndexed(const ExtractionPlan& plan,
+                                           const storage::SegmentStore& store,
+                                           const storage::NgramIndex* index,
+                                           IndexedStats* stats) {
+  BatchResult result;
+  const size_t num_docs = store.num_docs();
+  result.per_doc.assign(num_docs, {});
+
+  IndexedStats local;
+  local.corpus_docs = num_docs;
+  const std::pair<uint64_t, uint64_t> faults0 = PageFaults();
+
+  storage::CandidateSet cand;  // all = true: scan everything
+  if (index != nullptr) {
+    storage::LookupStats lookup;
+    const auto t0 = std::chrono::steady_clock::now();
+    cand = index->Candidates(plan.prefilter(), &lookup);
+    local.lookup_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    local.postings_touched = lookup.postings_touched;
+    local.terms_probed = lookup.terms_probed;
+  }
+  local.narrowed = !cand.all;
+  local.candidate_docs = cand.CountIn(num_docs);
+
+  if (local.candidate_docs > 0) {
+    // Byte-balanced shards over the candidate list; each task materializes
+    // its own candidates out of the mapping and writes only its own
+    // per-docid slots — the same determinism argument as ExtractInto, so
+    // the result is byte-identical for every thread count. Non-candidates
+    // keep their empty slots untouched.
+    std::vector<uint64_t> sizes(local.candidate_docs);
+    for (size_t j = 0; j < sizes.size(); ++j)
+      sizes[j] = store.doc_bytes(cand.all ? j : cand.docs[j]);
+    const std::vector<Shard> shards =
+        ShardSizes(sizes, MakeShardingOptions());
+    result.shards = shards.size();
+    for (const Shard& shard : shards) {
+      pool_.Submit([this, &plan, &store, &cand, &result, shard] {
+        PlanScratch& scratch =
+            *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+        for (size_t j = shard.begin; j < shard.end; ++j) {
+          const size_t d = cand.all ? j : cand.docs[j];
+          obs::ObsSpan span(DocHistogram(), "doc", d);
+          const Document doc = store.MaterializeDoc(d);
+          plan.ExtractSortedInto(doc, &scratch, &result.per_doc[d]);
+        }
+      });
+    }
+    pool_.WaitIdle();
+  }
+
+  for (const auto& ms : result.per_doc) result.total_mappings += ms.size();
+  const std::pair<uint64_t, uint64_t> faults1 = PageFaults();
+  local.minor_faults = faults1.first - faults0.first;
+  local.major_faults = faults1.second - faults0.second;
+  RecordIndexedStats(local);
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+MultiBatchResult BatchExtractor::ExtractIndexedMulti(
+    const MultiQueryExtractor& fleet, const storage::SegmentStore& store,
+    const storage::NgramIndex* index, IndexedStats* stats) {
+  MultiBatchResult result;
+  const size_t num_docs = store.num_docs();
+  const size_t num_plans = fleet.num_plans();
+  result.per_plan.resize(num_plans);
+  for (BatchResult& br : result.per_plan) br.per_doc.assign(num_docs, {});
+
+  IndexedStats local;
+  local.corpus_docs = num_docs;
+  if (num_plans == 0) {
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
+  const std::pair<uint64_t, uint64_t> faults0 = PageFaults();
+
+  // A document is a candidate when it is a candidate for ANY resident
+  // plan; a plan the index cannot narrow widens the union to the whole
+  // store (its matches could be anywhere).
+  storage::CandidateSet cand;
+  if (index != nullptr) {
+    storage::LookupStats lookup;
+    const auto t0 = std::chrono::steady_clock::now();
+    cand.all = false;
+    for (size_t p = 0; p < num_plans; ++p) {
+      storage::CandidateSet c =
+          index->Candidates(fleet.plan(p).prefilter(), &lookup);
+      if (c.all) {
+        cand.all = true;
+        cand.docs.clear();
+        break;
+      }
+      std::vector<uint32_t> merged;
+      merged.reserve(cand.docs.size() + c.docs.size());
+      std::set_union(cand.docs.begin(), cand.docs.end(), c.docs.begin(),
+                     c.docs.end(), std::back_inserter(merged));
+      cand.docs = std::move(merged);
+    }
+    local.lookup_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    local.postings_touched = lookup.postings_touched;
+    local.terms_probed = lookup.terms_probed;
+  }
+  local.narrowed = !cand.all;
+  local.candidate_docs = cand.CountIn(num_docs);
+
+  if (local.candidate_docs > 0) {
+    std::vector<uint64_t> sizes(local.candidate_docs);
+    for (size_t j = 0; j < sizes.size(); ++j)
+      sizes[j] = store.doc_bytes(cand.all ? j : cand.docs[j]);
+    const std::vector<Shard> shards =
+        ShardSizes(sizes, MakeShardingOptions());
+    result.shards = shards.size();
+    for (BatchResult& br : result.per_plan) br.shards = shards.size();
+    for (const Shard& shard : shards) {
+      pool_.Submit([this, &fleet, &store, &cand, &result, num_plans, shard] {
+        PlanScratch& scratch =
+            *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+        std::vector<std::vector<Mapping>*> slots(num_plans);
+        for (size_t j = shard.begin; j < shard.end; ++j) {
+          const size_t d = cand.all ? j : cand.docs[j];
+          obs::ObsSpan span(DocHistogram(), "doc", d);
+          for (size_t p = 0; p < num_plans; ++p)
+            slots[p] = &result.per_plan[p].per_doc[d];
+          const Document doc = store.MaterializeDoc(d);
+          fleet.ExtractAllSortedInto(doc, &scratch, slots.data());
+        }
+      });
+    }
+    pool_.WaitIdle();
+  }
+
+  for (BatchResult& br : result.per_plan) {
+    for (const auto& ms : br.per_doc) br.total_mappings += ms.size();
+    result.total_mappings += br.total_mappings;
+  }
+  const std::pair<uint64_t, uint64_t> faults1 = PageFaults();
+  local.minor_faults = faults1.first - faults0.first;
+  local.major_faults = faults1.second - faults0.second;
+  RecordIndexedStats(local);
+  if (stats != nullptr) *stats = local;
+  return result;
 }
 
 BatchExtractor::StreamStats BatchExtractor::ExtractMultiStream(

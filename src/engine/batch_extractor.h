@@ -19,6 +19,8 @@
 #include "engine/multi_query.h"
 #include "engine/plan.h"
 #include "engine/thread_pool.h"
+#include "storage/ngram_index.h"
+#include "storage/segment.h"
 
 namespace spanners {
 namespace engine {
@@ -48,6 +50,31 @@ struct MultiBatchResult {
   std::vector<BatchResult> per_plan;
   uint64_t total_mappings = 0;  // across every plan
   size_t shards = 0;
+};
+
+/// Accounting of one ExtractIndexed{,Multi} call: how much the posting
+/// index narrowed the scan, what the lookup cost, and the mmap paging the
+/// candidate materialization incurred. Mirrored into obs index.* metrics.
+struct IndexedStats {
+  size_t corpus_docs = 0;
+  /// Documents actually materialized and extracted (== corpus_docs when
+  /// the index could not narrow the query).
+  size_t candidate_docs = 0;
+  /// Whether the index produced an explicit candidate set (some clause
+  /// was indexable); false = full scan over the store.
+  bool narrowed = false;
+  uint64_t postings_touched = 0;  // posting entries decoded
+  uint64_t terms_probed = 0;      // term-table binary searches
+  uint64_t lookup_ns = 0;         // candidate-set computation wall time
+  uint64_t minor_faults = 0;      // getrusage deltas across the call
+  uint64_t major_faults = 0;
+
+  /// candidate_docs / corpus_docs in [0, 1]; 1.0 for an empty corpus.
+  double CandidateRatio() const {
+    return corpus_docs == 0
+               ? 1.0
+               : static_cast<double>(candidate_docs) / corpus_docs;
+  }
 };
 
 class BatchExtractor {
@@ -134,6 +161,33 @@ class BatchExtractor {
   StreamStats ExtractMultiStream(const MultiQueryExtractor& fleet,
                                  const Corpus& corpus,
                                  const MultiShardConsumer& consumer);
+
+  /// Index-accelerated Extract over a persisted segment: the plan's
+  /// prefilter requirement compiles to posting-list intersections
+  /// (NgramIndex::Candidates) and ONLY candidate documents are
+  /// materialized out of the mapping and extracted — non-candidates keep
+  /// their (provably correct) empty per_doc slots without ever being
+  /// touched. The result is byte-identical, for every thread count, to
+  /// Extract(plan, store.ReadAll()): candidates are a superset of the
+  /// matching documents and every survivor still runs the full gate
+  /// cascade. `index` may be null (or unable to narrow the plan), in
+  /// which case every document is scanned. Extracted documents are
+  /// copied out of the mapping (SegmentStore::MaterializeDoc), so results
+  /// never dangle after the store closes.
+  BatchResult ExtractIndexed(const ExtractionPlan& plan,
+                             const storage::SegmentStore& store,
+                             const storage::NgramIndex* index,
+                             IndexedStats* stats = nullptr);
+
+  /// Indexed ExtractMulti: candidates are the UNION of every resident
+  /// plan's candidate set (any plan that the index cannot narrow widens
+  /// the union to the whole store), and each candidate document runs the
+  /// fleet's normal shared-AC cascade. per_plan[p] is byte-identical to
+  /// Extract(fleet.plan(p), store.ReadAll()) for every thread count.
+  MultiBatchResult ExtractIndexedMulti(const MultiQueryExtractor& fleet,
+                                       const storage::SegmentStore& store,
+                                       const storage::NgramIndex* index,
+                                       IndexedStats* stats = nullptr);
 
  private:
   /// Shard sizing shared by Extract and ExtractStream.

@@ -294,6 +294,18 @@ bool Prefilter::Matches(std::string_view text) const {
   return true;
 }
 
+std::vector<Prefilter::Clause> Prefilter::IndexableClauses(
+    size_t ngram_len) const {
+  std::vector<Clause> out;
+  for (const Clause& c : clauses_) {
+    const bool indexable =
+        std::all_of(c.literals.begin(), c.literals.end(),
+                    [&](const std::string& l) { return l.size() >= ngram_len; });
+    if (indexable) out.push_back(c);
+  }
+  return out;
+}
+
 std::string Prefilter::ToString() const {
   if (clauses_.empty()) return "match-all";
   auto quote = [](const std::string& s) {

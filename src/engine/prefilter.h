@@ -76,6 +76,19 @@ class Prefilter {
   /// shared scan.
   const std::vector<Clause>& clauses() const { return clauses_; }
 
+  /// The clauses an n-gram posting index can answer: those whose EVERY
+  /// literal is at least `ngram_len` bytes (a clause is a disjunction, so
+  /// one unindexable literal makes the whole clause unanswerable — the
+  /// index cannot enumerate documents containing a too-short literal).
+  /// Each returned clause compiles to posting-list work — per literal the
+  /// intersection of its n-grams' postings, unioned across the clause's
+  /// literals — and the conjunction of clauses to an intersection of
+  /// those sets (storage::NgramIndex::Candidates). The result is a sound
+  /// overapproximation: candidates ⊇ matching documents, because a kept
+  /// clause is a requirement every matching document satisfies. Empty
+  /// means the index cannot narrow this plan at all (scan everything).
+  std::vector<Clause> IndexableClauses(size_t ngram_len) const;
+
   /// Whether clause evaluation runs the single-pass Aho–Corasick engine
   /// (kAcLiteralThreshold or more literals) instead of memmem probes.
   bool uses_aho_corasick() const { return ac_ != nullptr; }

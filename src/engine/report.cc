@@ -85,6 +85,22 @@ std::string EngineReport::ToText(const std::string& prefix) const {
       out += ", " + std::to_string(cache.evictions) + " evictions";
     out += "\n";
   }
+  if (have_index) {
+    if (!index_info.empty()) out += prefix + index_info + "\n";
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.1f%%",
+                  index_stats.CandidateRatio() * 100.0);
+    out += prefix + "index: " +
+           std::to_string(index_stats.candidate_docs) + "/" +
+           std::to_string(index_stats.corpus_docs) + " candidate docs (" +
+           ratio + (index_stats.narrowed ? "" : ", not narrowed") + "), " +
+           std::to_string(index_stats.postings_touched) +
+           " postings touched, " + std::to_string(index_stats.terms_probed) +
+           " terms probed, lookup " +
+           std::to_string(index_stats.lookup_ns / 1000) + " us, faults " +
+           std::to_string(index_stats.minor_faults) + " minor/" +
+           std::to_string(index_stats.major_faults) + " major\n";
+  }
   out += prefix + std::to_string(documents) + " docs, " +
          std::to_string(total_mappings) + " mappings, " +
          std::to_string(matched_documents) + " matched docs, " +
@@ -121,6 +137,24 @@ std::string EngineReport::ToJson() const {
          ",\"matched_documents\":" + std::to_string(matched_documents) +
          ",\"shards\":" + std::to_string(shards) +
          ",\"threads\":" + std::to_string(threads) + "}";
+  if (have_index) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.6f",
+                  index_stats.CandidateRatio());
+    out += ",\"index\":{\"info\":\"" + JsonEscape(index_info) +
+           "\",\"corpus_docs\":" + std::to_string(index_stats.corpus_docs) +
+           ",\"candidate_docs\":" +
+           std::to_string(index_stats.candidate_docs) +
+           ",\"candidate_ratio\":" + ratio +
+           ",\"narrowed\":" + (index_stats.narrowed ? "true" : "false") +
+           ",\"postings_touched\":" +
+           std::to_string(index_stats.postings_touched) +
+           ",\"terms_probed\":" + std::to_string(index_stats.terms_probed) +
+           ",\"lookup_ns\":" + std::to_string(index_stats.lookup_ns) +
+           ",\"minor_faults\":" + std::to_string(index_stats.minor_faults) +
+           ",\"major_faults\":" + std::to_string(index_stats.major_faults) +
+           "}";
+  }
   out += ",\"wall_ns\":" + std::to_string(wall_ns);
   if (have_metrics) out += ",\"metrics\":" + metrics.ToJson();
   out += "}";

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "automata/lazy_dfa.h"
+#include "engine/batch_extractor.h"
 #include "engine/plan.h"
 #include "engine/plan_cache.h"
 #include "obs/metrics.h"
@@ -52,6 +53,13 @@ struct EngineReport {
   /// the run (have_metrics tracks that, not whether metrics exist).
   bool have_metrics = false;
   obs::MetricsSnapshot metrics;
+
+  /// Posting-index accounting of an --index run (have_index tracks
+  /// whether the indexed path ran at all; `index` summarizes the opened
+  /// index, e.g. NgramIndex::ToString()).
+  bool have_index = false;
+  std::string index_info;
+  IndexedStats index_stats;
 
   /// The --stats text block, one `<prefix>...` line per fact.
   std::string ToText(const std::string& prefix) const;

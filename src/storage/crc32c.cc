@@ -1,0 +1,57 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace spanners {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected Castagnoli polynomial
+
+struct Tables {
+  uint32_t t[4][256];
+};
+
+Tables BuildTables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1)));
+    tb.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tb.t[1][i] = (tb.t[0][i] >> 8) ^ tb.t[0][tb.t[0][i] & 0xff];
+    tb.t[2][i] = (tb.t[1][i] >> 8) ^ tb.t[0][tb.t[1][i] & 0xff];
+    tb.t[3][i] = (tb.t[2][i] >> 8) ^ tb.t[0][tb.t[2][i] & 0xff];
+  }
+  return tb;
+}
+
+const Tables& T() {
+  static const Tables tb = BuildTables();
+  return tb;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t init) {
+  const Tables& tb = T();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+    crc = tb.t[3][crc & 0xff] ^ tb.t[2][(crc >> 8) & 0xff] ^
+          tb.t[1][(crc >> 16) & 0xff] ^ tb.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  return ~crc;
+}
+
+}  // namespace storage
+}  // namespace spanners

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli) for the on-disk segment and index formats. Software
+// slice-by-4 implementation — no SSE4.2 dependency, so checksums agree
+// across every build target; the storage layer checksums metadata once per
+// open and pages once per write, never on the extraction hot path.
+#ifndef SPANNERS_STORAGE_CRC32C_H_
+#define SPANNERS_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace spanners {
+namespace storage {
+
+/// CRC32C of `data`, seeded by `init` so checksums can be chained:
+/// Crc32c(b, Crc32c(a)) == Crc32c(a ++ b).
+uint32_t Crc32c(const void* data, size_t size, uint32_t init = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t init = 0) {
+  return Crc32c(data.data(), data.size(), init);
+}
+
+}  // namespace storage
+}  // namespace spanners
+
+#endif  // SPANNERS_STORAGE_CRC32C_H_

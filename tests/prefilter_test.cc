@@ -170,6 +170,38 @@ TEST(PrefilterTest, ToStringShapes) {
   EXPECT_NE(d.find("|"), std::string::npos) << d;
 }
 
+// IndexableClauses keeps exactly the clauses a trigram index can answer:
+// every literal of the clause at least ngram_len bytes. One short literal
+// poisons its whole clause (the index cannot enumerate its documents),
+// but never the other clauses.
+TEST(PrefilterTest, IndexableClausesFilterByMinLiteralLength) {
+  // One clause, literal "Seller: " (8 bytes) — indexable at n=3.
+  Prefilter p = Prefilter::FromRgx(MustParse(".*Seller: (x{[^,\\n]*}),.*"));
+  std::vector<Prefilter::Clause> kept = p.IndexableClauses(3);
+  ASSERT_FALSE(kept.empty());
+  for (const Prefilter::Clause& c : kept)
+    for (const std::string& lit : c.literals) EXPECT_GE(lit.size(), 3u);
+
+  // Asking for longer n-grams than any literal drops everything.
+  EXPECT_TRUE(p.IndexableClauses(64).empty());
+
+  // Disjunction with a 3-byte minimum: {abc, wxyz} survives at n=3 but
+  // not at n=4 — wxyz alone being long enough is not enough, the clause
+  // is an OR and abc's documents are unknown to a 4-gram index.
+  Prefilter d = Prefilter::FromRgx(MustParse(".*(abc|wxyz).*"));
+  bool has_abc_clause = false;
+  for (const Prefilter::Clause& c : d.IndexableClauses(3))
+    for (const std::string& lit : c.literals)
+      if (lit == "abc") has_abc_clause = true;
+  EXPECT_TRUE(has_abc_clause);
+  for (const Prefilter::Clause& c : d.IndexableClauses(4))
+    for (const std::string& lit : c.literals) EXPECT_NE(lit, "abc");
+
+  // Match-all prefilter: nothing to index.
+  EXPECT_TRUE(Prefilter().IndexableClauses(3).empty());
+  EXPECT_TRUE(Prefilter::FromRgx(MustParse(".*")).IndexableClauses(3).empty());
+}
+
 TEST(PrefilterTest, RandomizedSoundnessAgainstRunSemantics) {
   std::mt19937 rng(29);
   workload::RandomRgxOptions o;

@@ -49,7 +49,7 @@ fi
 
 ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
 if [[ "$QUICK" == 1 ]]; then
-  ARGS+=(--benchmark_filter='(BatchExtract|Fleet).*/1/')
+  ARGS+=(--benchmark_filter='(BatchExtract|Fleet|Indexed).*/1/')
 else
   ARGS+=(--benchmark_repetitions=3 --benchmark_report_aggregates_only=true
          --benchmark_filter='-CyclesPerByte|MetricsOverhead')
@@ -136,10 +136,11 @@ if overhead > 2.0:
 
 rate = {}
 fleet = {}
+indexed = {}
 for b in data["benchmarks"]:
     name = b["name"]
-    if ("BatchExtract" not in name and "Fleet" not in name) \
-            or "/1/" not in name:
+    if ("BatchExtract" not in name and "Fleet" not in name
+            and "Indexed" not in name) or "/1/" not in name:
         continue
     if "median" in name or b.get("repetitions", 1) in (0, 1):
         print(f'{name}: {b.get("mappings/s", 0):,.0f} mappings/s, '
@@ -159,6 +160,11 @@ for b in data["benchmarks"]:
             fleet["gate_multi"] = b.get("docs/s", 0)
         if "SequentialGate_Fleet" in name:
             fleet["gate_sequential"] = b.get("docs/s", 0)
+        if "IndexedExtract_Needle" in name:
+            indexed["indexed"] = b.get("indexed_docs/s", 0)
+            indexed["scan"] = b.get("scan_docs/s", 0)
+            indexed["speedup"] = b.get("speedup", 0)
+            indexed["candidate_ratio"] = b.get("candidate_ratio", 1.0)
 
 # Prefilter/lazy-DFA gate check: on the low-selectivity workload the gated
 # path must never be slower than running the evaluator on every document.
@@ -195,4 +201,18 @@ if "paired_speedup" in fleet:
     if fleet["paired_speedup"] < 0.97:
         sys.exit("FAIL: single-pass multi-query throughput fell below "
                  "sequential per-plan extraction (paired comparison)")
+
+# Indexed-extraction gate, same-run paired comparison: on the needle
+# corpus (1% selectivity) posting-list gating over the mmap'd segment
+# must not fall below the full in-memory scan. The structural win is
+# large (only candidates are materialized), so like the fleet gate a 3%
+# noise allowance is plenty.
+if "speedup" in indexed:
+    print(f'indexed-vs-scan speedup (needle, paired): '
+          f'{indexed["speedup"]:.2f}x '
+          f'({indexed["indexed"]:,.0f} vs {indexed["scan"]:,.0f} docs/s, '
+          f'{100.0 * indexed["candidate_ratio"]:.1f}% candidates)')
+    if indexed["speedup"] < 0.97:
+        sys.exit("FAIL: indexed extraction fell below the full scan "
+                 "(paired comparison)")
 EOF

@@ -57,6 +57,18 @@
 //                            (PATTERNS needle queries over one corpus;
 //                            with no -p/-q given, the generated fleet's
 //                            own patterns are used)
+//   --save-corpus FILE       write the loaded/generated corpus as an
+//                            immutable checksummed mmap segment (with
+//                            --index: also build and save the trigram
+//                            posting index next to it, FILE.idx) and exit
+//                            without extracting
+//   --corpus FILE            read the corpus from a persisted segment
+//                            instead of delimited text (checksum-verified
+//                            open; corrupted files are rejected)
+//   --index                  with --corpus: open FILE.idx and extract
+//                            through posting-list candidate lookup — only
+//                            candidate documents are materialized; output
+//                            is byte-identical to the full scan
 //   -h, --help               this text
 #include <chrono>
 #include <cstring>
@@ -68,10 +80,13 @@
 
 #include "engine/engine.h"
 #include "engine/report.h"
+#include "engine/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/compile.h"
 #include "query/parser.h"
+#include "storage/ngram_index.h"
+#include "storage/segment.h"
 #include "workload/generators.h"
 
 namespace {
@@ -86,6 +101,7 @@ int Usage(const char* argv0, int code) {
          "               -q QUERY | --query-file FILE)\n"
          "              [-F tsv|json] [-j N] [-0] [--no-header]\n"
          "              [--stats[=json]] [--metrics[=json]] [--trace FILE]\n"
+         "              [--save-corpus FILE | --corpus FILE [--index]]\n"
          "              [CORPUS_FILE...]\n"
          "Extracts document spanners — one or more RGX patterns (several\n"
          "run as a single-pass multi-query fleet) or an algebra query —\n"
@@ -116,6 +132,9 @@ int main(int argc, char** argv) {
   bool json_report = false;
   std::string trace_path;
   std::string generate;
+  std::string save_corpus;
+  std::string corpus_path;
+  bool use_index = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -205,6 +224,12 @@ int main(int argc, char** argv) {
       trace_path = need_value("--trace");
     } else if (arg == "--generate") {
       generate = need_value("--generate");
+    } else if (arg == "--save-corpus") {
+      save_corpus = need_value("--save-corpus");
+    } else if (arg == "--corpus") {
+      corpus_path = need_value("--corpus");
+    } else if (arg == "--index") {
+      use_index = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "spanex: unknown option " << arg << "\n";
       return Usage(argv[0], 2);
@@ -216,6 +241,27 @@ int main(int argc, char** argv) {
     std::cerr << "spanex: -p/--pattern and -q/--query are mutually "
                  "exclusive\n";
     return Usage(argv[0], 2);
+  }
+  if (!corpus_path.empty() && (!generate.empty() || !files.empty())) {
+    std::cerr << "spanex: --corpus is mutually exclusive with --generate "
+                 "and corpus files\n";
+    return 2;
+  }
+  if (!corpus_path.empty() && !save_corpus.empty()) {
+    std::cerr << "spanex: --corpus and --save-corpus are mutually "
+                 "exclusive\n";
+    return 2;
+  }
+  if (use_index && corpus_path.empty() && save_corpus.empty()) {
+    std::cerr << "spanex: --index needs --corpus FILE (indexed extraction) "
+                 "or --save-corpus FILE (index build)\n";
+    return 2;
+  }
+  if (use_index && !corpus_path.empty() && have_query) {
+    std::cerr << "spanex: --index accelerates pattern plans (-p); algebra "
+                 "queries (-q) are not index-gated — drop --index to run "
+                 "the query over the persisted corpus\n";
+    return 2;
   }
 
   // Corpus: synthesized, or all inputs concatenated ("-" means stdin).
@@ -274,12 +320,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (patterns.empty() && !have_query) {
+  if (patterns.empty() && !have_query && save_corpus.empty()) {
     std::cerr << "spanex: missing -p/--pattern, -f/--pattern-file, "
                  "--patterns-file, -q/--query or --query-file\n";
     return Usage(argv[0], 2);
   }
-  if (generate.empty() && files.empty()) files.push_back("-");
+  if (generate.empty() && corpus_path.empty() && files.empty())
+    files.push_back("-");
   for (const std::string& path : files) {
     Corpus part;
     if (path == "-") {
@@ -293,6 +340,76 @@ int main(int argc, char** argv) {
       part = std::move(loaded).value();
     }
     corpus.Append(std::move(part));
+  }
+
+  // Persist-and-exit mode: write the loaded corpus as a checksummed
+  // segment (and, with --index, its trigram posting index) — the file a
+  // later `--corpus FILE [--index]` run opens without re-parsing text.
+  if (!save_corpus.empty()) {
+    engine::ThreadPool pool(threads);
+    storage::SegmentWriteOptions write_options;
+    write_options.pool = &pool;
+    Status written =
+        storage::SegmentStore::Write(corpus, save_corpus, write_options);
+    if (!written.ok()) {
+      std::cerr << "spanex: " << written.ToString() << "\n";
+      return 2;
+    }
+    // Reopen through the validating path: what we report is what a
+    // reader will accept.
+    Result<storage::SegmentStore> reopened =
+        storage::SegmentStore::Open(save_corpus);
+    if (!reopened.ok()) {
+      std::cerr << "spanex: " << reopened.status().ToString() << "\n";
+      return 2;
+    }
+    std::cerr << "spanex: wrote " << save_corpus << ": "
+              << reopened.value().ToString() << "\n";
+    if (use_index) {
+      const uint64_t build_start = NowNs();
+      storage::NgramIndex built =
+          storage::NgramIndex::Build(reopened.value(), &pool);
+      const uint64_t build_ns = NowNs() - build_start;
+      const std::string index_path = storage::IndexPathFor(save_corpus);
+      Status saved = built.Save(index_path);
+      if (!saved.ok()) {
+        std::cerr << "spanex: " << saved.ToString() << "\n";
+        return 2;
+      }
+      const double mb = double(reopened.value().data_bytes()) / (1024 * 1024);
+      char rate[48];
+      std::snprintf(rate, sizeof(rate), "%.1f MB/s",
+                    build_ns > 0 ? mb / (double(build_ns) / 1e9) : 0.0);
+      std::cerr << "spanex: wrote " << index_path << ": " << built.ToString()
+                << " (built at " << rate << ")\n";
+    }
+    return 0;
+  }
+
+  // Persisted-corpus mode: open (and checksum-verify) the segment; with
+  // --index also its posting index. Without --index the store is read
+  // back into an in-memory corpus and scanned like any other input.
+  std::optional<storage::SegmentStore> store;
+  std::optional<storage::NgramIndex> index;
+  if (!corpus_path.empty()) {
+    Result<storage::SegmentStore> opened =
+        storage::SegmentStore::Open(corpus_path);
+    if (!opened.ok()) {
+      std::cerr << "spanex: " << opened.status().ToString() << "\n";
+      return 2;
+    }
+    store = std::move(opened).value();
+    if (use_index) {
+      Result<storage::NgramIndex> opened_index = storage::NgramIndex::Open(
+          storage::IndexPathFor(corpus_path), store->num_docs());
+      if (!opened_index.ok()) {
+        std::cerr << "spanex: " << opened_index.status().ToString() << "\n";
+        return 2;
+      }
+      index = std::move(opened_index).value();
+    } else {
+      corpus = store->ReadAll();
+    }
   }
 
   // Compile. Multiple patterns share the plan cache (a repeated pattern
@@ -353,7 +470,7 @@ int main(int argc, char** argv) {
       obs::Trace::Disable();
     }
     if (!stats) return;
-    report.documents = corpus.size();
+    report.documents = index.has_value() ? store->num_docs() : corpus.size();
     report.total_mappings = result.total_mappings;
     report.matched_documents = result.matched_documents;
     report.shards = result.shards;
@@ -380,6 +497,100 @@ int main(int argc, char** argv) {
       out.clear();
     }
   };
+
+  // Indexed extraction over a persisted corpus: posting-list candidate
+  // lookup, then the normal gate cascade over candidates only. Output and
+  // report rows match the full-scan paths byte for byte (matched docs are
+  // always candidates; non-candidates provably have no rows).
+  if (index.has_value()) {
+    IndexedStats index_stats;
+    BatchExtractor::StreamStats run_stats;
+    EngineReport report;
+
+    if (plans.size() == 1) {
+      const ExtractionPlan& plan = *plans[0];
+      const VarSet& vars = plan.vars();
+      if (format == OutputFormat::kTsv && header) {
+        out += TsvHeader(vars);
+        out += '\n';
+      }
+      BatchResult result =
+          batch.ExtractIndexed(plan, *store, &*index, &index_stats);
+      for (size_t i = 0; i < result.per_doc.size(); ++i) {
+        if (result.per_doc[i].empty()) continue;
+        const Document doc = store->MaterializeDoc(i);
+        for (const Mapping& m : result.per_doc[i]) {
+          out += format == OutputFormat::kTsv ? ToTsvRow(i, m, vars, doc)
+                                              : ToJsonRow(i, m, vars, doc);
+          out += '\n';
+          flush_if_large();
+        }
+      }
+      std::cout << out;
+      out.clear();
+      run_stats.total_mappings = result.total_mappings;
+      run_stats.matched_documents = result.MatchedDocuments();
+      run_stats.shards = result.shards;
+      report.plans.push_back(PlanReport{"", plan.info().ToString(),
+                                        plan.stats(),
+                                        plan.lazy_dfa().stats()});
+    } else {
+      MultiQueryExtractor fleet(plans);
+      if (format == OutputFormat::kTsv && header) {
+        for (size_t p = 0; p < fleet.num_plans(); ++p) {
+          out += "# q" + std::to_string(p) + ": query\t" +
+                 TsvHeader(fleet.plan(p).vars());
+          out += '\n';
+        }
+      }
+      MultiBatchResult result =
+          batch.ExtractIndexedMulti(fleet, *store, &*index, &index_stats);
+      for (size_t i = 0; i < store->num_docs(); ++i) {
+        bool matched = false;
+        for (size_t p = 0; p < result.per_plan.size(); ++p)
+          matched = matched || !result.per_plan[p].per_doc[i].empty();
+        if (!matched) continue;
+        ++run_stats.matched_documents;
+        const Document doc = store->MaterializeDoc(i);
+        for (size_t p = 0; p < result.per_plan.size(); ++p) {
+          const VarSet& vars = fleet.plan(p).vars();
+          for (const Mapping& m : result.per_plan[p].per_doc[i]) {
+            if (format == OutputFormat::kTsv) {
+              out += std::to_string(p);
+              out += '\t';
+              out += ToTsvRow(i, m, vars, doc);
+            } else {
+              std::string row = ToJsonRow(i, m, vars, doc);
+              out += "{\"query\":" + std::to_string(p) + ",";
+              out.append(row, 1, row.size() - 1);
+            }
+            out += '\n';
+            flush_if_large();
+          }
+        }
+      }
+      std::cout << out;
+      out.clear();
+      run_stats.total_mappings = result.total_mappings;
+      run_stats.shards = result.shards;
+      report.fleet = fleet.ToString();
+      for (size_t p = 0; p < fleet.num_plans(); ++p) {
+        const ExtractionPlan& plan = fleet.plan(p);
+        report.plans.push_back(PlanReport{"q" + std::to_string(p),
+                                          plan.info().ToString(),
+                                          fleet.plan_stats(p),
+                                          plan.lazy_dfa().stats()});
+      }
+      report.have_cache = true;
+      report.cache = cache.stats();
+    }
+
+    report.have_index = true;
+    report.index_info = index->ToString();
+    report.index_stats = index_stats;
+    finish(std::move(report), run_stats);
+    return 0;
+  }
 
   if (compiled.has_value() || plans.size() == 1) {
     const DocumentExtractor* extractor =
