@@ -18,6 +18,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kOutOfRange,        // index / position out of bounds
   kInternal,          // invariant violation (a bug in this library)
   kCorruption,        // persisted data failed a checksum / structural check
+  kUnavailable,       // transient refusal (overload, draining): retry later
 };
 
 /// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -54,11 +55,23 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  /// Transient refusal — the operation was rejected, not failed, and a
+  /// retry after backoff is expected to succeed (admission-queue overflow,
+  /// a draining server). `retry_after_ms` is the producer's backoff hint
+  /// (0 = none); clients distinguish this category from hard errors.
+  static Status Unavailable(std::string msg, uint32_t retry_after_ms = 0) {
+    return Status(StatusCode::kUnavailable, std::move(msg), retry_after_ms);
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
   /// Error message; empty for OK.
   const std::string& message() const;
+  /// Backoff hint of an Unavailable status, in milliseconds; 0 when the
+  /// status carries none (including every non-Unavailable status).
+  uint32_t retry_after_ms() const {
+    return ok() ? 0 : state_->retry_after_ms;
+  }
   /// "OK" or "<code>: <message>".
   std::string ToString() const;
 
@@ -70,9 +83,11 @@ class Status {
   struct State {
     StatusCode code;
     std::string message;
+    uint32_t retry_after_ms = 0;  // Unavailable backoff hint
   };
-  Status(StatusCode code, std::string msg)
-      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+  Status(StatusCode code, std::string msg, uint32_t retry_after_ms = 0)
+      : state_(std::make_shared<State>(
+            State{code, std::move(msg), retry_after_ms})) {}
 
   std::shared_ptr<const State> state_;  // nullptr == OK
 };

@@ -1,6 +1,8 @@
 #include "engine/format.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <string_view>
 
 namespace spanners {
@@ -115,6 +117,65 @@ std::string ToJsonRow(size_t doc_index, const Mapping& m, const VarSet& vars,
   }
   out += "}";
   return out;
+}
+
+std::string FleetTsvHeader(const std::vector<const VarSet*>& vars_per_plan) {
+  std::string out;
+  for (size_t p = 0; p < vars_per_plan.size(); ++p) {
+    out += "# q" + std::to_string(p) + ": query\t" +
+           TsvHeader(*vars_per_plan[p]);
+    out += '\n';
+  }
+  return out;
+}
+
+void AppendMappingRow(std::string* out, OutputFormat format,
+                      size_t doc_index, const Mapping& m, const VarSet& vars,
+                      const Document& doc) {
+  *out += format == OutputFormat::kTsv ? ToTsvRow(doc_index, m, vars, doc)
+                                       : ToJsonRow(doc_index, m, vars, doc);
+  *out += '\n';
+}
+
+void AppendFleetMappingRow(std::string* out, OutputFormat format,
+                           size_t plan_index, size_t doc_index,
+                           const Mapping& m, const VarSet& vars,
+                           const Document& doc) {
+  if (format == OutputFormat::kTsv) {
+    *out += std::to_string(plan_index);
+    *out += '\t';
+    *out += ToTsvRow(doc_index, m, vars, doc);
+  } else {
+    // {"doc":…} → {"query":p,"doc":…}
+    std::string row = ToJsonRow(doc_index, m, vars, doc);
+    *out += "{\"query\":" + std::to_string(plan_index) + ",";
+    out->append(row, 1, row.size() - 1);
+  }
+  *out += '\n';
+}
+
+bool CheckedWriter::Write(std::string_view s) {
+  if (error_ != 0) return false;
+  if (s.empty()) return true;
+  if (std::fwrite(s.data(), 1, s.size(), stream_) != s.size()) {
+    error_ = errno != 0 ? errno : EIO;
+    return false;
+  }
+  return true;
+}
+
+bool CheckedWriter::Flush() {
+  if (error_ != 0) return false;
+  if (std::fflush(stream_) != 0) {
+    error_ = errno != 0 ? errno : EIO;
+    return false;
+  }
+  return true;
+}
+
+std::string CheckedWriter::ErrorMessage() const {
+  if (error_ == 0) return "";
+  return std::string("write error: ") + std::strerror(error_);
 }
 
 }  // namespace engine

@@ -5,7 +5,9 @@
 #define SPANNERS_ENGINE_FORMAT_H_
 
 #include <cstddef>
+#include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/document.h"
@@ -37,6 +39,52 @@ std::string ToTsvRow(size_t doc_index, const Mapping& m, const VarSet& vars,
 /// {"doc":0,"x":{"span":[1,4],"text":"abc"},"y":null}.
 std::string ToJsonRow(size_t doc_index, const Mapping& m, const VarSet& vars,
                       const Document& doc);
+
+/// The header block of a multi-plan (fleet) TSV stream: one
+/// "# q<p>: query\t<TsvHeader(vars)>\n" line per plan, in plan order.
+/// Shared by tools/spanex and the spanexd batch path so served output is
+/// byte-identical to the offline run by construction.
+std::string FleetTsvHeader(const std::vector<const VarSet*>& vars_per_plan);
+
+/// Appends one single-plan output row (ToTsvRow / ToJsonRow) plus the
+/// trailing newline to *out.
+void AppendMappingRow(std::string* out, OutputFormat format,
+                      size_t doc_index, const Mapping& m, const VarSet& vars,
+                      const Document& doc);
+
+/// Appends one fleet output row: TSV rows gain the leading `query` column
+/// (the plan's position), JSON rows the "query" key — exactly the wire
+/// format of a multi-pattern spanex run.
+void AppendFleetMappingRow(std::string* out, OutputFormat format,
+                           size_t plan_index, size_t doc_index,
+                           const Mapping& m, const VarSet& vars,
+                           const Document& doc);
+
+/// Error-checked writer over a C stream (stdout in the tools). Every
+/// Write/Flush result is checked, so a closed downstream pipe
+/// (`spanex ... | head`) surfaces as a clean failure instead of SIGPIPE
+/// death or silently truncated output — callers install
+/// `signal(SIGPIPE, SIG_IGN)` and test ok() after streaming. After the
+/// first failure every further call is a no-op returning false and
+/// error() keeps the original errno.
+class CheckedWriter {
+ public:
+  explicit CheckedWriter(std::FILE* stream) : stream_(stream) {}
+
+  /// False on the first (or any earlier) write error.
+  bool Write(std::string_view s);
+  bool Flush();
+
+  bool ok() const { return error_ == 0; }
+  /// errno of the first failed write/flush; 0 while ok.
+  int error() const { return error_; }
+  /// "write error: <strerror>" for the failure report; "" while ok.
+  std::string ErrorMessage() const;
+
+ private:
+  std::FILE* stream_;
+  int error_ = 0;
+};
 
 /// Formats mappings as they stream: each pushed mapping becomes one TSV
 /// or JSONL line appended to *out, and its storage is recycled into the

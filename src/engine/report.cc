@@ -101,6 +101,27 @@ std::string EngineReport::ToText(const std::string& prefix) const {
            std::to_string(index_stats.minor_faults) + " minor/" +
            std::to_string(index_stats.major_faults) + " major\n";
   }
+  if (have_server) {
+    const ServerStatsReport& s = server;
+    char up[32];
+    std::snprintf(up, sizeof(up), "%.1f s", double(s.uptime_ns) / 1e9);
+    out += prefix + "server: up " + up + ", " +
+           std::to_string(s.connections_open) + "/" +
+           std::to_string(s.connections_total) + " conns open/total, " +
+           std::to_string(s.requests) + " requests, " +
+           std::to_string(s.admitted) + " admitted, queue " +
+           std::to_string(s.queue_depth) + "/" +
+           std::to_string(s.queue_capacity) +
+           (s.draining ? ", draining" : "") + "\n";
+    const uint64_t rejected = s.rejected_queue_full +
+                              s.rejected_inflight_cap + s.rejected_draining;
+    if (rejected > 0 || s.dropped_disconnect > 0)
+      out += prefix + "server: rejected " +
+             std::to_string(s.rejected_queue_full) + " queue-full, " +
+             std::to_string(s.rejected_inflight_cap) + " inflight-cap, " +
+             std::to_string(s.rejected_draining) + " draining; dropped " +
+             std::to_string(s.dropped_disconnect) + " disconnected\n";
+  }
   out += prefix + std::to_string(documents) + " docs, " +
          std::to_string(total_mappings) + " mappings, " +
          std::to_string(matched_documents) + " matched docs, " +
@@ -154,6 +175,24 @@ std::string EngineReport::ToJson() const {
            ",\"minor_faults\":" + std::to_string(index_stats.minor_faults) +
            ",\"major_faults\":" + std::to_string(index_stats.major_faults) +
            "}";
+  }
+  if (have_server) {
+    const ServerStatsReport& s = server;
+    out += ",\"server\":{\"uptime_ns\":" + std::to_string(s.uptime_ns) +
+           ",\"connections_total\":" + std::to_string(s.connections_total) +
+           ",\"connections_open\":" + std::to_string(s.connections_open) +
+           ",\"requests\":" + std::to_string(s.requests) +
+           ",\"admitted\":" + std::to_string(s.admitted) +
+           ",\"rejected_queue_full\":" +
+           std::to_string(s.rejected_queue_full) +
+           ",\"rejected_inflight_cap\":" +
+           std::to_string(s.rejected_inflight_cap) +
+           ",\"rejected_draining\":" + std::to_string(s.rejected_draining) +
+           ",\"dropped_disconnect\":" +
+           std::to_string(s.dropped_disconnect) +
+           ",\"queue_depth\":" + std::to_string(s.queue_depth) +
+           ",\"queue_capacity\":" + std::to_string(s.queue_capacity) +
+           ",\"draining\":" + (s.draining ? "true" : "false") + "}";
   }
   out += ",\"wall_ns\":" + std::to_string(wall_ns);
   if (have_metrics) out += ",\"metrics\":" + metrics.ToJson();

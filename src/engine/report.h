@@ -33,6 +33,26 @@ struct PlanReport {
   LazyDfaStats dfa;
 };
 
+/// spanexd's service-side accounting, filled by server::Server from its
+/// always-on counters (a plain-data section here rather than a server
+/// header so engine/ never depends on server/). Rendered by ToText/ToJson
+/// when EngineReport::have_server is set.
+struct ServerStatsReport {
+  uint64_t uptime_ns = 0;
+  uint64_t connections_total = 0;  // accepted since start
+  size_t connections_open = 0;
+  uint64_t requests = 0;  // parsed request lines
+  uint64_t admitted = 0;  // work items accepted into the queue
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_inflight_cap = 0;
+  uint64_t rejected_draining = 0;
+  /// Admitted items whose client disconnected before execution.
+  uint64_t dropped_disconnect = 0;
+  size_t queue_depth = 0;  // point-in-time
+  size_t queue_capacity = 0;
+  bool draining = false;
+};
+
 struct EngineReport {
   std::vector<PlanReport> plans;
   /// MultiQueryExtractor::ToString() ("" outside fleet runs).
@@ -60,6 +80,10 @@ struct EngineReport {
   bool have_index = false;
   std::string index_info;
   IndexedStats index_stats;
+
+  /// spanexd server-side accounting (stats endpoint only).
+  bool have_server = false;
+  ServerStatsReport server;
 
   /// The --stats text block, one `<prefix>...` line per fact.
   std::string ToText(const std::string& prefix) const;

@@ -1,0 +1,222 @@
+#include "server/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace spanners {
+namespace server {
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::Unavailable("connect " + socket_path + ": " +
+                                         std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& o) noexcept
+    : fd_(o.fd_), next_id_(o.next_id_), read_buf_(std::move(o.read_buf_)) {
+  o.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    next_id_ = o.next_id_;
+    read_buf_ = std::move(o.read_buf_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status Client::SendLine(std::string_view line) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  std::string out(line);
+  out += '\n';
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<JsonValue> Client::ReadResponseLine() {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  for (;;) {
+    const size_t nl = read_buf_.find('\n');
+    if (nl != std::string::npos) {
+      Result<JsonValue> parsed =
+          ParseJson(std::string_view(read_buf_.data(), nl));
+      read_buf_.erase(0, nl + 1);
+      return parsed;
+    }
+    if (read_buf_.size() > kMaxLineBytes)
+      return Status::Internal("response line exceeds protocol limit");
+    char buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      read_buf_.append(buf, size_t(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0)
+      return Status::Internal("server closed the connection" +
+                              (read_buf_.empty()
+                                   ? std::string()
+                                   : " mid-response"));
+    return Status::Internal(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+Status Client::Ping(uint64_t sleep_ms) {
+  const int64_t id = NextId();
+  std::string req = "{\"op\":\"ping\",\"id\":" + std::to_string(id);
+  if (sleep_ms > 0) req += ",\"sleep_ms\":" + std::to_string(sleep_ms);
+  req += "}";
+  SPANNERS_RETURN_NOT_OK(SendLine(req));
+  Result<JsonValue> resp = ReadResponseLine();
+  SPANNERS_RETURN_NOT_OK(resp.status());
+  return StatusFromResponse(*resp);
+}
+
+Result<int64_t> Client::Register(const std::string& pattern) {
+  const int64_t id = NextId();
+  std::string req = "{\"op\":\"register\",\"id\":" + std::to_string(id) +
+                    ",\"pattern\":";
+  AppendJsonString(&req, pattern);
+  req += "}";
+  SPANNERS_RETURN_NOT_OK(SendLine(req));
+  Result<JsonValue> resp = ReadResponseLine();
+  SPANNERS_RETURN_NOT_OK(resp.status());
+  SPANNERS_RETURN_NOT_OK(StatusFromResponse(*resp));
+  const int64_t handle = resp->IntOr("handle", -1);
+  if (handle < 0) return Status::Internal("register response lacks a handle");
+  return handle;
+}
+
+Status Client::Unregister(int64_t handle) {
+  const int64_t id = NextId();
+  const std::string req = "{\"op\":\"unregister\",\"id\":" +
+                          std::to_string(id) +
+                          ",\"handle\":" + std::to_string(handle) + "}";
+  SPANNERS_RETURN_NOT_OK(SendLine(req));
+  Result<JsonValue> resp = ReadResponseLine();
+  SPANNERS_RETURN_NOT_OK(resp.status());
+  return StatusFromResponse(*resp);
+}
+
+Status Client::RunStreaming(std::string request, const RowFn& on_row,
+                            JsonValue* final_response) {
+  SPANNERS_RETURN_NOT_OK(SendLine(request));
+  for (;;) {
+    Result<JsonValue> line = ReadResponseLine();
+    SPANNERS_RETURN_NOT_OK(line.status());
+    const JsonValue* rows = line->Find("rows");
+    if (rows != nullptr && rows->is_array() &&
+        !line->BoolOr("done", false)) {
+      if (on_row)
+        for (const JsonValue& r : rows->items())
+          if (r.is_string()) on_row(r.AsString());
+      continue;
+    }
+    SPANNERS_RETURN_NOT_OK(StatusFromResponse(*line));
+    *final_response = std::move(*line);
+    return Status::OK();
+  }
+}
+
+Result<Client::ExtractSummary> Client::Extract(std::string_view doc,
+                                               size_t doc_index,
+                                               engine::OutputFormat format,
+                                               bool header,
+                                               const RowFn& on_row) {
+  const int64_t id = NextId();
+  std::string req = "{\"op\":\"extract\",\"id\":" + std::to_string(id) +
+                    ",\"doc\":";
+  AppendJsonString(&req, doc);
+  req += ",\"doc_index\":" + std::to_string(doc_index) + ",\"format\":\"";
+  req += format == engine::OutputFormat::kTsv ? "tsv" : "json";
+  req += header ? "\",\"header\":true}" : "\",\"header\":false}";
+  JsonValue final_response;
+  SPANNERS_RETURN_NOT_OK(
+      RunStreaming(std::move(req), on_row, &final_response));
+  ExtractSummary summary;
+  summary.mappings = uint64_t(final_response.IntOr("mappings", 0));
+  summary.matched_docs = uint64_t(final_response.IntOr("matched_docs", 0));
+  return summary;
+}
+
+Result<Client::ExtractSummary> Client::ExtractBatch(
+    engine::OutputFormat format, bool header, bool all_resident,
+    const RowFn& on_row) {
+  const int64_t id = NextId();
+  std::string req = "{\"op\":\"extract_batch\",\"id\":" + std::to_string(id) +
+                    ",\"format\":\"";
+  req += format == engine::OutputFormat::kTsv ? "tsv" : "json";
+  req += header ? "\",\"header\":true" : "\",\"header\":false";
+  if (all_resident) req += ",\"all\":true";
+  req += "}";
+  JsonValue final_response;
+  SPANNERS_RETURN_NOT_OK(
+      RunStreaming(std::move(req), on_row, &final_response));
+  ExtractSummary summary;
+  summary.mappings = uint64_t(final_response.IntOr("mappings", 0));
+  summary.matched_docs = uint64_t(final_response.IntOr("matched_docs", 0));
+  return summary;
+}
+
+Result<JsonValue> Client::Stats() {
+  const int64_t id = NextId();
+  SPANNERS_RETURN_NOT_OK(
+      SendLine("{\"op\":\"stats\",\"id\":" + std::to_string(id) + "}"));
+  Result<JsonValue> resp = ReadResponseLine();
+  SPANNERS_RETURN_NOT_OK(resp.status());
+  SPANNERS_RETURN_NOT_OK(StatusFromResponse(*resp));
+  return resp;
+}
+
+Status Client::Drain() {
+  const int64_t id = NextId();
+  SPANNERS_RETURN_NOT_OK(
+      SendLine("{\"op\":\"drain\",\"id\":" + std::to_string(id) + "}"));
+  Result<JsonValue> resp = ReadResponseLine();
+  SPANNERS_RETURN_NOT_OK(resp.status());
+  return StatusFromResponse(*resp);
+}
+
+}  // namespace server
+}  // namespace spanners

@@ -1,0 +1,97 @@
+// Blocking spanexd client over the JSONL protocol (server/protocol.h).
+// One Client is one connection / one server session: registered handles
+// live on the server until Unregister or disconnect. Used by
+// `spanex --connect`, the server tests, and bench_server.
+//
+// The typed helpers (Ping/Register/Extract/…) each send one request and
+// read until its final response, invoking `on_row` for every streamed
+// row. The raw SendLine/ReadResponseLine pair is for callers that want
+// pipelining — e.g. the backpressure test fires queue_capacity+N sleeping
+// pings before reading any response.
+//
+// Not thread-safe: one Client per thread.
+#ifndef SPANNERS_SERVER_CLIENT_H_
+#define SPANNERS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/format.h"
+#include "server/json.h"
+
+namespace spanners {
+namespace server {
+
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& socket_path);
+
+  Client() = default;
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+  ~Client();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Next request id this client will stamp (monotonic per connection).
+  int64_t NextId() { return next_id_++; }
+
+  // --- raw protocol access (pipelining) ------------------------------
+  /// Writes one request line (newline appended). Blocking.
+  Status SendLine(std::string_view line);
+  /// Reads and parses the next response line. Blocking; Internal on EOF.
+  Result<JsonValue> ReadResponseLine();
+
+  // --- typed helpers (one request, read to completion) ---------------
+  /// sleep_ms > 0 routes through the server's admission queue (and can be
+  /// refused with Unavailable — that is the point).
+  Status Ping(uint64_t sleep_ms = 0);
+
+  /// Registers `pattern` on this session; returns the handle.
+  Result<int64_t> Register(const std::string& pattern);
+  Status Unregister(int64_t handle);
+
+  struct ExtractSummary {
+    uint64_t mappings = 0;
+    uint64_t matched_docs = 0;
+  };
+  using RowFn = std::function<void(const std::string& row)>;
+
+  /// One document against the session fleet; `on_row` sees every output
+  /// row (bare, no trailing newline) in order.
+  Result<ExtractSummary> Extract(std::string_view doc, size_t doc_index,
+                                 engine::OutputFormat format, bool header,
+                                 const RowFn& on_row);
+
+  /// The server's held corpus under the session fleet — or, with
+  /// `all_resident`, under the server's whole cache-resident fleet.
+  Result<ExtractSummary> ExtractBatch(engine::OutputFormat format,
+                                      bool header, bool all_resident,
+                                      const RowFn& on_row);
+
+  /// The full stats response object ({"report":…,"text":…}).
+  Result<JsonValue> Stats();
+
+  Status Drain();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends `request` and consumes row chunks until the final response;
+  /// the final parsed object lands in *final.
+  Status RunStreaming(std::string request, const RowFn& on_row,
+                      JsonValue* final_response);
+
+  int fd_ = -1;
+  int64_t next_id_ = 1;
+  std::string read_buf_;
+};
+
+}  // namespace server
+}  // namespace spanners
+
+#endif  // SPANNERS_SERVER_CLIENT_H_

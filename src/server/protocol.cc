@@ -1,0 +1,50 @@
+#include "server/protocol.h"
+
+namespace spanners {
+namespace server {
+
+std::string ErrorResponse(int64_t id, const Status& status) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":false";
+  out += ",\"error\":{\"code\":";
+  AppendJsonString(&out, StatusCodeToString(status.code()));
+  out += ",\"message\":";
+  AppendJsonString(&out, status.message());
+  if (status.retry_after_ms() > 0)
+    out += ",\"retry_after_ms\":" + std::to_string(status.retry_after_ms());
+  out += "}}";
+  return out;
+}
+
+std::string OkPrefix(int64_t id) {
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true";
+}
+
+Status StatusFromResponse(const JsonValue& response) {
+  if (!response.is_object())
+    return Status::Internal("malformed response: not a JSON object");
+  if (response.BoolOr("ok", false)) return Status::OK();
+  const JsonValue* error = response.Find("error");
+  if (error == nullptr || !error->is_object())
+    return Status::Internal("malformed response: ok=false without error");
+  const std::string& code = error->StringOr("code", "");
+  const std::string& message = error->StringOr("message", "");
+  const auto retry =
+      static_cast<uint32_t>(error->IntOr("retry_after_ms", 0));
+  if (code == StatusCodeToString(StatusCode::kUnavailable))
+    return Status::Unavailable(message, retry);
+  if (code == StatusCodeToString(StatusCode::kInvalidArgument))
+    return Status::InvalidArgument(message);
+  if (code == StatusCodeToString(StatusCode::kNotSupported))
+    return Status::NotSupported(message);
+  if (code == StatusCodeToString(StatusCode::kUnsatisfiable))
+    return Status::Unsatisfiable(message);
+  if (code == StatusCodeToString(StatusCode::kOutOfRange))
+    return Status::OutOfRange(message);
+  if (code == StatusCodeToString(StatusCode::kCorruption))
+    return Status::Corruption(message);
+  return Status::Internal(code.empty() ? message
+                                       : code + ": " + message);
+}
+
+}  // namespace server
+}  // namespace spanners

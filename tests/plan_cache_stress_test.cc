@@ -1,0 +1,142 @@
+// Stress test for the PlanCache / CachedFleet / ExtractMulti triangle
+// under concurrent mutation: while extraction threads repeatedly serve
+// the cache-resident fleet, mutator threads insert fresh patterns (and
+// force LRU evictions). Every served snapshot must be byte-identical to a
+// fleet built fresh from the same snapshot — generation checking may only
+// ever affect WHEN a fleet is rebuilt, never WHAT it extracts. Run under
+// TSan in CI: the interleavings are the test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/generators.h"
+
+namespace spanners {
+namespace engine {
+namespace {
+
+/// Renders one fleet extraction over `corpus` to the exact wire bytes
+/// (fleet TSV header block + query-column rows, doc-major/plan-minor).
+std::string FleetOutput(const MultiQueryExtractor& fleet,
+                        const Corpus& corpus, BatchExtractor& batch) {
+  std::string out;
+  std::vector<const VarSet*> vars_per_plan;
+  vars_per_plan.reserve(fleet.num_plans());
+  for (size_t p = 0; p < fleet.num_plans(); ++p)
+    vars_per_plan.push_back(&fleet.plan(p).vars());
+  out += FleetTsvHeader(vars_per_plan);
+  MultiBatchResult result = batch.ExtractMulti(fleet, corpus);
+  for (size_t i = 0; i < corpus.size(); ++i)
+    for (size_t p = 0; p < result.per_plan.size(); ++p)
+      for (const Mapping& m : result.per_plan[p].per_doc[i])
+        AppendFleetMappingRow(&out, OutputFormat::kTsv, p, i, m,
+                              fleet.plan(p).vars(), corpus[i]);
+  return out;
+}
+
+// Extractors serve CachedFleet::Get() snapshots while mutators churn the
+// cache. For every snapshot served, a fresh fleet over the SAME plans
+// must produce identical bytes — and the cached fleet must actually be
+// reused (rebuilds ≤ mutations + 1, not one rebuild per Get()).
+TEST(PlanCacheStressTest, ConcurrentMutationKeepsServedFleetsByteIdentical) {
+  workload::FleetOptions o;
+  o.num_patterns = 6;
+  o.documents = 60;
+  o.doc_bytes = 240;
+  o.match_rate = 0.2;
+  workload::PatternFleet generated = workload::MakePatternFleet(o);
+  const Corpus corpus(std::move(generated.documents));
+
+  PlanCacheOptions cache_options;
+  cache_options.capacity = 8;  // small: mutators force real evictions
+  PlanCache cache(cache_options);
+  for (const std::string& p : generated.patterns)
+    ASSERT_TRUE(cache.GetOrCompile(p).ok());
+  CachedFleet cached(cache);
+
+  constexpr int kExtractors = 3;
+  constexpr int kMutators = 2;
+  constexpr int kRoundsPerExtractor = 12;
+  constexpr int kInsertsPerMutator = 24;
+
+  std::atomic<bool> start{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> served{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kExtractors; ++t) {
+    threads.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      BatchOptions batch_options;
+      batch_options.num_threads = 2;
+      BatchExtractor batch(batch_options);
+      BatchExtractor fresh_batch(batch_options);
+      for (int round = 0; round < kRoundsPerExtractor; ++round) {
+        // The snapshot under test: whatever fleet the cache holder serves
+        // at this instant (mutators are racing it).
+        std::shared_ptr<const MultiQueryExtractor> fleet = cached.Get();
+        const std::string cached_out = FleetOutput(*fleet, corpus, batch);
+        // The reference: a brand-new fleet over the snapshot's own plans
+        // (NOT the cache's current residents — those may have moved on).
+        std::vector<std::shared_ptr<const ExtractionPlan>> same_plans;
+        for (size_t p = 0; p < fleet->num_plans(); ++p)
+          same_plans.push_back(fleet->plan_ptr(p));
+        MultiQueryExtractor fresh(std::move(same_plans));
+        const std::string fresh_out =
+            FleetOutput(fresh, corpus, fresh_batch);
+        if (cached_out != fresh_out) mismatches.fetch_add(1);
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < kMutators; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kInsertsPerMutator; ++i) {
+        // Unique per (mutator, round): every insert bumps the cache
+        // generation and, over capacity, evicts the LRU resident.
+        const std::string pattern = ".*m" + std::to_string(t) + "_" +
+                                    std::to_string(i) + " v{[0-9]+}.*";
+        ASSERT_TRUE(cache.GetOrCompile(pattern).ok());
+        std::this_thread::yield();
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(served.load(), kExtractors * kRoundsPerExtractor);
+  // Generation checking must have amortized: at most one rebuild per
+  // cache mutation (plus the initial build), not one per Get().
+  EXPECT_LE(cached.rebuilds(),
+            uint64_t(kMutators * kInsertsPerMutator + 1));
+  EXPECT_GE(cached.rebuilds(), 1u);
+}
+
+// A Get() racing GetOrCompile must always return a coherent fleet: every
+// plan it holds extracts, and consecutive Gets without mutation share the
+// identical fleet object.
+TEST(PlanCacheStressTest, GetWithoutMutationReturnsSameFleetObject) {
+  PlanCache cache;
+  ASSERT_TRUE(cache.GetOrCompile("x{[0-9]+}").ok());
+  CachedFleet cached(cache);
+  std::shared_ptr<const MultiQueryExtractor> a = cached.Get();
+  std::shared_ptr<const MultiQueryExtractor> b = cached.Get();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cached.rebuilds(), 1u);
+  ASSERT_TRUE(cache.GetOrCompile("y{[a-z]+}").ok());
+  std::shared_ptr<const MultiQueryExtractor> c = cached.Get();
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->num_plans(), 2u);
+  EXPECT_EQ(cached.rebuilds(), 2u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace spanners

@@ -1,0 +1,475 @@
+// Tests for the spanexd server: served extract/extract_batch output must
+// be byte-identical to the offline engine paths, admission backpressure
+// must refuse (Unavailable + retry_after_ms) rather than queue without
+// bound, and a graceful drain must finish admitted work, refuse new work,
+// and return exit code 0 from Serve().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace spanners {
+namespace server {
+namespace {
+
+using engine::BatchExtractor;
+using engine::BatchOptions;
+using engine::Corpus;
+using engine::ExtractionPlan;
+using engine::MultiQueryExtractor;
+using engine::OutputFormat;
+
+Corpus TestCorpus() {
+  Corpus corpus;
+  corpus.Add(Document("ERR 123 alpha beta"));
+  corpus.Add(Document("WARN 77 gamma"));
+  corpus.Add(Document("nothing to see"));
+  corpus.Add(Document("ERR 9 delta ERR 10"));
+  corpus.Add(Document(""));
+  corpus.Add(Document("WARN 5 epsilon ERR 42"));
+  return corpus;
+}
+
+const char* kErrPattern = ".*ERR x{[0-9]+}.*";
+const char* kWarnPattern = ".*WARN y{[0-9]+}.*";
+
+/// The offline reference: exactly the loop tools/spanex.cc runs for an
+/// in-memory corpus, built from the shared formatting helpers.
+std::string OfflineOutput(const std::vector<std::string>& patterns,
+                          const Corpus& corpus, OutputFormat format,
+                          bool header) {
+  std::vector<std::shared_ptr<const ExtractionPlan>> plans;
+  for (const std::string& p : patterns)
+    plans.push_back(std::make_shared<const ExtractionPlan>(
+        ExtractionPlan::Compile(p).ValueOrDie()));
+  BatchOptions options;
+  options.num_threads = 2;
+  BatchExtractor batch(options);
+  std::string out;
+  if (plans.size() == 1) {
+    const ExtractionPlan& plan = *plans[0];
+    const VarSet& vars = plan.vars();
+    if (format == OutputFormat::kTsv && header) {
+      out += engine::TsvHeader(vars);
+      out += '\n';
+    }
+    batch.ExtractStream(plan, corpus,
+                        [&](size_t doc_begin, size_t doc_end,
+                            std::vector<std::vector<Mapping>>& per_doc) {
+                          for (size_t i = doc_begin; i < doc_end; ++i)
+                            for (const Mapping& m : per_doc[i - doc_begin])
+                              engine::AppendMappingRow(&out, format, i, m,
+                                                       vars, corpus[i]);
+                        });
+  } else {
+    MultiQueryExtractor fleet(plans);
+    if (format == OutputFormat::kTsv && header) {
+      std::vector<const VarSet*> vars_per_plan;
+      for (size_t p = 0; p < fleet.num_plans(); ++p)
+        vars_per_plan.push_back(&fleet.plan(p).vars());
+      out += engine::FleetTsvHeader(vars_per_plan);
+    }
+    batch.ExtractMultiStream(
+        fleet, corpus,
+        [&](size_t doc_begin, size_t doc_end,
+            std::vector<std::vector<std::vector<Mapping>>>& per_plan) {
+          for (size_t i = doc_begin; i < doc_end; ++i)
+            for (size_t p = 0; p < per_plan.size(); ++p)
+              for (const Mapping& m : per_plan[p][i - doc_begin])
+                engine::AppendFleetMappingRow(&out, format, p, i, m,
+                                              fleet.plan(p).vars(),
+                                              corpus[i]);
+        });
+  }
+  return out;
+}
+
+/// A Server on its own Serve() thread. The socket lives in the test temp
+/// dir; the destructor drains and joins.
+class RunningServer {
+ public:
+  explicit RunningServer(ServerOptions options) {
+    if (options.socket_path.empty())
+      options.socket_path = ::testing::TempDir() + "spanexd_test_" +
+                            std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                            ".sock";
+    socket_path_ = options.socket_path;
+    options.num_threads = 2;
+    server_.emplace(std::move(options), TestCorpus());
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    thread_ = std::thread([this] { exit_code_ = server_->Serve(); });
+  }
+
+  ~RunningServer() { Shutdown(); }
+
+  /// Idempotent: drains (if still running) and joins Serve().
+  int Shutdown() {
+    if (thread_.joinable()) {
+      server_->RequestDrain();
+      thread_.join();
+    }
+    std::remove(socket_path_.c_str());
+    return exit_code_;
+  }
+
+  Server& server() { return *server_; }
+  const std::string& socket_path() const { return socket_path_; }
+
+  Client MustConnect() {
+    Result<Client> c = Client::Connect(socket_path_);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+
+ private:
+  std::optional<Server> server_;
+  std::string socket_path_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+std::string CollectRows(Client& client, OutputFormat format, bool header,
+                        bool all_resident, Client::ExtractSummary* summary) {
+  std::string out;
+  Result<Client::ExtractSummary> result =
+      client.ExtractBatch(format, header, all_resident,
+                          [&](const std::string& row) {
+                            out += row;
+                            out += '\n';
+                          });
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result.ok() && summary != nullptr) *summary = result.value();
+  return out;
+}
+
+// A served single-plan batch must be byte-identical to the offline run,
+// in both formats, with and without the header.
+TEST(ServerTest, ExtractBatchSinglePlanByteIdentical) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  Result<int64_t> handle = client.Register(kErrPattern);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  const Corpus corpus = TestCorpus();
+  for (OutputFormat format : {OutputFormat::kTsv, OutputFormat::kJson}) {
+    for (bool header : {true, false}) {
+      Client::ExtractSummary summary;
+      const std::string served =
+          CollectRows(client, format, header, false, &summary);
+      EXPECT_EQ(served, OfflineOutput({kErrPattern}, corpus, format, header));
+      EXPECT_GT(summary.mappings, 0u);
+      EXPECT_GT(summary.matched_docs, 0u);
+    }
+  }
+}
+
+// Fleet batches (several registered plans) must match the offline
+// multi-query stream: fleet header block, doc-major/plan-minor rows with
+// the leading query column.
+TEST(ServerTest, ExtractBatchFleetByteIdentical) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  ASSERT_TRUE(client.Register(kErrPattern).ok());
+  ASSERT_TRUE(client.Register(kWarnPattern).ok());
+
+  const Corpus corpus = TestCorpus();
+  for (OutputFormat format : {OutputFormat::kTsv, OutputFormat::kJson}) {
+    const std::string served = CollectRows(client, format, true, false,
+                                           nullptr);
+    EXPECT_EQ(served, OfflineOutput({kErrPattern, kWarnPattern}, corpus,
+                                    format, true));
+  }
+}
+
+// extract_batch {"all":true} serves the cache-wide resident fleet — the
+// CachedFleet over PlanCache::ResidentPlans (key order), not the session's
+// registration order.
+TEST(ServerTest, ExtractBatchAllResidentUsesCacheFleet) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  ASSERT_TRUE(client.Register(kWarnPattern).ok());
+  ASSERT_TRUE(client.Register(kErrPattern).ok());
+
+  const std::string served =
+      CollectRows(client, OutputFormat::kTsv, true, true, nullptr);
+
+  const Corpus corpus = TestCorpus();
+  MultiQueryExtractor fleet =
+      MultiQueryExtractor::FromCache(rs.server().plan_cache());
+  BatchOptions options;
+  options.num_threads = 2;
+  BatchExtractor batch(options);
+  std::string expected;
+  std::vector<const VarSet*> vars_per_plan;
+  for (size_t p = 0; p < fleet.num_plans(); ++p)
+    vars_per_plan.push_back(&fleet.plan(p).vars());
+  expected += engine::FleetTsvHeader(vars_per_plan);
+  batch.ExtractMultiStream(
+      fleet, corpus,
+      [&](size_t doc_begin, size_t doc_end,
+          std::vector<std::vector<std::vector<Mapping>>>& per_plan) {
+        for (size_t i = doc_begin; i < doc_end; ++i)
+          for (size_t p = 0; p < per_plan.size(); ++p)
+            for (const Mapping& m : per_plan[p][i - doc_begin])
+              engine::AppendFleetMappingRow(&expected, OutputFormat::kTsv, p,
+                                            i, m, fleet.plan(p).vars(),
+                                            corpus[i]);
+      });
+  EXPECT_EQ(served, expected);
+}
+
+// Single-document extract against the session fleet: same rows the batch
+// path would emit for that document index.
+TEST(ServerTest, ExtractOneDocumentByteIdentical) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  ASSERT_TRUE(client.Register(kErrPattern).ok());
+
+  const std::string doc = "ERR 123 alpha beta";
+  std::string served;
+  Result<Client::ExtractSummary> summary = client.Extract(
+      doc, /*doc_index=*/0, OutputFormat::kTsv, /*header=*/true,
+      [&](const std::string& row) {
+        served += row;
+        served += '\n';
+      });
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+  Corpus one;
+  one.Add(Document(doc));
+  EXPECT_EQ(served, OfflineOutput({kErrPattern}, one, OutputFormat::kTsv,
+                                  true));
+  EXPECT_GE(summary->mappings, 1u);
+}
+
+// Unregistering every plan empties the session: extraction then refuses
+// with InvalidArgument instead of serving an empty fleet.
+TEST(ServerTest, UnregisterEmptiesSession) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  Result<int64_t> handle = client.Register(kErrPattern);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(client.Unregister(handle.value()).ok());
+
+  Result<Client::ExtractSummary> refused =
+      client.ExtractBatch(OutputFormat::kTsv, true, false, nullptr);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Backpressure at the admission queue: with capacity 1 and a held
+// executor, a pipelined burst must see at least one Unavailable carrying
+// the retry_after_ms hint — and everything admitted must still succeed.
+TEST(ServerTest, QueueFullRejectsWithRetryAfter) {
+  ServerOptions options;
+  options.queue_capacity = 1;
+  options.max_inflight_per_client = 1024;
+  options.retry_after_ms = 7;
+  RunningServer rs(options);
+  Client client = rs.MustConnect();
+
+  // Fire a burst of sleeping pings without reading a single response: the
+  // first occupies the executor, one sits in the queue, the rest must be
+  // refused at admission.
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    const int64_t id = client.NextId();
+    ASSERT_TRUE(client
+                    .SendLine("{\"op\":\"ping\",\"id\":" + std::to_string(id) +
+                              ",\"sleep_ms\":50}")
+                    .ok());
+  }
+  int ok_count = 0;
+  int unavailable = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Result<JsonValue> line = client.ReadResponseLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const Status status = StatusFromResponse(*line);
+    if (status.ok()) {
+      ++ok_count;
+    } else {
+      ASSERT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+      EXPECT_EQ(status.retry_after_ms(), 7u);
+      ++unavailable;
+    }
+  }
+  EXPECT_GE(ok_count, 1);
+  EXPECT_GE(unavailable, 1);
+  EXPECT_EQ(ok_count + unavailable, kBurst);
+  EXPECT_GE(rs.server().StatsSnapshot().rejected_queue_full, 1u);
+}
+
+// The per-client in-flight cap refuses independently of queue capacity.
+TEST(ServerTest, InflightCapRejects) {
+  ServerOptions options;
+  options.queue_capacity = 1024;
+  options.max_inflight_per_client = 1;
+  RunningServer rs(options);
+  Client client = rs.MustConnect();
+
+  constexpr int kBurst = 6;
+  for (int i = 0; i < kBurst; ++i) {
+    const int64_t id = client.NextId();
+    ASSERT_TRUE(client
+                    .SendLine("{\"op\":\"ping\",\"id\":" + std::to_string(id) +
+                              ",\"sleep_ms\":30}")
+                    .ok());
+  }
+  int ok_count = 0;
+  int unavailable = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Result<JsonValue> line = client.ReadResponseLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const Status status = StatusFromResponse(*line);
+    status.ok() ? ++ok_count : ++unavailable;
+  }
+  EXPECT_GE(ok_count, 1);
+  EXPECT_GE(unavailable, 1);
+  EXPECT_GE(rs.server().StatsSnapshot().rejected_inflight_cap, 1u);
+}
+
+// Graceful drain: work admitted before the drain completes and streams
+// its full response; work after is refused Unavailable; Serve() exits 0.
+TEST(ServerTest, DrainFinishesAdmittedWorkAndRefusesNew) {
+  RunningServer rs(ServerOptions{});
+  Client worker = rs.MustConnect();
+  ASSERT_TRUE(worker.Register(kErrPattern).ok());
+
+  // Pipeline: a slow ping (occupies the executor), then an extract_batch
+  // (sits admitted in the queue), then the drain — all before reading.
+  ASSERT_TRUE(worker
+                  .SendLine("{\"op\":\"ping\",\"id\":" +
+                            std::to_string(worker.NextId()) +
+                            ",\"sleep_ms\":100}")
+                  .ok());
+  const int64_t batch_id = worker.NextId();
+  ASSERT_TRUE(worker
+                  .SendLine("{\"op\":\"extract_batch\",\"id\":" +
+                            std::to_string(batch_id) +
+                            ",\"format\":\"tsv\",\"header\":true}")
+                  .ok());
+  ASSERT_TRUE(worker
+                  .SendLine("{\"op\":\"drain\",\"id\":" +
+                            std::to_string(worker.NextId()) + "}")
+                  .ok());
+
+  // All three must complete: ping ok, drain ok, and the admitted batch
+  // must deliver its rows byte-identically despite the drain racing it.
+  std::string served;
+  bool saw_ping = false, saw_drain = false, saw_batch_done = false;
+  while (!(saw_ping && saw_drain && saw_batch_done)) {
+    Result<JsonValue> line = worker.ReadResponseLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const int64_t id = line->IntOr("id", -1);
+    const JsonValue* rows = line->Find("rows");
+    if (rows != nullptr && rows->is_array() && !line->BoolOr("done", false)) {
+      for (const JsonValue& r : rows->items()) {
+        served += r.AsString();
+        served += '\n';
+      }
+      continue;
+    }
+    ASSERT_TRUE(StatusFromResponse(*line).ok())
+        << StatusFromResponse(*line).ToString();
+    if (id == batch_id)
+      saw_batch_done = true;
+    else if (line->BoolOr("draining", false))
+      saw_drain = true;
+    else
+      saw_ping = true;
+  }
+  EXPECT_EQ(served, OfflineOutput({kErrPattern}, TestCorpus(),
+                                  OutputFormat::kTsv, true));
+
+  // The drained server refuses a fresh connection (listener closed) or a
+  // fresh request with Unavailable, and Serve() returns 0.
+  EXPECT_EQ(rs.Shutdown(), 0);
+  Result<Client> late = Client::Connect(rs.socket_path());
+  EXPECT_FALSE(late.ok());
+}
+
+// New work arriving DURING a drain is refused with Unavailable rather
+// than silently dropped or deadlocked.
+TEST(ServerTest, RequestDuringDrainIsUnavailable) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  // Hold the executor, then drain, then try to admit. The sleep must
+  // outlast the handful of syscalls between the admitted-check below and
+  // the late send — if the executor wakes first, the server finishes the
+  // drain and closes the connection before the late ping arrives.
+  ASSERT_TRUE(client
+                  .SendLine("{\"op\":\"ping\",\"id\":" +
+                            std::to_string(client.NextId()) +
+                            ",\"sleep_ms\":300}")
+                  .ok());
+  // Wait until the slow ping is ADMITTED (it now holds the executor, so
+  // the drain cannot complete under it), then flip the drain flag.
+  while (rs.server().StatsSnapshot().admitted < 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  rs.server().RequestDrain();
+  const int64_t late_id = client.NextId();
+  ASSERT_TRUE(client
+                  .SendLine("{\"op\":\"ping\",\"id\":" +
+                            std::to_string(late_id) + ",\"sleep_ms\":10}")
+                  .ok());
+  int unavailable = 0;
+  for (int i = 0; i < 2; ++i) {
+    Result<JsonValue> line = client.ReadResponseLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const Status status = StatusFromResponse(*line);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_EQ(line->IntOr("id", -1), late_id);
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(unavailable, 1);
+  EXPECT_EQ(rs.Shutdown(), 0);
+}
+
+// The stats op reports the engine view (documents, resident plans) plus
+// the always-on server section with instance-correct counters.
+TEST(ServerTest, StatsReportsServerSection) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+  ASSERT_TRUE(client.Register(kErrPattern).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  CollectRows(client, OutputFormat::kTsv, true, false, nullptr);
+
+  Result<JsonValue> response = client.Stats();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const JsonValue* report = response->Find("report");
+  ASSERT_NE(report, nullptr);
+  const JsonValue* corpus_section = report->Find("corpus");
+  ASSERT_NE(corpus_section, nullptr);
+  EXPECT_EQ(corpus_section->IntOr("documents", -1),
+            int64_t(TestCorpus().size()));
+  const JsonValue* server_section = report->Find("server");
+  ASSERT_NE(server_section, nullptr);
+  EXPECT_GE(server_section->IntOr("requests", 0), 3);
+  EXPECT_GE(server_section->IntOr("admitted", 0), 1);
+  EXPECT_EQ(server_section->IntOr("connections_open", -1), 1);
+  EXPECT_FALSE(response->StringOr("text", "").empty());
+
+  // The snapshot is per-instance: a second server must start from zero
+  // even though the obs registry is process-global.
+  RunningServer fresh(ServerOptions{});
+  EXPECT_EQ(fresh.server().StatsSnapshot().requests, 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace spanners

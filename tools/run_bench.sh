@@ -21,7 +21,13 @@
 #     so runner noise cannot flip it);
 #   - run `spanex --metrics=json` on a fleet workload and merge the
 #     per-tier time/count breakdown into the output JSON under
-#     "spanex_fleet_metrics".
+#     "spanex_fleet_metrics";
+#   - run the spanexd serving benches (bench_server) and GATE on the
+#     paired served_ratio: extract_batch served over the AF_UNIX JSONL
+#     protocol must keep at least 90% of in-process ExtractMulti
+#     throughput (same-iteration comparison, noise-immune). The full run
+#     also records open-loop qps and client-observed p50/p99 per client
+#     count.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -62,11 +68,28 @@ fi
 # even on a noisy shared runner.
 TELEM_OUT="$(mktemp)"
 METRICS_OUT="$(mktemp)"
-trap 'rm -f "$TELEM_OUT" "$METRICS_OUT"' EXIT
+SERVER_OUT="$(mktemp)"
+trap 'rm -f "$TELEM_OUT" "$METRICS_OUT" "$SERVER_OUT"' EXIT
 "$BENCH" --benchmark_filter='CyclesPerByte|MetricsOverhead' \
          --benchmark_min_time=1 --benchmark_repetitions=3 \
          --benchmark_report_aggregates_only=true \
          --benchmark_out="$TELEM_OUT" --benchmark_out_format=json
+
+# Serving benches: the paired served-vs-in-process comparison always runs
+# (it carries the 90% gate); the open-loop qps/latency sweep only in the
+# full run.
+SERVER_BENCH="$BUILD_DIR/bench_server"
+if [[ ! -x "$SERVER_BENCH" ]]; then
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_server
+fi
+SERVER_ARGS=(--benchmark_out="$SERVER_OUT" --benchmark_out_format=json)
+if [[ "$QUICK" == 1 ]]; then
+  SERVER_ARGS+=(--benchmark_filter='ServedBatch.*/1/')
+else
+  SERVER_ARGS+=(--benchmark_repetitions=3
+                --benchmark_report_aggregates_only=true)
+fi
+"$SERVER_BENCH" "${SERVER_ARGS[@]}"
 
 # Per-tier breakdown of a real fleet run (spanex writes the JSON report
 # to stderr; the TSV mappings go to /dev/null).
@@ -79,15 +102,18 @@ fi
 
 echo
 echo "== $OUT summary (single-thread batch extraction) =="
-python3 - "$OUT" "$TELEM_OUT" "$METRICS_OUT" <<'EOF'
+python3 - "$OUT" "$TELEM_OUT" "$METRICS_OUT" "$SERVER_OUT" <<'EOF'
 import json, sys
 data = json.load(open(sys.argv[1]))
 telem = json.load(open(sys.argv[2]))
 spanex_metrics = json.load(open(sys.argv[3]))
+served = json.load(open(sys.argv[4]))
 
-# Merge the telemetry benches and the fleet per-tier breakdown into the
-# tracked JSON so one artifact carries the whole picture.
+# Merge the telemetry benches, the serving benches and the fleet per-tier
+# breakdown into the tracked JSON so one artifact carries the whole
+# picture.
 data["benchmarks"].extend(telem["benchmarks"])
+data["benchmarks"].extend(served["benchmarks"])
 tiers = {}
 hists = spanex_metrics.get("metrics", {}).get("histograms", {})
 for name, h in hists.items():
@@ -201,6 +227,32 @@ if "paired_speedup" in fleet:
     if fleet["paired_speedup"] < 0.97:
         sys.exit("FAIL: single-pass multi-query throughput fell below "
                  "sequential per-plan extraction (paired comparison)")
+
+# Serving gate, same-iteration paired comparison: extract_batch served
+# over the spanexd socket must keep ≥ 90% of in-process ExtractMulti
+# throughput (the 10% budget covers JSONL framing, the admission queue
+# and two socket hops). The open-loop rows are informational trajectory.
+served_ratio = None
+for b in served["benchmarks"]:
+    name = b["name"]
+    if "ServedBatch" in name and "/1/" in name:
+        if name.endswith("_median") or b.get("repetitions", 1) in (0, 1):
+            served_ratio = b.get("served_ratio")
+            print(f'served batch (spanexd, 1 thread): '
+                  f'{b.get("served_docs/s", 0):,.0f} docs/s served vs '
+                  f'{b.get("inproc_docs/s", 0):,.0f} in-process '
+                  f'({100.0 * (served_ratio or 0):.1f}%)')
+    if "ServerOpenLoop" in name and (name.endswith("_median")
+                                     or b.get("repetitions", 1) in (0, 1)):
+        print(f'open-loop {int(b.get("clients", 0))} clients: '
+              f'{b.get("qps", 0):,.0f} qps, '
+              f'p50 {b.get("p50_us", 0):,.0f} µs, '
+              f'p99 {b.get("p99_us", 0):,.0f} µs')
+if served_ratio is None:
+    sys.exit("FAIL: BM_ServedBatch_Fleet/1 produced no served_ratio")
+if served_ratio < 0.90:
+    sys.exit(f"FAIL: served-batch throughput is {100.0 * served_ratio:.1f}% "
+             "of in-process ExtractMulti (budget: >= 90%)")
 
 # Indexed-extraction gate, same-run paired comparison: on the needle
 # corpus (1% selectivity) posting-list gating over the mmap'd segment

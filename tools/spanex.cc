@@ -69,8 +69,26 @@
 //                            through posting-list candidate lookup — only
 //                            candidate documents are materialized; output
 //                            is byte-identical to the full scan
+//   --connect SOCKET         client mode: instead of extracting locally,
+//                            connect to a running spanexd at SOCKET,
+//                            register every -p pattern on the session,
+//                            run extract_batch against the server's held
+//                            corpus and print the streamed rows —
+//                            byte-identical to the equivalent offline run.
+//                            --stats[=json] fetches the server's report
+//                            (to stderr); exits 3 when the server refuses
+//                            with Unavailable (backoff, not a hard error)
+//   --drain                  with --connect: ask the server to drain
+//                            (finish in-flight work, then exit 0) after
+//                            any requested extraction
 //   -h, --help               this text
+//
+// Output robustness: SIGPIPE is ignored and every stdout write is checked
+// (engine::CheckedWriter), so `spanex ... | head` exits cleanly instead of
+// dying mid-stream, and real write failures (full disk) are reported.
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -85,6 +103,8 @@
 #include "obs/trace.h"
 #include "query/compile.h"
 #include "query/parser.h"
+#include "server/client.h"
+#include "server/json.h"
 #include "storage/ngram_index.h"
 #include "storage/segment.h"
 #include "workload/generators.h"
@@ -117,6 +137,84 @@ uint64_t NowNs() {
           .count());
 }
 
+/// Exit code for the streamed-output paths: a closed downstream pipe
+/// (`spanex ... | head`) is a normal exit, any other write failure is
+/// reported and fatal.
+int OutputExit(const CheckedWriter& writer) {
+  if (writer.ok() || writer.error() == EPIPE) return 0;
+  std::cerr << "spanex: " << writer.ErrorMessage() << "\n";
+  return 1;
+}
+
+/// --connect mode: drive a running spanexd over its JSONL socket.
+/// Registers every pattern on this session, streams extract_batch rows to
+/// stdout (byte-identical to the equivalent offline run — the server uses
+/// the same formatting helpers), optionally fetches the server report and
+/// asks for a drain. Exit 3 on an Unavailable refusal so scripts can back
+/// off and retry.
+int RunClient(const std::string& socket_path,
+              const std::vector<std::string>& patterns, OutputFormat format,
+              bool header, bool stats, bool json_report, bool drain) {
+  Result<server::Client> connected = server::Client::Connect(socket_path);
+  if (!connected.ok()) {
+    std::cerr << "spanex: " << connected.status().ToString() << "\n";
+    return connected.status().code() == StatusCode::kUnavailable ? 3 : 2;
+  }
+  server::Client client = std::move(connected).value();
+  CheckedWriter writer(stdout);
+  for (const std::string& pattern : patterns) {
+    Result<int64_t> handle = client.Register(pattern);
+    if (!handle.ok()) {
+      std::cerr << "spanex: register '" << pattern
+                << "': " << handle.status().ToString() << "\n";
+      return handle.status().code() == StatusCode::kUnavailable ? 3 : 2;
+    }
+  }
+  if (!patterns.empty()) {
+    std::string out;
+    Result<server::Client::ExtractSummary> summary = client.ExtractBatch(
+        format, header, /*all_resident=*/false,
+        [&](const std::string& row) {
+          out += row;
+          out += '\n';
+          if (out.size() >= 1 << 20) {
+            writer.Write(out);
+            out.clear();
+          }
+        });
+    if (!summary.ok()) {
+      std::cerr << "spanex: extract_batch: " << summary.status().ToString()
+                << "\n";
+      return summary.status().code() == StatusCode::kUnavailable ? 3 : 2;
+    }
+    writer.Write(out);
+  }
+  if (stats) {
+    Result<server::JsonValue> response = client.Stats();
+    if (!response.ok()) {
+      std::cerr << "spanex: stats: " << response.status().ToString() << "\n";
+      return 2;
+    }
+    if (json_report) {
+      const server::JsonValue* report = response->Find("report");
+      std::string rendered;
+      if (report != nullptr) server::WriteJson(*report, &rendered);
+      std::cerr << rendered << "\n";
+    } else {
+      std::cerr << response->StringOr("text", "");
+    }
+  }
+  if (drain) {
+    Status drained = client.Drain();
+    if (!drained.ok()) {
+      std::cerr << "spanex: drain: " << drained.ToString() << "\n";
+      return 2;
+    }
+  }
+  writer.Flush();
+  return OutputExit(writer);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,7 +233,13 @@ int main(int argc, char** argv) {
   std::string save_corpus;
   std::string corpus_path;
   bool use_index = false;
+  std::string connect_path;
+  bool drain = false;
   std::vector<std::string> files;
+
+  // A downstream that stops reading (| head) must end the stream cleanly,
+  // not kill the process: writes are checked instead (CheckedWriter).
+  std::signal(SIGPIPE, SIG_IGN);
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -230,6 +334,10 @@ int main(int argc, char** argv) {
       corpus_path = need_value("--corpus");
     } else if (arg == "--index") {
       use_index = true;
+    } else if (arg == "--connect") {
+      connect_path = need_value("--connect");
+    } else if (arg == "--drain") {
+      drain = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "spanex: unknown option " << arg << "\n";
       return Usage(argv[0], 2);
@@ -262,6 +370,21 @@ int main(int argc, char** argv) {
                  "queries (-q) are not index-gated — drop --index to run "
                  "the query over the persisted corpus\n";
     return 2;
+  }
+  if (drain && connect_path.empty()) {
+    std::cerr << "spanex: --drain needs --connect SOCKET\n";
+    return 2;
+  }
+  if (!connect_path.empty()) {
+    if (have_query || !generate.empty() || !files.empty() ||
+        !corpus_path.empty() || !save_corpus.empty() || use_index) {
+      std::cerr << "spanex: --connect extracts against the server's held "
+                   "corpus; it is mutually exclusive with -q, --generate, "
+                   "--corpus, --save-corpus, --index and corpus files\n";
+      return 2;
+    }
+    return RunClient(connect_path, patterns, format, header, stats,
+                     json_report, drain);
   }
 
   // Corpus: synthesized, or all inputs concatenated ("-" means stdin).
@@ -489,11 +612,14 @@ int main(int argc, char** argv) {
 
   // Output streams shard by shard in deterministic corpus order: rows for
   // shard k print while shards k+1… are still extracting, and the full
-  // result set is never materialized at once.
+  // result set is never materialized at once. Every write is checked: once
+  // the downstream pipe closes, formatting keeps running (results and
+  // stats stay correct) but nothing further is written.
+  CheckedWriter writer(stdout);
   std::string out;
-  auto flush_if_large = [&out] {
+  auto flush_if_large = [&out, &writer] {
     if (out.size() >= 1 << 20) {
-      std::cout << out;
+      writer.Write(out);
       out.clear();
     }
   };
@@ -520,13 +646,11 @@ int main(int argc, char** argv) {
         if (result.per_doc[i].empty()) continue;
         const Document doc = store->MaterializeDoc(i);
         for (const Mapping& m : result.per_doc[i]) {
-          out += format == OutputFormat::kTsv ? ToTsvRow(i, m, vars, doc)
-                                              : ToJsonRow(i, m, vars, doc);
-          out += '\n';
+          AppendMappingRow(&out, format, i, m, vars, doc);
           flush_if_large();
         }
       }
-      std::cout << out;
+      writer.Write(out);
       out.clear();
       run_stats.total_mappings = result.total_mappings;
       run_stats.matched_documents = result.MatchedDocuments();
@@ -537,11 +661,11 @@ int main(int argc, char** argv) {
     } else {
       MultiQueryExtractor fleet(plans);
       if (format == OutputFormat::kTsv && header) {
-        for (size_t p = 0; p < fleet.num_plans(); ++p) {
-          out += "# q" + std::to_string(p) + ": query\t" +
-                 TsvHeader(fleet.plan(p).vars());
-          out += '\n';
-        }
+        std::vector<const VarSet*> vars_per_plan;
+        vars_per_plan.reserve(fleet.num_plans());
+        for (size_t p = 0; p < fleet.num_plans(); ++p)
+          vars_per_plan.push_back(&fleet.plan(p).vars());
+        out += FleetTsvHeader(vars_per_plan);
       }
       MultiBatchResult result =
           batch.ExtractIndexedMulti(fleet, *store, &*index, &index_stats);
@@ -555,21 +679,12 @@ int main(int argc, char** argv) {
         for (size_t p = 0; p < result.per_plan.size(); ++p) {
           const VarSet& vars = fleet.plan(p).vars();
           for (const Mapping& m : result.per_plan[p].per_doc[i]) {
-            if (format == OutputFormat::kTsv) {
-              out += std::to_string(p);
-              out += '\t';
-              out += ToTsvRow(i, m, vars, doc);
-            } else {
-              std::string row = ToJsonRow(i, m, vars, doc);
-              out += "{\"query\":" + std::to_string(p) + ",";
-              out.append(row, 1, row.size() - 1);
-            }
-            out += '\n';
+            AppendFleetMappingRow(&out, format, p, i, m, vars, doc);
             flush_if_large();
           }
         }
       }
-      std::cout << out;
+      writer.Write(out);
       out.clear();
       run_stats.total_mappings = result.total_mappings;
       run_stats.shards = result.shards;
@@ -589,7 +704,7 @@ int main(int argc, char** argv) {
     report.index_info = index->ToString();
     report.index_stats = index_stats;
     finish(std::move(report), run_stats);
-    return 0;
+    return OutputExit(writer);
   }
 
   if (compiled.has_value() || plans.size() == 1) {
@@ -608,17 +723,14 @@ int main(int argc, char** argv) {
             std::vector<std::vector<Mapping>>& per_doc) {
           for (size_t i = doc_begin; i < doc_end; ++i) {
             for (const Mapping& m : per_doc[i - doc_begin]) {
-              out += format == OutputFormat::kTsv
-                         ? ToTsvRow(i, m, vars, corpus[i])
-                         : ToJsonRow(i, m, vars, corpus[i]);
-              out += '\n';
+              AppendMappingRow(&out, format, i, m, vars, corpus[i]);
               flush_if_large();
             }
           }
-          std::cout << out;
+          writer.Write(out);
           out.clear();
         });
-    std::cout << out;
+    writer.Write(out);
 
     EngineReport report;
     if (!compiled.has_value()) {
@@ -632,7 +744,7 @@ int main(int argc, char** argv) {
       report.cache = cache.stats();
     }
     finish(std::move(report), result);
-    return 0;
+    return OutputExit(writer);
   }
 
   // Multi-query fleet: one corpus pass for every plan. Rows carry a
@@ -640,11 +752,11 @@ int main(int argc, char** argv) {
   // command line / in the patterns file), doc-major then query-minor.
   MultiQueryExtractor fleet(plans);
   if (format == OutputFormat::kTsv && header) {
-    for (size_t p = 0; p < fleet.num_plans(); ++p) {
-      out += "# q" + std::to_string(p) + ": query\t" +
-             TsvHeader(fleet.plan(p).vars());
-      out += '\n';
-    }
+    std::vector<const VarSet*> vars_per_plan;
+    vars_per_plan.reserve(fleet.num_plans());
+    for (size_t p = 0; p < fleet.num_plans(); ++p)
+      vars_per_plan.push_back(&fleet.plan(p).vars());
+    out += FleetTsvHeader(vars_per_plan);
   }
   BatchExtractor::StreamStats result = batch.ExtractMultiStream(
       fleet, corpus,
@@ -654,25 +766,15 @@ int main(int argc, char** argv) {
           for (size_t p = 0; p < per_plan.size(); ++p) {
             const VarSet& vars = fleet.plan(p).vars();
             for (const Mapping& m : per_plan[p][i - doc_begin]) {
-              if (format == OutputFormat::kTsv) {
-                out += std::to_string(p);
-                out += '\t';
-                out += ToTsvRow(i, m, vars, corpus[i]);
-              } else {
-                // {"doc":…} → {"query":p,"doc":…}
-                std::string row = ToJsonRow(i, m, vars, corpus[i]);
-                out += "{\"query\":" + std::to_string(p) + ",";
-                out.append(row, 1, row.size() - 1);
-              }
-              out += '\n';
+              AppendFleetMappingRow(&out, format, p, i, m, vars, corpus[i]);
               flush_if_large();
             }
           }
         }
-        std::cout << out;
+        writer.Write(out);
         out.clear();
       });
-  std::cout << out;
+  writer.Write(out);
 
   EngineReport report;
   report.fleet = fleet.ToString();
@@ -686,5 +788,5 @@ int main(int argc, char** argv) {
   report.have_cache = true;
   report.cache = cache.stats();
   finish(std::move(report), result);
-  return 0;
+  return OutputExit(writer);
 }
