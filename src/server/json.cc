@@ -14,6 +14,17 @@ namespace {
 /// blowing the parser stack, not a real limit anyone hits.
 constexpr int kMaxDepth = 64;
 
+/// Saturating double→int64 conversion. Casting a double outside int64's
+/// range (or NaN) is UB, and the wire lets clients send e.g. 1e300.
+/// 9223372036854775808.0 is 2^63 exactly; -2^63 is representable, so any
+/// d < -2^63 is below the range and anything in [-2^63, 2^63) casts fine.
+int64_t ClampToInt64(double d) {
+  if (std::isnan(d)) return 0;
+  if (d >= 9223372036854775808.0) return INT64_MAX;
+  if (d < -9223372036854775808.0) return INT64_MIN;
+  return int64_t(d);
+}
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -270,9 +281,9 @@ class Parser {
     if (integral) {
       errno = 0;
       i = std::strtoll(token.c_str(), &end, 10);
-      if (errno == ERANGE) i = int64_t(d);  // clamp semantics are fine here
+      if (errno == ERANGE) i = ClampToInt64(d);
     } else {
-      i = int64_t(d);
+      i = ClampToInt64(d);
     }
     *out = JsonValue::Number(d, i);
     return Status::OK();
@@ -301,10 +312,10 @@ bool JsonValue::BoolOr(std::string_view key, bool dflt) const {
   return v != nullptr && v->is_bool() ? v->AsBool() : dflt;
 }
 
-const std::string& JsonValue::StringOr(std::string_view key,
-                                       const std::string& dflt) const {
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view dflt) const {
   const JsonValue* v = Find(key);
-  return v != nullptr && v->is_string() ? v->AsString() : dflt;
+  return v != nullptr && v->is_string() ? v->AsString() : std::string(dflt);
 }
 
 JsonValue JsonValue::Bool(bool b) {

@@ -54,8 +54,9 @@ class JsonValue {
   /// ("field present and of the right type, else default").
   int64_t IntOr(std::string_view key, int64_t dflt) const;
   bool BoolOr(std::string_view key, bool dflt) const;
-  const std::string& StringOr(std::string_view key,
-                              const std::string& dflt) const;
+  // Returns by value: a reference result could alias a temporary bound to
+  // `dflt` and dangle past the call statement.
+  std::string StringOr(std::string_view key, std::string_view dflt) const;
 
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool b);

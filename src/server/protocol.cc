@@ -26,8 +26,8 @@ Status StatusFromResponse(const JsonValue& response) {
   const JsonValue* error = response.Find("error");
   if (error == nullptr || !error->is_object())
     return Status::Internal("malformed response: ok=false without error");
-  const std::string& code = error->StringOr("code", "");
-  const std::string& message = error->StringOr("message", "");
+  const std::string code = error->StringOr("code", "");
+  const std::string message = error->StringOr("message", "");
   const auto retry =
       static_cast<uint32_t>(error->IntOr("retry_after_ms", 0));
   if (code == StatusCodeToString(StatusCode::kUnavailable))

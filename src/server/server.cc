@@ -312,11 +312,17 @@ void Server::AcceptConnections() {
 }
 
 void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  const size_t limit = std::min(options_.max_request_bytes, kMaxLineBytes);
   char buf[65536];
   for (;;) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
       conn->in_buf.append(buf, size_t(n));
+      // Stop draining once over the cap so a client streaming a
+      // newline-free request can't grow in_buf unboundedly within one
+      // call; poll() is level-triggered, so any bytes left in the kernel
+      // buffer re-arm the fd if the connection survives the check below.
+      if (conn->in_buf.size() > limit) break;
       continue;
     }
     if (n == 0) {
@@ -338,7 +344,6 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
     if (conn->fd < 0) return;  // closed while handling
   }
   if (start > 0) conn->in_buf.erase(0, start);
-  const size_t limit = std::min(options_.max_request_bytes, kMaxLineBytes);
   if (conn->in_buf.size() > limit) {
     SendNow(conn, ErrorResponse(
                       0, Status::InvalidArgument(
@@ -365,7 +370,7 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     return;
   }
   const int64_t id = req.IntOr("id", 0);
-  const std::string& op = req.StringOr("op", "");
+  const std::string op = req.StringOr("op", "");
 
   if (op == "ping") {
     const int64_t sleep_ms = req.IntOr("sleep_ms", 0);
@@ -403,7 +408,7 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     WorkItem item;
     item.conn = conn;
     item.id = id;
-    const std::string& fmt = req.StringOr("format", "tsv");
+    const std::string fmt = req.StringOr("format", "tsv");
     if (!engine::ParseOutputFormat(fmt, &item.format)) {
       SendNow(conn, ErrorResponse(
                         id, Status::InvalidArgument("unknown format: " + fmt)));

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -468,6 +469,80 @@ TEST(ServerTest, StatsReportsServerSection) {
   // even though the obs registry is process-global.
   RunningServer fresh(ServerOptions{});
   EXPECT_EQ(fresh.server().StatsSnapshot().requests, 0u);
+}
+
+// StringOr's result must stay valid past the declaration statement even
+// when it falls back to a default materialized from a temporary — the
+// server binds it once and reads it across the whole dispatch switch.
+TEST(JsonTest, StringOrDefaultOutlivesCallStatement) {
+  Result<JsonValue> req = ParseJson("{\"id\":1}");
+  ASSERT_TRUE(req.ok());
+  const std::string op = req->StringOr("op", "");
+  const std::string fmt = req->StringOr("format", "tsv");
+  EXPECT_EQ(op, "");
+  EXPECT_EQ(fmt, "tsv");
+  EXPECT_EQ("unknown op: " + op, "unknown op: ");
+  Result<JsonValue> present = ParseJson("{\"op\":\"ping\"}");
+  ASSERT_TRUE(present.ok());
+  EXPECT_EQ(present->StringOr("op", "fallback"), "ping");
+}
+
+// Numbers outside int64 range must clamp, not hit UB in the double→int64
+// cast; any client can put 1e300 in a request field.
+TEST(JsonTest, HugeNumbersClampToInt64Range) {
+  Result<JsonValue> v = ParseJson(
+      "{\"a\":1e300,\"b\":-1e300,\"c\":99999999999999999999999,"
+      "\"d\":1.5,\"e\":-9223372036854775808}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->IntOr("a", 0), INT64_MAX);
+  EXPECT_EQ(v->IntOr("b", 0), INT64_MIN);
+  EXPECT_EQ(v->IntOr("c", 0), INT64_MAX);
+  EXPECT_EQ(v->IntOr("d", 0), 1);
+  EXPECT_EQ(v->IntOr("e", 0), INT64_MIN);
+}
+
+// End-to-end: requests that omit "op" (previously a dangling-reference
+// path) and requests carrying huge numbers must draw clean protocol
+// errors, not UB; the connection and server must stay healthy after.
+TEST(ServerTest, MalformedRequestsDrawCleanErrors) {
+  RunningServer rs(ServerOptions{});
+  Client client = rs.MustConnect();
+
+  ASSERT_TRUE(client.SendLine("{\"id\":1}").ok());
+  Result<JsonValue> no_op = client.ReadResponseLine();
+  ASSERT_TRUE(no_op.ok()) << no_op.status().ToString();
+  EXPECT_EQ(StatusFromResponse(*no_op).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\",\"id\":1e300}").ok());
+  Result<JsonValue> huge_id = client.ReadResponseLine();
+  ASSERT_TRUE(huge_id.ok()) << huge_id.status().ToString();
+  EXPECT_TRUE(StatusFromResponse(*huge_id).ok());
+
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// A newline-free stream past max_request_bytes must be refused with
+// InvalidArgument and the connection closed — including when the
+// oversized chunk arrives faster than one poll() wakeup can drain it.
+TEST(ServerTest, OversizedRequestLineRefused) {
+  ServerOptions options;
+  options.max_request_bytes = 1 << 16;
+  RunningServer rs(options);
+  Client client = rs.MustConnect();
+
+  const std::string blob(options.max_request_bytes * 4, 'x');
+  // SendLine appends the newline, but the limit trips long before the
+  // terminator is seen.
+  (void)client.SendLine(blob);
+  Result<JsonValue> refused = client.ReadResponseLine();
+  if (refused.ok()) {
+    EXPECT_EQ(StatusFromResponse(*refused).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Whether or not the error line won the race with the close, the
+  // server must survive and keep serving fresh connections.
+  Client fresh = rs.MustConnect();
+  EXPECT_TRUE(fresh.Ping().ok());
 }
 
 }  // namespace
