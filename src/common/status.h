@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kInternal,          // invariant violation (a bug in this library)
   kCorruption,        // persisted data failed a checksum / structural check
   kUnavailable,       // transient refusal (overload, draining): retry later
+  kDeadlineExceeded,  // the operation's time budget ran out before it finished
 };
 
 /// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -61,6 +62,13 @@ class Status {
   /// (0 = none); clients distinguish this category from hard errors.
   static Status Unavailable(std::string msg, uint32_t retry_after_ms = 0) {
     return Status(StatusCode::kUnavailable, std::move(msg), retry_after_ms);
+  }
+  /// The operation ran out of its time budget (a server-side request
+  /// deadline, a client connect/read timeout). Distinct from Unavailable:
+  /// work may have partially executed, so retries are safe only for
+  /// idempotent operations — which all extraction requests are.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -113,6 +113,8 @@ std::string EngineReport::ToText(const std::string& prefix) const {
            std::to_string(s.queue_depth) + "/" +
            std::to_string(s.queue_capacity) +
            (s.draining ? ", draining" : "") + "\n";
+    if (s.degraded)
+      out += prefix + "server: DEGRADED (" + s.degraded_reason + ")\n";
     const uint64_t rejected = s.rejected_queue_full +
                               s.rejected_inflight_cap + s.rejected_draining;
     if (rejected > 0 || s.dropped_disconnect > 0)
@@ -121,6 +123,10 @@ std::string EngineReport::ToText(const std::string& prefix) const {
              std::to_string(s.rejected_inflight_cap) + " inflight-cap, " +
              std::to_string(s.rejected_draining) + " draining; dropped " +
              std::to_string(s.dropped_disconnect) + " disconnected\n";
+    if (s.deadline_exceeded > 0 || s.reaped_idle > 0)
+      out += prefix + "server: " + std::to_string(s.deadline_exceeded) +
+             " deadline-exceeded, " + std::to_string(s.reaped_idle) +
+             " idle conns reaped\n";
   }
   out += prefix + std::to_string(documents) + " docs, " +
          std::to_string(total_mappings) + " mappings, " +
@@ -190,9 +196,15 @@ std::string EngineReport::ToJson() const {
            ",\"rejected_draining\":" + std::to_string(s.rejected_draining) +
            ",\"dropped_disconnect\":" +
            std::to_string(s.dropped_disconnect) +
+           ",\"deadline_exceeded\":" + std::to_string(s.deadline_exceeded) +
+           ",\"reaped_idle\":" + std::to_string(s.reaped_idle) +
            ",\"queue_depth\":" + std::to_string(s.queue_depth) +
            ",\"queue_capacity\":" + std::to_string(s.queue_capacity) +
-           ",\"draining\":" + (s.draining ? "true" : "false") + "}";
+           ",\"draining\":" + (s.draining ? "true" : "false") +
+           ",\"degraded\":" + (s.degraded ? "true" : "false");
+    if (s.degraded)
+      out += ",\"degraded_reason\":\"" + JsonEscape(s.degraded_reason) + "\"";
+    out += "}";
   }
   out += ",\"wall_ns\":" + std::to_string(wall_ns);
   if (have_metrics) out += ",\"metrics\":" + metrics.ToJson();

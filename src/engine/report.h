@@ -48,9 +48,18 @@ struct ServerStatsReport {
   uint64_t rejected_draining = 0;
   /// Admitted items whose client disconnected before execution.
   uint64_t dropped_disconnect = 0;
+  /// Requests whose per-request deadline expired before (or while)
+  /// executing; the client got Status::DeadlineExceeded.
+  uint64_t deadline_exceeded = 0;
+  /// Connections force-closed for sitting idle past idle_timeout_ms.
+  uint64_t reaped_idle = 0;
   size_t queue_depth = 0;  // point-in-time
   size_t queue_capacity = 0;
   bool draining = false;
+  /// Serving in degraded mode (index unavailable or memory budget hit):
+  /// full-scan answers, still byte-identical, just slower.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 struct EngineReport {

@@ -1,40 +1,188 @@
 #include "server/client.h"
 
 #include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "common/fault.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 
 namespace spanners {
 namespace server {
 
-Result<Client> Client::Connect(const std::string& socket_path) {
+namespace {
+
+obs::Counter* RetriesMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("client.retries");
+  return c;
+}
+
+Status SetIoTimeout(int fd, uint32_t io_timeout_ms) {
+  if (io_timeout_ms == 0) return Status::OK();
+  timeval tv;
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = suseconds_t(io_timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    return Status::Internal(std::string("setsockopt timeout: ") +
+                            std::strerror(errno));
+  return Status::OK();
+}
+
+// Counter-indexed splitmix64 — the deterministic jitter source.
+uint64_t SplitMix64(uint64_t s, uint64_t i) {
+  uint64_t z = s + (i + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Decorrelated jitter (the AWS recipe): sleep drawn uniformly from
+/// [base, 3·prev], capped. Spreads synchronized clients apart while
+/// still growing the backoff exponentially in expectation.
+uint32_t NextBackoffMs(const RetryPolicy& policy, uint32_t* prev_ms,
+                       uint64_t* draws) {
+  const uint32_t base = policy.base_backoff_ms > 0 ? policy.base_backoff_ms : 1;
+  const uint64_t prev = *prev_ms > base ? *prev_ms : base;
+  const uint64_t hi = prev * 3;
+  const uint64_t draw = SplitMix64(policy.jitter_seed, (*draws)++);
+  uint64_t sleep = base + draw % (hi - base + 1);
+  if (policy.max_backoff_ms > 0 && sleep > policy.max_backoff_ms)
+    sleep = policy.max_backoff_ms;
+  *prev_ms = uint32_t(sleep);
+  return uint32_t(sleep);
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& socket_path,
+                               const ConnectOptions& options) {
   sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
   if (socket_path.size() >= sizeof(addr.sun_path))
     return Status::InvalidArgument("socket path too long: " + socket_path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0)
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+
+  int rc;
+  {
+    const fault::Action fa = SPANNERS_FAULT("client.connect");
+    if (fa.fail) {
+      errno = fa.err;
+      rc = -1;
+    } else {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    }
+  }
+  // On AF_UNIX, EAGAIN means the listen backlog is full — the connection
+  // was NOT initiated, so polling would misreport success. It is a
+  // retryable overload signal, exactly like an admission rejection.
+  if (rc != 0 && errno == EAGAIN) {
+    ::close(fd);
+    return Status::Unavailable("connect " + socket_path +
+                               ": listen backlog full");
+  }
+  if (rc != 0 && errno == EINPROGRESS) {
+    // In progress: wait for writability under the connect deadline, then
+    // read the final verdict.
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout = options.connect_timeout_ms == 0
+                            ? -1
+                            : int(options.connect_timeout_ms);
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, timeout);
+    } while (pr < 0 && errno == EINTR);
+    if (pr == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded(
+          "connect " + socket_path + ": timed out after " +
+          std::to_string(options.connect_timeout_ms) + " ms");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (pr < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      if (soerr != 0) errno = soerr;
+      rc = -1;
+    } else {
+      rc = 0;
+    }
+  }
+  if (rc != 0) {
     const Status s = Status::Unavailable("connect " + socket_path + ": " +
                                          std::strerror(errno));
     ::close(fd);
     return s;
   }
-  return Client(fd);
+
+  // Back to blocking mode; deadlines come from SO_RCVTIMEO/SO_SNDTIMEO.
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    const Status s =
+        Status::Internal(std::string("fcntl: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const Status timeout_status = SetIoTimeout(fd, options.io_timeout_ms);
+  if (!timeout_status.ok()) {
+    ::close(fd);
+    return timeout_status;
+  }
+  return Client(fd, socket_path, options);
+}
+
+Result<Client> Client::ConnectWithRetry(const std::string& socket_path,
+                                        const ConnectOptions& options,
+                                        const RetryPolicy& policy) {
+  uint32_t prev_ms = 0;
+  uint64_t draws = 0;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<Client> client = Connect(socket_path, options);
+    if (client.ok()) {
+      Client c = std::move(client).value();
+      c.set_retry_policy(policy);
+      c.retries_performed_ = attempt;
+      return c;
+    }
+    if (attempt >= policy.max_retries ||
+        client.status().code() != StatusCode::kUnavailable)
+      return client.status();
+    uint32_t sleep_ms = NextBackoffMs(policy, &prev_ms, &draws);
+    if (client.status().retry_after_ms() > sleep_ms)
+      sleep_ms = client.status().retry_after_ms();
+    if (obs::Enabled()) RetriesMetric()->Add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
 }
 
 Client::Client(Client&& o) noexcept
-    : fd_(o.fd_), next_id_(o.next_id_), read_buf_(std::move(o.read_buf_)) {
+    : fd_(o.fd_),
+      next_id_(o.next_id_),
+      read_buf_(std::move(o.read_buf_)),
+      socket_path_(std::move(o.socket_path_)),
+      copts_(o.copts_),
+      policy_(o.policy_),
+      registered_patterns_(std::move(o.registered_patterns_)),
+      retries_performed_(o.retries_performed_),
+      prev_backoff_ms_(o.prev_backoff_ms_),
+      backoff_draws_(o.backoff_draws_) {
   o.fd_ = -1;
 }
 
@@ -44,6 +192,13 @@ Client& Client::operator=(Client&& o) noexcept {
     fd_ = o.fd_;
     next_id_ = o.next_id_;
     read_buf_ = std::move(o.read_buf_);
+    socket_path_ = std::move(o.socket_path_);
+    copts_ = o.copts_;
+    policy_ = o.policy_;
+    registered_patterns_ = std::move(o.registered_patterns_);
+    retries_performed_ = o.retries_performed_;
+    prev_backoff_ms_ = o.prev_backoff_ms_;
+    backoff_draws_ = o.backoff_draws_;
     o.fd_ = -1;
   }
   return *this;
@@ -54,6 +209,7 @@ Client::~Client() { Close(); }
 void Client::Close() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
+  read_buf_.clear();
 }
 
 Status Client::SendLine(std::string_view line) {
@@ -62,14 +218,31 @@ Status Client::SendLine(std::string_view line) {
   out += '\n';
   size_t off = 0;
   while (off < out.size()) {
-    const ssize_t n =
-        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    const fault::Action fa = SPANNERS_FAULT("client.send");
+    ssize_t n;
+    if (fa.fail) {
+      errno = fa.err;
+      n = -1;
+    } else {
+      n = ::send(fd_, out.data() + off,
+                 std::min(out.size() - off, fa.clamp), MSG_NOSIGNAL);
+    }
     if (n > 0) {
       off += size_t(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return Status::Internal(std::string("send: ") + std::strerror(errno));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expired; a partially-sent line cannot be resumed.
+      Close();
+      return Status::DeadlineExceeded("send: timed out after " +
+                                      std::to_string(copts_.io_timeout_ms) +
+                                      " ms");
+    }
+    const Status s =
+        Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    Close();
+    return s;
   }
   return Status::OK();
 }
@@ -87,33 +260,86 @@ Result<JsonValue> Client::ReadResponseLine() {
     if (read_buf_.size() > kMaxLineBytes)
       return Status::Internal("response line exceeds protocol limit");
     char buf[65536];
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    const fault::Action fa = SPANNERS_FAULT("client.recv");
+    ssize_t n;
+    if (fa.fail) {
+      errno = fa.err;
+      n = -1;
+    } else {
+      n = ::read(fd_, buf, std::min(sizeof(buf), fa.clamp));
+    }
     if (n > 0) {
       read_buf_.append(buf, size_t(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n == 0)
-      return Status::Internal("server closed the connection" +
-                              (read_buf_.empty()
-                                   ? std::string()
-                                   : " mid-response"));
-    return Status::Internal(std::string("read: ") + std::strerror(errno));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Close();
+      return Status::DeadlineExceeded("read: timed out after " +
+                                      std::to_string(copts_.io_timeout_ms) +
+                                      " ms");
+    }
+    const std::string what =
+        n == 0 ? "server closed the connection" +
+                     (read_buf_.empty() ? std::string() : " mid-response")
+               : std::string("read: ") + std::strerror(errno);
+    Close();
+    return Status::Unavailable(what);
+  }
+}
+
+Status Client::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  if (socket_path_.empty())
+    return Status::InvalidArgument("client has no socket path to reconnect");
+  SPANNERS_ASSIGN_OR_RETURN(Client fresh, Connect(socket_path_, copts_));
+  // Adopt the new fd; session-level state (ids, policy, patterns) stays.
+  fd_ = fresh.fd_;
+  fresh.fd_ = -1;
+  read_buf_.clear();
+  // Replay the session's registrations so the server-side fleet matches
+  // what the caller built up before the connection died.
+  for (const std::string& pattern : registered_patterns_) {
+    Result<int64_t> handle = RegisterOnServer(pattern);
+    if (!handle.ok()) {
+      Close();
+      return handle.status();
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Op>
+Status Client::Retrying(const Op& op) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status st = EnsureConnected();
+    if (st.ok()) st = op();
+    if (st.ok() || st.code() != StatusCode::kUnavailable ||
+        attempt >= policy_.max_retries)
+      return st;
+    uint32_t sleep_ms =
+        NextBackoffMs(policy_, &prev_backoff_ms_, &backoff_draws_);
+    if (st.retry_after_ms() > sleep_ms) sleep_ms = st.retry_after_ms();
+    ++retries_performed_;
+    if (obs::Enabled()) RetriesMetric()->Add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
 }
 
 Status Client::Ping(uint64_t sleep_ms) {
-  const int64_t id = NextId();
-  std::string req = "{\"op\":\"ping\",\"id\":" + std::to_string(id);
-  if (sleep_ms > 0) req += ",\"sleep_ms\":" + std::to_string(sleep_ms);
-  req += "}";
-  SPANNERS_RETURN_NOT_OK(SendLine(req));
-  Result<JsonValue> resp = ReadResponseLine();
-  SPANNERS_RETURN_NOT_OK(resp.status());
-  return StatusFromResponse(*resp);
+  return Retrying([&]() -> Status {
+    const int64_t id = NextId();
+    std::string req = "{\"op\":\"ping\",\"id\":" + std::to_string(id);
+    if (sleep_ms > 0) req += ",\"sleep_ms\":" + std::to_string(sleep_ms);
+    req += "}";
+    SPANNERS_RETURN_NOT_OK(SendLine(req));
+    Result<JsonValue> resp = ReadResponseLine();
+    SPANNERS_RETURN_NOT_OK(resp.status());
+    return StatusFromResponse(*resp);
+  });
 }
 
-Result<int64_t> Client::Register(const std::string& pattern) {
+Result<int64_t> Client::RegisterOnServer(const std::string& pattern) {
   const int64_t id = NextId();
   std::string req = "{\"op\":\"register\",\"id\":" + std::to_string(id) +
                     ",\"pattern\":";
@@ -128,6 +354,19 @@ Result<int64_t> Client::Register(const std::string& pattern) {
   return handle;
 }
 
+Result<int64_t> Client::Register(const std::string& pattern) {
+  int64_t handle = -1;
+  const Status st = Retrying([&]() -> Status {
+    Result<int64_t> r = RegisterOnServer(pattern);
+    SPANNERS_RETURN_NOT_OK(r.status());
+    handle = r.value();
+    return Status::OK();
+  });
+  SPANNERS_RETURN_NOT_OK(st);
+  registered_patterns_.push_back(pattern);
+  return handle;
+}
+
 Status Client::Unregister(int64_t handle) {
   const int64_t id = NextId();
   const std::string req = "{\"op\":\"unregister\",\"id\":" +
@@ -136,21 +375,33 @@ Status Client::Unregister(int64_t handle) {
   SPANNERS_RETURN_NOT_OK(SendLine(req));
   Result<JsonValue> resp = ReadResponseLine();
   SPANNERS_RETURN_NOT_OK(resp.status());
-  return StatusFromResponse(*resp);
+  const Status st = StatusFromResponse(*resp);
+  // The handle → pattern association is positional only on the server;
+  // conservatively forget ALL replay state once the session shape is
+  // edited by hand (reconnect replay would re-create stale handles).
+  if (st.ok()) registered_patterns_.clear();
+  return st;
 }
 
-Status Client::RunStreaming(std::string request, const RowFn& on_row,
-                            JsonValue* final_response) {
+Status Client::RunStreaming(const std::string& request, const RowFn& on_row,
+                            JsonValue* final_response, uint64_t* skip_rows) {
   SPANNERS_RETURN_NOT_OK(SendLine(request));
+  uint64_t seen = 0;
   for (;;) {
     Result<JsonValue> line = ReadResponseLine();
     SPANNERS_RETURN_NOT_OK(line.status());
     const JsonValue* rows = line->Find("rows");
     if (rows != nullptr && rows->is_array() &&
         !line->BoolOr("done", false)) {
-      if (on_row)
-        for (const JsonValue& r : rows->items())
-          if (r.is_string()) on_row(r.AsString());
+      for (const JsonValue& r : rows->items()) {
+        if (!r.is_string()) continue;
+        // Served output is deterministic, so a retried stream replays
+        // byte-identically from the start; rows the previous attempt
+        // already handed to on_row are skipped, not re-delivered.
+        if (seen++ < *skip_rows) continue;
+        *skip_rows = seen;
+        if (on_row) on_row(r.AsString());
+      }
       continue;
     }
     SPANNERS_RETURN_NOT_OK(StatusFromResponse(*line));
@@ -164,16 +415,17 @@ Result<Client::ExtractSummary> Client::Extract(std::string_view doc,
                                                engine::OutputFormat format,
                                                bool header,
                                                const RowFn& on_row) {
-  const int64_t id = NextId();
-  std::string req = "{\"op\":\"extract\",\"id\":" + std::to_string(id) +
+  std::string req = "{\"op\":\"extract\",\"id\":" + std::to_string(NextId()) +
                     ",\"doc\":";
   AppendJsonString(&req, doc);
   req += ",\"doc_index\":" + std::to_string(doc_index) + ",\"format\":\"";
   req += format == engine::OutputFormat::kTsv ? "tsv" : "json";
   req += header ? "\",\"header\":true}" : "\",\"header\":false}";
   JsonValue final_response;
-  SPANNERS_RETURN_NOT_OK(
-      RunStreaming(std::move(req), on_row, &final_response));
+  uint64_t delivered = 0;
+  SPANNERS_RETURN_NOT_OK(Retrying([&]() -> Status {
+    return RunStreaming(req, on_row, &final_response, &delivered);
+  }));
   ExtractSummary summary;
   summary.mappings = uint64_t(final_response.IntOr("mappings", 0));
   summary.matched_docs = uint64_t(final_response.IntOr("matched_docs", 0));
@@ -183,16 +435,17 @@ Result<Client::ExtractSummary> Client::Extract(std::string_view doc,
 Result<Client::ExtractSummary> Client::ExtractBatch(
     engine::OutputFormat format, bool header, bool all_resident,
     const RowFn& on_row) {
-  const int64_t id = NextId();
-  std::string req = "{\"op\":\"extract_batch\",\"id\":" + std::to_string(id) +
-                    ",\"format\":\"";
+  std::string req = "{\"op\":\"extract_batch\",\"id\":" +
+                    std::to_string(NextId()) + ",\"format\":\"";
   req += format == engine::OutputFormat::kTsv ? "tsv" : "json";
   req += header ? "\",\"header\":true" : "\",\"header\":false";
   if (all_resident) req += ",\"all\":true";
   req += "}";
   JsonValue final_response;
-  SPANNERS_RETURN_NOT_OK(
-      RunStreaming(std::move(req), on_row, &final_response));
+  uint64_t delivered = 0;
+  SPANNERS_RETURN_NOT_OK(Retrying([&]() -> Status {
+    return RunStreaming(req, on_row, &final_response, &delivered);
+  }));
   ExtractSummary summary;
   summary.mappings = uint64_t(final_response.IntOr("mappings", 0));
   summary.matched_docs = uint64_t(final_response.IntOr("matched_docs", 0));
@@ -200,16 +453,24 @@ Result<Client::ExtractSummary> Client::ExtractBatch(
 }
 
 Result<JsonValue> Client::Stats() {
-  const int64_t id = NextId();
-  SPANNERS_RETURN_NOT_OK(
-      SendLine("{\"op\":\"stats\",\"id\":" + std::to_string(id) + "}"));
-  Result<JsonValue> resp = ReadResponseLine();
-  SPANNERS_RETURN_NOT_OK(resp.status());
-  SPANNERS_RETURN_NOT_OK(StatusFromResponse(*resp));
-  return resp;
+  JsonValue out;
+  const Status st = Retrying([&]() -> Status {
+    SPANNERS_RETURN_NOT_OK(
+        SendLine("{\"op\":\"stats\",\"id\":" + std::to_string(NextId()) +
+                 "}"));
+    Result<JsonValue> resp = ReadResponseLine();
+    SPANNERS_RETURN_NOT_OK(resp.status());
+    SPANNERS_RETURN_NOT_OK(StatusFromResponse(*resp));
+    out = std::move(*resp);
+    return Status::OK();
+  });
+  SPANNERS_RETURN_NOT_OK(st);
+  return out;
 }
 
 Status Client::Drain() {
+  // Deliberately not retried: drain is the one non-idempotent op (a retry
+  // against a fresh instance would drain it too).
   const int64_t id = NextId();
   SPANNERS_RETURN_NOT_OK(
       SendLine("{\"op\":\"drain\",\"id\":" + std::to_string(id) + "}"));

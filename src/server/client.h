@@ -9,6 +9,20 @@
 // pipelining — e.g. the backpressure test fires queue_capacity+N sleeping
 // pings before reading any response.
 //
+// Failure model. Every syscall has a deadline (ConnectOptions): connect
+// runs non-blocking against connect_timeout_ms, reads/sends carry
+// SO_RCVTIMEO/SO_SNDTIMEO of io_timeout_ms; an expired deadline returns
+// Status::DeadlineExceeded. Transport-level failures — a dead socket
+// file, ECONNRESET/EPIPE, the server closing mid-response — come back as
+// Status::Unavailable and close the connection (the protocol stream is
+// not resumable mid-line). With a RetryPolicy armed, the typed helpers
+// retry Unavailable failures transparently: capped exponential backoff
+// with decorrelated jitter (never less than a server-provided
+// retry_after_ms hint), one reconnect + plan re-registration per attempt,
+// and — because served results are deterministic — already-delivered rows
+// of an interrupted stream are skipped on the retry, so `on_row` sees
+// every row exactly once. All retried operations are idempotent.
+//
 // Not thread-safe: one Client per thread.
 #ifndef SPANNERS_SERVER_CLIENT_H_
 #define SPANNERS_SERVER_CLIENT_H_
@@ -17,6 +31,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/format.h"
@@ -25,9 +40,35 @@
 namespace spanners {
 namespace server {
 
+/// Per-syscall deadlines of one connection. 0 disables a deadline.
+struct ConnectOptions {
+  uint32_t connect_timeout_ms = 5'000;
+  /// Applies to every read and send after the connect (SO_RCVTIMEO /
+  /// SO_SNDTIMEO granularity: one syscall, not one whole response).
+  uint32_t io_timeout_ms = 30'000;
+};
+
+/// Backoff schedule for transparent retries of Unavailable failures.
+/// Decorrelated jitter (sleep = min(cap, uniform[base, 3·prev])), seeded
+/// so tests replay the same schedule; a server retry_after_ms hint acts
+/// as a floor for that round's sleep.
+struct RetryPolicy {
+  uint32_t max_retries = 0;  // 0 = fail fast
+  uint32_t base_backoff_ms = 10;
+  uint32_t max_backoff_ms = 2'000;
+  uint64_t jitter_seed = 1;
+};
+
 class Client {
  public:
-  static Result<Client> Connect(const std::string& socket_path);
+  static Result<Client> Connect(const std::string& socket_path,
+                                const ConnectOptions& options = {});
+
+  /// Connect, retrying Unavailable failures (dead or missing socket) on
+  /// `policy`'s schedule — the "client starts before the server" path.
+  static Result<Client> ConnectWithRetry(const std::string& socket_path,
+                                         const ConnectOptions& options,
+                                         const RetryPolicy& policy);
 
   Client() = default;
   Client(Client&& o) noexcept;
@@ -37,13 +78,19 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Arms transparent retries for the typed helpers (Ping, Register,
+  /// Extract, ExtractBatch, Stats). Off by default.
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  /// Retries performed so far (reconnects + re-sends), for tests/stats.
+  uint64_t retries_performed() const { return retries_performed_; }
+
   /// Next request id this client will stamp (monotonic per connection).
   int64_t NextId() { return next_id_++; }
 
   // --- raw protocol access (pipelining) ------------------------------
   /// Writes one request line (newline appended). Blocking.
   Status SendLine(std::string_view line);
-  /// Reads and parses the next response line. Blocking; Internal on EOF.
+  /// Reads and parses the next response line. Blocking; Unavailable on EOF.
   Result<JsonValue> ReadResponseLine();
 
   // --- typed helpers (one request, read to completion) ---------------
@@ -79,16 +126,42 @@ class Client {
   Status Drain();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, std::string socket_path, ConnectOptions options)
+      : fd_(fd),
+        socket_path_(std::move(socket_path)),
+        copts_(options) {}
 
   /// Sends `request` and consumes row chunks until the final response;
-  /// the final parsed object lands in *final.
-  Status RunStreaming(std::string request, const RowFn& on_row,
-                      JsonValue* final_response);
+  /// the final parsed object lands in *final. Rows before `skip_rows`
+  /// are dropped (retry resume: they were already delivered); on return,
+  /// *skip_rows holds the total delivered so far.
+  Status RunStreaming(const std::string& request, const RowFn& on_row,
+                      JsonValue* final_response, uint64_t* skip_rows);
+
+  /// One register request on the wire (no retry, no pattern bookkeeping).
+  Result<int64_t> RegisterOnServer(const std::string& pattern);
+
+  /// Reconnects (if needed) and re-registers the session's patterns.
+  Status EnsureConnected();
+
+  /// Runs `op` under policy_: on an Unavailable failure, backs off
+  /// (decorrelated jitter, floored at the status's retry_after_ms) and
+  /// retries with a fresh connection, up to max_retries times.
+  template <typename Op>
+  Status Retrying(const Op& op);
 
   int fd_ = -1;
   int64_t next_id_ = 1;
   std::string read_buf_;
+
+  std::string socket_path_;
+  ConnectOptions copts_;
+  RetryPolicy policy_;
+  /// Session patterns in registration order, replayed on reconnect.
+  std::vector<std::string> registered_patterns_;
+  uint64_t retries_performed_ = 0;
+  uint32_t prev_backoff_ms_ = 0;
+  uint64_t backoff_draws_ = 0;
 };
 
 }  // namespace server

@@ -42,6 +42,8 @@ Status StatusFromResponse(const JsonValue& response) {
     return Status::OutOfRange(message);
   if (code == StatusCodeToString(StatusCode::kCorruption))
     return Status::Corruption(message);
+  if (code == StatusCodeToString(StatusCode::kDeadlineExceeded))
+    return Status::DeadlineExceeded(message);
   return Status::Internal(code.empty() ? message
                                        : code + ": " + message);
 }

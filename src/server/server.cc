@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "engine/format.h"
 #include "server/protocol.h"
 
@@ -56,6 +57,10 @@ struct Server::Connection {
   /// Admitted (queued or executing) items of this connection.
   std::atomic<size_t> inflight{0};
 
+  /// Last traffic (accept, bytes read, flush progress), for idle reaping.
+  /// I/O thread only, like fd/in_buf.
+  uint64_t last_activity_ns = 0;
+
   // Output side, shared between the executor (EmitLine) and the I/O
   // thread (SendNow/FlushConn/CloseConn).
   std::mutex mu;
@@ -71,6 +76,7 @@ Server::Server(ServerOptions options, engine::Corpus corpus)
       cached_fleet_(cache_),
       batch_(engine::BatchOptions{options_.num_threads}) {
   InitMetrics();
+  cached_fleet_.set_memory_budget(options_.memory_budget_bytes);
 }
 
 Server::Server(ServerOptions options, storage::SegmentStore store,
@@ -82,6 +88,7 @@ Server::Server(ServerOptions options, storage::SegmentStore store,
       cached_fleet_(cache_),
       batch_(engine::BatchOptions{options_.num_threads}) {
   InitMetrics();
+  cached_fleet_.set_memory_budget(options_.memory_budget_bytes);
 }
 
 Server::~Server() {
@@ -117,6 +124,9 @@ void Server::InitMetrics() {
   rejected_inflight_cap_ = reg.GetCounter("server.rejected_inflight_cap");
   rejected_draining_ = reg.GetCounter("server.rejected_draining");
   dropped_disconnect_ = reg.GetCounter("server.dropped_disconnect");
+  deadline_exceeded_ = reg.GetCounter("server.deadline_exceeded");
+  reaped_idle_ = reg.GetCounter("server.reaped_idle");
+  degraded_activations_ = reg.GetCounter("server.degraded");
   queue_depth_ = reg.GetHistogram("server.queue_depth", "items");
   queue_wait_ns_ = reg.GetHistogram("server.queue_wait_ns", "ns");
   request_ns_ = reg.GetHistogram("server.request_ns", "ns");
@@ -225,7 +235,11 @@ int Server::Serve() {
       polled.push_back(conn);
     }
 
-    const int timeout_ms = draining_.load(std::memory_order_acquire) ? 20 : -1;
+    // Idle reaping needs a periodic wakeup even with no traffic; cap the
+    // sleep at the idle timeout (bounded by 1 s so reaps stay timely).
+    int timeout_ms = draining_.load(std::memory_order_acquire) ? 20 : -1;
+    if (timeout_ms < 0 && options_.idle_timeout_ms > 0)
+      timeout_ms = int(std::min<uint32_t>(options_.idle_timeout_ms, 1000));
     const int rc = ::poll(pfds.data(), nfds_t(pfds.size()), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
@@ -254,6 +268,8 @@ int Server::Serve() {
     }
 
     if (drain_requested_.load(std::memory_order_acquire)) BeginDrain();
+    if (!draining_.load(std::memory_order_acquire))
+      ReapIdleConns(MonotonicNs());
     if (draining_.load(std::memory_order_acquire)) {
       if (!deadline_forced && MonotonicNs() >= drain_deadline_ns_) {
         // Clients that never read their responses do not get to hold the
@@ -305,6 +321,7 @@ void Server::AcceptConnections() {
     if (fd < 0) return;
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->last_activity_ns = MonotonicNs();
     conns_.emplace(fd, conn);
     Count(connections_, n_connections_);
     open_conns_.fetch_add(1, std::memory_order_relaxed);
@@ -315,8 +332,16 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
   const size_t limit = std::min(options_.max_request_bytes, kMaxLineBytes);
   char buf[65536];
   for (;;) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    const fault::Action fa = SPANNERS_FAULT("server.read");
+    ssize_t n;
+    if (fa.fail) {
+      errno = fa.err;
+      n = -1;
+    } else {
+      n = ::read(conn->fd, buf, std::min(sizeof(buf), fa.clamp));
+    }
     if (n > 0) {
+      conn->last_activity_ns = MonotonicNs();
       conn->in_buf.append(buf, size_t(n));
       // Stop draining once over the cap so a client streaming a
       // newline-free request can't grow in_buf unboundedly within one
@@ -433,6 +458,8 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
       // generation-checked CachedFleet — rebuilt only when the cache's
       // membership changed since the last "all" batch.
       item.fleet = cached_fleet_.Get();
+      if (cached_fleet_.degraded())
+        MarkDegraded("fleet memory budget exceeded; shared gate disabled");
     } else {
       item.fleet = SessionFleet(conn);
       if (item.fleet == nullptr) {
@@ -514,10 +541,34 @@ std::shared_ptr<const engine::MultiQueryExtractor> Server::SessionFleet(
     plans.reserve(conn->regs.size());
     for (const Connection::Registration& reg : conn->regs)
       plans.push_back(reg.plan);
-    conn->fleet =
-        std::make_shared<const engine::MultiQueryExtractor>(std::move(plans));
+    auto fleet =
+        std::make_shared<const engine::MultiQueryExtractor>(plans);
+    if (options_.memory_budget_bytes > 0 &&
+        fleet->ApproxMemoryBytes() > options_.memory_budget_bytes) {
+      // Over the serving memory budget: drop the shared gate (the only
+      // non-trivial fleet allocation) and serve gateless — byte-identical
+      // answers, per-plan filtering only.
+      fleet = std::make_shared<const engine::MultiQueryExtractor>(
+          std::move(plans), /*build_shared_gate=*/false);
+      MarkDegraded("fleet memory budget exceeded; shared gate disabled");
+    }
+    conn->fleet = std::move(fleet);
   }
   return conn->fleet;
+}
+
+void Server::MarkDegraded(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    if (degraded_reason_.find(reason) == std::string::npos) {
+      if (!degraded_reason_.empty()) degraded_reason_ += "; ";
+      degraded_reason_ += reason;
+    } else if (degraded_.load(std::memory_order_acquire)) {
+      return;  // already degraded for this reason
+    }
+  }
+  if (!degraded_.exchange(true, std::memory_order_acq_rel))
+    degraded_activations_->Add();
 }
 
 void Server::HandleStats(const std::shared_ptr<Connection>& conn,
@@ -580,6 +631,9 @@ Status Server::AdmitWork(const std::shared_ptr<Connection>& conn,
           options_.retry_after_ms);
     }
     item.enqueue_ns = MonotonicNs();
+    if (options_.request_timeout_ms > 0)
+      item.deadline_ns = item.enqueue_ns +
+                         uint64_t(options_.request_timeout_ms) * 1'000'000;
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     queue_depth_->Record(queue_.size() + 1);
     queue_.push_back(std::move(item));
@@ -604,9 +658,17 @@ bool Server::FlushConn(const std::shared_ptr<Connection>& conn) {
   std::unique_lock<std::mutex> lk(conn->mu);
   if (conn->closed || conn->fd < 0) return false;
   while (!conn->out_buf.empty()) {
-    const ssize_t n = ::send(conn->fd, conn->out_buf.data(),
-                             conn->out_buf.size(), MSG_NOSIGNAL);
+    const fault::Action fa = SPANNERS_FAULT("server.write");
+    ssize_t n;
+    if (fa.fail) {
+      errno = fa.err;
+      n = -1;
+    } else {
+      n = ::send(conn->fd, conn->out_buf.data(),
+                 std::min(conn->out_buf.size(), fa.clamp), MSG_NOSIGNAL);
+    }
     if (n > 0) {
+      conn->last_activity_ns = MonotonicNs();
       conn->out_buf.erase(0, size_t(n));
       continue;
     }
@@ -619,6 +681,29 @@ bool Server::FlushConn(const std::shared_ptr<Connection>& conn) {
   if (conn->out_buf.size() < options_.output_high_watermark)
     conn->out_cv.notify_all();
   return true;
+}
+
+void Server::ReapIdleConns(uint64_t now_ns) {
+  if (options_.idle_timeout_ms == 0 || conns_.empty()) return;
+  const uint64_t idle_ns = uint64_t(options_.idle_timeout_ms) * 1'000'000;
+  std::vector<std::shared_ptr<Connection>> victims;
+  for (auto& [fd, conn] : conns_) {
+    // Only a truly quiescent connection is reapable: nothing admitted,
+    // nothing buffered for it, and no traffic for the idle window. A slow
+    // reader mid-response keeps out_buf non-empty; a trickling sender
+    // refreshes last_activity_ns on every byte.
+    if (conn->inflight.load(std::memory_order_acquire) > 0) continue;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      if (!conn->out_buf.empty()) continue;
+    }
+    if (now_ns - conn->last_activity_ns < idle_ns) continue;
+    victims.push_back(conn);
+  }
+  for (const auto& conn : victims) {
+    Count(reaped_idle_, n_reaped_idle_);
+    CloseConn(conn);
+  }
 }
 
 void Server::CloseConn(const std::shared_ptr<Connection>& conn) {
@@ -657,7 +742,19 @@ void Server::ExecutorLoop() {
       queue_.pop_front();
     }
     queue_wait_ns_->Record(MonotonicNs() - item.enqueue_ns);
-    Execute(item);
+    if (item.deadline_ns != 0 && MonotonicNs() >= item.deadline_ns) {
+      // Expired while queued: answer with the deadline error instead of
+      // doing (now pointless) work the client has given up on.
+      Count(deadline_exceeded_, n_deadline_exceeded_);
+      EmitLine(item.conn,
+               ErrorResponse(item.id,
+                             Status::DeadlineExceeded(
+                                 "request deadline (" +
+                                 std::to_string(options_.request_timeout_ms) +
+                                 " ms) exceeded while queued")));
+    } else {
+      Execute(item);
+    }
     request_ns_->Record(MonotonicNs() - item.enqueue_ns);
     item.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -676,6 +773,16 @@ void Server::Execute(const WorkItem& item) {
   switch (item.op) {
     case WorkOp::kSleepPing:
       std::this_thread::sleep_for(std::chrono::milliseconds(item.sleep_ms));
+      if (item.deadline_ns != 0 && MonotonicNs() >= item.deadline_ns) {
+        Count(deadline_exceeded_, n_deadline_exceeded_);
+        EmitLine(item.conn,
+                 ErrorResponse(
+                     item.id, Status::DeadlineExceeded(
+                                  "request deadline (" +
+                                  std::to_string(options_.request_timeout_ms) +
+                                  " ms) exceeded")));
+        return;
+      }
       EmitLine(item.conn, OkPrefix(item.id) + ",\"op\":\"ping\"}");
       return;
     case WorkOp::kExtract:
@@ -751,11 +858,21 @@ void Server::ExecuteExtractBatch(const WorkItem& item) {
   std::vector<std::string> rows;
   size_t rows_bytes = 0;
   bool dead = false;
+  bool expired = false;
+  // Deadlines are checked at chunk boundaries (not per row): a slow
+  // client that blocks the watermark, or a huge result set, can run a
+  // request past its budget mid-stream, and the stream must then end in
+  // an error line rather than trickle on forever.
   auto push_row = [&](std::string r) {
     rows_bytes += r.size();
     rows.push_back(std::move(r));
     if (rows_bytes >= kRowsChunkBytes) {
-      if (!EmitRowsChunk(item.conn, item.id, rows)) dead = true;
+      if (!expired && item.deadline_ns != 0 &&
+          MonotonicNs() >= item.deadline_ns) {
+        expired = true;
+        dead = true;  // stop producing; the error line closes the stream
+      }
+      if (!dead && !EmitRowsChunk(item.conn, item.id, rows)) dead = true;
       rows.clear();
       rows_bytes = 0;
     }
@@ -847,6 +964,16 @@ void Server::ExecuteExtractBatch(const WorkItem& item) {
     matched_docs = stats.matched_documents;
   }
 
+  if (expired) {
+    Count(deadline_exceeded_, n_deadline_exceeded_);
+    EmitLine(item.conn,
+             ErrorResponse(item.id,
+                           Status::DeadlineExceeded(
+                               "request deadline (" +
+                               std::to_string(options_.request_timeout_ms) +
+                               " ms) exceeded mid-stream")));
+    return;
+  }
   if (!dead && !rows.empty() && !EmitRowsChunk(item.conn, item.id, rows))
     dead = true;
   if (dead) return;
@@ -896,6 +1023,13 @@ engine::ServerStatsReport Server::StatsSnapshot() const {
   s.rejected_draining = n_rejected_draining_.load(std::memory_order_relaxed);
   s.dropped_disconnect =
       n_dropped_disconnect_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = n_deadline_exceeded_.load(std::memory_order_relaxed);
+  s.reaped_idle = n_reaped_idle_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_acquire);
+  if (s.degraded) {
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    s.degraded_reason = degraded_reason_;
+  }
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     s.queue_depth = queue_.size();

@@ -94,6 +94,18 @@ struct ServerOptions {
   /// After drain, wait at most this long for clients to read buffered
   /// responses before force-closing them.
   uint32_t drain_flush_timeout_ms = 10'000;
+  /// Per-request deadline measured from admission. A request still queued
+  /// (or still streaming) past its deadline is answered with
+  /// Status::DeadlineExceeded instead of (more) rows. 0 = no deadline.
+  uint32_t request_timeout_ms = 0;
+  /// Connections with no admitted work, no buffered output and no traffic
+  /// for this long are reaped (closed) so a connect-and-stall client
+  /// cannot hold an fd forever. 0 = never reap.
+  uint32_t idle_timeout_ms = 0;
+  /// Cap on fleet-owned memory (the shared Aho–Corasick gate). A fleet
+  /// whose footprint would exceed this is rebuilt without the shared gate
+  /// and the server marks itself degraded. 0 = unlimited.
+  size_t memory_budget_bytes = 0;
 };
 
 class Server {
@@ -133,6 +145,15 @@ class Server {
   /// obs::Enabled()).
   engine::ServerStatsReport StatsSnapshot() const;
 
+  /// Switches the server into degraded mode: serving continues (answers
+  /// stay byte-identical — full scans instead of indexed/gated paths) and
+  /// stats report degraded:true with this reason. First call wins; later
+  /// calls with new reasons append. Thread-safe; spanexd calls this when
+  /// the posting index fails to open, the fleet builder when the memory
+  /// budget trips.
+  void MarkDegraded(const std::string& reason);
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
  private:
   struct Connection;
   enum class WorkOp { kSleepPing, kExtract, kExtractBatch };
@@ -149,6 +170,9 @@ class Server {
     /// cache-wide CachedFleet for "all" batches).
     std::shared_ptr<const engine::MultiQueryExtractor> fleet;
     uint64_t enqueue_ns = 0;
+    /// Absolute monotonic deadline (0 = none), set at admission from
+    /// options_.request_timeout_ms.
+    uint64_t deadline_ns = 0;
   };
 
   // --- I/O thread ---------------------------------------------------
@@ -171,6 +195,9 @@ class Server {
   void CloseConn(const std::shared_ptr<Connection>& conn);
   void BeginDrain();
   void WakeIo();
+  /// Closes connections idle past options_.idle_timeout_ms (no admitted
+  /// work, empty output buffer, no traffic). I/O thread only.
+  void ReapIdleConns(uint64_t now_ns);
 
   /// The session's fleet over its registered plans (registration order),
   /// rebuilt only when the set changed since the last build.
@@ -246,6 +273,9 @@ class Server {
   obs::Counter* rejected_inflight_cap_;
   obs::Counter* rejected_draining_;
   obs::Counter* dropped_disconnect_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* reaped_idle_;
+  obs::Counter* degraded_activations_;
   obs::Histogram* queue_depth_;
   obs::Histogram* queue_wait_ns_;
   obs::Histogram* request_ns_;
@@ -259,7 +289,14 @@ class Server {
   std::atomic<uint64_t> n_rejected_inflight_cap_{0};
   std::atomic<uint64_t> n_rejected_draining_{0};
   std::atomic<uint64_t> n_dropped_disconnect_{0};
+  std::atomic<uint64_t> n_deadline_exceeded_{0};
+  std::atomic<uint64_t> n_reaped_idle_{0};
   std::atomic<size_t> open_conns_{0};
+
+  // Degraded-mode state (MarkDegraded / StatsSnapshot).
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_mu_;
+  std::string degraded_reason_;  // guarded by degraded_mu_
 };
 
 }  // namespace server

@@ -1,0 +1,152 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+
+namespace spanners {
+namespace storage {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status Errno(const std::string& what) {
+  return Status::InvalidArgument(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status WriteFileDurable(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+
+  int fd;
+  {
+    const fault::Action a = SPANNERS_FAULT("storage.open");
+    if (a.fail) {
+      errno = a.err;
+      fd = -1;
+    } else {
+      fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    }
+  }
+  if (fd < 0) return Errno("cannot create " + tmp);
+
+  // Any failure from here on unwinds through `fail`: close, unlink tmp,
+  // leave `path` exactly as it was.
+  const auto fail = [&](const std::string& what) {
+    const Status st = Errno(what);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  };
+
+  const char* p = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const fault::Action a = SPANNERS_FAULT("storage.write");
+    ssize_t r;
+    if (a.fail) {
+      errno = a.err;
+      r = -1;
+    } else {
+      const size_t n = remaining < a.clamp ? remaining : a.clamp;
+      r = ::write(fd, p, n);
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return fail("write to " + tmp + " failed");
+    }
+    // r == 0 with n > 0 cannot happen for regular files; treating it as
+    // progress-less retry would loop forever, so count it as an error.
+    if (r == 0) {
+      errno = EIO;
+      return fail("write to " + tmp + " made no progress");
+    }
+    p += r;
+    remaining -= static_cast<size_t>(r);
+  }
+
+  {
+    const fault::Action a = SPANNERS_FAULT("storage.fsync");
+    int r;
+    if (a.fail) {
+      errno = a.err;
+      r = -1;
+    } else {
+      do {
+        r = ::fsync(fd);
+      } while (r < 0 && errno == EINTR);
+    }
+    // A failed fsync means the kernel may have dropped dirty pages; the
+    // tmp file is unusable (and retrying fsync cannot recover the data).
+    if (r < 0) return fail("fsync of " + tmp + " failed");
+  }
+
+  if (::close(fd) < 0) {
+    const Status st = Errno("close of " + tmp + " failed");
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  {
+    const fault::Action a = SPANNERS_FAULT("storage.rename");
+    int r;
+    if (a.fail) {
+      errno = a.err;
+      r = -1;
+    } else {
+      r = ::rename(tmp.c_str(), path.c_str());
+    }
+    if (r < 0) {
+      const Status st = Errno("cannot rename " + tmp + " to " + path);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+  }
+
+  // The rename is in the page cache only until the parent directory's
+  // metadata is synced; without this a crash can roll the rename back
+  // (or, for a first-time write, surface no file at all).
+  {
+    const std::string dir = ParentDir(path);
+    const fault::Action a = SPANNERS_FAULT("storage.dirsync");
+    int dfd;
+    if (a.fail) {
+      errno = a.err;
+      dfd = -1;
+    } else {
+      dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    }
+    int r = -1;
+    if (dfd >= 0) {
+      do {
+        r = ::fsync(dfd);
+      } while (r < 0 && errno == EINTR);
+      const int saved = errno;
+      ::close(dfd);
+      errno = saved;
+    }
+    if (dfd < 0 || r < 0) {
+      // The new file is complete and visible; only the rename's
+      // durability is in doubt. Report it, but do not unlink.
+      return Errno("cannot sync directory " + dir + " after renaming " +
+                   path + " (file is visible but the rename may not survive "
+                   "a crash)");
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace spanners

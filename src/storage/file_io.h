@@ -1,0 +1,42 @@
+// Durable file writing shared by the storage writers.
+//
+// WriteFileDurable is the single write-a-file primitive behind
+// SegmentStore::Write and NgramIndex::Save. It provides the full
+// crash-atomic discipline the on-disk formats assume:
+//
+//   write tmp → fsync(tmp) → rename(tmp, path) → fsync(parent dir)
+//
+// so a reader either sees the complete new file or whatever was at `path`
+// before — never a torn half-file — and after the call returns OK the
+// file survives power loss (the rename itself is durable only once the
+// parent directory's metadata is synced). Every transfer loop is
+// EINTR-safe and handles partial writes; any failure unwinds by
+// unlinking the tmp file, leaving `path` untouched.
+//
+// Each step is a fault-injection point (common/fault.h): storage.open,
+// storage.write, storage.fsync, storage.rename, storage.dirsync — which
+// also locates crashes precisely: kill@storage.rename dies after the data
+// sync but before the file becomes visible; kill@storage.dirsync dies
+// after it is visible and complete.
+#ifndef SPANNERS_STORAGE_FILE_IO_H_
+#define SPANNERS_STORAGE_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace spanners {
+namespace storage {
+
+/// Atomically and durably replaces `path` with `bytes` (see above).
+/// On error, `path` is untouched and no tmp file is left behind — except
+/// after a dirsync failure, where the complete new file is already
+/// visible (and valid) but its directory entry may not survive a crash;
+/// the returned error says so.
+Status WriteFileDurable(const std::string& path, std::string_view bytes);
+
+}  // namespace storage
+}  // namespace spanners
+
+#endif  // SPANNERS_STORAGE_FILE_IO_H_

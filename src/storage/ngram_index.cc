@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "storage/crc32c.h"
+#include "storage/file_io.h"
 
 namespace spanners {
 namespace storage {
@@ -187,23 +188,11 @@ Status NgramIndex::Save(const std::string& path) const {
   PutU32(&footer, Crc32c(footer.data(), footer.size()));
   file += footer;
 
-  // Reuse the segment writer's atomic tmp-then-rename discipline.
-  const std::string tmp = path + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr)
-    return Status::InvalidArgument("cannot create " + tmp);
-  const bool ok =
-      std::fwrite(file.data(), 1, file.size(), f) == file.size() &&
-      std::fflush(f) == 0;
-  if (std::fclose(f) != 0 || !ok) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  // The same crash-atomic tmp → fsync → rename → dirsync discipline as
+  // the segment writer (the old path here never fsynced at all, so a
+  // crash after rename could surface a torn index that still had a
+  // visible name).
+  return WriteFileDurable(path, file);
 }
 
 Result<NgramIndex> NgramIndex::Open(const std::string& path,

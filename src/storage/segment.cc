@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "storage/crc32c.h"
+#include "storage/file_io.h"
 
 namespace spanners {
 namespace storage {
@@ -74,28 +75,6 @@ std::string EncodeFooter(const Footer& f) {
 }
 
 bool IsPow2(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
-
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr)
-    return Status::InvalidArgument("cannot create " + tmp + ": " +
-                                   std::strerror(errno));
-  const bool wrote =
-      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-                           bytes.size();
-  const bool flushed = std::fflush(f) == 0 && fsync(fileno(f)) == 0;
-  if (std::fclose(f) != 0 || !wrote || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("cannot rename " + tmp + " to " + path +
-                                   ": " + std::strerror(errno));
-  }
-  return Status::OK();
-}
 
 }  // namespace
 
@@ -215,7 +194,7 @@ Status SegmentStore::Write(const engine::Corpus& corpus,
   PutU32(&encoded, footer.footer_crc);
   file += encoded;
 
-  return WriteFileAtomic(path, file);
+  return WriteFileDurable(path, file);
 }
 
 Result<SegmentStore> SegmentStore::Open(const std::string& path) {

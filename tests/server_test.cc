@@ -5,10 +5,17 @@
 // and return exit code 0 from Serve().
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -101,14 +108,17 @@ std::string OfflineOutput(const std::vector<std::string>& patterns,
 /// dir; the destructor drains and joins.
 class RunningServer {
  public:
-  explicit RunningServer(ServerOptions options) {
+  explicit RunningServer(ServerOptions options)
+      : RunningServer(std::move(options), TestCorpus()) {}
+
+  RunningServer(ServerOptions options, Corpus corpus) {
     if (options.socket_path.empty())
       options.socket_path = ::testing::TempDir() + "spanexd_test_" +
                             std::to_string(reinterpret_cast<uintptr_t>(this)) +
                             ".sock";
     socket_path_ = options.socket_path;
     options.num_threads = 2;
-    server_.emplace(std::move(options), TestCorpus());
+    server_.emplace(std::move(options), std::move(corpus));
     Status started = server_->Start();
     EXPECT_TRUE(started.ok()) << started.ToString();
     thread_ = std::thread([this] { exit_code_ = server_->Serve(); });
@@ -543,6 +553,288 @@ TEST(ServerTest, OversizedRequestLineRefused) {
   // server must survive and keep serving fresh connections.
   Client fresh = rs.MustConnect();
   EXPECT_TRUE(fresh.Ping().ok());
+}
+
+// ---- partial-I/O edges, deadlines, reaping, degraded mode ----------------
+
+/// A raw AF_UNIX client for byte-level transport control the Client class
+/// deliberately hides: trickled sends and 1-byte-window reads.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool SendAll(std::string_view line) { return Send(line, 0, line.size()); }
+
+  /// One byte per send() with a pause between — each byte is (at most)
+  /// its own poll() wakeup on the server's I/O thread.
+  bool SendTrickle(std::string_view line, int pause_us) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (!Send(line, i, 1)) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+    }
+    return true;
+  }
+
+  /// Next response line, read through a 1-byte window when `slow`.
+  Result<JsonValue> ReadLine(bool slow) {
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        Result<JsonValue> parsed =
+            ParseJson(std::string_view(buf_.data(), nl));
+        buf_.erase(0, nl + 1);
+        return parsed;
+      }
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::read(fd_, chunk, slow ? 1 : sizeof(chunk));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return Status::Internal("raw read failed");
+      buf_.append(chunk, size_t(n));
+    }
+  }
+
+ private:
+  bool Send(std::string_view line, size_t off, size_t len) {
+    while (len > 0) {
+      const ssize_t n = ::send(fd_, line.data() + off, len, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += size_t(n);
+      len -= size_t(n);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Drives register + extract_batch over a RawClient and returns the
+/// streamed rows; `slow` reads every response byte individually.
+std::string RawServedBatch(RawClient& raw, const std::string& pattern,
+                           bool trickle_requests, bool slow_reads) {
+  const std::string reg =
+      "{\"op\":\"register\",\"id\":1,\"pattern\":\"" + pattern + "\"}\n";
+  EXPECT_TRUE(trickle_requests ? raw.SendTrickle(reg, 200)
+                               : raw.SendAll(reg));
+  Result<JsonValue> reg_resp = raw.ReadLine(slow_reads);
+  EXPECT_TRUE(reg_resp.ok() && StatusFromResponse(*reg_resp).ok());
+
+  const std::string batch =
+      "{\"op\":\"extract_batch\",\"id\":2,\"format\":\"tsv\","
+      "\"header\":true}\n";
+  EXPECT_TRUE(trickle_requests ? raw.SendTrickle(batch, 200)
+                               : raw.SendAll(batch));
+  std::string served;
+  for (;;) {
+    Result<JsonValue> line = raw.ReadLine(slow_reads);
+    EXPECT_TRUE(line.ok()) << line.status().ToString();
+    if (!line.ok()) return served;
+    const JsonValue* rows = line->Find("rows");
+    if (rows != nullptr && rows->is_array() && !line->BoolOr("done", false)) {
+      for (const JsonValue& r : rows->items()) {
+        served += r.AsString();
+        served += '\n';
+      }
+      continue;
+    }
+    EXPECT_TRUE(StatusFromResponse(*line).ok())
+        << StatusFromResponse(*line).ToString();
+    return served;
+  }
+}
+
+// A request delivered one byte per poll() wakeup must parse and serve
+// exactly like one delivered in a single segment.
+TEST(ServerPartialIoTest, TrickledRequestServesByteIdentical) {
+  RunningServer rs(ServerOptions{});
+  RawClient raw(rs.socket_path());
+  // Escape the pattern by hand: the ERR pattern is JSON-clean.
+  const std::string served = RawServedBatch(raw, ".*ERR x{[0-9]+}.*",
+                                            /*trickle_requests=*/true,
+                                            /*slow_reads=*/false);
+  EXPECT_EQ(served, OfflineOutput({kErrPattern}, TestCorpus(),
+                                  OutputFormat::kTsv, true));
+}
+
+// A reader draining the response through a 1-byte window — with the
+// output high watermark shrunk so the executor repeatedly blocks on the
+// slow reader — must still receive every row byte-identically.
+TEST(ServerPartialIoTest, OneByteWindowSlowReaderByteIdentical) {
+  // A corpus big enough that the response far exceeds the watermark.
+  Corpus corpus;
+  for (int i = 0; i < 300; ++i)
+    corpus.Add(Document("ERR " + std::to_string(i) + " payload line " +
+                        std::to_string(i * 7)));
+  ServerOptions options;
+  options.output_high_watermark = 512;
+  RunningServer rs(options, corpus);
+  RawClient raw(rs.socket_path());
+  const std::string served = RawServedBatch(raw, ".*ERR x{[0-9]+}.*",
+                                            /*trickle_requests=*/false,
+                                            /*slow_reads=*/true);
+  EXPECT_EQ(served, OfflineOutput({kErrPattern}, corpus, OutputFormat::kTsv,
+                                  true));
+}
+
+// An EINTR storm (no-SA_RESTART signals peppering the whole process)
+// during served batches: every interrupted syscall must be retried and
+// the rows must come back byte-identical.
+TEST(ServerPartialIoTest, EintrStormDuringExtractBatch) {
+  struct sigaction sa, old_sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: syscalls return EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  RunningServer rs(ServerOptions{});
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming] {
+    while (storming.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  Client client = rs.MustConnect();
+  ASSERT_TRUE(client.Register(kErrPattern).ok());
+  for (int round = 0; round < 5; ++round) {
+    const std::string served =
+        CollectRows(client, OutputFormat::kTsv, true, false, nullptr);
+    EXPECT_EQ(served, OfflineOutput({kErrPattern}, TestCorpus(),
+                                    OutputFormat::kTsv, true))
+        << "round " << round;
+  }
+
+  storming.store(false, std::memory_order_relaxed);
+  storm.join();
+  sigaction(SIGUSR1, &old_sa, nullptr);
+  EXPECT_EQ(rs.Shutdown(), 0);
+}
+
+// Per-request deadlines: a request whose deadline passes while queued (or
+// while its sleep runs) is answered DeadlineExceeded instead of running;
+// requests that fit their deadline still succeed.
+TEST(ServerDeadlineTest, ExpiredRequestsAnswerDeadlineExceeded) {
+  ServerOptions options;
+  options.request_timeout_ms = 150;
+  RunningServer rs(options);
+  Client client = rs.MustConnect();
+
+  // Three pipelined 100 ms sleeping pings against a 150 ms deadline:
+  // the first fits; the second expires mid-sleep (dequeued ~100 ms,
+  // finishes ~200 ms); the third expires while still queued (~200 ms).
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(client.NextId());
+    ASSERT_TRUE(client
+                    .SendLine("{\"op\":\"ping\",\"id\":" +
+                              std::to_string(ids.back()) +
+                              ",\"sleep_ms\":100}")
+                    .ok());
+  }
+  int ok_count = 0, deadline_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    Result<JsonValue> line = client.ReadResponseLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const Status status = StatusFromResponse(*line);
+    if (status.ok()) {
+      ++ok_count;
+    } else {
+      ASSERT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+          << status.ToString();
+      ++deadline_count;
+    }
+  }
+  EXPECT_EQ(ok_count, 1);
+  EXPECT_EQ(deadline_count, 2);
+  EXPECT_GE(rs.server().StatsSnapshot().deadline_exceeded, 2u);
+
+  // The connection survives an expired request: fresh work still serves.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// Idle reaping: a connect-and-stall client is closed once idle past the
+// window, while a connection with work in flight is left alone.
+TEST(ServerIdleReapTest, StalledConnReapedActiveConnSpared) {
+  ServerOptions options;
+  options.idle_timeout_ms = 50;
+  RunningServer rs(options);
+
+  Client staller = rs.MustConnect();
+  ASSERT_TRUE(staller.Ping().ok());
+
+  // A busy connection: its 400 ms sleeping ping holds in-flight work far
+  // past the idle window, so the reaper must spare it.
+  Client busy = rs.MustConnect();
+  ASSERT_TRUE(busy.SendLine("{\"op\":\"ping\",\"id\":" +
+                            std::to_string(busy.NextId()) +
+                            ",\"sleep_ms\":400}")
+                  .ok());
+
+  // Wait out several idle windows.
+  for (int i = 0; i < 100 && rs.server().StatsSnapshot().reaped_idle == 0;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(rs.server().StatsSnapshot().reaped_idle, 1u);
+
+  // The busy connection's response still arrives intact.
+  Result<JsonValue> slept = busy.ReadResponseLine();
+  ASSERT_TRUE(slept.ok()) << slept.status().ToString();
+  EXPECT_TRUE(StatusFromResponse(*slept).ok());
+
+  // The stalled connection is dead: its next round trip fails transport-
+  // level (Unavailable), not with a protocol error.
+  Status st = staller.Ping();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+}
+
+// Degraded mode via the memory budget: a fleet whose shared gate would
+// blow the budget is rebuilt gateless — rows stay byte-identical, stats
+// flip degraded:true with a reason, and the server keeps serving.
+TEST(ServerDegradedTest, MemoryBudgetTripsDegradedByteIdenticalRows) {
+  ServerOptions options;
+  options.memory_budget_bytes = 1;  // any real gate exceeds this
+  RunningServer rs(options);
+  Client client = rs.MustConnect();
+  ASSERT_TRUE(client.Register(kErrPattern).ok());
+  ASSERT_TRUE(client.Register(kWarnPattern).ok());
+
+  const std::string served =
+      CollectRows(client, OutputFormat::kTsv, true, false, nullptr);
+  EXPECT_EQ(served, OfflineOutput({kErrPattern, kWarnPattern}, TestCorpus(),
+                                  OutputFormat::kTsv, true));
+
+  EXPECT_TRUE(rs.server().degraded());
+  const engine::ServerStatsReport stats = rs.server().StatsSnapshot();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_FALSE(stats.degraded_reason.empty());
+
+  // The degraded flag and reason surface through the stats op.
+  Result<JsonValue> response = client.Stats();
+  ASSERT_TRUE(response.ok());
+  const JsonValue* report = response->Find("report");
+  ASSERT_NE(report, nullptr);
+  const JsonValue* server_section = report->Find("server");
+  ASSERT_NE(server_section, nullptr);
+  EXPECT_TRUE(server_section->BoolOr("degraded", false));
+  EXPECT_FALSE(server_section->StringOr("degraded_reason", "").empty());
 }
 
 }  // namespace

@@ -78,6 +78,19 @@
 //                            --stats[=json] fetches the server's report
 //                            (to stderr); exits 3 when the server refuses
 //                            with Unavailable (backoff, not a hard error)
+//                            and 4 on a deadline/timeout
+//   --retries N              with --connect: transparently retry
+//                            Unavailable failures (dead socket, dropped
+//                            connection, backpressure refusal) up to N
+//                            times with capped decorrelated-jitter
+//                            backoff, reconnecting and re-registering the
+//                            session's patterns; streamed rows are still
+//                            delivered exactly once (default 0)
+//   --connect-timeout-ms MS  with --connect: connect deadline (default
+//                            5000). An expired deadline exits 4.
+//   --io-timeout-ms MS       with --connect: per-read/send deadline
+//                            (default 30000) — a server that accepts but
+//                            never answers times out with exit 4.
 //   --drain                  with --connect: ask the server to drain
 //                            (finish in-flight work, then exit 0) after
 //                            any requested extraction
@@ -96,6 +109,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "engine/engine.h"
 #include "engine/report.h"
 #include "engine/thread_pool.h"
@@ -146,19 +160,30 @@ int OutputExit(const CheckedWriter& writer) {
   return 1;
 }
 
+/// Script-visible exit codes for --connect failures: 3 = Unavailable
+/// (back off and retry), 4 = deadline/timeout, 2 = hard error.
+int ClientExit(const Status& status) {
+  if (status.code() == StatusCode::kUnavailable) return 3;
+  if (status.code() == StatusCode::kDeadlineExceeded) return 4;
+  return 2;
+}
+
 /// --connect mode: drive a running spanexd over its JSONL socket.
 /// Registers every pattern on this session, streams extract_batch rows to
 /// stdout (byte-identical to the equivalent offline run — the server uses
 /// the same formatting helpers), optionally fetches the server report and
 /// asks for a drain. Exit 3 on an Unavailable refusal so scripts can back
-/// off and retry.
+/// off and retry, 4 on an expired deadline.
 int RunClient(const std::string& socket_path,
               const std::vector<std::string>& patterns, OutputFormat format,
-              bool header, bool stats, bool json_report, bool drain) {
-  Result<server::Client> connected = server::Client::Connect(socket_path);
+              bool header, bool stats, bool json_report, bool drain,
+              const server::ConnectOptions& copts,
+              const server::RetryPolicy& retry) {
+  Result<server::Client> connected =
+      server::Client::ConnectWithRetry(socket_path, copts, retry);
   if (!connected.ok()) {
     std::cerr << "spanex: " << connected.status().ToString() << "\n";
-    return connected.status().code() == StatusCode::kUnavailable ? 3 : 2;
+    return ClientExit(connected.status());
   }
   server::Client client = std::move(connected).value();
   CheckedWriter writer(stdout);
@@ -167,7 +192,7 @@ int RunClient(const std::string& socket_path,
     if (!handle.ok()) {
       std::cerr << "spanex: register '" << pattern
                 << "': " << handle.status().ToString() << "\n";
-      return handle.status().code() == StatusCode::kUnavailable ? 3 : 2;
+      return ClientExit(handle.status());
     }
   }
   if (!patterns.empty()) {
@@ -185,7 +210,7 @@ int RunClient(const std::string& socket_path,
     if (!summary.ok()) {
       std::cerr << "spanex: extract_batch: " << summary.status().ToString()
                 << "\n";
-      return summary.status().code() == StatusCode::kUnavailable ? 3 : 2;
+      return ClientExit(summary.status());
     }
     writer.Write(out);
   }
@@ -193,7 +218,7 @@ int RunClient(const std::string& socket_path,
     Result<server::JsonValue> response = client.Stats();
     if (!response.ok()) {
       std::cerr << "spanex: stats: " << response.status().ToString() << "\n";
-      return 2;
+      return ClientExit(response.status());
     }
     if (json_report) {
       const server::JsonValue* report = response->Find("report");
@@ -208,7 +233,7 @@ int RunClient(const std::string& socket_path,
     Status drained = client.Drain();
     if (!drained.ok()) {
       std::cerr << "spanex: drain: " << drained.ToString() << "\n";
-      return 2;
+      return ClientExit(drained);
     }
   }
   writer.Flush();
@@ -235,11 +260,24 @@ int main(int argc, char** argv) {
   bool use_index = false;
   std::string connect_path;
   bool drain = false;
+  server::ConnectOptions copts;
+  server::RetryPolicy retry;
+  bool connect_flags_used = false;
   std::vector<std::string> files;
 
   // A downstream that stops reading (| head) must end the stream cleanly,
   // not kill the process: writes are checked instead (CheckedWriter).
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Test harnesses arm client-side fault points (client.connect/send/recv)
+  // through the SPANNERS_FAULT env var; a no-op in production builds.
+  {
+    Status armed = fault::ConfigureFromEnv();
+    if (!armed.ok()) {
+      std::cerr << "spanex: SPANNERS_FAULT: " << armed.ToString() << "\n";
+      return 2;
+    }
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -336,6 +374,43 @@ int main(int argc, char** argv) {
       use_index = true;
     } else if (arg == "--connect") {
       connect_path = need_value("--connect");
+    } else if (arg == "--retries") {
+      const char* value = need_value("--retries");
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' ||
+          parsed > 1000) {
+        std::cerr << "spanex: --retries expects a count in [0, 1000], got '"
+                  << value << "'\n";
+        return 2;
+      }
+      retry.max_retries = static_cast<uint32_t>(parsed);
+    } else if (arg == "--connect-timeout-ms") {
+      const char* value = need_value("--connect-timeout-ms");
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' ||
+          parsed > (1u << 30)) {
+        std::cerr << "spanex: --connect-timeout-ms expects a count in "
+                     "[0, 2^30], got '"
+                  << value << "'\n";
+        return 2;
+      }
+      copts.connect_timeout_ms = static_cast<uint32_t>(parsed);
+      connect_flags_used = true;
+    } else if (arg == "--io-timeout-ms") {
+      const char* value = need_value("--io-timeout-ms");
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' ||
+          parsed > (1u << 30)) {
+        std::cerr << "spanex: --io-timeout-ms expects a count in [0, 2^30], "
+                     "got '"
+                  << value << "'\n";
+        return 2;
+      }
+      copts.io_timeout_ms = static_cast<uint32_t>(parsed);
+      connect_flags_used = true;
     } else if (arg == "--drain") {
       drain = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -371,8 +446,10 @@ int main(int argc, char** argv) {
                  "the query over the persisted corpus\n";
     return 2;
   }
-  if (drain && connect_path.empty()) {
-    std::cerr << "spanex: --drain needs --connect SOCKET\n";
+  if (connect_path.empty() &&
+      (drain || retry.max_retries > 0 || connect_flags_used)) {
+    std::cerr << "spanex: --drain/--retries/--connect-timeout-ms/"
+                 "--io-timeout-ms need --connect SOCKET\n";
     return 2;
   }
   if (!connect_path.empty()) {
@@ -384,7 +461,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunClient(connect_path, patterns, format, header, stats,
-                     json_report, drain);
+                     json_report, drain, copts, retry);
   }
 
   // Corpus: synthesized, or all inputs concatenated ("-" means stdin).

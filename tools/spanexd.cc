@@ -43,6 +43,21 @@
 //   --inflight N             per-client in-flight cap (default 8)
 //   --retry-after MS         backoff hint on Unavailable (default 50)
 //   --cache-capacity N       PlanCache capacity (default 128)
+//   --request-timeout-ms MS  per-request deadline from admission; expired
+//                            requests answer DeadlineExceeded instead of
+//                            running/finishing (default 0 = no deadline)
+//   --idle-timeout-ms MS     reap connections idle this long with no
+//                            in-flight work (default 0 = never)
+//   --memory-budget BYTES    degraded-mode threshold: an "all"-fleet whose
+//                            gate automaton would exceed BYTES is rebuilt
+//                            gateless (slower, same rows) and stats
+//                            reports degraded:true (default 0 = no budget)
+//   --fault SPEC             arm fault-injection rules (builds with
+//                            -DSPANNERS_FAULTS=ON only); SPEC is
+//                            point=kind[,errno=E][,after=N][,every=N]
+//                            [,count=N][,bytes=N][,ms=N][,prob=P][,seed=S]
+//                            joined by ';' — see src/common/fault.h.
+//                            The SPANNERS_FAULT env var does the same.
 //   --no-metrics             do not record server.* metrics (stats still
 //                            reports the always-on server snapshot)
 //   -h, --help               this text
@@ -57,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "engine/corpus.h"
 #include "obs/metrics.h"
 #include "server/server.h"
@@ -83,6 +99,8 @@ int Usage(const char* argv0, int code) {
          "               CORPUS_FILE...]\n"
          "               [-j N] [-0] [--queue N] [--inflight N]\n"
          "               [--retry-after MS] [--cache-capacity N]\n"
+         "               [--request-timeout-ms MS] [--idle-timeout-ms MS]\n"
+         "               [--memory-budget BYTES] [--fault SPEC]\n"
          "               [--no-metrics]\n"
          "Serves document-spanner extraction over an AF_UNIX JSONL\n"
          "socket: clients register plans, extract documents or the held\n"
@@ -102,6 +120,14 @@ bool ParseCount(const char* value, size_t max, size_t* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Env-armed injection first; an explicit --fault replaces it wholesale.
+  {
+    Status armed = fault::ConfigureFromEnv();
+    if (!armed.ok()) {
+      std::cerr << "spanexd: SPANNERS_FAULT: " << armed.ToString() << "\n";
+      return 2;
+    }
+  }
   server::ServerOptions options;
   std::string corpus_path;
   bool use_index = false;
@@ -159,6 +185,21 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(need_count("--retry-after", 1u << 20));
     } else if (arg == "--cache-capacity") {
       options.plan_cache_capacity = need_count("--cache-capacity", 1u << 20);
+    } else if (arg == "--request-timeout-ms") {
+      options.request_timeout_ms = static_cast<uint32_t>(
+          need_count("--request-timeout-ms", 1u << 30));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms =
+          static_cast<uint32_t>(need_count("--idle-timeout-ms", 1u << 30));
+    } else if (arg == "--memory-budget") {
+      options.memory_budget_bytes =
+          need_count("--memory-budget", size_t(1) << 40);
+    } else if (arg == "--fault") {
+      Status armed = fault::Configure(need_value("--fault"));
+      if (!armed.ok()) {
+        std::cerr << "spanexd: --fault: " << armed.ToString() << "\n";
+        return 2;
+      }
     } else if (arg == "--no-metrics") {
       metrics = false;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -201,19 +242,26 @@ int main(int argc, char** argv) {
     }
     storage::SegmentStore store = std::move(opened).value();
     std::optional<storage::NgramIndex> index;
+    std::string degraded_reason;
     if (use_index) {
       Result<storage::NgramIndex> opened_index = storage::NgramIndex::Open(
           storage::IndexPathFor(corpus_path), store.num_docs());
       if (!opened_index.ok()) {
-        std::cerr << "spanexd: " << opened_index.status().ToString() << "\n";
-        return 2;
+        // Degrade, don't die: full scans serve the same rows the index
+        // would have gated, just slower. stats reports degraded:true.
+        degraded_reason =
+            "index unavailable, serving full scans: " +
+            opened_index.status().ToString();
+        std::cerr << "spanexd: WARNING: " << degraded_reason << "\n";
+      } else {
+        index = std::move(opened_index).value();
       }
-      index = std::move(opened_index).value();
     }
     std::cerr << "spanexd: serving " << store.num_docs() << " docs from "
               << corpus_path << (index.has_value() ? " (indexed)" : "")
               << "\n";
     srv.emplace(std::move(options), std::move(store), std::move(index));
+    if (!degraded_reason.empty()) srv->MarkDegraded(degraded_reason);
   } else {
     engine::Corpus corpus;
     if (!generate.empty()) {
