@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/cancel.h"
 #include "engine/engine.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
@@ -644,6 +645,104 @@ void BM_MetricsOverhead_ServerLog(benchmark::State& state) {
       off_s > 0 ? (on_s / off_s - 1.0) * 100.0 : 0;
 }
 BENCHMARK(BM_MetricsOverhead_ServerLog)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Cancellation-check overhead, paired within the iteration exactly like
+// BM_MetricsOverhead: each iteration extracts the corpus once with no
+// CancelToken armed and once with a generously-armed token (far deadline
+// + huge arena budget) that never trips, so every CancelGauge countdown
+// and amortized Poll runs but no work is ever aborted. The overhead_pct
+// counter is what tools/run_bench.sh gates at ≤2% — the documented cost
+// of making every evaluation tier abortable.
+void BM_CancelOverhead_ServerLog(benchmark::State& state) {
+  workload::CorpusOptions o;
+  o.documents = 500;
+  o.rows_per_document = 3;
+  Corpus corpus(workload::ServerLogCorpus(o));
+  ExtractionPlan plan =
+      ExtractionPlan::FromSpanner(Spanner::FromRgx(workload::LogLineRgx()));
+  BatchOptions bo;
+  bo.num_threads = 1;
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  CancelToken token;
+  token.ArmDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(24));
+  token.ArmMemoryBudget(uint64_t{1} << 40);
+
+  BatchResult result;
+  extractor.ExtractInto(plan, corpus, &result);  // warm-up, not counted
+
+  using Clock = std::chrono::steady_clock;
+  double off_s = 0, on_s = 0;
+  for (auto _ : state) {
+    auto t0 = Clock::now();
+    extractor.ExtractInto(plan, corpus, &result);
+    auto t1 = Clock::now();
+    extractor.set_cancel(&token);
+    extractor.ExtractInto(plan, corpus, &result);
+    extractor.set_cancel(nullptr);
+    auto t2 = Clock::now();
+    off_s += std::chrono::duration<double>(t1 - t0).count();
+    on_s += std::chrono::duration<double>(t2 - t1).count();
+    benchmark::DoNotOptimize(result);
+  }
+  const double docs =
+      static_cast<double>(state.iterations()) * corpus.size();
+  state.counters["unarmed_docs/s"] = off_s > 0 ? docs / off_s : 0;
+  state.counters["armed_docs/s"] = on_s > 0 ? docs / on_s : 0;
+  state.counters["overhead_pct"] =
+      off_s > 0 ? (on_s / off_s - 1.0) * 100.0 : 0;
+}
+BENCHMARK(BM_CancelOverhead_ServerLog)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same paired measurement over the multi-query fleet path: the shared
+// Aho–Corasick scan, per-plan gating tiers, and evaluator calls all carry
+// gauges, so this is the worst case for check density.
+void BM_CancelOverhead_Fleet(benchmark::State& state) {
+  workload::FleetOptions o;  // 32 plans × 1% match over 2000 × ~512B docs
+  workload::PatternFleet generated = workload::MakePatternFleet(o);
+  Corpus corpus(std::move(generated.documents));
+  MultiQueryExtractor fleet(FleetPlans(generated.patterns));
+  BatchOptions bo;
+  bo.num_threads = 1;
+  bo.min_docs_per_shard = 8;
+  BatchExtractor extractor(bo);
+
+  CancelToken token;
+  token.ArmDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(24));
+  token.ArmMemoryBudget(uint64_t{1} << 40);
+
+  MultiBatchResult result;
+  extractor.ExtractMultiInto(fleet, corpus, &result);  // warm-up
+
+  using Clock = std::chrono::steady_clock;
+  double off_s = 0, on_s = 0;
+  for (auto _ : state) {
+    auto t0 = Clock::now();
+    extractor.ExtractMultiInto(fleet, corpus, &result);
+    auto t1 = Clock::now();
+    extractor.set_cancel(&token);
+    extractor.ExtractMultiInto(fleet, corpus, &result);
+    extractor.set_cancel(nullptr);
+    auto t2 = Clock::now();
+    off_s += std::chrono::duration<double>(t1 - t0).count();
+    on_s += std::chrono::duration<double>(t2 - t1).count();
+    benchmark::DoNotOptimize(result);
+  }
+  const double docs =
+      static_cast<double>(state.iterations()) * corpus.size();
+  state.counters["unarmed_docs/s"] = off_s > 0 ? docs / off_s : 0;
+  state.counters["armed_docs/s"] = on_s > 0 ? docs / on_s : 0;
+  state.counters["overhead_pct"] =
+      off_s > 0 ? (on_s / off_s - 1.0) * 100.0 : 0;
+}
+BENCHMARK(BM_CancelOverhead_Fleet)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

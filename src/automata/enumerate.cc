@@ -7,11 +7,13 @@
 namespace spanners {
 
 MappingEnumerator::MappingEnumerator(VarSet vars, const Document& doc,
-                                     EvalOracle oracle)
+                                     EvalOracle oracle, CancelToken* cancel,
+                                     const Arena* arena)
     : vars_(vars.ids()),
       doc_(&doc),
       num_spans_(doc.NumSpans()),
-      oracle_(std::move(oracle)) {}
+      oracle_(std::move(oracle)),
+      gauge_(cancel, arena) {}
 
 bool MappingEnumerator::OracleAccepts() {
   ++oracle_calls_;
@@ -44,6 +46,12 @@ std::optional<Mapping> MappingEnumerator::NextPooled(MappingPool* pool) {
   }
 
   while (!stack_.empty()) {
+    // Between-output delay is polynomial but not small; a tripped token
+    // ends the enumeration as if exhausted (the caller checks the token).
+    if (gauge_.ShouldStop()) {
+      done_ = true;
+      return std::nullopt;
+    }
     Frame& f = stack_.back();
     const size_t num_choices = num_spans_ + 1;  // spans ∪ {⊥}
     if (f.choice_idx >= num_choices) {
@@ -88,20 +96,24 @@ void MappingEnumerator::DrainTo(MappingSink& sink) {
 }
 
 MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc,
-                                           Arena* scratch) {
+                                           Arena* scratch,
+                                           CancelToken* cancel) {
   return MappingEnumerator(
       a.Vars(), doc,
-      [&a, &doc, scratch](const ExtendedMapping& mu) {
-        return EvalSequential(a, doc, mu, scratch);
-      });
+      [&a, &doc, scratch, cancel](const ExtendedMapping& mu) {
+        return EvalSequential(a, doc, mu, scratch, cancel);
+      },
+      cancel, scratch);
 }
 
 MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc,
-                                   Arena* scratch) {
-  return MappingEnumerator(a.Vars(), doc,
-                           [&a, &doc, scratch](const ExtendedMapping& mu) {
-                             return EvalVa(a, doc, mu, scratch);
-                           });
+                                   Arena* scratch, CancelToken* cancel) {
+  return MappingEnumerator(
+      a.Vars(), doc,
+      [&a, &doc, scratch, cancel](const ExtendedMapping& mu) {
+        return EvalVa(a, doc, mu, scratch, cancel);
+      },
+      cancel, scratch);
 }
 
 MappingSet EnumerateSequential(const VA& a, const Document& doc) {
@@ -123,14 +135,14 @@ void EnumerateVaInto(const VA& a, const Document& doc, Arena* scratch,
 }
 
 void EnumerateSequentialTo(const VA& a, const Document& doc, Arena* scratch,
-                           MappingSink& sink) {
-  MappingEnumerator e = MakeSequentialEnumerator(a, doc, scratch);
+                           MappingSink& sink, CancelToken* cancel) {
+  MappingEnumerator e = MakeSequentialEnumerator(a, doc, scratch, cancel);
   e.DrainTo(sink);
 }
 
 void EnumerateVaTo(const VA& a, const Document& doc, Arena* scratch,
-                   MappingSink& sink) {
-  MappingEnumerator e = MakeVaEnumerator(a, doc, scratch);
+                   MappingSink& sink, CancelToken* cancel) {
+  MappingEnumerator e = MakeVaEnumerator(a, doc, scratch, cancel);
   e.DrainTo(sink);
 }
 

@@ -11,6 +11,7 @@
 
 #include "automata/va.h"
 #include "common/arena.h"
+#include "common/cancel.h"
 #include "core/document.h"
 #include "core/mapping.h"
 #include "core/mapping_sink.h"
@@ -27,9 +28,16 @@ using EvalOracle = std::function<bool(const ExtendedMapping&)>;
 /// hence polynomial delay whenever the oracle is PTIME.
 class MappingEnumerator {
  public:
-  MappingEnumerator(VarSet vars, const Document& doc, EvalOracle oracle);
+  /// A tripped `cancel` token ends the enumeration early (Next() returns
+  /// nullopt as if exhausted); the caller distinguishes completion from
+  /// cancellation by checking the token. `arena`, when given with a
+  /// token, anchors the memory-budget baseline (pass the oracle scratch
+  /// arena so per-call churn counts against the budget).
+  MappingEnumerator(VarSet vars, const Document& doc, EvalOracle oracle,
+                    CancelToken* cancel = nullptr,
+                    const Arena* arena = nullptr);
 
-  /// The next mapping, or nullopt when exhausted.
+  /// The next mapping, or nullopt when exhausted (or cancelled).
   std::optional<Mapping> Next();
 
   /// Oracle invocations since construction (for delay accounting).
@@ -65,6 +73,7 @@ class MappingEnumerator {
   EvalOracle oracle_;
   ExtendedMapping current_;
   std::vector<Frame> stack_;
+  CancelGauge gauge_;
   bool started_ = false;
   bool done_ = false;
   size_t oracle_calls_ = 0;
@@ -83,18 +92,22 @@ void EnumerateSequentialInto(const VA& a, const Document& doc, Arena* scratch,
 void EnumerateVaInto(const VA& a, const Document& doc, Arena* scratch,
                      std::vector<Mapping>* out);
 
-/// Streaming variants of the same: results are pushed into `sink`.
+/// Streaming variants of the same: results are pushed into `sink`. A
+/// tripped `cancel` token ends the stream early; rows already pushed are
+/// the caller's to discard (the request surfaces only the error Status).
 void EnumerateSequentialTo(const VA& a, const Document& doc, Arena* scratch,
-                           MappingSink& sink);
+                           MappingSink& sink, CancelToken* cancel = nullptr);
 void EnumerateVaTo(const VA& a, const Document& doc, Arena* scratch,
-                   MappingSink& sink);
+                   MappingSink& sink, CancelToken* cancel = nullptr);
 
 /// Enumerator objects for delay instrumentation. `scratch`, when non-null,
 /// must outlive the enumerator and is reused across oracle calls.
 MappingEnumerator MakeSequentialEnumerator(const VA& a, const Document& doc,
-                                           Arena* scratch = nullptr);
+                                           Arena* scratch = nullptr,
+                                           CancelToken* cancel = nullptr);
 MappingEnumerator MakeVaEnumerator(const VA& a, const Document& doc,
-                                   Arena* scratch = nullptr);
+                                   Arena* scratch = nullptr,
+                                   CancelToken* cancel = nullptr);
 
 }  // namespace spanners
 

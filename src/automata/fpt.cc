@@ -23,7 +23,8 @@ struct QueueItem {
 };
 
 bool EvalVaArena(const VA& a, const Document& doc, const ExtendedMapping& mu,
-                 Arena& arena) {
+                 Arena& arena, CancelToken* cancel) {
+  CancelGauge gauge(cancel, &arena);
   const Pos n = doc.length();
   const std::vector<VarId> vars = a.Vars().ids();
   const uint32_t k = static_cast<uint32_t>(vars.size());
@@ -65,6 +66,8 @@ bool EvalVaArena(const VA& a, const Document& doc, const ExtendedMapping& mu,
   push(a.initial(), 1, phases0);
 
   while (head < queue.size()) {
+    // Tripped ⇒ the answer is meaningless; the caller checks the token.
+    if (gauge.ShouldStop()) return false;
     QueueItem item = queue[head++];
     StateId q = item.q;
     Pos pos = item.pos;
@@ -130,13 +133,13 @@ bool EvalVaArena(const VA& a, const Document& doc, const ExtendedMapping& mu,
 }  // namespace
 
 bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu,
-            Arena* scratch) {
+            Arena* scratch, CancelToken* cancel) {
   if (scratch == nullptr) {
     Arena local;
-    return EvalVaArena(a, doc, mu, local);
+    return EvalVaArena(a, doc, mu, local, cancel);
   }
   scratch->Reset();
-  return EvalVaArena(a, doc, mu, *scratch);
+  return EvalVaArena(a, doc, mu, *scratch, cancel);
 }
 
 bool MatchesVa(const VA& a, const Document& doc) {

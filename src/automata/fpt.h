@@ -12,6 +12,7 @@
 
 #include "automata/va.h"
 #include "common/arena.h"
+#include "common/cancel.h"
 #include "core/document.h"
 #include "core/mapping.h"
 
@@ -20,9 +21,10 @@ namespace spanners {
 /// Eval[VA]: does some µ' ∈ ⟦A⟧_doc extend `mu`? Works for any VA
 /// (sequentiality not required). `scratch`, when given, is Reset() on
 /// entry and supplies all transient memory — pass a reused arena to make
-/// repeated oracle calls allocation-free.
+/// repeated oracle calls allocation-free. Once `cancel` trips, the search
+/// aborts and the returned bool is meaningless — check the token.
 bool EvalVa(const VA& a, const Document& doc, const ExtendedMapping& mu,
-            Arena* scratch = nullptr);
+            Arena* scratch = nullptr, CancelToken* cancel = nullptr);
 
 /// NonEmp on a document: ⟦A⟧_doc ≠ ∅.
 bool MatchesVa(const VA& a, const Document& doc);

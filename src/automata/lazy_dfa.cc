@@ -212,7 +212,8 @@ uint32_t LazyDfa::ComputeTransition(uint32_t from, uint32_t atom) const {
   return to;
 }
 
-std::optional<bool> LazyDfa::Matches(std::string_view text) const {
+std::optional<bool> LazyDfa::Matches(std::string_view text,
+                                     CancelToken* cancel) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (size_t attempt = 0; attempt <= options_.max_restarts; ++attempt) {
     // The scan is valid as long as no eviction recycles a state it is
@@ -222,6 +223,12 @@ std::optional<bool> LazyDfa::Matches(std::string_view text) const {
     uint32_t cur = start_state_;
     bool restart = false;
     for (size_t i = 0; i < text.size() && !restart; ++i) {
+      // Poll once per chunk, not per byte: the check stays off the
+      // per-byte fast path. Tripped ⇒ nullopt; the caller must consult
+      // the token before treating this as a capacity fallback.
+      if (cancel != nullptr &&
+          (i & (CancelGauge::kScanChunkBytes - 1)) == 0 && cancel->Poll(0))
+        return std::nullopt;
       if (cur == kDeadState) return false;
       const uint16_t atom =
           byte_to_atom_[static_cast<unsigned char>(text[i])];

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "automata/va.h"
+#include "common/cancel.h"
 
 namespace spanners {
 
@@ -77,7 +78,12 @@ class LazyDfa {
   /// concurrent evictions kept invalidating the scan): the caller must
   /// decide by NFA simulation. Later calls try again — an unknown is
   /// per-call, never sticky.
-  std::optional<bool> Matches(std::string_view text) const;
+  /// A tripped `cancel` token also yields nullopt (polled once per
+  /// CancelGauge::kScanChunkBytes input bytes); callers that would react
+  /// to nullopt by simulating must check the token first — after a trip
+  /// the right move is to abort, not to fall back.
+  std::optional<bool> Matches(std::string_view text,
+                              CancelToken* cancel = nullptr) const;
 
   size_t num_atoms() const { return atoms_.size(); }
   LazyDfaStats stats() const;

@@ -29,7 +29,10 @@ struct PositionOps {
 };
 
 bool EvalSequentialArena(const VA& a, const Document& doc,
-                         const ExtendedMapping& mu, Arena& arena) {
+                         const ExtendedMapping& mu, Arena& arena,
+                         CancelToken* cancel) {
+  CancelGauge gauge(cancel, &arena);
+  bool stopped = false;
   const Pos n = doc.length();
   const std::vector<VarId> vars = a.Vars().ids();
 
@@ -86,6 +89,10 @@ bool EvalSequentialArena(const VA& a, const Document& doc,
     for (StateId q = 0; q < num_states; ++q)
       if (states[q]) queue.push_back(q);
     while (head < queue.size()) {
+      if (gauge.ShouldStop()) {
+        stopped = true;
+        return;
+      }
       StateId q = queue[head++];
       for (const VaTransition& t : a.TransitionsFrom(q)) {
         bool eps_like = t.kind == TransKind::kEpsilon;
@@ -125,6 +132,10 @@ bool EvalSequentialArena(const VA& a, const Document& doc,
       }
     }
     while (head < bfs.size()) {
+      if (gauge.ShouldStop()) {
+        stopped = true;
+        return;
+      }
       uint64_t item = bfs[head++];
       StateId q = static_cast<StateId>(item >> 32);
       uint32_t mask = static_cast<uint32_t>(item);
@@ -166,6 +177,9 @@ bool EvalSequentialArena(const VA& a, const Document& doc,
   current[a.initial()] = 1;
   for (Pos p = 1; p <= n + 1; ++p) {
     apply_position(current, p);
+    // A tripped token makes the answer meaningless — the caller discards
+    // it and reports the token's Status instead; false just ends fastest.
+    if (stopped || gauge.ShouldStop()) return false;
     if (p <= n) {
       std::memset(next, 0, num_states);
       bool any = false;
@@ -191,17 +205,19 @@ bool EvalSequentialArena(const VA& a, const Document& doc,
 }  // namespace
 
 bool EvalSequential(const VA& a, const Document& doc,
-                    const ExtendedMapping& mu, Arena* scratch) {
+                    const ExtendedMapping& mu, Arena* scratch,
+                    CancelToken* cancel) {
   if (scratch == nullptr) {
     Arena local;
-    return EvalSequentialArena(a, doc, mu, local);
+    return EvalSequentialArena(a, doc, mu, local, cancel);
   }
   scratch->Reset();
-  return EvalSequentialArena(a, doc, mu, *scratch);
+  return EvalSequentialArena(a, doc, mu, *scratch, cancel);
 }
 
-bool MatchesSequential(const VA& a, const Document& doc, Arena* scratch) {
-  return EvalSequential(a, doc, ExtendedMapping(), scratch);
+bool MatchesSequential(const VA& a, const Document& doc, Arena* scratch,
+                       CancelToken* cancel) {
+  return EvalSequential(a, doc, ExtendedMapping(), scratch, cancel);
 }
 
 }  // namespace spanners

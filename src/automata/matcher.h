@@ -10,6 +10,7 @@
 
 #include "automata/va.h"
 #include "common/arena.h"
+#include "common/cancel.h"
 #include "core/document.h"
 #include "core/mapping.h"
 
@@ -23,13 +24,16 @@ namespace spanners {
 /// breadth-first per position.
 /// `scratch`, when given, is Reset() on entry and supplies the run
 /// frontiers — pass a reused arena to make repeated oracle calls
-/// allocation-free.
+/// allocation-free. Once `cancel` trips, the simulation aborts and the
+/// returned bool is meaningless — check the token, not the answer.
 bool EvalSequential(const VA& a, const Document& doc,
-                    const ExtendedMapping& mu, Arena* scratch = nullptr);
+                    const ExtendedMapping& mu, Arena* scratch = nullptr,
+                    CancelToken* cancel = nullptr);
 
 /// NonEmp on a document: ⟦A⟧_doc ≠ ∅. Precondition: IsSequentialVa(a).
 bool MatchesSequential(const VA& a, const Document& doc,
-                       Arena* scratch = nullptr);
+                       Arena* scratch = nullptr,
+                       CancelToken* cancel = nullptr);
 
 }  // namespace spanners
 

@@ -72,7 +72,9 @@ uint32_t WriteKey(char* out, StateId state, Pos pos, const VarStatus* st,
 // final Mappings pushed into `sink` touch the heap, and even those reuse
 // pooled entry vectors when the sink exposes a pool.
 void ExploreTo(const VA& a, const Document& doc, bool stack_discipline,
-               Arena& arena, MappingSink& sink, const std::vector<VarId>& vars) {
+               Arena& arena, MappingSink& sink, const std::vector<VarId>& vars,
+               CancelToken* cancel) {
+  CancelGauge gauge(cancel, &arena);
   const uint32_t k = static_cast<uint32_t>(vars.size());
   auto local_index = [&vars](VarId x) -> uint32_t {
     auto it = std::lower_bound(vars.begin(), vars.end(), x);
@@ -96,6 +98,9 @@ void ExploreTo(const VA& a, const Document& doc, bool stack_discipline,
   stack.push_back(start);
 
   while (!stack.empty()) {
+    // Tripped ⇒ the partial result set is garbage; the caller converts
+    // the token into a Status and surfaces no rows.
+    if (gauge.ShouldStop()) return;
     Config c = stack.back();
     stack.pop_back();
 
@@ -188,18 +193,19 @@ void ExploreTo(const VA& a, const Document& doc, bool stack_discipline,
 }  // namespace
 
 void RunEvalTo(const VA& a, const Document& doc, Arena* arena,
-               MappingSink& sink, const VarSet* vars) {
+               MappingSink& sink, const VarSet* vars, CancelToken* cancel) {
   arena->Reset();
   // The a.Vars() temporary outlives the call (end of full expression).
   ExploreTo(a, doc, /*stack_discipline=*/false, *arena, sink,
-            vars != nullptr ? vars->ids() : a.Vars().ids());
+            vars != nullptr ? vars->ids() : a.Vars().ids(), cancel);
 }
 
 void RunEvalStackTo(const VA& a, const Document& doc, Arena* arena,
-                    MappingSink& sink, const VarSet* vars) {
+                    MappingSink& sink, const VarSet* vars,
+                    CancelToken* cancel) {
   arena->Reset();
   ExploreTo(a, doc, /*stack_discipline=*/true, *arena, sink,
-            vars != nullptr ? vars->ids() : a.Vars().ids());
+            vars != nullptr ? vars->ids() : a.Vars().ids(), cancel);
 }
 
 void RunEvalInto(const VA& a, const Document& doc, Arena* arena,

@@ -9,6 +9,7 @@
 
 #include "automata/va.h"
 #include "common/arena.h"
+#include "common/cancel.h"
 #include "core/document.h"
 #include "core/mapping.h"
 #include "core/mapping_sink.h"
@@ -37,10 +38,15 @@ void RunEvalStackInto(const VA& a, const Document& doc, Arena* arena,
 /// one is attached. The Into variants above are VectorSink wrappers.
 /// `vars`, when given, must equal a.Vars(); callers that precompute it
 /// (Spanner) save the per-document recomputation on the hot path.
+/// A tripped `cancel` token aborts the configuration search; partial
+/// results are discarded (nothing further reaches the sink) and the
+/// caller reports the token's Status instead.
 void RunEvalTo(const VA& a, const Document& doc, Arena* arena,
-               MappingSink& sink, const VarSet* vars = nullptr);
+               MappingSink& sink, const VarSet* vars = nullptr,
+               CancelToken* cancel = nullptr);
 void RunEvalStackTo(const VA& a, const Document& doc, Arena* arena,
-                    MappingSink& sink, const VarSet* vars = nullptr);
+                    MappingSink& sink, const VarSet* vars = nullptr,
+                    CancelToken* cancel = nullptr);
 
 /// True iff A produces only hierarchical mappings on `doc`.
 bool IsHierarchicalOn(const VA& a, const Document& doc);

@@ -113,12 +113,15 @@ void AhoCorasick::ComputeRootSkip() {
   root_skip_byte_ = exit_count == 1 ? only : -1;
 }
 
-bool AhoCorasick::AnyMatch(std::string_view text) const {
+bool AhoCorasick::AnyMatch(std::string_view text, CancelToken* cancel) const {
   bool found = false;
-  Scan(text, [&found](uint32_t, size_t) {
-    found = true;
-    return false;
-  });
+  Scan(
+      text,
+      [&found](uint32_t, size_t) {
+        found = true;
+        return false;
+      },
+      cancel);
   return found;
 }
 

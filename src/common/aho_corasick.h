@@ -37,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace spanners {
 
 class AhoCorasick {
@@ -56,7 +58,7 @@ class AhoCorasick {
   size_t table_bytes() const { return table_.size() * sizeof(uint32_t); }
 
   /// Whether any pattern occurs in `text` at all.
-  bool AnyMatch(std::string_view text) const;
+  bool AnyMatch(std::string_view text, CancelToken* cancel = nullptr) const;
 
   /// Scans `text` once, invoking `fn(pattern_id, end_offset)` for every
   /// occurrence of every pattern (the occurrence is
@@ -64,12 +66,21 @@ class AhoCorasick {
   /// false to stop the scan early — the gating tiers stop as soon as every
   /// clause they track is satisfied. Occurrences at one position are
   /// reported longest pattern first (own hit before inherited suffixes).
+  /// A tripped `cancel` token also stops the scan early (polled once per
+  /// CancelGauge::kScanChunkBytes bytes); the partial hit set is
+  /// meaningless afterwards — check the token, not what `fn` collected.
   template <typename Fn>
-  void Scan(std::string_view text, Fn&& fn) const {
+  void Scan(std::string_view text, Fn&& fn,
+            CancelToken* cancel = nullptr) const {
     uint32_t state = kRoot;
     const uint32_t row = row_size_;
     const size_t n = text.size();
+    size_t next_poll = 0;  // position-based: memchr jumps skip no poll
     for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && i >= next_poll) {
+        next_poll = i + CancelGauge::kScanChunkBytes;
+        if (cancel->Poll(0)) return;
+      }
       if (state == kRoot) {
         // Fast-forward over bytes that cannot start any pattern.
         if (root_skip_byte_ >= 0) {

@@ -7,6 +7,7 @@
 namespace spanners {
 
 void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  total_allocated_ += bytes;
   // Advance through retained chunks until one fits, then bump from it.
   while (current_ < chunks_.size()) {
     size_t offset = (offset_ + (align - 1)) & ~(align - 1);

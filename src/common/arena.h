@@ -42,6 +42,7 @@ class Arena {
     if (current_ < chunks_.size() && offset + bytes <= chunks_[current_].capacity) {
       void* p = chunks_[current_].data.get() + offset;
       offset_ = offset + bytes;
+      total_allocated_ += bytes;
       return p;
     }
     return AllocateSlow(bytes, align);
@@ -72,6 +73,11 @@ class Arena {
     return total;
   }
   size_t num_chunks() const { return chunks_.size(); }
+  /// Lifetime-cumulative bytes handed out; never rewound by Reset().
+  /// Deltas of this counter feed per-evaluation memory budgets
+  /// (common/cancel.h): enumeration churn keeps allocating through
+  /// per-oracle-call Resets, so bytes_used() alone would never see it.
+  uint64_t TotalAllocatedBytes() const { return total_allocated_; }
 
  private:
   struct Chunk {
@@ -86,6 +92,7 @@ class Arena {
   size_t offset_ = 0;   // bump offset inside chunks_[current_]
   size_t used_before_current_ = 0;
   size_t next_chunk_bytes_;
+  uint64_t total_allocated_ = 0;
 };
 
 /// A minimal vector whose storage lives in an Arena: push_back/pop_back,

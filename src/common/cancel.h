@@ -1,0 +1,197 @@
+// Cooperative cancellation and per-evaluation resource budgets.
+//
+// Spanner evaluation cannot be preempted — the evaluators are tight
+// arena-backed loops with no syscalls — so an external stop request
+// (client disconnect, request deadline, memory cap) is observed
+// cooperatively: long-running loops poll a shared CancelToken at
+// amortized intervals and bail out early, discarding whatever partial
+// state they built. The caller then converts the token's trip reason
+// into a Status (Cancelled / DeadlineExceeded / ResourceExhausted); any
+// rows produced before the trip are never surfaced, so cancellation
+// cannot change results — an evaluation either completes byte-identical
+// to an uncancelled run or reports an error and nothing else.
+//
+// Cost model (the ≤2% overhead budget): the per-step hot path is one
+// local counter decrement (CancelGauge::ShouldStop with a token armed)
+// or one null check (no token — the default for every offline path).
+// Every kStride steps the gauge runs the slow path, CancelToken::Poll:
+// a handful of relaxed atomic loads plus — only when a deadline is
+// armed — one steady_clock read. Byte-oriented scans (Aho–Corasick,
+// lazy DFA) amortize differently: they poll once per kScanChunkBytes of
+// input, through the same gauge.
+//
+// Threading: Arm*() must happen-before the token is shared (arm it
+// before handing the request to the executor / the pool); Cancel() is
+// the one mutation that may race evaluation — it is a relaxed store
+// observed by the next poll. One token serves one request; every worker
+// evaluating on its behalf may poll it concurrently.
+#ifndef SPANNERS_COMMON_CANCEL_H_
+#define SPANNERS_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/arena.h"
+#include "common/status.h"
+
+namespace spanners {
+
+/// Shared stop-request state of one in-flight operation. Once tripped,
+/// a token stays tripped (first trip wins) and every subsequent poll
+/// answers true immediately.
+class CancelToken {
+ public:
+  enum class Reason : uint8_t {
+    kNone = 0,
+    kCancelled,          // external Cancel(): disconnect, force-close
+    kDeadline,           // armed deadline passed
+    kResourceExhausted,  // armed arena-byte budget exceeded
+  };
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Thread-safe and callable at any time; the
+  /// evaluation observes it at its next poll.
+  void Cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline. Call before sharing the token.
+  void ArmDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Arms a cap on arena bytes allocated per evaluation (the delta a
+  /// CancelGauge measures from its construction). 0 keeps it unlimited.
+  /// Call before sharing the token.
+  void ArmMemoryBudget(uint64_t max_arena_bytes) {
+    max_arena_bytes_ = max_arena_bytes;
+  }
+
+  /// The amortized slow-path check. `arena_bytes` is the caller's
+  /// arena-byte delta since its gauge was constructed (0 when the caller
+  /// does not allocate). Returns true when the operation must stop.
+  bool Poll(uint64_t arena_bytes) {
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    UpdatePeak(arena_bytes);
+    if (tripped()) return true;
+    if (cancel_requested_.load(std::memory_order_relaxed)) {
+      Trip(Reason::kCancelled);
+      return true;
+    }
+    if (max_arena_bytes_ > 0 && arena_bytes > max_arena_bytes_) {
+      Trip(Reason::kResourceExhausted);
+      return true;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      Trip(Reason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// One relaxed load: has any reason tripped yet?
+  bool tripped() const {
+    return reason_.load(std::memory_order_relaxed) != Reason::kNone;
+  }
+  Reason reason() const { return reason_.load(std::memory_order_acquire); }
+
+  /// The trip reason as a Status; OK when the token never tripped.
+  Status ToStatus() const;
+
+  /// Largest per-evaluation arena-byte delta any poller reported
+  /// (feeds the engine.request_peak_arena_bytes histogram).
+  uint64_t peak_arena_bytes() const {
+    return peak_arena_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Slow-path polls performed so far — the test hook proving a tier
+  /// actually observes the token.
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+  bool has_deadline() const { return has_deadline_; }
+  uint64_t memory_budget() const { return max_arena_bytes_; }
+
+ private:
+  void Trip(Reason r) {
+    Reason expected = Reason::kNone;
+    reason_.compare_exchange_strong(expected, r, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+  void UpdatePeak(uint64_t bytes) {
+    uint64_t seen = peak_arena_bytes_.load(std::memory_order_relaxed);
+    while (bytes > seen &&
+           !peak_arena_bytes_.compare_exchange_weak(
+               seen, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<Reason> reason_{Reason::kNone};
+  std::atomic<bool> cancel_requested_{false};
+  // Armed before the token is shared; immutable afterwards.
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t max_arena_bytes_ = 0;
+  std::atomic<uint64_t> peak_arena_bytes_{0};
+  std::atomic<uint64_t> polls_{0};
+};
+
+/// Per-evaluation poll amortizer: one of these lives on the stack of (or
+/// inside) each long-running loop. The hot path is ShouldStop() — a null
+/// check without a token, a local decrement with one; every kStride
+/// calls it forwards to CancelToken::Poll with the arena-byte delta
+/// since construction (so a per-request memory budget caps each
+/// evaluation's allocation, including enumeration churn across arena
+/// Reset()s — the cumulative counter never rewinds).
+class CancelGauge {
+ public:
+  /// Steps between slow-path polls in config-at-a-time loops.
+  static constexpr uint32_t kStride = 512;
+  /// Bytes between polls in byte-oriented scans (AC, lazy DFA): the
+  /// chunk loop itself is the first amortization level, the gauge
+  /// stride the second.
+  static constexpr size_t kScanChunkBytes = 4096;
+
+  /// Null gauge: never stops. The default for every offline call path.
+  CancelGauge() = default;
+
+  /// `arena` may be null for loops that do not allocate (scans).
+  explicit CancelGauge(CancelToken* token, const Arena* arena = nullptr)
+      : token_(token),
+        arena_(arena),
+        baseline_(token != nullptr && arena != nullptr
+                      ? arena->TotalAllocatedBytes()
+                      : 0) {}
+
+  /// The per-step check. True ⇒ abandon the loop; the caller's partial
+  /// results are garbage and must not be surfaced.
+  bool ShouldStop() {
+    if (token_ == nullptr) return false;
+    if (--countdown_ > 0) return false;
+    countdown_ = kStride;
+    return PollNow();
+  }
+
+  /// Unamortized poll (loop entry/exit, chunk boundaries of scans that
+  /// bring their own striding).
+  bool PollNow() {
+    if (token_ == nullptr) return false;
+    return token_->Poll(
+        arena_ != nullptr ? arena_->TotalAllocatedBytes() - baseline_ : 0);
+  }
+
+  bool armed() const { return token_ != nullptr; }
+  CancelToken* token() const { return token_; }
+
+ private:
+  CancelToken* token_ = nullptr;
+  const Arena* arena_ = nullptr;
+  uint64_t baseline_ = 0;
+  uint32_t countdown_ = kStride;
+};
+
+}  // namespace spanners
+
+#endif  // SPANNERS_COMMON_CANCEL_H_

@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kCorruption,        // persisted data failed a checksum / structural check
   kUnavailable,       // transient refusal (overload, draining): retry later
   kDeadlineExceeded,  // the operation's time budget ran out before it finished
+  kCancelled,          // the caller gave up (disconnect, force-close)
+  kResourceExhausted,  // a resource budget (memory cap) ran out mid-operation
 };
 
 /// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -69,6 +71,19 @@ class Status {
   /// idempotent operations — which all extraction requests are.
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The caller abandoned the operation (client disconnect, force-close):
+  /// work was aborted cooperatively mid-flight and partial state was
+  /// discarded. Like DeadlineExceeded, retries are safe only for
+  /// idempotent operations — which all extraction requests are.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// A resource budget (per-request arena-byte cap) ran out before the
+  /// operation finished. Not transient: retrying the same request against
+  /// the same budget will exhaust it again.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -64,18 +64,18 @@ void Spanner::ExtractAllInto(Evaluator evaluator, const Document& doc,
 }
 
 void Spanner::ExtractTo(Evaluator evaluator, const Document& doc, Arena* arena,
-                        MappingSink& sink) const {
+                        MappingSink& sink, CancelToken* cancel) const {
   switch (evaluator) {
     case Evaluator::kRunEnumeration:
-      RunEvalTo(va_, doc, arena, sink, &vars_);
+      RunEvalTo(va_, doc, arena, sink, &vars_, cancel);
       return;
     case Evaluator::kSequentialDelay:
       SPANNERS_CHECK(sequential_)
           << "kSequentialDelay requires a sequential VA";
-      EnumerateSequentialTo(va_, doc, arena, sink);
+      EnumerateSequentialTo(va_, doc, arena, sink, cancel);
       return;
     case Evaluator::kFptDelay:
-      EnumerateVaTo(va_, doc, arena, sink);
+      EnumerateVaTo(va_, doc, arena, sink, cancel);
       return;
   }
   SPANNERS_CHECK(false) << "unknown evaluator";

@@ -82,8 +82,11 @@ class Spanner {
   /// `sink`, built from the sink's pool when one is attached. `arena` is
   /// scratch exactly as in ExtractAllInto. This is the primitive the
   /// algebra operators (src/query/) and the engine compose.
+  /// A tripped `cancel` token aborts mid-extraction; rows already pushed
+  /// into the sink are partial output the caller must discard (check the
+  /// token after the call — a tripped token invalidates the sink).
   void ExtractTo(Evaluator evaluator, const Document& doc, Arena* arena,
-                 MappingSink& sink) const;
+                 MappingSink& sink, CancelToken* cancel = nullptr) const;
 
   /// Incremental polynomial-delay enumeration (Theorem 5.1). The returned
   /// enumerator borrows this spanner and the document.

@@ -136,7 +136,9 @@ void BatchExtractor::ExtractInto(const DocumentExtractor& extractor,
     pool_.Submit([this, &extractor, &corpus, result, shard] {
       PlanScratch& scratch =
           *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      scratch.cancel = cancel_;  // unconditionally: clears stale tokens too
       for (size_t i = shard.begin; i < shard.end; ++i) {
+        if (cancel_ != nullptr && cancel_->tripped()) break;
         obs::ObsSpan span(DocHistogram(), "doc", i);
         extractor.ExtractSortedInto(corpus[i], &scratch, &result->per_doc[i]);
       }
@@ -181,8 +183,10 @@ void BatchExtractor::ExtractMultiInto(const MultiQueryExtractor& fleet,
     pool_.Submit([this, &fleet, &corpus, result, num_plans, shard] {
       PlanScratch& scratch =
           *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      scratch.cancel = cancel_;
       std::vector<std::vector<Mapping>*> slots(num_plans);
       for (size_t i = shard.begin; i < shard.end; ++i) {
+        if (cancel_ != nullptr && cancel_->tripped()) break;
         obs::ObsSpan span(DocHistogram(), "doc", i);
         for (size_t p = 0; p < num_plans; ++p)
           slots[p] = &result->per_plan[p].per_doc[i];
@@ -241,7 +245,9 @@ BatchResult BatchExtractor::ExtractIndexed(const ExtractionPlan& plan,
       pool_.Submit([this, &plan, &store, &cand, &result, shard] {
         PlanScratch& scratch =
             *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+        scratch.cancel = cancel_;
         for (size_t j = shard.begin; j < shard.end; ++j) {
+          if (cancel_ != nullptr && cancel_->tripped()) break;
           const size_t d = cand.all ? j : cand.docs[j];
           obs::ObsSpan span(DocHistogram(), "doc", d);
           const Document doc = store.MaterializeDoc(d);
@@ -322,8 +328,10 @@ MultiBatchResult BatchExtractor::ExtractIndexedMulti(
       pool_.Submit([this, &fleet, &store, &cand, &result, num_plans, shard] {
         PlanScratch& scratch =
             *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+        scratch.cancel = cancel_;
         std::vector<std::vector<Mapping>*> slots(num_plans);
         for (size_t j = shard.begin; j < shard.end; ++j) {
+          if (cancel_ != nullptr && cancel_->tripped()) break;
           const size_t d = cand.all ? j : cand.docs[j];
           obs::ObsSpan span(DocHistogram(), "doc", d);
           for (size_t p = 0; p < num_plans; ++p)
@@ -375,12 +383,14 @@ BatchExtractor::StreamStats BatchExtractor::ExtractMultiStream(
                   num_plans, s] {
       PlanScratch& scratch =
           *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      scratch.cancel = cancel_;
       const Shard& shard = shards[s];
       ShardState& st = state[s];
       st.per_plan.assign(num_plans,
                          std::vector<std::vector<Mapping>>(shard.size()));
       std::vector<std::vector<Mapping>*> slots(num_plans);
       for (size_t i = shard.begin; i < shard.end; ++i) {
+        if (cancel_ != nullptr && cancel_->tripped()) break;
         obs::ObsSpan span(DocHistogram(), "doc", i);
         for (size_t p = 0; p < num_plans; ++p)
           slots[p] = &st.per_plan[p][i - shard.begin];
@@ -453,10 +463,12 @@ BatchExtractor::StreamStats BatchExtractor::ExtractStream(
     pool_.Submit([this, &extractor, &corpus, &shards, &state, &mu, &cv, s] {
       PlanScratch& scratch =
           *worker_scratch_[ThreadPool::CurrentWorkerIndex()];
+      scratch.cancel = cancel_;
       const Shard& shard = shards[s];
       ShardState& st = state[s];
       st.per_doc.resize(shard.size());
       for (size_t i = shard.begin; i < shard.end; ++i) {
+        if (cancel_ != nullptr && cancel_->tripped()) break;
         obs::ObsSpan span(DocHistogram(), "doc", i);
         extractor.ExtractSortedInto(corpus[i], &scratch,
                                     &st.per_doc[i - shard.begin]);

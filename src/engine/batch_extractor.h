@@ -83,6 +83,17 @@ class BatchExtractor {
 
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// Token governing the NEXT Extract* call (and every one after, until
+  /// replaced): each worker polls it between documents and hands it to the
+  /// evaluators so it aborts mid-document too. Not owned; null = never
+  /// cancels. Set it before the call, from the same thread — the extractor
+  /// is not reentrant anyway. After a trip the result is partial and
+  /// meaningless: the caller checks the token, never the result. With no
+  /// token (or an untripped one) results are byte-identical to a run
+  /// without this feature — the polls have no other side effect.
+  void set_cancel(CancelToken* cancel) { cancel_ = cancel; }
+  CancelToken* cancel() const { return cancel_; }
+
   /// Extracts every document of `corpus` under `extractor` — an
   /// ExtractionPlan or a query::CompiledQuery. Blocking; safe to call
   /// repeatedly (the pool is reused across batches — each worker's
@@ -195,6 +206,7 @@ class BatchExtractor {
 
   BatchOptions options_;
   ThreadPool pool_;
+  CancelToken* cancel_ = nullptr;
   // One scratch (arena + sort buffer) per pool worker, addressed via
   // ThreadPool::CurrentWorkerIndex(); unique_ptr keeps addresses stable.
   std::vector<std::unique_ptr<PlanScratch>> worker_scratch_;

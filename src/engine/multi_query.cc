@@ -131,6 +131,7 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
     const {
   const std::string_view text = doc.text();
   const size_t num_plans = plans_.size();
+  CancelToken* cancel = scratch->cancel;
   std::vector<uint64_t>& bits = scratch->multi_clause_bits;
 
   // Tier 1, once per document: the combined pass over every plan's
@@ -143,20 +144,26 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
     bits.assign((num_plans + 63) / 64, 0);
     size_t remaining = gated_plans_;
     if (!text.empty()) {
-      ac_->Scan(text, [&](uint32_t pattern, size_t) {
-        for (uint32_t k = pattern_plan_offsets_[pattern];
-             k < pattern_plan_offsets_[pattern + 1]; ++k) {
-          const uint32_t p = pattern_plan_ids_[k];
-          uint64_t& word = bits[p >> 6];
-          const uint64_t bit = uint64_t{1} << (p & 63);
-          if ((word & bit) == 0) {
-            word |= bit;
-            if (--remaining == 0) return false;
-          }
-        }
-        return true;
-      });
+      ac_->Scan(
+          text,
+          [&](uint32_t pattern, size_t) {
+            for (uint32_t k = pattern_plan_offsets_[pattern];
+                 k < pattern_plan_offsets_[pattern + 1]; ++k) {
+              const uint32_t p = pattern_plan_ids_[k];
+              uint64_t& word = bits[p >> 6];
+              const uint64_t bit = uint64_t{1} << (p & 63);
+              if ((word & bit) == 0) {
+                word |= bit;
+                if (--remaining == 0) return false;
+              }
+            }
+            return true;
+          },
+          cancel);
     }
+    // A trip mid-scan left the bitset partial; gating decisions derived
+    // from it would be wrong. Bail — the caller discards via the token.
+    if (cancel != nullptr && cancel->tripped()) return;
   }
 
   // The skip paths below are the fleet's hottest loop (plans × documents,
@@ -165,6 +172,7 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
   // plan_stats() — and the pool recycle is elided for a slot that is
   // already the empty result (the steady state under result reuse).
   for (size_t p = 0; p < num_plans; ++p) {
+    if (cancel != nullptr && cancel->tripped()) return;
     std::vector<Mapping>* slot = out[p];
     PlanCounters& counters = counters_[p];
     if (gating_enabled_) {
@@ -183,7 +191,7 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
         bool pass;
         {
           obs::ObsSpan span(Metrics().prefilter_ns, "prefilter");
-          pass = plans_[p]->prefilter().Matches(text);
+          pass = plans_[p]->prefilter().Matches(text, cancel);
         }
         if (!pass) {
           if (!slot->empty()) scratch->pool.RecycleAll(slot);
@@ -200,7 +208,7 @@ void MultiQueryExtractor::ExtractAllSortedInto(const Document& doc,
       std::optional<bool> verdict;
       {
         obs::ObsSpan span(Metrics().dfa_gate_ns, "dfa_gate");
-        verdict = plans_[p]->lazy_dfa().Matches(text);
+        verdict = plans_[p]->lazy_dfa().Matches(text, cancel);
       }
       if (verdict.has_value() && !*verdict) {
         if (!slot->empty()) scratch->pool.RecycleAll(slot);

@@ -154,13 +154,14 @@ Result<ExtractionPlan> ExtractionPlan::FromRuleProgram(
                         std::move(key));
 }
 
-bool ExtractionPlan::GateRejects(const Document& doc) const {
+bool ExtractionPlan::GateRejects(const Document& doc,
+                                 CancelToken* cancel) const {
   if (!gating_enabled_) return false;
   if (prefilter_.CanPrune()) {
     bool pass;
     {
       obs::ObsSpan span(Metrics().prefilter_ns, "prefilter");
-      pass = prefilter_.Matches(doc.text());
+      pass = prefilter_.Matches(doc.text(), cancel);
     }
     if (!pass) {
       counters_->prefilter_skipped.Add(1);
@@ -169,12 +170,13 @@ bool ExtractionPlan::GateRejects(const Document& doc) const {
     }
   }
   // The lazy DFA over-approximates ⟦A⟧ for any VA (ops relaxed to ε), so
-  // its negative answer is always authoritative; nullopt = cache overflow,
-  // decide by the full evaluator instead.
+  // its negative answer is always authoritative; nullopt = cache overflow
+  // (or a tripped token), decide by the full evaluator instead — which
+  // aborts immediately when the token tripped.
   std::optional<bool> verdict;
   {
     obs::ObsSpan span(Metrics().dfa_gate_ns, "dfa_gate");
-    verdict = dfa_->Matches(doc.text());
+    verdict = dfa_->Matches(doc.text(), cancel);
   }
   if (verdict.has_value() && !*verdict) {
     counters_->dfa_skipped.Add(1);
@@ -185,14 +187,15 @@ bool ExtractionPlan::GateRejects(const Document& doc) const {
 }
 
 bool ExtractionPlan::Matches(const Document& doc, PlanScratch* scratch) const {
+  CancelToken* cancel = scratch != nullptr ? scratch->cancel : nullptr;
   if (prefilter_.CanPrune()) {
     obs::ObsSpan span(Metrics().prefilter_ns, "prefilter");
-    if (!prefilter_.Matches(doc.text())) return false;
+    if (!prefilter_.Matches(doc.text(), cancel)) return false;
   }
   std::optional<bool> verdict;
   {
     obs::ObsSpan span(Metrics().dfa_gate_ns, "dfa_gate");
-    verdict = dfa_->Matches(doc.text());
+    verdict = dfa_->Matches(doc.text(), cancel);
   }
   if (verdict.has_value()) {
     if (!*verdict) return false;
@@ -200,16 +203,17 @@ bool ExtractionPlan::Matches(const Document& doc, PlanScratch* scratch) const {
     if (info_.sequential_va) return true;
   }
   // Fall back to NFA state-set simulation, on the caller's arena when
-  // one is provided.
+  // one is provided. A tripped token aborts the simulation; the answer is
+  // then meaningless and the caller reads the token, not the bool.
   obs::ObsSpan span(Metrics().nfa_sim_ns, "nfa_sim");
   Arena* arena = scratch != nullptr ? &scratch->arena : nullptr;
   return info_.sequential_va
-             ? MatchesSequential(spanner_.va(), doc, arena)
-             : EvalVa(spanner_.va(), doc, ExtendedMapping(), arena);
+             ? MatchesSequential(spanner_.va(), doc, arena, cancel)
+             : EvalVa(spanner_.va(), doc, ExtendedMapping(), arena, cancel);
 }
 
 MappingSet ExtractionPlan::Extract(const Document& doc) const {
-  if (GateRejects(doc)) {
+  if (GateRejects(doc, nullptr)) {
     counters_->documents.Add(1);
     if (obs::Enabled()) Metrics().documents->Add(1);
     return MappingSet();
@@ -240,7 +244,7 @@ void ExtractionPlan::ExtractSortedInto(const Document& doc,
                                        PlanScratch* scratch,
                                        std::vector<Mapping>* out) const {
   scratch->pool.RecycleAll(out);  // previous results refill the pool
-  if (GateRejects(doc)) {
+  if (GateRejects(doc, scratch->cancel)) {
     counters_->documents.Add(1);
     if (obs::Enabled()) Metrics().documents->Add(1);
     return;  // *out is already the (empty) result
@@ -249,7 +253,8 @@ void ExtractionPlan::ExtractSortedInto(const Document& doc,
     obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
                       kEvalSpanName[size_t(info_.evaluator)]);
     VectorSink sink(out, &scratch->pool);
-    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
+    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink,
+                       scratch->cancel);
     std::sort(out->begin(), out->end());
   }
   counters_->documents.Add(1);
@@ -269,7 +274,8 @@ void ExtractionPlan::ExtractSortedPregatedInto(const Document& doc,
     obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
                       kEvalSpanName[size_t(info_.evaluator)]);
     VectorSink sink(out, &scratch->pool);
-    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink);
+    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, sink,
+                       scratch->cancel);
     std::sort(out->begin(), out->end());
   }
   counters_->documents.Add(1);
@@ -283,7 +289,7 @@ void ExtractionPlan::ExtractSortedPregatedInto(const Document& doc,
 
 void ExtractionPlan::ExtractTo(const Document& doc, PlanScratch* scratch,
                                MappingSink& sink) const {
-  if (GateRejects(doc)) {
+  if (GateRejects(doc, scratch->cancel)) {
     counters_->documents.Add(1);
     if (obs::Enabled()) Metrics().documents->Add(1);
     return;
@@ -292,7 +298,8 @@ void ExtractionPlan::ExtractTo(const Document& doc, PlanScratch* scratch,
   {
     obs::ObsSpan span(Metrics().eval_ns[size_t(info_.evaluator)],
                       kEvalSpanName[size_t(info_.evaluator)]);
-    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, counting);
+    spanner_.ExtractTo(info_.evaluator, doc, &scratch->arena, counting,
+                       scratch->cancel);
   }
   counters_->documents.Add(1);
   counters_->mappings.Add(counting.count());

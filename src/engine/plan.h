@@ -17,6 +17,7 @@
 
 #include "automata/lazy_dfa.h"
 #include "common/arena.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/document.h"
 #include "core/mapping.h"
@@ -66,6 +67,12 @@ struct PlanScratch {
   /// (engine::MultiQueryExtractor); sized on first use, reused across
   /// documents.
   std::vector<uint64_t> multi_clause_bits;
+  /// Cancellation/budget token governing every extraction run through
+  /// this scratch; not owned, may be null (never cancels). Once it trips,
+  /// extraction results obtained through this scratch are meaningless —
+  /// callers check the token, convert with CancelToken::ToStatus(), and
+  /// discard partial output.
+  CancelToken* cancel = nullptr;
 };
 
 /// Monotonic extraction counters; safe under concurrent Extract calls.
@@ -213,7 +220,9 @@ class ExtractionPlan : public DocumentExtractor {
 
   /// True when the document provably has no mappings (literal prefilter
   /// or lazy-DFA gate rejected it); bumps the matching skip counter.
-  bool GateRejects(const Document& doc) const;
+  /// A tripped `cancel` answers false (no proof): the evaluator stage
+  /// notices the trip immediately and aborts there.
+  bool GateRejects(const Document& doc, CancelToken* cancel) const;
 
   Spanner spanner_;
   std::string pattern_;

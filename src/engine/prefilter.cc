@@ -262,7 +262,7 @@ Prefilter::Prefilter(std::vector<Clause> clauses)
   ac_clause_masks_ = std::move(masks);
 }
 
-bool Prefilter::Matches(std::string_view text) const {
+bool Prefilter::Matches(std::string_view text, CancelToken* cancel) const {
   // Clause literals are non-empty, so the empty document satisfies a
   // clause set only when there are no clauses (also keeps memchr away
   // from a null data pointer).
@@ -273,13 +273,20 @@ bool Prefilter::Matches(std::string_view text) const {
     const uint8_t all =
         static_cast<uint8_t>((1u << clauses_.size()) - 1);
     uint8_t satisfied = 0;
-    ac_->Scan(text, [&](uint32_t pattern, size_t) {
-      satisfied |= ac_clause_masks_[pattern];
-      return satisfied != all;
-    });
+    ac_->Scan(
+        text,
+        [&](uint32_t pattern, size_t) {
+          satisfied |= ac_clause_masks_[pattern];
+          return satisfied != all;
+        },
+        cancel);
+    // A cancelled scan proved nothing: answer the conservative "cannot
+    // rule it out" rather than a false rejection the caller might trust.
+    if (cancel != nullptr && cancel->tripped()) return true;
     return satisfied == all;
   }
   for (const Clause& clause : clauses_) {
+    if (cancel != nullptr && cancel->Poll(0)) return true;
     bool satisfied = false;
     for (const std::string& lit : clause.literals) {
       if (lit.size() == 1

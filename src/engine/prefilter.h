@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/aho_corasick.h"
+#include "common/cancel.h"
 #include "rgx/ast.h"
 
 namespace spanners {
@@ -67,7 +68,9 @@ class Prefilter {
 
   /// False proves the document cannot match (some clause has none of its
   /// literals in `text`); true is inconclusive.
-  bool Matches(std::string_view text) const;
+  /// A tripped `cancel` token also yields true — "cannot rule it out" is
+  /// the conservative answer, and the caller aborts before acting on it.
+  bool Matches(std::string_view text, CancelToken* cancel = nullptr) const;
 
   /// The clause conjunction, ordered most selective first (longest
   /// minimum literal; deterministic tie-break). Outer gating tiers rely

@@ -127,6 +127,16 @@ std::string EngineReport::ToText(const std::string& prefix) const {
       out += prefix + "server: " + std::to_string(s.deadline_exceeded) +
              " deadline-exceeded, " + std::to_string(s.reaped_idle) +
              " idle conns reaped\n";
+    if (s.cancelled > 0 || s.resource_exhausted > 0 ||
+        s.cancelled_disconnect > 0)
+      out += prefix + "server: " + std::to_string(s.cancelled) +
+             " cancelled, " + std::to_string(s.resource_exhausted) +
+             " resource-exhausted, " +
+             std::to_string(s.cancelled_disconnect) +
+             " dropped-at-dequeue (disconnect)\n";
+    if (s.oldest_inflight_age_ms > 0)
+      out += prefix + "server: oldest in-flight item " +
+             std::to_string(s.oldest_inflight_age_ms) + " ms old\n";
   }
   out += prefix + std::to_string(documents) + " docs, " +
          std::to_string(total_mappings) + " mappings, " +
@@ -197,8 +207,15 @@ std::string EngineReport::ToJson() const {
            ",\"dropped_disconnect\":" +
            std::to_string(s.dropped_disconnect) +
            ",\"deadline_exceeded\":" + std::to_string(s.deadline_exceeded) +
+           ",\"cancelled\":" + std::to_string(s.cancelled) +
+           ",\"resource_exhausted\":" +
+           std::to_string(s.resource_exhausted) +
+           ",\"cancelled_disconnect\":" +
+           std::to_string(s.cancelled_disconnect) +
            ",\"reaped_idle\":" + std::to_string(s.reaped_idle) +
            ",\"queue_depth\":" + std::to_string(s.queue_depth) +
+           ",\"oldest_inflight_age_ms\":" +
+           std::to_string(s.oldest_inflight_age_ms) +
            ",\"queue_capacity\":" + std::to_string(s.queue_capacity) +
            ",\"draining\":" + (s.draining ? "true" : "false") +
            ",\"degraded\":" + (s.degraded ? "true" : "false");

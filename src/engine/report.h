@@ -51,10 +51,21 @@ struct ServerStatsReport {
   /// Requests whose per-request deadline expired before (or while)
   /// executing; the client got Status::DeadlineExceeded.
   uint64_t deadline_exceeded = 0;
+  /// In-flight evaluations aborted by an external Cancel() (disconnect,
+  /// force-close) mid-execution.
+  uint64_t cancelled = 0;
+  /// Evaluations aborted by the per-request arena-byte cap; the client
+  /// got Status::ResourceExhausted.
+  uint64_t resource_exhausted = 0;
+  /// Queued items from already-closed connections, dropped at dequeue
+  /// without executing.
+  uint64_t cancelled_disconnect = 0;
   /// Connections force-closed for sitting idle past idle_timeout_ms.
   uint64_t reaped_idle = 0;
   size_t queue_depth = 0;  // point-in-time
   size_t queue_capacity = 0;
+  /// Age of the oldest admitted-but-unfinished item (0 when idle).
+  uint64_t oldest_inflight_age_ms = 0;
   bool draining = false;
   /// Serving in degraded mode (index unavailable or memory budget hit):
   /// full-scan answers, still byte-identical, just slower.

@@ -161,6 +161,8 @@ class UnionNode final : public PhysicalNode {
     obs::ObsSpan span(Metrics().union_ns, "query.union");
     DedupSink dedup(&scratch->query_arena, vars().size(), sink);
     left_->Evaluate(doc, scratch, dedup);
+    // A trip during the left operand makes the whole union dead work.
+    if (scratch->cancel != nullptr && scratch->cancel->tripped()) return;
     right_->Evaluate(doc, scratch, dedup);
   }
   void Describe(std::string* out) const override {
@@ -288,6 +290,12 @@ class JoinNode final : public PhysicalNode {
     std::vector<Mapping> build;
     VectorSink collect(&build, pool);
     build_->Evaluate(doc, scratch, collect);
+    // A trip during the build makes it a partial, meaningless relation:
+    // skip indexing and probing (the caller reads the token and discards).
+    if (scratch->cancel != nullptr && scratch->cancel->tripped()) {
+      if (pool != nullptr) pool->RecycleAll(&build);
+      return;
+    }
     if (build.empty()) return;  // ⋈ with ∅ is ∅; skip the probe entirely
 
     // 2. Index it: chained hash over shared-var key tuples for mappings
@@ -295,9 +303,12 @@ class JoinNode final : public PhysicalNode {
     const uint32_t nshared = static_cast<uint32_t>(shared_.size());
     Index index(arena, build, shared_, nshared);
 
-    // 3. Stream the probe side through the index into a dedup.
+    // 3. Stream the probe side through the index into a dedup. The
+    // prober polls the token itself: its compatibility scans are
+    // O(|build|) per probe mapping, a loop no leaf evaluator bounds.
     DedupSink dedup(arena, vars().size(), sink);
-    Prober prober(index, build, shared_, nshared, arena, dedup);
+    Prober prober(index, build, shared_, nshared, arena, dedup,
+                  scratch->cancel);
     probe_->Evaluate(doc, scratch, prober);
 
     // Output mappings were merged copies; the build side is dead now.
@@ -373,21 +384,29 @@ class JoinNode final : public PhysicalNode {
    public:
     Prober(const Index& index, const std::vector<Mapping>& build,
            const VarSet& shared, uint32_t nshared, Arena* arena,
-           MappingSink& next)
+           MappingSink& next, CancelToken* cancel)
         : index_(index),
           build_(build),
           shared_(shared),
           nshared_(nshared),
           key_(arena->AllocateArray<SpanTuple>(nshared > 0 ? nshared : 1)),
-          next_(next) {}
+          next_(next),
+          gauge_(cancel, arena) {}
 
     bool Push(Mapping p) override {
       MappingPool* pool = next_.pool();
+      // Returning false stops the probe-side producer; the join output so
+      // far is partial and the caller discards it via the token.
+      if (gauge_.ShouldStop()) {
+        MappingPool::RecycleInto(pool, std::move(p));
+        return false;
+      }
       if (SharedKey(p, shared_, key_)) {
         // Hash path over total build mappings.
         const uint64_t h = FlatMappingSet::Hash(key_, nshared_);
         for (int32_t t = index_.heads[h & index_.mask]; t >= 0;
              t = index_.next[t]) {
+          if (gauge_.ShouldStop()) break;
           if (index_.hashes[t] != h) continue;
           const SpanTuple* bk =
               index_.keys + static_cast<size_t>(t) * nshared_;
@@ -400,6 +419,7 @@ class JoinNode final : public PhysicalNode {
         // Probe missing a shared variable: compatibility scan over every
         // total build mapping.
         for (uint32_t t = 0; t < index_.n_total; ++t) {
+          if (gauge_.ShouldStop()) break;
           const Mapping& b = build_[index_.total[t]];
           if (p.CompatibleWith(b))
             next_.Push(MergeCompatible(b, p, MappingPool::AcquireFrom(pool)));
@@ -407,6 +427,7 @@ class JoinNode final : public PhysicalNode {
       }
       // Partial build mappings always need the compatibility scan.
       for (uint32_t i : index_.partial) {
+        if (gauge_.ShouldStop()) break;
         const Mapping& b = build_[i];
         if (p.CompatibleWith(b))
           next_.Push(MergeCompatible(b, p, MappingPool::AcquireFrom(pool)));
@@ -425,6 +446,7 @@ class JoinNode final : public PhysicalNode {
     uint32_t nshared_;
     SpanTuple* key_;
     MappingSink& next_;
+    CancelGauge gauge_;
   };
 
   VarSet shared_;

@@ -44,6 +44,10 @@ Status StatusFromResponse(const JsonValue& response) {
     return Status::Corruption(message);
   if (code == StatusCodeToString(StatusCode::kDeadlineExceeded))
     return Status::DeadlineExceeded(message);
+  if (code == StatusCodeToString(StatusCode::kCancelled))
+    return Status::Cancelled(message);
+  if (code == StatusCodeToString(StatusCode::kResourceExhausted))
+    return Status::ResourceExhausted(message);
   return Status::Internal(code.empty() ? message
                                        : code + ": " + message);
 }

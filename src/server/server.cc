@@ -125,11 +125,16 @@ void Server::InitMetrics() {
   rejected_draining_ = reg.GetCounter("server.rejected_draining");
   dropped_disconnect_ = reg.GetCounter("server.dropped_disconnect");
   deadline_exceeded_ = reg.GetCounter("server.deadline_exceeded");
+  cancelled_ = reg.GetCounter("server.cancelled");
+  resource_exhausted_ = reg.GetCounter("server.resource_exhausted");
+  cancelled_disconnect_ = reg.GetCounter("server.cancelled_disconnect");
   reaped_idle_ = reg.GetCounter("server.reaped_idle");
   degraded_activations_ = reg.GetCounter("server.degraded");
   queue_depth_ = reg.GetHistogram("server.queue_depth", "items");
   queue_wait_ns_ = reg.GetHistogram("server.queue_wait_ns", "ns");
   request_ns_ = reg.GetHistogram("server.request_ns", "ns");
+  request_peak_arena_bytes_ =
+      reg.GetHistogram("engine.request_peak_arena_bytes", "bytes");
 }
 
 size_t Server::corpus_docs() const {
@@ -621,6 +626,18 @@ Status Server::AdmitWork(const std::shared_ptr<Connection>& conn,
             std::to_string(options_.max_inflight_per_client) + ")",
         options_.retry_after_ms);
   }
+  // Arm the request's token before it is shared (the token's contract):
+  // the deadline makes DeadlineExceeded fire mid-evaluation rather than
+  // only at chunk boundaries, the memory cap turns a pathological
+  // request into ResourceExhausted instead of unbounded allocation, and
+  // CloseConn's Cancel() aborts the work on disconnect.
+  item.cancel = std::make_shared<CancelToken>();
+  if (options_.request_timeout_ms > 0)
+    item.cancel->ArmDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.request_timeout_ms));
+  if (options_.request_memory_cap > 0)
+    item.cancel->ArmMemoryBudget(options_.request_memory_cap);
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     if (queue_.size() >= options_.queue_capacity) {
@@ -717,6 +734,17 @@ void Server::CloseConn(const std::shared_ptr<Connection>& conn) {
     conn->out_buf.clear();
     conn->out_cv.notify_all();
   }
+  // A dead client's work is pointless: trip every queued token it owns
+  // (the executor also drops dead-conn items at dequeue) and the token of
+  // its in-flight item, which the evaluation observes at its next poll —
+  // cancellation reaches RUNNING work, not just queued work.
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (WorkItem& w : queue_)
+      if (w.conn == conn && w.cancel != nullptr) w.cancel->Cancel();
+    if (inflight_conn_ == conn && inflight_cancel_ != nullptr)
+      inflight_cancel_->Cancel();
+  }
   if (fd >= 0) {
     ::close(fd);
     conns_.erase(fd);
@@ -740,9 +768,24 @@ void Server::ExecutorLoop() {
       }
       item = std::move(queue_.front());
       queue_.pop_front();
+      // Publish the in-flight item while still under queue_mu_ so
+      // CloseConn can never miss it: an item is always either in queue_
+      // or registered here.
+      inflight_conn_ = item.conn;
+      inflight_cancel_ = item.cancel;
+      inflight_enqueue_ns_ = item.enqueue_ns;
     }
     queue_wait_ns_->Record(MonotonicNs() - item.enqueue_ns);
-    if (item.deadline_ns != 0 && MonotonicNs() >= item.deadline_ns) {
+    bool conn_dead;
+    {
+      std::lock_guard<std::mutex> lk(item.conn->mu);
+      conn_dead = item.conn->closed;
+    }
+    if (conn_dead) {
+      // The client disconnected while this item sat in the queue: drop it
+      // at dequeue — there is nobody to answer — instead of executing.
+      Count(cancelled_disconnect_, n_cancelled_disconnect_);
+    } else if (item.deadline_ns != 0 && MonotonicNs() >= item.deadline_ns) {
       // Expired while queued: answer with the deadline error instead of
       // doing (now pointless) work the client has given up on.
       Count(deadline_exceeded_, n_deadline_exceeded_);
@@ -757,6 +800,12 @@ void Server::ExecutorLoop() {
     }
     request_ns_->Record(MonotonicNs() - item.enqueue_ns);
     item.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      inflight_conn_.reset();
+      inflight_cancel_.reset();
+      inflight_enqueue_ns_ = 0;
+    }
   }
   executor_done_.store(true, std::memory_order_release);
   WakeIo();
@@ -816,11 +865,41 @@ std::vector<std::string> Server::SessionHeaderRows(
   return rows;
 }
 
+bool Server::FinishRequest(const WorkItem& item) {
+  CancelToken* tok = item.cancel.get();
+  if (tok == nullptr) return false;
+  if (tok->peak_arena_bytes() > 0)
+    request_peak_arena_bytes_->Record(tok->peak_arena_bytes());
+  if (!tok->tripped()) return false;
+  switch (tok->reason()) {
+    case CancelToken::Reason::kCancelled:
+      Count(cancelled_, n_cancelled_);
+      break;
+    case CancelToken::Reason::kDeadline:
+      Count(deadline_exceeded_, n_deadline_exceeded_);
+      break;
+    case CancelToken::Reason::kResourceExhausted:
+      Count(resource_exhausted_, n_resource_exhausted_);
+      break;
+    case CancelToken::Reason::kNone:
+      break;
+  }
+  // On a disconnect-cancel the connection is closed and EmitLine drops
+  // the line; for deadline/memory trips the client gets the error.
+  EmitLine(item.conn, ErrorResponse(item.id, tok->ToStatus()));
+  return true;
+}
+
 void Server::ExecuteExtract(const WorkItem& item) {
   const engine::MultiQueryExtractor& fleet = *item.fleet;
   engine::Corpus one;
   one.Add(Document(item.doc));
+  batch_.set_cancel(item.cancel.get());
   const engine::MultiBatchResult result = batch_.ExtractMulti(fleet, one);
+  batch_.set_cancel(nullptr);
+  // A tripped token makes `result` partial garbage: the error line is
+  // the whole answer.
+  if (FinishRequest(item)) return;
 
   std::vector<std::string> rows = item.header
                                       ? SessionHeaderRows(fleet, item.format)
@@ -872,6 +951,9 @@ void Server::ExecuteExtractBatch(const WorkItem& item) {
         expired = true;
         dead = true;  // stop producing; the error line closes the stream
       }
+      // A tripped token ends the stream the same way: no more row chunks
+      // leave the server, and FinishRequest appends the error line.
+      if (item.cancel != nullptr && item.cancel->tripped()) dead = true;
       if (!dead && !EmitRowsChunk(item.conn, item.id, rows)) dead = true;
       rows.clear();
       rows_bytes = 0;
@@ -884,6 +966,7 @@ void Server::ExecuteExtractBatch(const WorkItem& item) {
   std::string row;
   uint64_t total_mappings = 0;
   size_t matched_docs = 0;
+  batch_.set_cancel(item.cancel.get());
   if (store_.has_value()) {
     engine::IndexedStats index_stats;
     const storage::NgramIndex* index =
@@ -963,7 +1046,11 @@ void Server::ExecuteExtractBatch(const WorkItem& item) {
     total_mappings = stats.total_mappings;
     matched_docs = stats.matched_documents;
   }
+  batch_.set_cancel(nullptr);
 
+  // Token trips (mid-evaluation deadline, memory cap, disconnect) win
+  // over the chunk-boundary deadline check: one error line, one counter.
+  if (FinishRequest(item)) return;
   if (expired) {
     Count(deadline_exceeded_, n_deadline_exceeded_);
     EmitLine(item.conn,
@@ -1024,6 +1111,11 @@ engine::ServerStatsReport Server::StatsSnapshot() const {
   s.dropped_disconnect =
       n_dropped_disconnect_.load(std::memory_order_relaxed);
   s.deadline_exceeded = n_deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = n_cancelled_.load(std::memory_order_relaxed);
+  s.resource_exhausted =
+      n_resource_exhausted_.load(std::memory_order_relaxed);
+  s.cancelled_disconnect =
+      n_cancelled_disconnect_.load(std::memory_order_relaxed);
   s.reaped_idle = n_reaped_idle_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_acquire);
   if (s.degraded) {
@@ -1033,6 +1125,13 @@ engine::ServerStatsReport Server::StatsSnapshot() const {
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     s.queue_depth = queue_.size();
+    // The oldest unfinished item is the one executing now, else the
+    // queue front (FIFO order makes the front the oldest).
+    uint64_t oldest_ns = inflight_enqueue_ns_;
+    if (oldest_ns == 0 && !queue_.empty())
+      oldest_ns = queue_.front().enqueue_ns;
+    if (oldest_ns != 0)
+      s.oldest_inflight_age_ms = (MonotonicNs() - oldest_ns) / 1'000'000;
   }
   s.queue_capacity = options_.queue_capacity;
   s.draining = draining();

@@ -58,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "engine/batch_extractor.h"
 #include "engine/corpus.h"
@@ -106,6 +107,10 @@ struct ServerOptions {
   /// whose footprint would exceed this is rebuilt without the shared gate
   /// and the server marks itself degraded. 0 = unlimited.
   size_t memory_budget_bytes = 0;
+  /// Per-request cap on evaluation arena bytes. A request whose extraction
+  /// allocates past the cap is aborted mid-evaluation and answered with
+  /// Status::ResourceExhausted instead of growing without bound. 0 = no cap.
+  size_t request_memory_cap = 0;
 };
 
 class Server {
@@ -173,6 +178,11 @@ class Server {
     /// Absolute monotonic deadline (0 = none), set at admission from
     /// options_.request_timeout_ms.
     uint64_t deadline_ns = 0;
+    /// The request's cancellation token, armed at admission with the
+    /// deadline and the per-request memory cap. CloseConn cancels it so a
+    /// disconnect aborts queued AND in-flight evaluation; the executor
+    /// hands it to the BatchExtractor for the duration of the request.
+    std::shared_ptr<CancelToken> cancel;
   };
 
   // --- I/O thread ---------------------------------------------------
@@ -209,6 +219,11 @@ class Server {
   void Execute(const WorkItem& item);
   void ExecuteExtract(const WorkItem& item);
   void ExecuteExtractBatch(const WorkItem& item);
+  /// Post-extraction epilogue: records the request's peak arena bytes
+  /// and, when its token tripped, emits the matching error line and bumps
+  /// the matching counter. True ⇒ the request ended in an error; the
+  /// caller must not surface rows or a done line.
+  bool FinishRequest(const WorkItem& item);
   /// Blocks while the connection's output buffer is above the high
   /// watermark; false when the connection closed (drop the output).
   bool EmitLine(const std::shared_ptr<Connection>& conn, std::string line);
@@ -251,6 +266,14 @@ class Server {
   std::condition_variable queue_cv_;
   std::deque<WorkItem> queue_;
 
+  // The item the executor is currently running (guarded by queue_mu_;
+  // empty between items). CloseConn cancels inflight_cancel_ when the
+  // dying connection owns it; StatsSnapshot derives the oldest
+  // in-flight age from inflight_enqueue_ns_ and the queue front.
+  std::shared_ptr<Connection> inflight_conn_;
+  std::shared_ptr<CancelToken> inflight_cancel_;
+  uint64_t inflight_enqueue_ns_ = 0;
+
   std::thread executor_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> drain_requested_{false};
@@ -274,11 +297,15 @@ class Server {
   obs::Counter* rejected_draining_;
   obs::Counter* dropped_disconnect_;
   obs::Counter* deadline_exceeded_;
+  obs::Counter* cancelled_;
+  obs::Counter* resource_exhausted_;
+  obs::Counter* cancelled_disconnect_;
   obs::Counter* reaped_idle_;
   obs::Counter* degraded_activations_;
   obs::Histogram* queue_depth_;
   obs::Histogram* queue_wait_ns_;
   obs::Histogram* request_ns_;
+  obs::Histogram* request_peak_arena_bytes_;
 
   // Per-server mirrors of the counters above (StatsSnapshot reads these,
   // not the process-global registry) plus the open-connection gauge.
@@ -290,6 +317,9 @@ class Server {
   std::atomic<uint64_t> n_rejected_draining_{0};
   std::atomic<uint64_t> n_dropped_disconnect_{0};
   std::atomic<uint64_t> n_deadline_exceeded_{0};
+  std::atomic<uint64_t> n_cancelled_{0};
+  std::atomic<uint64_t> n_resource_exhausted_{0};
+  std::atomic<uint64_t> n_cancelled_disconnect_{0};
   std::atomic<uint64_t> n_reaped_idle_{0};
   std::atomic<size_t> open_conns_{0};
 

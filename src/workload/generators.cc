@@ -251,6 +251,21 @@ RgxPtr NeedleRgx() {
   return kRgx;
 }
 
+std::vector<Document> BombCorpus(const BombOptions& options) {
+  std::vector<Document> docs;
+  docs.reserve(options.documents);
+  for (size_t d = 0; d < options.documents; ++d)
+    docs.push_back(Document(std::string(options.doc_bytes, 'a')));
+  return docs;
+}
+
+std::string PathologicalRgxText() { return ".*x{a*}.*"; }
+
+RgxPtr PathologicalRgx() {
+  static const RgxPtr kRgx = ParseRgx(".*x{a*}.*").ValueOrDie();
+  return kRgx;
+}
+
 namespace {
 
 // "EVT00".."EVT99" (wider past 100): uppercase + digits, unspellable by

@@ -115,6 +115,28 @@ std::vector<Document> NeedleCorpus(const NeedleOptions& options);
 ///   .*ALERT id=(x{[0-9]+}) code=(y{[A-Z]+})\n.*
 RgxPtr NeedleRgx();
 
+// ---- pathological cancellation workload ---------------------------------
+
+struct BombOptions {
+  size_t documents = 1;
+  /// Bytes per document — one repeated letter, so PathologicalRgx()
+  /// enumerates Θ(doc_bytes²) mappings per document.
+  size_t doc_bytes = 1u << 15;
+};
+
+/// "Bomb" corpus: documents that are a single repeated 'a'. Against
+/// PathologicalRgx() every a-run substring is a distinct span of x, so
+/// extraction emits Θ(n²) mappings per document — evaluation runs
+/// effectively forever at realistic sizes while every enumeration step
+/// stays cheap. This is the workload proving deadlines, disconnects and
+/// memory caps abort RUNNING work instead of waiting it out.
+std::vector<Document> BombCorpus(const BombOptions& options);
+
+/// The matching poison pattern, ".*x{a*}.*", as source text (what a
+/// client registers) and parsed.
+std::string PathologicalRgxText();
+RgxPtr PathologicalRgx();
+
 // ---- multi-query pattern fleet ------------------------------------------
 
 struct FleetOptions {

@@ -58,7 +58,7 @@ if [[ "$QUICK" == 1 ]]; then
   ARGS+=(--benchmark_filter='(BatchExtract|Fleet|Indexed).*/1/')
 else
   ARGS+=(--benchmark_repetitions=3 --benchmark_report_aggregates_only=true
-         --benchmark_filter='-CyclesPerByte|MetricsOverhead')
+         --benchmark_filter='-CyclesPerByte|MetricsOverhead|CancelOverhead')
 fi
 
 "$BENCH" "${ARGS[@]}"
@@ -70,7 +70,7 @@ TELEM_OUT="$(mktemp)"
 METRICS_OUT="$(mktemp)"
 SERVER_OUT="$(mktemp)"
 trap 'rm -f "$TELEM_OUT" "$METRICS_OUT" "$SERVER_OUT"' EXIT
-"$BENCH" --benchmark_filter='CyclesPerByte|MetricsOverhead' \
+"$BENCH" --benchmark_filter='CyclesPerByte|MetricsOverhead|CancelOverhead' \
          --benchmark_min_time=1 --benchmark_repetitions=3 \
          --benchmark_report_aggregates_only=true \
          --benchmark_out="$TELEM_OUT" --benchmark_out_format=json
@@ -139,9 +139,12 @@ for name in sorted(tiers):
 # Telemetry overhead gate: median of the paired same-iteration
 # comparison must stay within 2%.
 overhead = perf = None
+cancel_overheads = {}
 for b in telem["benchmarks"]:
     if "MetricsOverhead" in b["name"] and b["name"].endswith("_median"):
         overhead = b.get("overhead_pct")
+    if "CancelOverhead" in b["name"] and b["name"].endswith("_median"):
+        cancel_overheads[b["name"]] = b.get("overhead_pct")
     if "CyclesPerByte" in b["name"] and b["name"].endswith("_median"):
         perf = b
 if perf is not None:
@@ -159,6 +162,20 @@ print(f'telemetry overhead (enabled vs disabled, paired median): '
 if overhead > 2.0:
     sys.exit(f"FAIL: telemetry overhead {overhead:.2f}% exceeds the 2% "
              "budget")
+
+# Cancellation-check overhead gate: an armed-but-untripped CancelToken
+# (deadline + memory budget polled by every evaluation tier) must cost at
+# most 2% on both the server-log and fleet workloads — same paired
+# same-iteration methodology as the telemetry gate.
+if not cancel_overheads:
+    sys.exit("FAIL: BM_CancelOverhead benches produced no medians")
+for name, pct in sorted(cancel_overheads.items()):
+    workload = "fleet" if "Fleet" in name else "server-log"
+    print(f'cancellation-check overhead ({workload}, paired median): '
+          f'{pct:+.2f}%')
+    if pct > 2.0:
+        sys.exit(f"FAIL: cancellation-check overhead {pct:.2f}% on the "
+                 f"{workload} workload exceeds the 2% budget")
 
 rate = {}
 fleet = {}

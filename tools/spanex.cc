@@ -53,10 +53,12 @@
 //                            instead of reading files, synthesize a corpus
 //                            with the workload generators; KIND is
 //                            land-registry, server-log, needle (the
-//                            low-selectivity 1%-match corpus) or fleet
+//                            low-selectivity 1%-match corpus), fleet
 //                            (PATTERNS needle queries over one corpus;
 //                            with no -p/-q given, the generated fleet's
-//                            own patterns are used)
+//                            own patterns are used) or bomb (the Θ(n²)
+//                            cancellation workload and, with no -p/-q,
+//                            its poison pattern)
 //   --save-corpus FILE       write the loaded/generated corpus as an
 //                            immutable checksummed mmap segment (with
 //                            --index: also build and save the trigram
@@ -77,8 +79,10 @@
 //                            byte-identical to the equivalent offline run.
 //                            --stats[=json] fetches the server's report
 //                            (to stderr); exits 3 when the server refuses
-//                            with Unavailable (backoff, not a hard error)
-//                            and 4 on a deadline/timeout
+//                            with Unavailable (backoff, not a hard error),
+//                            4 on a deadline/timeout, 5 when the server
+//                            cancelled the request, 6 when it hit the
+//                            per-request memory cap
 //   --retries N              with --connect: transparently retry
 //                            Unavailable failures (dead socket, dropped
 //                            connection, backpressure refusal) up to N
@@ -161,10 +165,13 @@ int OutputExit(const CheckedWriter& writer) {
 }
 
 /// Script-visible exit codes for --connect failures: 3 = Unavailable
-/// (back off and retry), 4 = deadline/timeout, 2 = hard error.
+/// (back off and retry), 4 = deadline/timeout, 5 = cancelled server-side,
+/// 6 = per-request resource cap hit, 2 = hard error.
 int ClientExit(const Status& status) {
   if (status.code() == StatusCode::kUnavailable) return 3;
   if (status.code() == StatusCode::kDeadlineExceeded) return 4;
+  if (status.code() == StatusCode::kCancelled) return 5;
+  if (status.code() == StatusCode::kResourceExhausted) return 6;
   return 2;
 }
 
@@ -513,10 +520,21 @@ int main(int argc, char** argv) {
       corpus = Corpus(std::move(fleet.documents));
       if (patterns.empty() && !have_query)
         patterns = std::move(fleet.patterns);
+    } else if (kind == "bomb") {
+      // The pathological cancellation workload: all-'a' documents whose
+      // matching pattern enumerates Θ(n²) spans per document. Without
+      // explicit patterns/query, the poison pattern itself is extracted.
+      workload::BombOptions bo;
+      bo.documents = o.documents;
+      if (o.rows_per_document != 4)  // explicit ROWS overrides the default
+        bo.doc_bytes = o.rows_per_document * 45;
+      corpus = Corpus(workload::BombCorpus(bo));
+      if (patterns.empty() && !have_query)
+        patterns.push_back(workload::PathologicalRgxText());
     } else {
       std::cerr << "spanex: unknown --generate kind '" << kind
-                << "' (expected land-registry, server-log, needle or "
-                   "fleet)\n";
+                << "' (expected land-registry, server-log, needle, fleet "
+                   "or bomb)\n";
       return 2;
     }
   }

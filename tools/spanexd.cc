@@ -52,6 +52,11 @@
 //                            gate automaton would exceed BYTES is rebuilt
 //                            gateless (slower, same rows) and stats
 //                            reports degraded:true (default 0 = no budget)
+//   --request-memory-cap BYTES
+//                            per-request evaluation arena cap: a request
+//                            that allocates past BYTES mid-extraction is
+//                            aborted with ResourceExhausted instead of
+//                            growing without bound (default 0 = no cap)
 //   --fault SPEC             arm fault-injection rules (builds with
 //                            -DSPANNERS_FAULTS=ON only); SPEC is
 //                            point=kind[,errno=E][,after=N][,every=N]
@@ -100,8 +105,9 @@ int Usage(const char* argv0, int code) {
          "               [-j N] [-0] [--queue N] [--inflight N]\n"
          "               [--retry-after MS] [--cache-capacity N]\n"
          "               [--request-timeout-ms MS] [--idle-timeout-ms MS]\n"
-         "               [--memory-budget BYTES] [--fault SPEC]\n"
-         "               [--no-metrics]\n"
+         "               [--memory-budget BYTES] [--request-memory-cap "
+         "BYTES]\n"
+         "               [--fault SPEC] [--no-metrics]\n"
          "Serves document-spanner extraction over an AF_UNIX JSONL\n"
          "socket: clients register plans, extract documents or the held\n"
          "corpus, and drain the server (see README \"Server mode\").\n";
@@ -194,6 +200,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--memory-budget") {
       options.memory_budget_bytes =
           need_count("--memory-budget", size_t(1) << 40);
+    } else if (arg == "--request-memory-cap") {
+      options.request_memory_cap =
+          need_count("--request-memory-cap", size_t(1) << 40);
     } else if (arg == "--fault") {
       Status armed = fault::Configure(need_value("--fault"));
       if (!armed.ok()) {
@@ -298,10 +307,19 @@ int main(int argc, char** argv) {
         fo.doc_bytes = o.rows_per_document * 45;
         fo.num_patterns = fleet_patterns == 0 ? 1 : fleet_patterns;
         corpus = engine::Corpus(workload::MakePatternFleet(fo).documents);
+      } else if (kind == "bomb") {
+        // Θ(n²)-mappings-per-document cancellation workload; a client
+        // registering workload::PathologicalRgxText() against it proves
+        // deadlines/caps abort running work.
+        workload::BombOptions bo;
+        bo.documents = o.documents;
+        if (o.rows_per_document != 4)
+          bo.doc_bytes = o.rows_per_document * 45;
+        corpus = engine::Corpus(workload::BombCorpus(bo));
       } else {
         std::cerr << "spanexd: unknown --generate kind '" << kind
-                  << "' (expected land-registry, server-log, needle or "
-                     "fleet)\n";
+                  << "' (expected land-registry, server-log, needle, "
+                     "fleet or bomb)\n";
         return 2;
       }
     } else {
